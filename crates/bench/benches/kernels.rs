@@ -1,0 +1,165 @@
+//! Criterion microbenchmarks of the warehouse's hot kernels: XML parsing,
+//! holistic twig joins, index extraction per strategy, the structural-ID
+//! codec, key-value store operations, and index look-ups.
+//!
+//! These measure *host* performance of the real algorithms (the
+//! discrete-event simulation charges virtual time separately).
+
+use amada_cloud::{DynamoDb, KvStore, SimTime};
+use amada_index::{extract, lookup_pattern, ExtractOptions, Strategy};
+use amada_pattern::{evaluate_pattern_twig, naive_matches, parse_pattern};
+use amada_xmark::{generate_document, CorpusConfig};
+use amada_xml::{Document, StructuralId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn corpus_doc(bytes: usize) -> (String, String) {
+    let cfg = CorpusConfig {
+        num_documents: 50,
+        target_doc_bytes: bytes,
+        ..Default::default()
+    };
+    let d = generate_document(&cfg, 7); // a Standard-variant document
+    (d.uri, d.xml)
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml-parse");
+    for kb in [2usize, 8, 32] {
+        let (uri, xml) = corpus_doc(kb * 1024);
+        g.throughput(Throughput::Bytes(xml.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KB")), &xml, |b, xml| {
+            b.iter(|| Document::parse_str(uri.clone(), black_box(xml)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_twig_join(c: &mut Criterion) {
+    let (uri, xml) = corpus_doc(32 * 1024);
+    let doc = Document::parse_str(uri, &xml).unwrap();
+    let patterns = [
+        ("linear", "//item[/name{val}]"),
+        ("branching", "//item[/name{val}, /payment{val}, //mailbox[/mail[/from{val}]]]"),
+        ("predicated", "//open_auction[/initial{val}, //bidder[/increase{\"10\"<val<=\"50\"}]]"),
+    ];
+    let mut g = c.benchmark_group("twig-join");
+    for (name, text) in patterns {
+        let p = parse_pattern(text).unwrap();
+        g.bench_function(BenchmarkId::new("holistic", name), |b| {
+            b.iter(|| evaluate_pattern_twig(black_box(&doc), black_box(&p)))
+        });
+        g.bench_function(BenchmarkId::new("naive", name), |b| {
+            b.iter(|| naive_matches(black_box(&doc), black_box(&p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let (uri, xml) = corpus_doc(32 * 1024);
+    let doc = Document::parse_str(uri, &xml).unwrap();
+    let mut g = c.benchmark_group("index-extract");
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    for s in Strategy::ALL {
+        g.bench_function(s.name(), |b| {
+            b.iter(|| extract(black_box(&doc), s, ExtractOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_id_codec(c: &mut Criterion) {
+    let ids: Vec<StructuralId> =
+        (1..=10_000).map(|i| StructuralId::new(i * 3, i * 2, (i % 12) + 1)).collect();
+    let encoded = amada_index::codec::encode_ids(&ids);
+    let mut g = c.benchmark_group("id-codec");
+    g.throughput(Throughput::Elements(ids.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| amada_index::codec::encode_ids(black_box(&ids))));
+    g.bench_function("decode", |b| {
+        b.iter(|| amada_index::codec::decode_ids(black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_kv_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamodb-host-ops");
+    g.bench_function("batch_put-25", |b| {
+        let mut db = DynamoDb::default();
+        db.ensure_table("t");
+        let mut i = 0u64;
+        b.iter(|| {
+            let items: Vec<amada_cloud::KvItem> = (0..25)
+                .map(|k| amada_cloud::KvItem {
+                    hash_key: format!("key{}", k % 7),
+                    range_key: format!("r{i}-{k}"),
+                    attrs: vec![("doc.xml".into(), vec![amada_cloud::KvValue::S("v".into())])],
+                })
+                .collect();
+            i += 1;
+            db.batch_put(SimTime::ZERO, "t", items).unwrap()
+        })
+    });
+    g.bench_function("get-hot-key", |b| {
+        let mut db = DynamoDb::default();
+        db.ensure_table("t");
+        for i in 0..200 {
+            db.batch_put(
+                SimTime::ZERO,
+                "t",
+                vec![amada_cloud::KvItem {
+                    hash_key: "ename".into(),
+                    range_key: format!("r{i}"),
+                    attrs: vec![(format!("doc{i}.xml"), vec![amada_cloud::KvValue::S(String::new())])],
+                }],
+            )
+            .unwrap();
+        }
+        b.iter(|| db.get(SimTime::ZERO, "t", black_box("ename")).unwrap().0.len())
+    });
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    // A 50-document indexed corpus per strategy; measure look-up host time.
+    let cfg = CorpusConfig { num_documents: 50, target_doc_bytes: 4096, ..Default::default() };
+    let docs: Vec<Document> = (0..cfg.num_documents)
+        .map(|i| {
+            let d = generate_document(&cfg, i);
+            Document::parse_str(d.uri, &d.xml).unwrap()
+        })
+        .collect();
+    let pattern =
+        parse_pattern("//item[/name{contains(gold)}, //mailbox[/mail[/from{val}]]]").unwrap();
+    let mut g = c.benchmark_group("index-lookup");
+    for s in Strategy::ALL {
+        let mut store: Box<dyn KvStore> = Box::new(DynamoDb::default());
+        amada_index::index_documents(store.as_mut(), &docs, s, ExtractOptions::default());
+        g.bench_function(s.name(), |b| {
+            b.iter(|| {
+                lookup_pattern(
+                    store.as_mut(),
+                    SimTime::ZERO,
+                    s,
+                    ExtractOptions::default(),
+                    black_box(&pattern),
+                )
+                .unwrap()
+                .uris
+                .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_twig_join,
+    bench_extraction,
+    bench_id_codec,
+    bench_kv_store,
+    bench_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! `repro` — regenerate the paper's evaluation tables and figures.
+//!
+//! ```text
+//! repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R]
+//!
+//! artifacts:
+//!   table4   indexing times per strategy (8 large instances)
+//!   fig7     indexing time vs. data size
+//!   fig8     index sizes and monthly storage cost (± full-text)
+//!   table5   per-query look-up precision and result sizes
+//!   fig9     per-query response times + phase decomposition (l / xl)
+//!   fig10    workload ×16 on 1 vs. 8 instances
+//!   table6   indexing monetary costs by service
+//!   fig11    per-query monetary costs
+//!   fig12    workload cost decomposition (xl)
+//!   fig13    index cost amortization
+//!   table7   indexing comparison: SimpleDB [8] vs. DynamoDB
+//!   table8   query comparison: SimpleDB [8] vs. DynamoDB
+//!   all      everything above, in order
+//! ```
+
+use amada_bench::experiments as exp;
+use amada_bench::Scale;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return;
+    }
+    // Leading non-flag arguments select artifacts (suites are shared
+    // across them); flags follow.
+    let mut artifacts: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() && !args[i].starts_with("--") {
+        artifacts.push(args[i].as_str());
+        i += 1;
+    }
+    let mut scale = Scale::default_scale();
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> f64 {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{flag} needs a numeric argument")))
+        };
+        match flag {
+            "--scale" => scale = scale.scaled(value()),
+            "--docs" => scale.docs = value() as usize,
+            "--doc-bytes" => scale.doc_bytes = value() as usize,
+            "--repeats" => scale.workload_repeats = value() as usize,
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    eprintln!(
+        "# corpus: {} documents x ~{} bytes (paper: 20000 x ~2 MB); seed {:#x}",
+        scale.docs, scale.doc_bytes, scale.seed
+    );
+
+    let known: &[&str] = &[
+        "table4", "fig7", "fig8", "table5", "fig9", "fig10", "table6", "fig11", "fig12",
+        "fig13", "table7", "table8", "ablation",
+    ];
+    let selected: Vec<&str> = if artifacts == ["all"] {
+        known.to_vec()
+    } else {
+        for a in &artifacts {
+            if !known.contains(a) {
+                die(&format!("unknown artifact '{a}'"));
+            }
+        }
+        artifacts
+    };
+
+    // Expensive suites are shared across artifacts that need them.
+    let mut indexing: Option<exp::IndexingSuite> = None;
+    let mut querying: Option<exp::QuerySuite> = None;
+    let mut comparing: Option<exp::ComparisonSuite> = None;
+    for artifact in selected {
+        let start = Instant::now();
+        let body = match artifact {
+            "table4" => exp::table4(indexing.get_or_insert_with(|| exp::indexing_suite(&scale)))
+                .to_string(),
+            "fig7" => exp::fig7(&scale).to_string(),
+            "fig8" => exp::fig8(indexing.get_or_insert_with(|| exp::indexing_suite(&scale)))
+                .to_string(),
+            "table5" => exp::table5(querying.get_or_insert_with(|| exp::query_suite(&scale)))
+                .to_string(),
+            "fig9" => exp::fig9(querying.get_or_insert_with(|| exp::query_suite(&scale))),
+            "fig10" => exp::fig10(&scale).to_string(),
+            "table6" => exp::table6(indexing.get_or_insert_with(|| exp::indexing_suite(&scale)))
+                .to_string(),
+            "fig11" => exp::fig11(querying.get_or_insert_with(|| exp::query_suite(&scale)))
+                .to_string(),
+            "fig12" => exp::fig12(querying.get_or_insert_with(|| exp::query_suite(&scale)))
+                .to_string(),
+            "fig13" => exp::fig13(&scale).to_string(),
+            "table7" => exp::table7(
+                comparing.get_or_insert_with(|| exp::comparison_suite(&scale)),
+            )
+            .to_string(),
+            "table8" => exp::table8(
+                comparing.get_or_insert_with(|| exp::comparison_suite(&scale)),
+            )
+            .to_string(),
+            "ablation" => exp::ablation(&scale).to_string(),
+            _ => unreachable!("validated above"),
+        };
+        println!("\n== {} ==\n{body}", title(artifact));
+        eprintln!("# {artifact} computed in {:.1}s wall time", start.elapsed().as_secs_f64());
+    }
+}
+
+fn title(artifact: &str) -> &'static str {
+    match artifact {
+        "table4" => "Table 4 - indexing times using 8 large (L) instances",
+        "fig7" => "Figure 7 - indexing time vs. data size (8 large instances)",
+        "fig8" => "Figure 8 - index size and monthly storage cost",
+        "table5" => "Table 5 - query processing details (doc IDs from index)",
+        "fig9" => "Figure 9 - response times and phase decomposition",
+        "fig10" => "Figure 10 - impact of using multiple EC2 instances (workload x16)",
+        "table6" => "Table 6 - indexing costs by service",
+        "fig11" => "Figure 11 - query processing costs",
+        "fig12" => "Figure 12 - workload evaluation cost details (XL instance)",
+        "fig13" => "Figure 13 - index cost amortization (single L instance)",
+        "table7" => "Table 7 - indexing comparison vs. [8] (SimpleDB)",
+        "table8" => "Table 8 - query processing comparison vs. [8] (SimpleDB)",
+        "ablation" => "Ablation - binary ID encoding and write batching (beyond the paper)",
+        _ => "unknown",
+    }
+}
+
+fn print_usage() {
+    println!(
+        "repro - regenerate the paper's tables and figures\n\n\
+         usage: repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R]\n\n\
+         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation all"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

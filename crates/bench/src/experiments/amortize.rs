@@ -1,0 +1,89 @@
+//! Figure 13: index cost amortization — how many workload runs it takes
+//! for the query-cost savings to recover the index building cost, per
+//! strategy, on a single large instance.
+
+use crate::{corpus, strategy_warehouse, Scale, TextTable};
+use amada_cloud::InstanceType;
+use amada_core::{Amortization, Pool};
+use amada_index::Strategy;
+
+/// The amortization analysis for every strategy.
+pub fn amortizations(scale: &Scale) -> Vec<(Strategy, Amortization)> {
+    let docs = corpus(scale);
+    let queries = crate::workload();
+    let mut out = Vec::new();
+    for strategy in Strategy::ALL {
+        let (mut w, build) = strategy_warehouse(strategy, &docs);
+        w.set_query_pool(Pool::new(1, InstanceType::Large));
+        let indexed = w.run_workload(&queries, 1).cost.total();
+        let baseline = w.run_workload_no_index(&queries, 1).cost.total();
+        out.push((
+            strategy,
+            Amortization {
+                build_cost: build.cost.total(),
+                run_cost_no_index: baseline,
+                run_cost_indexed: indexed,
+            },
+        ));
+    }
+    out
+}
+
+/// Paper Figure 13: per strategy, the amortization parameters, the
+/// break-even run count, and the curve `runs × benefit − buildingCost`
+/// at a few sample points.
+pub fn fig13(scale: &Scale) -> TextTable {
+    let mut t = TextTable::new([
+        "Strategy",
+        "Build cost",
+        "Run (no index)",
+        "Run (indexed)",
+        "Benefit/run",
+        "Break-even runs",
+        "Net @4 runs",
+        "Net @8 runs",
+        "Net @16 runs",
+    ]);
+    for (s, a) in amortizations(scale) {
+        let curve = a.curve(20);
+        let at = |r: usize| format!("${:+.4}", curve[r].net_dollars());
+        t.row([
+            s.name().to_string(),
+            format!("${:.4}", a.build_cost.dollars()),
+            format!("${:.4}", a.run_cost_no_index.dollars()),
+            format!("${:.4}", a.run_cost_indexed.dollars()),
+            format!("${:.4}", a.benefit_per_run().dollars()),
+            a.breakeven_runs().map_or("never".into(), |r| r.to_string()),
+            at(4),
+            at(8),
+            at(16),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_strategy_amortizes_and_lu_breaks_even_first() {
+        let all = amortizations(&Scale::tiny());
+        let runs = |st: Strategy| {
+            all.iter()
+                .find(|(s, _)| *s == st)
+                .unwrap()
+                .1
+                .breakeven_runs()
+                .unwrap_or_else(|| panic!("{st} never breaks even"))
+        };
+        // The paper's ordering has LU fastest and 2LUPI slowest to
+        // recover (Figure 13: 4 runs for LU, 8 for LUP/LUI, 16 for
+        // 2LUPI). At this tiny test scale per-item constants blur the
+        // LU-vs-LUP and LUI-vs-LUP distinctions, but the extremes must
+        // hold: 2LUPI builds two indexes and always recovers last.
+        assert!(runs(Strategy::Lu) <= runs(Strategy::TwoLupi));
+        assert!(runs(Strategy::Lup) <= runs(Strategy::TwoLupi));
+        assert!(runs(Strategy::Lui) <= runs(Strategy::TwoLupi));
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 10: the impact of query-processing parallelism — the whole
+//! workload repeated 16 times, on 1 vs. 8 EC2 instances, large and
+//! extra-large.
+
+use crate::{corpus, strategy_warehouse, Scale, TextTable};
+use amada_cloud::{InstanceType, SimDuration};
+use amada_core::Pool;
+use amada_index::Strategy;
+use std::collections::HashMap;
+
+/// One measured cell of the Figure 10 chart.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingCell {
+    /// Total workload response time.
+    pub total_time: SimDuration,
+}
+
+/// The Figure 10 measurement grid.
+pub struct ScalingGrid {
+    /// `(strategy, instance label, instance count)` → cell.
+    pub cells: HashMap<(Strategy, &'static str, usize), ScalingCell>,
+    /// Repeats used (paper: 16).
+    pub repeats: usize,
+}
+
+/// Runs the grid.
+pub fn scaling_grid(scale: &Scale) -> ScalingGrid {
+    let docs = corpus(scale);
+    let queries = crate::workload();
+    let mut cells = HashMap::new();
+    for strategy in Strategy::ALL {
+        let (mut w, _) = strategy_warehouse(strategy, &docs);
+        for itype in [InstanceType::Large, InstanceType::ExtraLarge] {
+            for count in [1usize, 8] {
+                w.set_query_pool(Pool::new(count, itype));
+                let report = w.run_workload(&queries, scale.workload_repeats);
+                cells.insert(
+                    (strategy, itype.label(), count),
+                    ScalingCell { total_time: report.total_time },
+                );
+            }
+        }
+    }
+    ScalingGrid { cells, repeats: scale.workload_repeats }
+}
+
+/// Paper Figure 10: workload time on 1 vs. 8 instances.
+pub fn fig10(scale: &Scale) -> TextTable {
+    let grid = scaling_grid(scale);
+    render(&grid)
+}
+
+/// Renders an already-computed grid.
+pub fn render(grid: &ScalingGrid) -> TextTable {
+    let mut t = TextTable::new([
+        "Strategy",
+        "Instance",
+        "1 instance (s)",
+        "8 instances (s)",
+        "Speed-up",
+    ]);
+    for itype in ["l", "xl"] {
+        for s in Strategy::ALL {
+            let one = grid.cells[&(s, itype, 1)].total_time;
+            let eight = grid.cells[&(s, itype, 8)].total_time;
+            t.row([
+                s.name().to_string(),
+                itype.to_uppercase(),
+                format!("{:.2}", one.as_secs_f64()),
+                format!("{:.2}", eight.as_secs_f64()),
+                format!("{:.2}x", one.as_secs_f64() / eight.as_secs_f64().max(1e-9)),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_instances_help_significantly() {
+        let grid = scaling_grid(&Scale::tiny());
+        for itype in ["l", "xl"] {
+            for s in Strategy::ALL {
+                let one = grid.cells[&(s, itype, 1)].total_time;
+                let eight = grid.cells[&(s, itype, 8)].total_time;
+                assert!(
+                    eight.micros() * 2 < one.micros(),
+                    "{s}/{itype}: 8 instances {eight} vs 1 {one}"
+                );
+            }
+        }
+        assert_eq!(render(&grid).len(), 8);
+    }
+}

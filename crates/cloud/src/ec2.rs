@@ -1,0 +1,119 @@
+//! Virtual-instance registry and billing (Amazon EC2 in the paper).
+//!
+//! Instances are launched with a type ([`crate::pricing::InstanceType`]),
+//! run one warehouse module across their cores, and are billed for the
+//! virtual wall-clock window they were up — `VM$_h × t`, fractional hours,
+//! exactly as the paper's cost formulas use instance time (Section 7.3).
+
+use crate::clock::{SimDuration, SimTime};
+use crate::money::Money;
+use crate::pricing::{InstanceType, PriceTable};
+
+/// Handle to a launched instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstanceId(pub usize);
+
+/// Lifetime record of one instance.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceRecord {
+    /// Instance flavor.
+    pub itype: InstanceType,
+    /// Launch time.
+    pub start: SimTime,
+    /// Last activity / shutdown time (extended as work completes).
+    pub end: SimTime,
+}
+
+impl InstanceRecord {
+    /// Billed uptime.
+    pub fn uptime(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// The instance registry.
+#[derive(Debug, Default)]
+pub struct Ec2 {
+    records: Vec<InstanceRecord>,
+}
+
+impl Ec2 {
+    /// Creates an empty registry.
+    pub fn new() -> Ec2 {
+        Ec2::default()
+    }
+
+    /// Launches an instance at `now`.
+    pub fn launch(&mut self, itype: InstanceType, now: SimTime) -> InstanceId {
+        self.records.push(InstanceRecord { itype, start: now, end: now });
+        InstanceId(self.records.len() - 1)
+    }
+
+    /// Extends an instance's busy window to cover `now` (called by actors
+    /// as their operations complete; the final call fixes shutdown time).
+    pub fn extend(&mut self, id: InstanceId, now: SimTime) {
+        let r = &mut self.records[id.0];
+        r.end = r.end.max(now);
+    }
+
+    /// The record of an instance.
+    pub fn record(&self, id: InstanceId) -> InstanceRecord {
+        self.records[id.0]
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[InstanceRecord] {
+        &self.records
+    }
+
+    /// Total EC2 charge under a price table (fractional-hour billing, as
+    /// in the paper's `VM$_h × t` terms).
+    pub fn total_cost(&self, prices: &PriceTable) -> Money {
+        self.records
+            .iter()
+            .map(|r| prices.vm_hour(r.itype).per_hour(r.uptime().micros()))
+            .sum()
+    }
+
+    /// Total instance-hours (for reports).
+    pub fn total_hours(&self) -> f64 {
+        self.records.iter().map(|r| r.uptime().as_secs_f64() / 3600.0).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn billing_is_fractional_hours() {
+        let mut ec2 = Ec2::new();
+        let prices = PriceTable::default();
+        let id = ec2.launch(InstanceType::Large, SimTime::ZERO);
+        ec2.extend(id, SimTime::ZERO + SimDuration::from_secs(1800));
+        // Half an hour of a $0.34/h instance.
+        assert_eq!(ec2.total_cost(&prices).dollars(), 0.17);
+        assert!((ec2.total_hours() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extend_never_shrinks() {
+        let mut ec2 = Ec2::new();
+        let id = ec2.launch(InstanceType::ExtraLarge, SimTime::ZERO);
+        ec2.extend(id, SimTime(5_000_000));
+        ec2.extend(id, SimTime(2_000_000));
+        assert_eq!(ec2.record(id).end, SimTime(5_000_000));
+    }
+
+    #[test]
+    fn xl_bills_double() {
+        let prices = PriceTable::default();
+        let mut a = Ec2::new();
+        let i = a.launch(InstanceType::Large, SimTime::ZERO);
+        a.extend(i, SimTime(3_600_000_000));
+        let mut b = Ec2::new();
+        let j = b.launch(InstanceType::ExtraLarge, SimTime::ZERO);
+        b.extend(j, SimTime(3_600_000_000));
+        assert_eq!(b.total_cost(&prices).pico(), 2 * a.total_cost(&prices).pico());
+    }
+}

@@ -1,0 +1,51 @@
+//! # amada-cloud
+//!
+//! A from-scratch simulation of the commercial-cloud substrate the paper
+//! deploys on (Amazon Web Services, Section 6), sufficient for every
+//! behaviour the warehouse and its cost model depend on:
+//!
+//! * [`s3`] — the file store (documents and query results);
+//! * [`dynamodb`] — the key-value index store: composite keys,
+//!   multi-valued attributes, binary values, batch APIs, provisioned
+//!   throughput with saturation;
+//! * [`simpledb`] — the older key-value store used by the paper's \[8\]
+//!   baseline: string-only ≤ 1 KB values, slower service;
+//! * [`sqs`] — queues with visibility timeouts (at-least-once delivery,
+//!   the architecture's crash-tolerance mechanism);
+//! * [`ec2`] — virtual instances (large / extra-large) with fractional
+//!   hourly billing;
+//! * [`sim`] — the discrete-event engine gluing actors (instance cores)
+//!   to services over a deterministic virtual clock;
+//! * [`workmodel`] — converts real measured work metrics into virtual
+//!   compute durations;
+//! * [`pricing`] / [`money`] — the paper's Table 3 price constants and
+//!   exact picodollar arithmetic.
+//!
+//! Everything is deterministic: no wall-clock time, no host randomness.
+
+pub mod clock;
+pub mod dynamodb;
+pub mod ec2;
+pub mod kv;
+pub mod money;
+pub mod pricing;
+pub mod s3;
+pub mod service;
+pub mod simpledb;
+pub mod sqs;
+pub mod tuning;
+pub mod workmodel;
+pub mod sim;
+
+pub use clock::{SimDuration, SimTime};
+pub use dynamodb::{DynamoConfig, DynamoDb};
+pub use ec2::{Ec2, InstanceId, InstanceRecord};
+pub use kv::{KvError, KvItem, KvProfile, KvStats, KvStore, KvValue};
+pub use money::Money;
+pub use pricing::{InstanceType, PriceTable};
+pub use s3::{S3Error, S3Stats, S3};
+pub use simpledb::{SimpleDb, SimpleDbConfig};
+pub use sqs::{Message, Sqs, SqsStats};
+pub use tuning::{KvTuning, TunedKvStore};
+pub use sim::{Actor, CostReport, CostSnapshot, Engine, KvBackend, StepResult, StorageCost, World};
+pub use workmodel::WorkModel;

@@ -1,0 +1,165 @@
+//! Exact monetary arithmetic.
+//!
+//! Cloud prices reach down to $3.2 × 10⁻⁸ per request (Table 3), and cost
+//! reports sum millions of such charges; floating-point accumulation would
+//! drift. [`Money`] stores **picodollars** (10⁻¹² $) in a `u128`, which
+//! holds ~3.4 × 10²⁶ dollars — enough for any simulation — and makes every
+//! cost in the system exactly reproducible.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A non-negative amount of money with picodollar resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct Money(u128);
+
+/// Picodollars per dollar.
+const PICO: u128 = 1_000_000_000_000;
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// Constructs from a dollar amount (e.g. a price-table constant).
+    /// Rounds to the nearest picodollar.
+    pub fn from_dollars(d: f64) -> Money {
+        assert!(d >= 0.0 && d.is_finite(), "prices are non-negative: {d}");
+        Money((d * PICO as f64).round() as u128)
+    }
+
+    /// Constructs from raw picodollars.
+    pub const fn from_pico(p: u128) -> Money {
+        Money(p)
+    }
+
+    /// The raw picodollar amount.
+    pub const fn pico(self) -> u128 {
+        self.0
+    }
+
+    /// Approximate dollar value (for display / plotting only).
+    pub fn dollars(self) -> f64 {
+        self.0 as f64 / PICO as f64
+    }
+
+    /// Price per GB applied to a byte count: `self × bytes / 10⁹`.
+    /// (Cloud providers bill decimal gigabytes.)
+    pub fn per_gb(self, bytes: u64) -> Money {
+        Money(self.0 * bytes as u128 / 1_000_000_000)
+    }
+
+    /// Price per hour applied to a duration in microseconds (fractional
+    /// billing, as in the paper's cost formulas `VM$_h × t`).
+    pub fn per_hour(self, micros: u64) -> Money {
+        Money(self.0 * micros as u128 / 3_600_000_000)
+    }
+
+    /// Saturating subtraction (benefit computations can go "negative";
+    /// callers needing signed math use [`Money::signed_diff`]).
+    pub fn saturating_sub(self, rhs: Money) -> Money {
+        Money(self.0.saturating_sub(rhs.0))
+    }
+
+    /// `self − rhs` as signed picodollars (for amortization curves that
+    /// cross zero, Figure 13).
+    pub fn signed_diff(self, rhs: Money) -> i128 {
+        self.0 as i128 - rhs.0 as i128
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0.checked_sub(rhs.0).expect("money subtraction underflow"))
+    }
+}
+
+impl Mul<u64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: u64) -> Money {
+        Money(self.0 * rhs as u128)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dollars = self.0 / PICO;
+        let frac = self.0 % PICO;
+        // Print with enough precision to show request-level prices.
+        let s = format!("{:012}", frac);
+        let trimmed = s.trim_end_matches('0');
+        let digits = trimmed.len().clamp(2, 12);
+        write!(f, "${}.{}", dollars, &s[..digits])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dollars_round_trips_table3_constants() {
+        let idx_get = Money::from_dollars(0.000000032);
+        assert_eq!(idx_get.pico(), 32_000);
+        let vm = Money::from_dollars(0.34);
+        assert_eq!(vm.pico(), 340_000_000_000);
+    }
+
+    #[test]
+    fn per_gb_is_decimal_gigabytes() {
+        let p = Money::from_dollars(0.19);
+        assert_eq!(p.per_gb(1_000_000_000), p);
+        assert_eq!(p.per_gb(500_000_000).dollars(), 0.095);
+    }
+
+    #[test]
+    fn per_hour_fractional_billing() {
+        let p = Money::from_dollars(0.34);
+        // 30 virtual minutes on a large instance = $0.17.
+        assert_eq!(p.per_hour(1_800_000_000).dollars(), 0.17);
+    }
+
+    #[test]
+    fn summation_is_exact() {
+        // A million get requests at $3.2e-8 each must be exactly $0.032.
+        let one = Money::from_dollars(0.000000032);
+        let total: Money = (0..1_000_000).map(|_| one).sum();
+        assert_eq!(total.pico(), 32_000u128 * 1_000_000);
+        assert_eq!(total, one * 1_000_000);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Money::from_dollars(0.34).to_string(), "$0.34");
+        assert_eq!(Money::from_dollars(1.5).to_string(), "$1.50");
+        assert_eq!(Money::from_dollars(0.000011).to_string(), "$0.000011");
+    }
+
+    #[test]
+    fn signed_diff_crosses_zero() {
+        let a = Money::from_dollars(1.0);
+        let b = Money::from_dollars(2.0);
+        assert!(a.signed_diff(b) < 0);
+        assert!(b.signed_diff(a) > 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The simulated file store (Amazon S3 in the paper's deployment).
+//!
+//! S3's role in the architecture is simple: a durable, highly-available
+//! blob store holding whole XML documents and query results. It scales
+//! horizontally, so requests are *not* queued against a global capacity;
+//! each request pays a latency floor plus transfer time at a per-connection
+//! bandwidth (paper Section 6 notes bucket count does not affect
+//! performance, so one namespace is as good as many).
+
+use crate::clock::{SimDuration, SimTime};
+use crate::service::ServiceQueue;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from the file store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum S3Error {
+    /// `get` of an object that does not exist.
+    NoSuchKey { bucket: String, key: String },
+    /// Operation on a bucket that was never created.
+    NoSuchBucket(String),
+}
+
+impl fmt::Display for S3Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            S3Error::NoSuchKey { bucket, key } => write!(f, "no such key: {bucket}/{key}"),
+            S3Error::NoSuchBucket(b) => write!(f, "no such bucket: {b}"),
+        }
+    }
+}
+
+impl std::error::Error for S3Error {}
+
+/// Usage counters (feed the `ST*` components of the cost model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct S3Stats {
+    /// Put requests (billed `STput$` each).
+    pub put_requests: u64,
+    /// Get requests (billed `STget$` each).
+    pub get_requests: u64,
+    /// Bytes uploaded.
+    pub bytes_in: u64,
+    /// Bytes downloaded.
+    pub bytes_out: u64,
+    /// Bytes currently stored (the `s(D)` of the storage cost).
+    pub stored_bytes: u64,
+}
+
+/// The simulated file store.
+pub struct S3 {
+    buckets: HashMap<String, HashMap<String, Arc<Vec<u8>>>>,
+    stats: S3Stats,
+    transfer: ServiceQueue,
+}
+
+impl S3 {
+    /// Creates a store with default service parameters: 12 ms request
+    /// latency, 25 MB/s per-connection transfer.
+    pub fn new() -> S3 {
+        S3 {
+            buckets: HashMap::new(),
+            stats: S3Stats::default(),
+            transfer: ServiceQueue::new(
+                SimDuration::from_millis(3),
+                25.0 * 1024.0 * 1024.0,
+                SimDuration::from_millis(12),
+            ),
+        }
+    }
+
+    /// Creates a bucket (idempotent).
+    pub fn create_bucket(&mut self, name: &str) {
+        self.buckets.entry(name.to_string()).or_default();
+    }
+
+    /// Stores an object, replacing any previous version.
+    pub fn put(
+        &mut self,
+        now: SimTime,
+        bucket: &str,
+        key: &str,
+        data: Vec<u8>,
+    ) -> Result<SimTime, S3Error> {
+        let b = self
+            .buckets
+            .get_mut(bucket)
+            .ok_or_else(|| S3Error::NoSuchBucket(bucket.to_string()))?;
+        let len = data.len() as u64;
+        self.stats.put_requests += 1;
+        self.stats.bytes_in += len;
+        if let Some(old) = b.insert(key.to_string(), Arc::new(data)) {
+            self.stats.stored_bytes -= old.len() as u64;
+        }
+        self.stats.stored_bytes += len;
+        Ok(self.transfer.serve_unqueued(now, len as f64))
+    }
+
+    /// Retrieves an object (shared, zero-copy for the simulation host).
+    pub fn get(
+        &mut self,
+        now: SimTime,
+        bucket: &str,
+        key: &str,
+    ) -> Result<(Arc<Vec<u8>>, SimTime), S3Error> {
+        let b = self
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| S3Error::NoSuchBucket(bucket.to_string()))?;
+        let data = b
+            .get(key)
+            .cloned()
+            .ok_or_else(|| S3Error::NoSuchKey { bucket: bucket.into(), key: key.into() })?;
+        self.stats.get_requests += 1;
+        self.stats.bytes_out += data.len() as u64;
+        let ready = self.transfer.serve_unqueued(now, data.len() as f64);
+        Ok((data, ready))
+    }
+
+    /// Lists the keys of a bucket, in sorted order. Billed as one get-class
+    /// request (AWS prices LIST like GET).
+    pub fn list(&mut self, bucket: &str) -> Result<Vec<String>, S3Error> {
+        let b = self
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| S3Error::NoSuchBucket(bucket.to_string()))?;
+        let mut keys: Vec<String> = b.keys().cloned().collect();
+        keys.sort();
+        self.stats.get_requests += 1;
+        Ok(keys)
+    }
+
+    /// True if the object exists.
+    pub fn exists(&self, bucket: &str, key: &str) -> bool {
+        self.buckets.get(bucket).is_some_and(|b| b.contains_key(key))
+    }
+
+    /// Size in bytes of an object, if present.
+    pub fn object_size(&self, bucket: &str, key: &str) -> Option<u64> {
+        self.buckets.get(bucket)?.get(key).map(|o| o.len() as u64)
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> S3Stats {
+        self.stats
+    }
+}
+
+impl Default for S3 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut s3 = S3::new();
+        s3.create_bucket("docs");
+        let t1 = s3.put(SimTime::ZERO, "docs", "a.xml", b"<a/>".to_vec()).unwrap();
+        assert!(t1 > SimTime::ZERO);
+        let (data, t2) = s3.get(t1, "docs", "a.xml").unwrap();
+        assert_eq!(&**data, b"<a/>");
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn missing_objects_and_buckets_error() {
+        let mut s3 = S3::new();
+        assert!(matches!(
+            s3.get(SimTime::ZERO, "nope", "k"),
+            Err(S3Error::NoSuchBucket(_))
+        ));
+        s3.create_bucket("b");
+        assert!(matches!(
+            s3.get(SimTime::ZERO, "b", "k"),
+            Err(S3Error::NoSuchKey { .. })
+        ));
+    }
+
+    #[test]
+    fn replacement_keeps_storage_accounting_consistent() {
+        let mut s3 = S3::new();
+        s3.create_bucket("b");
+        s3.put(SimTime::ZERO, "b", "k", vec![0; 100]).unwrap();
+        s3.put(SimTime::ZERO, "b", "k", vec![0; 40]).unwrap();
+        let st = s3.stats();
+        assert_eq!(st.stored_bytes, 40);
+        assert_eq!(st.bytes_in, 140);
+        assert_eq!(st.put_requests, 2);
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let mut s3 = S3::new();
+        s3.create_bucket("b");
+        s3.put(SimTime::ZERO, "b", "z", vec![]).unwrap();
+        s3.put(SimTime::ZERO, "b", "a", vec![]).unwrap();
+        assert_eq!(s3.list("b").unwrap(), ["a", "z"]);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let mut s3 = S3::new();
+        s3.create_bucket("b");
+        let small = s3.put(SimTime::ZERO, "b", "s", vec![0; 1024]).unwrap();
+        let large = s3.put(SimTime::ZERO, "b", "l", vec![0; 50 * 1024 * 1024]).unwrap();
+        assert!(large.micros() > small.micros());
+        // 50 MB at 25 MB/s ≈ 2 s.
+        assert!((large.as_secs_f64() - 2.0).abs() < 0.1);
+    }
+}

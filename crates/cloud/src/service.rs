@@ -1,0 +1,131 @@
+//! The shared service-time model: a single-server queue with a capacity
+//! rate, per-request overhead, and a network latency floor.
+//!
+//! Every simulated cloud service is, timing-wise, one of these. A request
+//! of `units` capacity units arriving at `now` is served FIFO:
+//!
+//! ```text
+//! start      = max(now, next_free)
+//! done       = start + request_overhead + units / units_per_sec
+//! next_free  = done
+//! response   = done + latency            (latency does not hold capacity)
+//! ```
+//!
+//! Under light load responses take `overhead + units/rate + latency`; when
+//! aggregate demand exceeds `units_per_sec`, queueing delay grows without
+//! bound — which is exactly how provisioned-throughput saturation shows up
+//! in the paper's Figure 10 ("many strong instances … come close to
+//! saturating DynamoDB's capacity").
+
+use crate::clock::{SimDuration, SimTime};
+
+/// A FIFO single-server queue with rate-based service times.
+#[derive(Debug, Clone)]
+pub struct ServiceQueue {
+    next_free: SimTime,
+    /// Fixed capacity cost per request (occupies the server).
+    pub request_overhead: SimDuration,
+    /// Capacity units served per second (bytes, capacity units, …).
+    pub units_per_sec: f64,
+    /// Network round-trip added to every response (does not occupy the
+    /// server).
+    pub latency: SimDuration,
+    /// Total busy time accumulated (for utilization reporting).
+    pub busy: SimDuration,
+    /// Requests served.
+    pub served: u64,
+}
+
+impl ServiceQueue {
+    /// Creates a queue with the given parameters.
+    pub fn new(request_overhead: SimDuration, units_per_sec: f64, latency: SimDuration) -> Self {
+        assert!(units_per_sec > 0.0, "service rate must be positive");
+        ServiceQueue {
+            next_free: SimTime::ZERO,
+            request_overhead,
+            units_per_sec,
+            latency,
+            busy: SimDuration::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Serves a request of `units` capacity units arriving at `now`;
+    /// returns the virtual time at which the response is available.
+    pub fn serve(&mut self, now: SimTime, units: f64) -> SimTime {
+        let service = self.request_overhead + SimDuration::from_secs_f64(units / self.units_per_sec);
+        let start = now.max(self.next_free);
+        let done = start + service;
+        self.next_free = done;
+        self.busy += service;
+        self.served += 1;
+        done + self.latency
+    }
+
+    /// An infinitely-parallel variant: the request never queues (used for
+    /// S3, which scales horizontally); only per-request time applies.
+    pub fn serve_unqueued(&mut self, now: SimTime, units: f64) -> SimTime {
+        let service = self.request_overhead + SimDuration::from_secs_f64(units / self.units_per_sec);
+        self.busy += service;
+        self.served += 1;
+        now + service + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> ServiceQueue {
+        ServiceQueue::new(
+            SimDuration::from_millis(1),
+            1000.0, // 1000 units/sec
+            SimDuration::from_millis(10),
+        )
+    }
+
+    #[test]
+    fn unloaded_request_takes_overhead_plus_service_plus_latency() {
+        let mut q = q();
+        let done = q.serve(SimTime::ZERO, 500.0);
+        // 1ms overhead + 500ms service + 10ms latency.
+        assert_eq!(done.micros(), 511_000);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut q = q();
+        let first = q.serve(SimTime::ZERO, 1000.0);
+        // Second request at t=0 waits for the first to clear the server
+        // (1ms + 1s), then is served.
+        let second = q.serve(SimTime::ZERO, 1000.0);
+        assert!(second > first);
+        assert_eq!(second.micros(), 2 * 1_001_000 + 10_000);
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut q = q();
+        let _ = q.serve(SimTime::ZERO, 100.0);
+        // Arrive long after the server went idle: no queueing delay.
+        let late = q.serve(SimTime(10_000_000), 100.0);
+        assert_eq!(late.micros(), 10_000_000 + 1_000 + 100_000 + 10_000);
+    }
+
+    #[test]
+    fn unqueued_requests_do_not_interact() {
+        let mut q = q();
+        let a = q.serve_unqueued(SimTime::ZERO, 1000.0);
+        let b = q.serve_unqueued(SimTime::ZERO, 1000.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut q = q();
+        q.serve(SimTime::ZERO, 1000.0);
+        q.serve(SimTime::ZERO, 1000.0);
+        assert_eq!(q.busy.micros(), 2 * 1_001_000);
+        assert_eq!(q.served, 2);
+    }
+}

@@ -1,0 +1,381 @@
+//! The discrete-event engine and the simulated cloud [`World`].
+//!
+//! Actors (one per virtual instance core, plus the front end) execute
+//! sequential, blocking programs against the world's services. Each
+//! [`Actor::step`] call performs the actor's next operation — a service
+//! call or a block of virtual compute — and returns the virtual time at
+//! which the actor is ready for its next step. The engine wakes actors in
+//! global time order, so service queueing and contention are consistent
+//! across all actors.
+//!
+//! One deliberate relaxation: state mutation happens when an operation
+//! *starts*, while its completion time is modelled by the service; an
+//! actor observing the store between those instants could see the write
+//! "early". The warehouse's phases never race on the same keys (loading
+//! and querying are separate phases, and index items are written under
+//! fresh UUID range keys), so this cannot change results — only simplify
+//! the engine.
+
+use crate::clock::SimTime;
+use crate::dynamodb::{DynamoConfig, DynamoDb};
+use crate::ec2::Ec2;
+use crate::kv::{KvStats, KvStore};
+use crate::money::Money;
+use crate::pricing::PriceTable;
+use crate::s3::{S3Stats, S3};
+use crate::simpledb::{SimpleDb, SimpleDbConfig};
+use crate::sqs::{Sqs, SqsStats};
+use crate::workmodel::WorkModel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which key-value backend hosts the index store.
+#[derive(Debug, Clone)]
+pub enum KvBackend {
+    /// DynamoDB (this paper's system).
+    Dynamo(DynamoConfig),
+    /// SimpleDB (the baseline of \[8\], Tables 7–8).
+    Simple(SimpleDbConfig),
+}
+
+impl Default for KvBackend {
+    fn default() -> Self {
+        KvBackend::Dynamo(DynamoConfig::default())
+    }
+}
+
+/// The simulated cloud: every service plus pricing and the work model.
+pub struct World {
+    /// File store.
+    pub s3: S3,
+    /// Index store (DynamoDB or SimpleDB).
+    pub kv: Box<dyn KvStore>,
+    /// Queue service.
+    pub sqs: Sqs,
+    /// Instance registry.
+    pub ec2: Ec2,
+    /// Compute work model.
+    pub work: WorkModel,
+    /// Provider price table.
+    pub prices: PriceTable,
+    /// Bytes transferred out of the cloud (billed `egress$_GB`).
+    pub egress_bytes: u64,
+}
+
+impl World {
+    /// Creates a world with the given index backend and default pricing
+    /// (the paper's Table 3).
+    pub fn new(backend: KvBackend) -> World {
+        let kv: Box<dyn KvStore> = match backend {
+            KvBackend::Dynamo(cfg) => Box::new(DynamoDb::new(cfg)),
+            KvBackend::Simple(cfg) => Box::new(SimpleDb::new(cfg)),
+        };
+        World {
+            s3: S3::new(),
+            kv,
+            sqs: Sqs::new(),
+            ec2: Ec2::new(),
+            work: WorkModel::default(),
+            prices: PriceTable::default(),
+            egress_bytes: 0,
+        }
+    }
+
+    /// Records `bytes` leaving the cloud (query results returned to the
+    /// user — the paper's `egress$_GB × |r(q)|` term).
+    pub fn egress(&mut self, bytes: u64) {
+        self.egress_bytes += bytes;
+    }
+
+    /// Captures the current billing counters (for per-phase cost deltas).
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            s3: self.s3.stats(),
+            kv: self.kv.stats(),
+            sqs: self.sqs.stats(),
+            egress_bytes: self.egress_bytes,
+            ec2_cost: self.ec2.total_cost(&self.prices),
+        }
+    }
+
+    /// Charges accumulated since `since` (an empty snapshot charges
+    /// everything since world creation).
+    pub fn cost_since(&self, since: &CostSnapshot) -> CostReport {
+        let s3 = self.s3.stats();
+        let kv = self.kv.stats();
+        let sqs = self.sqs.stats();
+        let p = &self.prices;
+        let s3_cost = p.st_put * (s3.put_requests - since.s3.put_requests)
+            + p.st_get * (s3.get_requests - since.s3.get_requests);
+        let kv_cost = p.idx_put * (kv.put_ops - since.kv.put_ops)
+            + p.idx_get * (kv.get_ops - since.kv.get_ops);
+        let sqs_cost = p.qs_request * (sqs.requests - since.sqs.requests);
+        let egress_cost = p.egress_gb.per_gb(self.egress_bytes - since.egress_bytes);
+        let ec2_cost = self.ec2.total_cost(p) - since.ec2_cost;
+        CostReport { s3: s3_cost, kv: kv_cost, ec2: ec2_cost, sqs: sqs_cost, egress: egress_cost }
+    }
+
+    /// Total charges since world creation.
+    pub fn cost_report(&self) -> CostReport {
+        self.cost_since(&CostSnapshot::default())
+    }
+
+    /// Monthly storage charge for the current contents: the paper's
+    /// `st$_m(D, I) = ST$_{m,GB} × s(D) + IDX$_{m,GB} × s(D, I)`.
+    pub fn storage_cost_per_month(&self) -> StorageCost {
+        StorageCost {
+            file_store: self.prices.st_month_gb.per_gb(self.s3.stats().stored_bytes),
+            index_store: self.prices.idx_month_gb.per_gb(self.kv.stats().stored_bytes()),
+        }
+    }
+}
+
+/// A point-in-time capture of billing counters.
+#[derive(Debug, Clone, Default)]
+pub struct CostSnapshot {
+    /// File-store counters.
+    pub s3: S3Stats,
+    /// Index-store counters.
+    pub kv: KvStats,
+    /// Queue counters.
+    pub sqs: SqsStats,
+    /// Egress bytes so far.
+    pub egress_bytes: u64,
+    /// EC2 charges so far.
+    pub ec2_cost: Money,
+}
+
+/// Charges decomposed by service — the decomposition of the paper's
+/// Figure 12 (DynamoDB / S3 / EC2 / SQS / AWSDown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostReport {
+    /// File-store request charges.
+    pub s3: Money,
+    /// Index-store operation charges.
+    pub kv: Money,
+    /// Virtual-instance charges.
+    pub ec2: Money,
+    /// Queue-service charges.
+    pub sqs: Money,
+    /// Out-of-cloud transfer charges ("AWSDown").
+    pub egress: Money,
+}
+
+impl CostReport {
+    /// Sum of all components.
+    pub fn total(&self) -> Money {
+        self.s3 + self.kv + self.ec2 + self.sqs + self.egress
+    }
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (index store {}, file store {}, instances {}, queues {}, egress {})",
+            self.total(),
+            self.kv,
+            self.s3,
+            self.ec2,
+            self.sqs,
+            self.egress
+        )
+    }
+}
+
+/// Monthly storage charges (paper Section 7.3, `st$_m`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageCost {
+    /// `ST$_{m,GB} × s(D)`.
+    pub file_store: Money,
+    /// `IDX$_{m,GB} × s(D, I)`.
+    pub index_store: Money,
+}
+
+impl StorageCost {
+    /// Total monthly storage charge.
+    pub fn total(&self) -> Money {
+        self.file_store + self.index_store
+    }
+}
+
+impl std::fmt::Display for StorageCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/month (files {}, index {})",
+            self.total(),
+            self.file_store,
+            self.index_store
+        )
+    }
+}
+
+/// What an actor does when woken.
+pub enum StepResult {
+    /// The actor's current operation completes at this time; wake it then.
+    NextAt(SimTime),
+    /// The actor has finished; remove it.
+    Done,
+}
+
+/// A sequential program running in the simulation (one instance core, or
+/// the front end).
+pub trait Actor {
+    /// Performs the actor's next operation against the world at virtual
+    /// time `now`.
+    fn step(&mut self, now: SimTime, world: &mut World) -> StepResult;
+}
+
+/// The discrete-event engine.
+pub struct Engine {
+    /// The simulated cloud.
+    pub world: World,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl Engine {
+    /// Creates an engine over a world.
+    pub fn new(world: World) -> Engine {
+        Engine { world, heap: BinaryHeap::new(), actors: Vec::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Adds an actor, first woken at `at`.
+    pub fn spawn(&mut self, actor: Box<dyn Actor>, at: SimTime) {
+        let idx = self.actors.len();
+        self.actors.push(Some(actor));
+        self.heap.push(Reverse((at.micros(), self.seq, idx)));
+        self.seq += 1;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Runs until no actor has a pending wake-up; returns the final
+    /// virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while let Some(Reverse((t, _, idx))) = self.heap.pop() {
+            self.now = SimTime(t);
+            let Some(actor) = self.actors[idx].as_mut() else { continue };
+            match actor.step(self.now, &mut self.world) {
+                StepResult::NextAt(next) => {
+                    debug_assert!(next >= self.now, "actors cannot travel back in time");
+                    self.heap.push(Reverse((next.micros(), self.seq, idx)));
+                    self.seq += 1;
+                }
+                StepResult::Done => {
+                    self.actors[idx] = None;
+                }
+            }
+        }
+        self.now
+    }
+
+    /// Consumes the engine, returning the world (for post-run reporting).
+    pub fn into_world(self) -> World {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+
+    /// An actor that performs `n` compute steps of 1 s each.
+    struct Ticker {
+        remaining: u32,
+        log: std::rc::Rc<std::cell::RefCell<Vec<(u64, &'static str)>>>,
+        name: &'static str,
+    }
+
+    impl Actor for Ticker {
+        fn step(&mut self, now: SimTime, _world: &mut World) -> StepResult {
+            self.log.borrow_mut().push((now.micros(), self.name));
+            if self.remaining == 0 {
+                return StepResult::Done;
+            }
+            self.remaining -= 1;
+            StepResult::NextAt(now + SimDuration::from_secs(1))
+        }
+    }
+
+    #[test]
+    fn actors_interleave_in_time_order() {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut eng = Engine::new(World::new(KvBackend::default()));
+        eng.spawn(
+            Box::new(Ticker { remaining: 2, log: log.clone(), name: "a" }),
+            SimTime::ZERO,
+        );
+        eng.spawn(
+            Box::new(Ticker { remaining: 1, log: log.clone(), name: "b" }),
+            SimTime(500_000),
+        );
+        let end = eng.run();
+        assert_eq!(end.micros(), 2_000_000);
+        let events = log.borrow().clone();
+        assert_eq!(
+            events,
+            vec![
+                (0, "a"),
+                (500_000, "b"),
+                (1_000_000, "a"),
+                (1_500_000, "b"),
+                (2_000_000, "a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn cost_report_reflects_service_usage() {
+        let mut world = World::new(KvBackend::default());
+        world.s3.create_bucket("b");
+        world.s3.put(SimTime::ZERO, "b", "k", vec![0; 1000]).unwrap();
+        world.sqs.create_queue("q");
+        world.sqs.send(SimTime::ZERO, "q", "m");
+        world.egress(1_000_000_000);
+        let report = world.cost_report();
+        assert_eq!(report.s3, world.prices.st_put);
+        assert_eq!(report.sqs, world.prices.qs_request);
+        assert_eq!(report.egress, world.prices.egress_gb);
+        assert_eq!(report.kv, Money::ZERO);
+        assert_eq!(report.total(), report.s3 + report.sqs + report.egress);
+    }
+
+    #[test]
+    fn snapshots_isolate_phases() {
+        let mut world = World::new(KvBackend::default());
+        world.s3.create_bucket("b");
+        world.s3.put(SimTime::ZERO, "b", "k", vec![0; 10]).unwrap();
+        let snap = world.snapshot();
+        world.s3.put(SimTime::ZERO, "b", "k2", vec![0; 10]).unwrap();
+        world.s3.put(SimTime::ZERO, "b", "k3", vec![0; 10]).unwrap();
+        let delta = world.cost_since(&snap);
+        assert_eq!(delta.s3, world.prices.st_put * 2);
+    }
+
+    #[test]
+    fn reports_display_readably() {
+        let world = World::new(KvBackend::default());
+        let r = world.cost_report();
+        assert!(r.to_string().contains("index store"));
+        assert!(world.storage_cost_per_month().to_string().contains("/month"));
+    }
+
+    #[test]
+    fn storage_cost_uses_stored_bytes() {
+        let mut world = World::new(KvBackend::default());
+        world.s3.create_bucket("b");
+        world.s3.put(SimTime::ZERO, "b", "k", vec![0; 2_000_000_000]).unwrap();
+        let st = world.storage_cost_per_month();
+        assert_eq!(st.file_store.dollars(), 0.25); // 2 GB × $0.125
+        assert_eq!(st.index_store, Money::ZERO);
+        assert_eq!(st.total(), st.file_store);
+    }
+}

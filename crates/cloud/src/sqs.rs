@@ -1,0 +1,324 @@
+//! The simulated message-queue service (Amazon SQS in the paper).
+//!
+//! SQS ties the warehouse modules together (architecture Figure 1) and is
+//! the fault-tolerance mechanism: "if an instance fails to renew its lease
+//! on the message which had caused a task to start, the message becomes
+//! available again and another virtual instance will take over the job"
+//! (Section 3). The model therefore implements *visibility timeouts*:
+//! `receive` hides a message for a lease period rather than removing it;
+//! only an explicit `delete` removes it; an expired lease makes the
+//! message deliverable again (at-least-once semantics).
+
+use crate::clock::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A queued message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Unique receipt handle (per queue).
+    pub id: u64,
+    /// Payload (the warehouse sends document URIs / query texts).
+    pub body: String,
+    /// How many times the message has been received (1 on first delivery).
+    pub receive_count: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Stored {
+    id: u64,
+    body: String,
+    /// Invisible until this time (lease), if any.
+    invisible_until: Option<SimTime>,
+    receive_count: u32,
+}
+
+/// Usage counters (every API call is billed `QS$`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SqsStats {
+    /// Total API requests: send, receive (including empty receives),
+    /// delete and lease renewals.
+    pub requests: u64,
+    /// Messages sent.
+    pub sent: u64,
+    /// Messages delivered (receives that returned a message).
+    pub delivered: u64,
+    /// Messages redelivered after a lease expiry.
+    pub redelivered: u64,
+}
+
+/// The simulated queue service.
+pub struct Sqs {
+    queues: HashMap<String, Queue>,
+    stats: SqsStats,
+    latency: SimDuration,
+}
+
+#[derive(Default)]
+struct Queue {
+    messages: Vec<Stored>,
+    /// Tombstones for deleted messages, purged lazily (keeps `delete`
+    /// amortized O(1) instead of scanning the whole backlog per call).
+    deleted: std::collections::HashSet<u64>,
+    next_id: u64,
+    closed: bool,
+}
+
+impl Queue {
+    fn live_len(&self) -> usize {
+        self.messages.len() - self.deleted.len()
+    }
+
+    fn compact_if_needed(&mut self) {
+        if self.deleted.len() > 64 && self.deleted.len() * 2 > self.messages.len() {
+            let deleted = std::mem::take(&mut self.deleted);
+            self.messages.retain(|m| !deleted.contains(&m.id));
+        }
+    }
+}
+
+impl Sqs {
+    /// Creates the service with a default 4 ms request latency.
+    pub fn new() -> Sqs {
+        Sqs { queues: HashMap::new(), stats: SqsStats::default(), latency: SimDuration::from_millis(4) }
+    }
+
+    /// Creates a queue (idempotent).
+    pub fn create_queue(&mut self, name: &str) {
+        self.queues.entry(name.to_string()).or_default();
+    }
+
+    fn queue_mut(&mut self, name: &str) -> &mut Queue {
+        self.queues.get_mut(name).unwrap_or_else(|| panic!("no such queue: {name}"))
+    }
+
+    /// Sends a message; returns the virtual completion time.
+    pub fn send(&mut self, now: SimTime, queue: &str, body: impl Into<String>) -> SimTime {
+        self.stats.requests += 1;
+        self.stats.sent += 1;
+        let latency = self.latency;
+        let q = self.queue_mut(queue);
+        assert!(!q.closed, "send on closed queue {queue}");
+        let id = q.next_id;
+        q.next_id += 1;
+        q.messages.push(Stored { id, body: body.into(), invisible_until: None, receive_count: 0 });
+        now + latency
+    }
+
+    /// Receives one message, leasing it for `visibility`. Returns `None`
+    /// when no message is currently visible (still a billed request).
+    pub fn receive(
+        &mut self,
+        now: SimTime,
+        queue: &str,
+        visibility: SimDuration,
+    ) -> (Option<Message>, SimTime) {
+        self.stats.requests += 1;
+        let latency = self.latency;
+        let q = self.queue_mut(queue);
+        // Expiry is exclusive: a lease set (or renewed) to expire at `t`
+        // still protects the message to an observer at exactly `t`, so a
+        // renewal and a concurrent poll at the same instant cannot race the
+        // message away from its healthy holder.
+        let deleted = &q.deleted;
+        let found = q
+            .messages
+            .iter_mut()
+            .find(|m| !deleted.contains(&m.id) && m.invisible_until.is_none_or(|t| t < now));
+        let msg = found.map(|m| {
+            m.invisible_until = Some(now + visibility);
+            m.receive_count += 1;
+            Message { id: m.id, body: m.body.clone(), receive_count: m.receive_count }
+        });
+        if let Some(m) = &msg {
+            self.stats.delivered += 1;
+            if m.receive_count > 1 {
+                self.stats.redelivered += 1;
+            }
+        }
+        (msg, now + latency)
+    }
+
+    /// Deletes a received message by id (completes its processing).
+    ///
+    /// Model simplification: deletion is by message id, without real SQS's
+    /// per-receive receipt handles — a consumer whose lease already
+    /// expired could still delete the message out from under the new
+    /// holder. The warehouse's crashed actors never act again, so the
+    /// pipeline cannot trigger this; callers building other topologies
+    /// should not rely on delete-after-expiry being rejected.
+    pub fn delete(&mut self, now: SimTime, queue: &str, id: u64) -> SimTime {
+        self.stats.requests += 1;
+        let latency = self.latency;
+        let q = self.queue_mut(queue);
+        q.deleted.insert(id);
+        q.compact_if_needed();
+        now + latency
+    }
+
+    /// Renews the lease on a message (the paper's crash-detection
+    /// mechanism: a healthy instance renews; a crashed one does not).
+    pub fn renew_lease(
+        &mut self,
+        now: SimTime,
+        queue: &str,
+        id: u64,
+        visibility: SimDuration,
+    ) -> SimTime {
+        self.stats.requests += 1;
+        let latency = self.latency;
+        let q = self.queue_mut(queue);
+        if !q.deleted.contains(&id) {
+            if let Some(m) = q.messages.iter_mut().find(|m| m.id == id) {
+                m.invisible_until = Some(now + visibility);
+            }
+        }
+        now + latency
+    }
+
+    /// Marks the queue as complete: consumers seeing it empty may stop.
+    /// (An orchestration convenience, not an SQS API call; not billed.)
+    pub fn close(&mut self, queue: &str) {
+        self.queue_mut(queue).closed = true;
+    }
+
+    /// Reopens a closed queue for a new work phase.
+    pub fn open(&mut self, queue: &str) {
+        self.queue_mut(queue).closed = false;
+    }
+
+    /// True when the queue is closed and has no messages left (visible or
+    /// leased).
+    pub fn drained(&self, queue: &str) -> bool {
+        self.queues
+            .get(queue)
+            .map(|q| q.closed && q.live_len() == 0)
+            .unwrap_or(false)
+    }
+
+    /// Number of messages currently in the queue (visible or leased).
+    pub fn len(&self, queue: &str) -> usize {
+        self.queues.get(queue).map(|q| q.live_len()).unwrap_or(0)
+    }
+
+    /// True if the queue holds no messages.
+    pub fn is_empty(&self, queue: &str) -> bool {
+        self.len(queue) == 0
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> SqsStats {
+        self.stats
+    }
+}
+
+impl Default for Sqs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VIS: SimDuration = SimDuration::from_secs(30);
+
+    #[test]
+    fn send_receive_delete_lifecycle() {
+        let mut sqs = Sqs::new();
+        sqs.create_queue("loader");
+        let t = sqs.send(SimTime::ZERO, "loader", "doc1.xml");
+        let (msg, t) = sqs.receive(t, "loader", VIS);
+        let msg = msg.unwrap();
+        assert_eq!(msg.body, "doc1.xml");
+        assert_eq!(msg.receive_count, 1);
+        sqs.delete(t, "loader", msg.id);
+        assert!(sqs.is_empty("loader"));
+        assert_eq!(sqs.stats().requests, 3);
+    }
+
+    #[test]
+    fn leased_message_is_invisible_until_timeout() {
+        let mut sqs = Sqs::new();
+        sqs.create_queue("q");
+        sqs.send(SimTime::ZERO, "q", "m");
+        let (m1, _) = sqs.receive(SimTime(10), "q", VIS);
+        assert!(m1.is_some());
+        // Within the lease: invisible.
+        let (m2, _) = sqs.receive(SimTime(20), "q", VIS);
+        assert!(m2.is_none());
+        // After the lease expires (no delete — simulated crash):
+        // redelivered. Expiry is exclusive, so strictly after the deadline.
+        let after = SimTime(11) + VIS;
+        let (m3, _) = sqs.receive(after, "q", VIS);
+        let m3 = m3.unwrap();
+        assert_eq!(m3.receive_count, 2);
+        assert_eq!(sqs.stats().redelivered, 1);
+    }
+
+    #[test]
+    fn renew_extends_lease() {
+        let mut sqs = Sqs::new();
+        sqs.create_queue("q");
+        sqs.send(SimTime::ZERO, "q", "m");
+        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS);
+        let id = m.unwrap().id;
+        sqs.renew_lease(SimTime(29_000_000), "q", id, VIS);
+        // The original lease would have expired at t=30 s; renewal pushed
+        // it to t=59 s.
+        let (m2, _) = sqs.receive(SimTime(31_000_000), "q", VIS);
+        assert!(m2.is_none());
+        let (m3, _) = sqs.receive(SimTime(60_000_000), "q", VIS);
+        assert!(m3.is_some());
+    }
+
+    #[test]
+    fn lease_expiry_is_exclusive() {
+        // At the exact expiry instant the holder is still protected, so a
+        // same-instant renewal cannot lose a race with another consumer.
+        let mut sqs = Sqs::new();
+        sqs.create_queue("q");
+        sqs.send(SimTime::ZERO, "q", "m");
+        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS);
+        let id = m.unwrap().id;
+        let deadline = SimTime::ZERO + VIS;
+        let (race, _) = sqs.receive(deadline, "q", VIS);
+        assert!(race.is_none(), "message must stay protected at the deadline");
+        sqs.renew_lease(deadline, "q", id, VIS);
+        let (race, _) = sqs.receive(deadline + SimDuration::from_micros(1), "q", VIS);
+        assert!(race.is_none(), "renewal at the deadline holds the lease");
+    }
+
+    #[test]
+    fn close_and_drained() {
+        let mut sqs = Sqs::new();
+        sqs.create_queue("q");
+        sqs.send(SimTime::ZERO, "q", "m");
+        sqs.close("q");
+        assert!(!sqs.drained("q"));
+        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS);
+        sqs.delete(SimTime::ZERO, "q", m.unwrap().id);
+        assert!(sqs.drained("q"));
+    }
+
+    #[test]
+    fn empty_receive_is_still_billed() {
+        let mut sqs = Sqs::new();
+        sqs.create_queue("q");
+        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS);
+        assert!(m.is_none());
+        assert_eq!(sqs.stats().requests, 1);
+    }
+
+    #[test]
+    fn fifo_order_for_visible_messages() {
+        let mut sqs = Sqs::new();
+        sqs.create_queue("q");
+        sqs.send(SimTime::ZERO, "q", "first");
+        sqs.send(SimTime::ZERO, "q", "second");
+        let (a, _) = sqs.receive(SimTime::ZERO, "q", VIS);
+        let (b, _) = sqs.receive(SimTime::ZERO, "q", VIS);
+        assert_eq!(a.unwrap().body, "first");
+        assert_eq!(b.unwrap().body, "second");
+    }
+}

@@ -1,0 +1,468 @@
+//! The warehouse's module programs, as discrete-event actors.
+//!
+//! * [`LoaderCore`] — one per core of each indexing-module instance
+//!   (architecture steps 4–6): lease a document message, fetch the
+//!   document from the file store, extract index entries, batch-write them
+//!   to the index store, delete the message. The core is a state machine
+//!   issuing **one index-store call per engine step**, so that concurrent
+//!   cores interleave their writes at their true virtual arrival times and
+//!   the store's provisioned-throughput queue sees the real concurrency
+//!   (this is what makes the multi-instance indexing of Table 4 /
+//!   Figure 10 behave like the paper's).
+//! * [`QueryCore`] — one per query-processor instance (steps 9–15): lease
+//!   a query message, look the query up in the index, fetch the candidate
+//!   documents, evaluate, store results, respond. The paper treats one
+//!   query as an atomic unit of processing on one instance, with
+//!   intra-machine parallelism from multi-threading; the model reflects
+//!   that by dividing the transfer + evaluation phase across the
+//!   instance's cores. A query issues only a handful of index gets, so it
+//!   executes in a single step; the residual arrival-order skew across
+//!   concurrent query instances is bounded by those few calls.
+//!
+//! Fault tolerance comes for free from the queue semantics: a core
+//! configured to "crash" (`crash_after`) simply stops deleting its leased
+//! message; after the visibility timeout the message reappears and another
+//! core takes the job over (paper Section 3).
+
+use crate::config::{
+    WarehouseConfig, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE, RESULT_BUCKET,
+};
+use crate::metrics::{QueryExecution, QueryPhases};
+use amada_cloud::{Actor, InstanceId, KvItem, SimDuration, SimTime, StepResult, World};
+use amada_index::{extract, lookup_query, store::UuidGen, ExtractOptions, Strategy};
+use amada_pattern::{evaluate_pattern_twig, join_pattern_results, parse_query, Query, Tuple};
+use amada_xml::Document;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Host-side cache of parsed documents, keyed by URI and validated by a
+/// content hash so that re-uploading a changed document under the same URI
+/// is re-parsed (virtual time still charges every parse — cloud instances
+/// are stateless across tasks; the cache only spares the simulation host).
+pub type DocCache = Rc<RefCell<HashMap<String, (u64, Arc<Document>)>>>;
+
+fn content_hash(bytes: &[u8]) -> u64 {
+    // FNV-1a — cheap and good enough for cache validation.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Fetches a document from the (host) cache or parses it from bytes.
+fn cached_parse(cache: &DocCache, uri: &str, bytes: &[u8]) -> Arc<Document> {
+    let hash = content_hash(bytes);
+    if let Some((h, d)) = cache.borrow().get(uri) {
+        if *h == hash {
+            return d.clone();
+        }
+    }
+    let doc = Arc::new(Document::parse(uri, bytes).expect("stored documents are well-formed"));
+    cache.borrow_mut().insert(uri.to_string(), (hash, doc.clone()));
+    doc
+}
+
+/// Aggregated loader-side totals (shared across all loader cores).
+#[derive(Debug, Default)]
+pub struct LoaderTotals {
+    /// Documents indexed.
+    pub docs: u64,
+    /// Entries extracted.
+    pub entries: u64,
+    /// Items written.
+    pub items: u64,
+    /// Raw entry bytes.
+    pub entry_bytes: u64,
+    /// Summed per-core extraction (parse + extract) time, microseconds.
+    pub extraction_micros: u64,
+    /// Summed per-core index-upload wait time, microseconds.
+    pub upload_micros: u64,
+}
+
+/// What a loader core is doing between steps.
+enum LoaderState {
+    /// About to poll the task queue.
+    Idle,
+    /// Writing the current document's item batches, one per step.
+    Uploading {
+        msg_id: u64,
+        batches: VecDeque<(&'static str, Vec<KvItem>)>,
+        entries: u64,
+        items: u64,
+        entry_bytes: u64,
+    },
+    /// All batches written; deleting the task message.
+    Finishing { msg_id: u64 },
+}
+
+/// One core of an indexing-module instance.
+pub struct LoaderCore {
+    /// The instance this core belongs to (for uptime billing).
+    pub instance: InstanceId,
+    /// The core's compute rating.
+    pub ecu: f64,
+    /// Indexing strategy.
+    pub strategy: Strategy,
+    /// Extraction options.
+    pub opts: ExtractOptions,
+    /// Shared totals.
+    pub totals: Rc<RefCell<LoaderTotals>>,
+    /// Host document cache.
+    pub cache: DocCache,
+    /// Message lease duration.
+    pub visibility: SimDuration,
+    /// Idle poll interval.
+    pub poll: SimDuration,
+    /// Fault injection: crash (stop deleting leases) after this many
+    /// messages.
+    pub crash_after: Option<u32>,
+    /// Messages fully processed so far.
+    pub processed: u32,
+    state: LoaderState,
+}
+
+impl LoaderCore {
+    /// Creates an idle core.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        instance: InstanceId,
+        ecu: f64,
+        strategy: Strategy,
+        opts: ExtractOptions,
+        totals: Rc<RefCell<LoaderTotals>>,
+        cache: DocCache,
+        visibility: SimDuration,
+        poll: SimDuration,
+    ) -> LoaderCore {
+        LoaderCore {
+            instance,
+            ecu,
+            strategy,
+            opts,
+            totals,
+            cache,
+            visibility,
+            poll,
+            crash_after: None,
+            processed: 0,
+            state: LoaderState::Idle,
+        }
+    }
+
+    /// Builds the cores for one instance pool from a warehouse config.
+    pub fn pool(
+        cfg: &WarehouseConfig,
+        world: &mut World,
+        now: SimTime,
+        totals: &Rc<RefCell<LoaderTotals>>,
+        cache: &DocCache,
+    ) -> Vec<LoaderCore> {
+        let mut cores = Vec::new();
+        for _ in 0..cfg.loader_pool.count {
+            let instance = world.ec2.launch(cfg.loader_pool.itype, now);
+            for _ in 0..cfg.loader_pool.itype.cores() {
+                cores.push(LoaderCore::new(
+                    instance,
+                    cfg.loader_pool.itype.ecu_per_core(),
+                    cfg.strategy,
+                    cfg.extract,
+                    totals.clone(),
+                    cache.clone(),
+                    cfg.visibility,
+                    cfg.poll_interval,
+                ));
+            }
+        }
+        cores
+    }
+
+    /// Steps 4–5 plus extraction: lease a message, fetch and parse the
+    /// document, extract and encode the entries. Returns the next state
+    /// and the time all of that completed.
+    fn start_document(&mut self, now: SimTime, world: &mut World) -> StepResult {
+        let (msg, t) = world.sqs.receive(now, LOADER_QUEUE, self.visibility);
+        let Some(msg) = msg else {
+            world.ec2.extend(self.instance, t);
+            return if world.sqs.drained(LOADER_QUEUE) {
+                StepResult::Done
+            } else {
+                StepResult::NextAt(t + self.poll)
+            };
+        };
+        if self.crash_after.is_some_and(|n| self.processed >= n) {
+            // Simulated crash after lease acquisition: the message is
+            // neither processed nor deleted; SQS will redeliver it.
+            return StepResult::Done;
+        }
+        self.processed += 1;
+        let uri = msg.body.clone();
+        // Step 5: load the document from the file store.
+        let (bytes, t) = world
+            .s3
+            .get(t, DOC_BUCKET, &uri)
+            .expect("loader messages reference stored documents");
+        // Parse, extract, encode (really executed; virtually charged).
+        let doc = cached_parse(&self.cache, &uri, &bytes);
+        let entries = extract(&doc, self.strategy, self.opts);
+        let entry_bytes: u64 = entries.iter().map(|e| e.raw_bytes() as u64).sum();
+        let extraction = world.work.parse(bytes.len() as u64, self.ecu)
+            + world.work.extract(entry_bytes, self.ecu);
+        let t = t + extraction;
+        self.totals.borrow_mut().extraction_micros += extraction.micros();
+        let profile = world.kv.profile();
+        let mut uuids = UuidGen::for_document(&uri);
+        let mut per_table: HashMap<&'static str, Vec<KvItem>> = HashMap::new();
+        for e in &entries {
+            per_table
+                .entry(e.table)
+                .or_default()
+                .extend(amada_index::store::encode_entry(e, &profile, &mut uuids));
+        }
+        let mut batches = VecDeque::new();
+        let mut items = 0u64;
+        for table in self.strategy.tables() {
+            if let Some(table_items) = per_table.remove(table) {
+                items += table_items.len() as u64;
+                for chunk in table_items.chunks(profile.batch_put_limit) {
+                    batches.push_back((*table, chunk.to_vec()));
+                }
+            }
+        }
+        self.state = LoaderState::Uploading {
+            msg_id: msg.id,
+            batches,
+            entries: entries.len() as u64,
+            items,
+            entry_bytes,
+        };
+        StepResult::NextAt(t)
+    }
+}
+
+impl Actor for LoaderCore {
+    fn step(&mut self, now: SimTime, world: &mut World) -> StepResult {
+        let result = match &mut self.state {
+            LoaderState::Idle => self.start_document(now, world),
+            LoaderState::Uploading { msg_id, batches, entries, items, entry_bytes } => {
+                // Step 6: submit all of the document's batches *at once*
+                // (the paper's uploader is multi-threaded per instance, so
+                // batch writes are in flight concurrently); the store's
+                // capacity queue serializes them, and the core proceeds
+                // when the last acknowledgement arrives. Submitting at one
+                // arrival time also keeps concurrent cores' writes
+                // interleaved at their true virtual times.
+                let mut last = now;
+                while let Some((table, batch)) = batches.pop_front() {
+                    let done = world
+                        .kv
+                        .batch_put(now, table, batch)
+                        .expect("index entries fit the store limits");
+                    last = last.max(done);
+                }
+                self.totals.borrow_mut().upload_micros += (last - now).micros();
+                let mut tot = self.totals.borrow_mut();
+                tot.docs += 1;
+                tot.entries += *entries;
+                tot.items += *items;
+                tot.entry_bytes += *entry_bytes;
+                let msg_id = *msg_id;
+                drop(tot);
+                self.state = LoaderState::Finishing { msg_id };
+                StepResult::NextAt(last)
+            }
+            LoaderState::Finishing { msg_id } => {
+                let t = world.sqs.delete(now, LOADER_QUEUE, *msg_id);
+                self.state = LoaderState::Idle;
+                StepResult::NextAt(t)
+            }
+        };
+        if let StepResult::NextAt(t) = result {
+            world.ec2.extend(self.instance, t);
+        }
+        result
+    }
+}
+
+/// A query-processor instance (the whole instance: the transfer/eval phase
+/// is divided across its cores, per the paper's intra-machine
+/// parallelism).
+pub struct QueryCore {
+    /// The instance (for uptime billing).
+    pub instance: InstanceId,
+    /// Cores on the instance.
+    pub cores: usize,
+    /// Compute rating per core.
+    pub ecu: f64,
+    /// `Some(strategy)` to use the index, `None` for the no-index baseline
+    /// that scans the whole corpus.
+    pub strategy: Option<Strategy>,
+    /// Extraction options (must match how the index was built).
+    pub opts: ExtractOptions,
+    /// Host document cache.
+    pub cache: DocCache,
+    /// Message lease duration.
+    pub visibility: SimDuration,
+    /// Idle poll interval.
+    pub poll: SimDuration,
+    /// Completed executions (shared with the warehouse).
+    pub executions: Rc<RefCell<Vec<QueryExecution>>>,
+    /// Fault injection: crash after this many messages.
+    pub crash_after: Option<u32>,
+    /// Messages fully processed so far.
+    pub processed: u32,
+}
+
+impl QueryCore {
+    /// Builds one actor per query-pool instance.
+    pub fn pool(
+        cfg: &WarehouseConfig,
+        world: &mut World,
+        now: SimTime,
+        strategy: Option<Strategy>,
+        executions: &Rc<RefCell<Vec<QueryExecution>>>,
+        cache: &DocCache,
+    ) -> Vec<QueryCore> {
+        (0..cfg.query_pool.count)
+            .map(|_| QueryCore {
+                instance: world.ec2.launch(cfg.query_pool.itype, now),
+                cores: cfg.query_pool.itype.cores(),
+                ecu: cfg.query_pool.itype.ecu_per_core(),
+                strategy,
+                opts: cfg.extract,
+                cache: cache.clone(),
+                visibility: cfg.visibility,
+                poll: cfg.poll_interval,
+                executions: executions.clone(),
+                crash_after: None,
+                processed: 0,
+            })
+            .collect()
+    }
+
+    /// Executes one query message; returns the completion time.
+    fn process(&mut self, msg_id: u64, body: &str, t0: SimTime, world: &mut World) -> SimTime {
+        let (name, text) = body.split_once('\n').expect("query messages carry name\\nquery");
+        let query: Query = parse_query(text).expect("stored queries are well-formed");
+
+        // Phase 1+2: index look-up and plan execution (step 10–12).
+        let mut phases = QueryPhases::default();
+        let mut docs_from_index = 0usize;
+        let mut index_get_ops = 0u64;
+        // Per pattern: the candidate documents to evaluate it on.
+        let per_pattern_uris: Vec<Vec<String>>;
+        let mut t = t0;
+        match self.strategy {
+            Some(strategy) => {
+                let lookup = lookup_query(world.kv.as_mut(), t, strategy, self.opts, &query)
+                    .expect("index look-up succeeds");
+                let t_get = lookup.ready_at();
+                phases.lookup_get = t_get - t;
+                let plan = world.work.plan(lookup.entries_processed(), self.ecu);
+                phases.plan = plan;
+                t = t_get + plan;
+                docs_from_index = lookup.total_doc_ids;
+                index_get_ops = lookup.get_ops();
+                per_pattern_uris = lookup.per_pattern.into_iter().map(|o| o.uris).collect();
+            }
+            None => {
+                // No index: every pattern is evaluated on every document.
+                let all = world.s3.list(DOC_BUCKET).expect("document bucket exists");
+                per_pattern_uris = vec![all; query.patterns.len()];
+            }
+        }
+
+        // Phase 3: transfer candidate documents and evaluate (steps 13–14).
+        // Work is accumulated serially and divided across the cores.
+        let mut serial = SimDuration::ZERO;
+        let mut fetched: BTreeSet<&String> = BTreeSet::new();
+        let mut docs: HashMap<&String, Arc<Document>> = HashMap::new();
+        for uris in &per_pattern_uris {
+            for uri in uris {
+                if !fetched.insert(uri) {
+                    continue;
+                }
+                let (bytes, resp) =
+                    world.s3.get(t, DOC_BUCKET, uri).expect("candidate documents exist");
+                serial += resp - t;
+                serial += world.work.parse(bytes.len() as u64, self.ecu);
+                docs.insert(uri, cached_parse(&self.cache, uri, &bytes));
+            }
+        }
+        let mut per_pattern: Vec<Vec<Tuple>> = Vec::with_capacity(query.patterns.len());
+        for (p, uris) in query.patterns.iter().zip(&per_pattern_uris) {
+            let mut tuples = Vec::new();
+            for uri in uris {
+                let doc = &docs[uri];
+                let (t_p, stats) = evaluate_pattern_twig(doc, p);
+                serial += world.work.eval(stats.candidates, self.ecu);
+                tuples.extend(t_p);
+            }
+            per_pattern.push(tuples);
+        }
+        let tuple_count: u64 = per_pattern.iter().map(|v| v.len() as u64).sum();
+        let results = join_pattern_results(&query, &per_pattern);
+        serial += world.work.plan(tuple_count, self.ecu);
+        // `|r(q)|` is the size of the materialized result object — the
+        // same bytes stored in the file store and later egressed.
+        let mut payload = String::new();
+        for r in &results {
+            payload.push_str(&r.columns.join("\t"));
+            payload.push('\n');
+        }
+        let result_bytes = payload.len() as u64;
+        serial += world.work.materialize(result_bytes, self.ecu);
+        let wall = SimDuration::from_micros(serial.micros() / self.cores as u64);
+        phases.transfer_eval = wall;
+        t = t + wall;
+
+        // Step 14–15: store results, respond, delete the task message.
+        let result_key = format!("{name}-{msg_id}.results");
+        let t = world
+            .s3
+            .put(t, RESULT_BUCKET, &result_key, payload.into_bytes())
+            .expect("result bucket exists");
+        let t = world.sqs.send(t, RESPONSE_QUEUE, result_key);
+        let t_done = world.sqs.delete(t, QUERY_QUEUE, msg_id);
+
+        let docs_with_results: BTreeSet<&str> =
+            results.iter().flat_map(|r| r.uris.iter().map(|u| &**u)).collect();
+        self.executions.borrow_mut().push(QueryExecution {
+            name: name.to_string(),
+            strategy: self.strategy,
+            response_time: t_done - t0,
+            phases,
+            docs_from_index,
+            docs_fetched: fetched.len(),
+            docs_with_results: docs_with_results.len(),
+            result_bytes,
+            results,
+            index_get_ops,
+        });
+        t_done
+    }
+}
+
+impl Actor for QueryCore {
+    fn step(&mut self, now: SimTime, world: &mut World) -> StepResult {
+        let (msg, t) = world.sqs.receive(now, QUERY_QUEUE, self.visibility);
+        let Some(msg) = msg else {
+            world.ec2.extend(self.instance, t);
+            return if world.sqs.drained(QUERY_QUEUE) {
+                StepResult::Done
+            } else {
+                StepResult::NextAt(t + self.poll)
+            };
+        };
+        if self.crash_after.is_some_and(|n| self.processed >= n) {
+            return StepResult::Done;
+        }
+        self.processed += 1;
+        let t_done = self.process(msg.id, &msg.body.clone(), t, world);
+        world.ec2.extend(self.instance, t_done);
+        StepResult::NextAt(t_done)
+    }
+}

@@ -1,0 +1,205 @@
+//! The index advisor — the paper's stated future work ("the development of
+//! a platform and index advisor tool, which based on the expected dataset
+//! and workload, estimates an application's performance and cost and picks
+//! the best indexing strategy to use", Section 9).
+//!
+//! The advisor runs each candidate strategy over a *representative sample*
+//! of the dataset and the expected workload inside the simulated cloud,
+//! measures build cost, monthly storage and per-run query cost, and ranks
+//! strategies by projected total cost of ownership over the expected
+//! usage horizon. Because everything below it is deterministic, the
+//! advice is reproducible.
+
+use crate::config::WarehouseConfig;
+use crate::warehouse::Warehouse;
+use amada_cloud::Money;
+use amada_index::{ExtractOptions, PathSummary, Strategy, StrategyHint};
+use amada_pattern::Query;
+use amada_xml::Document;
+
+/// Cost projection for one strategy.
+#[derive(Debug, Clone)]
+pub struct StrategyEstimate {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Cost of building the index over the sample (`ci$`).
+    pub build_cost: Money,
+    /// Monthly storage charge for data + index.
+    pub storage_per_month: Money,
+    /// Cost of one workload run with the index.
+    pub run_cost: Money,
+    /// Mean workload response time (seconds) with the index.
+    pub mean_response_secs: f64,
+    /// Projected total over the horizon:
+    /// `build + runs × run_cost + months × storage`.
+    pub projected_total: Money,
+}
+
+/// The advisor's output: estimates for every strategy, best first.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// Ranked estimates (ascending projected total).
+    pub ranked: Vec<StrategyEstimate>,
+    /// The no-index baseline projection over the same horizon
+    /// (`runs × scan run cost`; no build, no index storage).
+    pub no_index_total: Money,
+}
+
+impl Advice {
+    /// The cheapest strategy over the horizon.
+    pub fn best(&self) -> &StrategyEstimate {
+        &self.ranked[0]
+    }
+
+    /// Whether indexing at all beats scanning over the horizon.
+    pub fn indexing_pays_off(&self) -> bool {
+        self.best().projected_total < self.no_index_total
+    }
+}
+
+/// Runs the advisor.
+///
+/// * `sample` — a representative document sample `(uri, xml)`;
+/// * `workload` — the expected queries;
+/// * `expected_runs` — how many times the workload will run over the
+///   horizon;
+/// * `months` — the storage horizon in months;
+/// * `base` — deployment parameters (pools, prices, backend).
+pub fn advise(
+    sample: &[(String, String)],
+    workload: &[Query],
+    expected_runs: u32,
+    months: f64,
+    base: &WarehouseConfig,
+) -> Advice {
+    let mut estimates = Vec::new();
+    let mut no_index_total = Money::ZERO;
+    for strategy in Strategy::ALL {
+        let mut cfg = base.clone();
+        cfg.strategy = strategy;
+        let mut w = Warehouse::new(cfg);
+        w.upload_documents(sample.iter().map(|(u, x)| (u.clone(), x.clone())));
+        let build = w.build_index();
+        let mut run_cost = Money::ZERO;
+        let mut response = 0.0;
+        for q in workload {
+            let r = w.run_query(q);
+            run_cost += r.cost.total();
+            response += r.exec.response_time.as_secs_f64();
+        }
+        // The scan baseline is strategy-independent; measure it once.
+        if strategy == Strategy::Lu {
+            let mut scan_cost = Money::ZERO;
+            for q in workload {
+                scan_cost += w.run_query_no_index(q).cost.total();
+            }
+            no_index_total = scan_cost * expected_runs as u64
+                + months_scaled(w.storage_cost().file_store, months);
+        }
+        let storage = w.storage_cost().total();
+        let projected = build.cost.total()
+            + run_cost * expected_runs as u64
+            + months_scaled(storage, months);
+        estimates.push(StrategyEstimate {
+            strategy,
+            build_cost: build.cost.total(),
+            storage_per_month: storage,
+            run_cost,
+            mean_response_secs: response / workload.len().max(1) as f64,
+            projected_total: projected,
+        });
+    }
+    estimates.sort_by_key(|e| e.projected_total);
+    Advice { ranked: estimates, no_index_total }
+}
+
+fn months_scaled(per_month: Money, months: f64) -> Money {
+    Money::from_pico((per_month.pico() as f64 * months) as u128)
+}
+
+/// Per-query structural hints from a DataGuide summary of the sample —
+/// the paper's Section 8.5 criterion for when the ID-granularity
+/// strategies (LUI / 2LUPI) should beat the path-granularity ones.
+///
+/// Unlike [`advise`] (which simulates whole deployments), this is purely
+/// static: it parses the sample once, builds the summary, and scores each
+/// query — the cheap analysis a front end could run per incoming query.
+pub fn advise_queries(
+    sample: &[(String, String)],
+    workload: &[Query],
+) -> Vec<(String, Vec<StrategyHint>)> {
+    let docs: Vec<Document> = sample
+        .iter()
+        .map(|(u, x)| Document::parse_str(u.clone(), x).expect("sample documents parse"))
+        .collect();
+    let summary = PathSummary::build(docs.iter());
+    workload
+        .iter()
+        .map(|q| {
+            let name = q.name.clone().unwrap_or_default();
+            let hints = q
+                .patterns
+                .iter()
+                .map(|p| summary.recommend(p, ExtractOptions::default()))
+                .collect();
+            (name, hints)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amada_xmark::{generate_corpus, workload_query, CorpusConfig};
+
+    fn sample() -> Vec<(String, String)> {
+        let cfg = CorpusConfig { num_documents: 25, target_doc_bytes: 1200, ..Default::default() };
+        generate_corpus(&cfg).into_iter().map(|d| (d.uri, d.xml)).collect()
+    }
+
+    #[test]
+    fn advisor_ranks_all_strategies() {
+        let workload: Vec<Query> =
+            ["q1", "q6"].iter().map(|n| workload_query(n).unwrap()).collect();
+        let advice = advise(&sample(), &workload, 500, 1.0, &WarehouseConfig::default());
+        assert_eq!(advice.ranked.len(), 4);
+        // Ranking is ascending in projected total.
+        for w in advice.ranked.windows(2) {
+            assert!(w[0].projected_total <= w[1].projected_total);
+        }
+        // Over enough runs, indexing must beat scanning (the sample corpus
+        // is tiny, so break-even needs many more runs than at real scale).
+        assert!(advice.indexing_pays_off());
+    }
+
+    #[test]
+    fn per_query_hints_cover_the_workload() {
+        let workload = amada_xmark::workload();
+        let hints = advise_queries(&sample(), &workload);
+        assert_eq!(hints.len(), 10);
+        // Every pattern of every query received a hint with a sane
+        // selectivity estimate.
+        for (name, pattern_hints) in &hints {
+            assert!(!pattern_hints.is_empty(), "{name}");
+            for h in pattern_hints {
+                assert!(h.estimated_selectivity >= 0.0 && h.estimated_selectivity <= 1.0);
+                assert!(h.branches >= 1);
+            }
+        }
+        // q1 is a two-branch point query: its estimate must be far more
+        // selective than the linear bulk of the corpus.
+        let q1 = &hints[0].1[0];
+        assert!(q1.estimated_selectivity < 0.1, "{q1:?}");
+    }
+
+    #[test]
+    fn heavier_indexes_cost_more_to_build() {
+        let workload = vec![workload_query("q2").unwrap()];
+        let advice = advise(&sample(), &workload, 10, 1.0, &WarehouseConfig::default());
+        let by = |s: Strategy| {
+            advice.ranked.iter().find(|e| e.strategy == s).unwrap().build_cost
+        };
+        assert!(by(Strategy::Lu) < by(Strategy::Lup));
+        assert!(by(Strategy::Lup) < by(Strategy::TwoLupi));
+    }
+}

@@ -1,0 +1,111 @@
+//! Index cost amortization (paper Section 8.3, Figure 13).
+//!
+//! For a strategy `I` and workload `W`, the *benefit* of `I` for `W` is
+//! the monetary difference between answering `W` with no index and
+//! answering it with the index built by `I`. Each run of `W` saves that
+//! benefit; the index cost is recovered at the run where the cumulated
+//! benefit crosses the building cost — "the cost is recovered when the
+//! curves cross the Y = 0 axis".
+
+use amada_cloud::Money;
+
+/// One point of the amortization curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AmortizationPoint {
+    /// Number of workload runs so far.
+    pub runs: u32,
+    /// `runs × benefit(I, W) − buildingCost(I)`, in picodollars (may be
+    /// negative before break-even).
+    pub net_pico: i128,
+}
+
+impl AmortizationPoint {
+    /// The net value in (possibly negative) dollars.
+    pub fn net_dollars(&self) -> f64 {
+        self.net_pico as f64 / 1e12
+    }
+}
+
+/// The amortization analysis for one strategy.
+#[derive(Debug, Clone)]
+pub struct Amortization {
+    /// Index building cost (`ci$`).
+    pub build_cost: Money,
+    /// Cost of one workload run without an index.
+    pub run_cost_no_index: Money,
+    /// Cost of one workload run with the index.
+    pub run_cost_indexed: Money,
+}
+
+impl Amortization {
+    /// The per-run benefit; zero when the index does not help.
+    pub fn benefit_per_run(&self) -> Money {
+        self.run_cost_no_index.saturating_sub(self.run_cost_indexed)
+    }
+
+    /// The curve `runs ↦ runs × benefit − build_cost` for
+    /// `0..=max_runs`.
+    pub fn curve(&self, max_runs: u32) -> Vec<AmortizationPoint> {
+        let benefit = self.benefit_per_run().pico() as i128;
+        let build = self.build_cost.pico() as i128;
+        (0..=max_runs)
+            .map(|runs| AmortizationPoint { runs, net_pico: benefit * runs as i128 - build })
+            .collect()
+    }
+
+    /// The first run count at which the cumulated benefit covers the
+    /// building cost, or `None` if the index never pays off.
+    pub fn breakeven_runs(&self) -> Option<u32> {
+        let benefit = self.benefit_per_run().pico();
+        if benefit == 0 {
+            return if self.build_cost == Money::ZERO { Some(0) } else { None };
+        }
+        Some(self.build_cost.pico().div_ceil(benefit) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(build: f64, no_index: f64, indexed: f64) -> Amortization {
+        Amortization {
+            build_cost: Money::from_dollars(build),
+            run_cost_no_index: Money::from_dollars(no_index),
+            run_cost_indexed: Money::from_dollars(indexed),
+        }
+    }
+
+    #[test]
+    fn breakeven_matches_curve_zero_crossing() {
+        let am = a(26.64, 7.0, 0.5); // ≈ the paper's LU numbers
+        let be = am.breakeven_runs().unwrap();
+        assert_eq!(be, 5); // 26.64 / 6.5 = 4.1 → 5 runs
+        let curve = am.curve(10);
+        assert!(curve[be as usize].net_pico >= 0);
+        assert!(curve[be as usize - 1].net_pico < 0);
+    }
+
+    #[test]
+    fn curve_starts_at_minus_build_cost() {
+        let am = a(10.0, 2.0, 1.0);
+        let c = am.curve(3);
+        assert_eq!(c[0].runs, 0);
+        assert!((c[0].net_dollars() + 10.0).abs() < 1e-9);
+        assert!((c[3].net_dollars() + 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn useless_index_never_breaks_even() {
+        let am = a(10.0, 1.0, 2.0); // indexed run costs more
+        assert_eq!(am.benefit_per_run(), Money::ZERO);
+        assert_eq!(am.breakeven_runs(), None);
+    }
+
+    #[test]
+    fn cheaper_index_breaks_even_sooner() {
+        let lu = a(26.64, 7.0, 0.5);
+        let lupi = a(99.44, 7.0, 0.6);
+        assert!(lu.breakeven_runs().unwrap() < lupi.breakeven_runs().unwrap());
+    }
+}

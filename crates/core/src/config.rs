@@ -1,0 +1,99 @@
+//! Warehouse configuration.
+
+use amada_cloud::{InstanceType, KvBackend, KvTuning, PriceTable, SimDuration, WorkModel};
+use amada_index::{ExtractOptions, Strategy};
+
+/// S3 bucket holding the XML documents.
+pub const DOC_BUCKET: &str = "amada-documents";
+/// S3 bucket holding materialized query results.
+pub const RESULT_BUCKET: &str = "amada-results";
+/// Queue carrying document-loading requests (architecture step 3).
+pub const LOADER_QUEUE: &str = "amada-loader-requests";
+/// Queue carrying query requests (step 8).
+pub const QUERY_QUEUE: &str = "amada-query-requests";
+/// Queue carrying query responses (step 15).
+pub const RESPONSE_QUEUE: &str = "amada-query-responses";
+
+/// An instance pool: how many virtual machines of which flavor run a
+/// module.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    /// Number of instances.
+    pub count: usize,
+    /// Instance flavor.
+    pub itype: InstanceType,
+}
+
+impl Pool {
+    /// A pool of `count` instances of `itype`.
+    pub fn new(count: usize, itype: InstanceType) -> Pool {
+        Pool { count, itype }
+    }
+}
+
+/// Full warehouse configuration.
+#[derive(Debug, Clone)]
+pub struct WarehouseConfig {
+    /// Indexing strategy (paper Table 2).
+    pub strategy: Strategy,
+    /// Extraction options (full-text on/off).
+    pub extract: ExtractOptions,
+    /// Index-store backend (DynamoDB, or SimpleDB for the \[8\] baseline).
+    pub backend: KvBackend,
+    /// Ablation switches on the index store (binary values, batching).
+    pub kv_tuning: KvTuning,
+    /// Instances running the indexing module (paper: 8 large).
+    pub loader_pool: Pool,
+    /// Instances running the query processor (paper: 1 unless stated).
+    pub query_pool: Pool,
+    /// Provider price table (paper Table 3 by default).
+    pub prices: PriceTable,
+    /// Compute work model.
+    pub work: WorkModel,
+    /// SQS visibility timeout for task leases. Long by default so that a
+    /// healthy module never loses its lease mid-task. (The paper's modules
+    /// renew leases periodically; this model instead sizes the lease to
+    /// the task — `Sqs::renew_lease` exists and is exercised by the
+    /// fault-tolerance tests — so billing counts exactly the receive +
+    /// delete per message that the paper's cost formulas assume.)
+    pub visibility: SimDuration,
+    /// How often an idle module core polls an empty queue.
+    pub poll_interval: SimDuration,
+}
+
+impl Default for WarehouseConfig {
+    fn default() -> Self {
+        WarehouseConfig {
+            strategy: Strategy::Lu,
+            extract: ExtractOptions::default(),
+            backend: KvBackend::default(),
+            kv_tuning: KvTuning::NONE,
+            loader_pool: Pool::new(8, InstanceType::Large),
+            query_pool: Pool::new(1, InstanceType::Large),
+            prices: PriceTable::default(),
+            work: WorkModel::default(),
+            visibility: SimDuration::from_secs(4 * 3600),
+            poll_interval: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl WarehouseConfig {
+    /// Convenience: the default configuration with a given strategy.
+    pub fn with_strategy(strategy: Strategy) -> WarehouseConfig {
+        WarehouseConfig { strategy, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = WarehouseConfig::default();
+        assert_eq!(c.loader_pool.count, 8);
+        assert_eq!(c.loader_pool.itype, InstanceType::Large);
+        assert_eq!(c.query_pool.count, 1);
+    }
+}

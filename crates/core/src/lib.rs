@@ -1,0 +1,24 @@
+//! # amada-core
+//!
+//! The end-to-end warehouse of the paper's Figure 1: a front end, an
+//! indexing module and a query-processor module running on simulated cloud
+//! instances, glued by queues, storing documents in a file store and the
+//! index in a key-value store — plus the Section 7 monetary cost model,
+//! the index amortization analysis (Figure 13), and the strategy advisor
+//! sketched as future work in the paper's conclusion.
+
+pub mod actors;
+pub mod advisor;
+pub mod amortization;
+pub mod config;
+pub mod cost;
+pub mod metrics;
+pub mod warehouse;
+
+pub use config::{Pool, WarehouseConfig};
+pub use config::{DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE, RESULT_BUCKET};
+pub use metrics::{CostedQuery, IndexBuildReport, QueryExecution, QueryPhases, WorkloadReport};
+pub use advisor::{advise, advise_queries, Advice, StrategyEstimate};
+pub use amortization::{Amortization, AmortizationPoint};
+pub use cost::CostModel;
+pub use warehouse::{UploadReport, Warehouse};

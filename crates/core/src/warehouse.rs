@@ -1,0 +1,432 @@
+//! The warehouse façade: the full architecture of the paper's Figure 1,
+//! steps 1–18, over the simulated cloud.
+
+use crate::actors::{DocCache, LoaderCore, LoaderTotals, QueryCore};
+use crate::config::{
+    WarehouseConfig, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE, RESULT_BUCKET,
+};
+use crate::metrics::{CostedQuery, IndexBuildReport, QueryExecution, WorkloadReport};
+use amada_cloud::{CostReport, Engine, Money, SimDuration, SimTime, StorageCost, World};
+use amada_pattern::Query;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A cloud-hosted XML warehouse (one simulated deployment).
+pub struct Warehouse {
+    cfg: WarehouseConfig,
+    engine: Engine,
+    cache: DocCache,
+    doc_uris: Vec<String>,
+    corpus_bytes: u64,
+}
+
+/// Outcome of uploading a batch of documents (front-end steps 1–3).
+#[derive(Debug, Clone, Copy)]
+pub struct UploadReport {
+    /// Documents uploaded.
+    pub documents: u64,
+    /// Bytes uploaded.
+    pub bytes: u64,
+    /// Charges for the upload (the paper's `ud$(D)`).
+    pub cost: Money,
+}
+
+impl Warehouse {
+    /// Provisions a warehouse: buckets, queues and index tables.
+    pub fn new(cfg: WarehouseConfig) -> Warehouse {
+        let mut world = World::new(cfg.backend.clone());
+        if cfg.kv_tuning.is_active() {
+            let inner = std::mem::replace(
+                &mut world.kv,
+                Box::new(amada_cloud::DynamoDb::default()),
+            );
+            world.kv = Box::new(amada_cloud::TunedKvStore::new(inner, cfg.kv_tuning));
+        }
+        world.prices = cfg.prices.clone();
+        world.work = cfg.work.clone();
+        world.s3.create_bucket(DOC_BUCKET);
+        world.s3.create_bucket(RESULT_BUCKET);
+        world.sqs.create_queue(LOADER_QUEUE);
+        world.sqs.create_queue(QUERY_QUEUE);
+        world.sqs.create_queue(RESPONSE_QUEUE);
+        for table in cfg.strategy.tables() {
+            world.kv.ensure_table(table);
+        }
+        Warehouse {
+            cfg,
+            engine: Engine::new(world),
+            cache: Rc::new(RefCell::new(HashMap::new())),
+            doc_uris: Vec::new(),
+            corpus_bytes: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &WarehouseConfig {
+        &self.cfg
+    }
+
+    /// Reconfigures the query-processor pool (the experiments vary
+    /// instance count and flavor between runs; the index is unaffected).
+    pub fn set_query_pool(&mut self, pool: crate::config::Pool) {
+        self.cfg.query_pool = pool;
+    }
+
+    /// The simulated cloud (for inspection and cost reporting).
+    pub fn world(&self) -> &World {
+        &self.engine.world
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// URIs of all uploaded documents.
+    pub fn documents(&self) -> &[String] {
+        &self.doc_uris
+    }
+
+    /// Total corpus size in bytes (`s(D)`).
+    pub fn corpus_bytes(&self) -> u64 {
+        self.corpus_bytes
+    }
+
+    /// Front end, steps 1–3: store each document in the file store and
+    /// enqueue a loading request. May be called repeatedly — the warehouse
+    /// is incremental; follow each batch with [`Warehouse::build_index`].
+    ///
+    /// Re-uploading an existing URI replaces the stored document and
+    /// re-indexes it (deterministic range keys make that idempotent per
+    /// key); index entries for keys that no longer occur in the new
+    /// version are *not* retracted — they are conservative false
+    /// positives that evaluation filters out. Update/deletion retraction
+    /// is out of scope, as in the paper.
+    pub fn upload_documents<I, S>(&mut self, docs: I) -> UploadReport
+    where
+        I: IntoIterator<Item = (S, S)>,
+        S: Into<String>,
+    {
+        let before = self.engine.world.snapshot();
+        let mut t = self.engine.now();
+        let mut n = 0u64;
+        let mut bytes = 0u64;
+        for (uri, xml) in docs {
+            let (uri, xml) = (uri.into(), xml.into());
+            let body = xml.into_bytes();
+            bytes += body.len() as u64;
+            // Re-uploading an existing URI replaces the object: account
+            // for the replaced bytes and keep the URI listed once.
+            let replaced = self.engine.world.s3.object_size(DOC_BUCKET, &uri);
+            t = self
+                .engine
+                .world
+                .s3
+                .put(t, DOC_BUCKET, &uri, body)
+                .expect("document bucket exists");
+            t = self.engine.world.sqs.send(t, LOADER_QUEUE, uri.clone());
+            match replaced {
+                Some(old) => self.corpus_bytes -= old,
+                None => self.doc_uris.push(uri),
+            }
+            n += 1;
+        }
+        self.corpus_bytes += bytes;
+        let cost = self.engine.world.cost_since(&before).total();
+        UploadReport { documents: n, bytes, cost }
+    }
+
+    /// Runs the indexing module over everything currently queued
+    /// (steps 4–6), with the configured loader pool.
+    pub fn build_index(&mut self) -> IndexBuildReport {
+        let before = self.engine.world.snapshot();
+        let start = self.engine.now();
+        let totals = Rc::new(RefCell::new(LoaderTotals::default()));
+        self.engine.world.sqs.close(LOADER_QUEUE);
+        let first_instance = self.engine.world.ec2.records().len();
+        let cores = LoaderCore::pool(&self.cfg, &mut self.engine.world, start, &totals, &self.cache);
+        for core in cores {
+            self.engine.spawn(Box::new(core), start);
+        }
+        let end = self.engine.run();
+        // Instances are released when the whole indexing phase completes
+        // (the paper's `VM$_h × t_idx` bills the pool for the phase).
+        for i in first_instance..self.engine.world.ec2.records().len() {
+            self.engine.world.ec2.extend(amada_cloud::InstanceId(i), end);
+        }
+        self.engine.world.sqs.open(LOADER_QUEUE);
+        let totals = Rc::try_unwrap(totals).expect("actors are gone").into_inner();
+        let cost = self.engine.world.cost_since(&before);
+        let kv_after = self.engine.world.kv.stats();
+        // Averages are per *core* (the unit that actually works): the pool
+        // has count × cores workers whose busy times sum into the totals.
+        let workers =
+            (self.cfg.loader_pool.count * self.cfg.loader_pool.itype.cores()).max(1) as u64;
+        let per_instance = |sum_micros: u64| SimDuration::from_micros(sum_micros / workers);
+        IndexBuildReport {
+            strategy: self.cfg.strategy,
+            instances: self.cfg.loader_pool.count,
+            itype: self.cfg.loader_pool.itype,
+            documents: totals.docs,
+            corpus_bytes: self.corpus_bytes,
+            entries: totals.entries,
+            items: totals.items,
+            entry_bytes: totals.entry_bytes,
+            avg_extraction_time: per_instance(totals.extraction_micros),
+            avg_upload_time: per_instance(totals.upload_micros),
+            total_time: end - start,
+            cost,
+            index_raw_bytes: kv_after.raw_bytes - before.kv.raw_bytes,
+            index_overhead_bytes: kv_after.overhead_bytes - before.kv.overhead_bytes,
+            storage: self.engine.world.storage_cost_per_month(),
+        }
+    }
+
+    /// Runs one query through the full pipeline (steps 7–18) on the
+    /// configured query pool, using the index.
+    pub fn run_query(&mut self, query: &Query) -> CostedQuery {
+        self.run_one(query, Some(self.cfg.strategy))
+    }
+
+    /// Runs one query without any index: the processor fetches and
+    /// evaluates the entire corpus (the paper's no-index baseline).
+    pub fn run_query_no_index(&mut self, query: &Query) -> CostedQuery {
+        self.run_one(query, None)
+    }
+
+    fn run_one(&mut self, query: &Query, strategy: Option<amada_index::Strategy>) -> CostedQuery {
+        let before = self.engine.world.snapshot();
+        let report = self.run_batch(std::slice::from_ref(query), 1, strategy);
+        let mut executions = report.executions;
+        assert_eq!(executions.len(), 1, "one query in, one execution out");
+        CostedQuery { exec: executions.remove(0), cost: self.engine.world.cost_since(&before) }
+    }
+
+    /// Runs a workload of queries, each repeated `repeats` times
+    /// (sent in round-robin order: q1…qn, q1…qn, …), across the query
+    /// pool. Used for the paper's Figure 10 scaling experiment.
+    pub fn run_workload(&mut self, queries: &[Query], repeats: usize) -> WorkloadReport {
+        self.run_batch(queries, repeats, Some(self.cfg.strategy))
+    }
+
+    /// Like [`Warehouse::run_workload`] but without any index.
+    pub fn run_workload_no_index(&mut self, queries: &[Query], repeats: usize) -> WorkloadReport {
+        self.run_batch(queries, repeats, None)
+    }
+
+    fn run_batch(
+        &mut self,
+        queries: &[Query],
+        repeats: usize,
+        strategy: Option<amada_index::Strategy>,
+    ) -> WorkloadReport {
+        let before = self.engine.world.snapshot();
+        let start = self.engine.now();
+        // Front end, steps 7–8: enqueue the query messages.
+        let mut t = start;
+        for r in 0..repeats {
+            for (i, q) in queries.iter().enumerate() {
+                let name = q
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("query-{}", r * queries.len() + i));
+                t = self.engine.world.sqs.send(t, QUERY_QUEUE, format!("{name}\n{q}"));
+            }
+        }
+        self.engine.world.sqs.close(QUERY_QUEUE);
+        // Steps 9–15: the query-processor pool.
+        let executions: Rc<RefCell<Vec<QueryExecution>>> = Rc::new(RefCell::new(Vec::new()));
+        let first_instance = self.engine.world.ec2.records().len();
+        for core in
+            QueryCore::pool(&self.cfg, &mut self.engine.world, start, strategy, &executions, &self.cache)
+        {
+            self.engine.spawn(Box::new(core), start);
+        }
+        let end = self.engine.run();
+        for i in first_instance..self.engine.world.ec2.records().len() {
+            self.engine.world.ec2.extend(amada_cloud::InstanceId(i), end);
+        }
+        self.engine.world.sqs.open(QUERY_QUEUE);
+        // Front end, steps 16–18: fetch each response, download the
+        // results out of the cloud.
+        let mut t = end;
+        loop {
+            let (msg, t2) = self.engine.world.sqs.receive(t, RESPONSE_QUEUE, self.cfg.visibility);
+            let Some(msg) = msg else { break };
+            let (data, t3) = self
+                .engine
+                .world
+                .s3
+                .get(t2, RESULT_BUCKET, &msg.body)
+                .expect("responses reference stored results");
+            self.engine.world.egress(data.len() as u64);
+            t = self.engine.world.sqs.delete(t3, RESPONSE_QUEUE, msg.id);
+        }
+        let executions = Rc::try_unwrap(executions).expect("actors are gone").into_inner();
+        WorkloadReport {
+            executions,
+            total_time: end - start,
+            cost: self.engine.world.cost_since(&before),
+        }
+    }
+
+    /// Monthly storage charges for the current warehouse contents
+    /// (`st$_m(D, I)`).
+    pub fn storage_cost(&self) -> StorageCost {
+        self.engine.world.storage_cost_per_month()
+    }
+
+    /// Charges accumulated since provisioning.
+    pub fn total_cost(&self) -> CostReport {
+        self.engine.world.cost_report()
+    }
+
+    /// Test access to the engine (fault injection, custom actors).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Shared host-side parse cache.
+    pub fn cache(&self) -> &DocCache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amada_index::Strategy;
+    use amada_xmark::{generate_corpus, workload_query, CorpusConfig};
+
+    fn small_corpus() -> Vec<(String, String)> {
+        let cfg = CorpusConfig { num_documents: 30, target_doc_bytes: 1200, ..Default::default() };
+        generate_corpus(&cfg).into_iter().map(|d| (d.uri, d.xml)).collect()
+    }
+
+    fn warehouse(strategy: Strategy) -> Warehouse {
+        let mut w = Warehouse::new(WarehouseConfig::with_strategy(strategy));
+        let up = w.upload_documents(small_corpus());
+        assert_eq!(up.documents, 30);
+        assert!(up.cost > Money::ZERO);
+        w
+    }
+
+    #[test]
+    fn build_index_processes_every_document() {
+        let mut w = warehouse(Strategy::Lu);
+        let report = w.build_index();
+        assert_eq!(report.documents, 30);
+        assert!(report.entries > 0);
+        assert!(report.total_time > SimDuration::ZERO);
+        assert!(report.cost.total() > Money::ZERO);
+        assert!(report.index_raw_bytes > 0);
+        // The loader queue is drained.
+        assert!(w.world().sqs.is_empty(LOADER_QUEUE));
+    }
+
+    #[test]
+    fn indexed_query_round_trip() {
+        let mut w = warehouse(Strategy::Lup);
+        w.build_index();
+        let q = workload_query("q2").unwrap();
+        let run = w.run_query(&q);
+        assert_eq!(run.exec.name, "q2");
+        assert!(!run.exec.results.is_empty());
+        assert!(run.exec.docs_from_index > 0);
+        assert!(run.exec.docs_fetched <= 30);
+        assert!(run.exec.response_time > SimDuration::ZERO);
+        assert!(run.cost.total() > Money::ZERO);
+        // Results were egressed.
+        assert!(w.world().egress_bytes > 0);
+    }
+
+    #[test]
+    fn indexed_results_equal_no_index_results() {
+        for strategy in Strategy::ALL {
+            let mut w = warehouse(strategy);
+            w.build_index();
+            for qname in ["q1", "q3", "q4", "q8"] {
+                let q = workload_query(qname).unwrap();
+                let with = w.run_query(&q);
+                let without = w.run_query_no_index(&q);
+                let mut a = with.exec.results.clone();
+                let mut b = without.exec.results.clone();
+                a.sort_by(|x, y| x.columns.cmp(&y.columns));
+                b.sort_by(|x, y| x.columns.cmp(&y.columns));
+                assert_eq!(a, b, "{qname} under {strategy}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_reduces_time_and_cost() {
+        let mut w = warehouse(Strategy::Lup);
+        w.build_index();
+        let q = workload_query("q1").unwrap();
+        let with = w.run_query(&q);
+        let without = w.run_query_no_index(&q);
+        assert!(
+            with.exec.response_time < without.exec.response_time,
+            "indexed {} vs baseline {}",
+            with.exec.response_time,
+            without.exec.response_time
+        );
+        assert!(with.cost.total() < without.cost.total());
+        assert!(with.exec.docs_fetched < without.exec.docs_fetched);
+    }
+
+    #[test]
+    fn workload_runs_on_multiple_instances() {
+        let mut cfg = WarehouseConfig::with_strategy(Strategy::Lu);
+        cfg.query_pool.count = 4;
+        let mut w = Warehouse::new(cfg);
+        w.upload_documents(small_corpus());
+        w.build_index();
+        let queries: Vec<_> =
+            ["q2", "q4", "q6"].iter().map(|n| workload_query(n).unwrap()).collect();
+        let report = w.run_workload(&queries, 2);
+        assert_eq!(report.executions.len(), 6);
+        assert!(report.total_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn more_instances_reduce_workload_time() {
+        let run = |instances: usize| {
+            let mut cfg = WarehouseConfig::with_strategy(Strategy::Lu);
+            cfg.query_pool.count = instances;
+            let mut w = Warehouse::new(cfg);
+            w.upload_documents(small_corpus());
+            w.build_index();
+            let queries: Vec<_> =
+                ["q2", "q5", "q6", "q7"].iter().map(|n| workload_query(n).unwrap()).collect();
+            w.run_workload(&queries, 4).total_time
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four.micros() * 2 < one.micros(),
+            "4 instances {four} vs 1 instance {one}"
+        );
+    }
+
+    #[test]
+    fn incremental_uploads_extend_the_index() {
+        let mut w = warehouse(Strategy::Lui);
+        w.build_index();
+        let q = workload_query("q6").unwrap();
+        let before = w.run_query(&q).exec.results.len();
+        // Add 10 more documents and re-index incrementally.
+        let cfg = CorpusConfig { num_documents: 40, target_doc_bytes: 1200, ..Default::default() };
+        let extra: Vec<(String, String)> = generate_corpus(&cfg)
+            .into_iter()
+            .skip(30)
+            .map(|d| (d.uri, d.xml))
+            .collect();
+        w.upload_documents(extra);
+        let r = w.build_index();
+        assert_eq!(r.documents, 10);
+        let after = w.run_query(&q).exec.results.len();
+        assert!(after >= before);
+    }
+}

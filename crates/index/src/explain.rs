@@ -1,0 +1,145 @@
+//! Human-readable look-up plans — the textual analogue of the paper's
+//! Figure 5 (the 2LUPI plan outline), for all four strategies.
+//!
+//! `explain` renders what the look-up *will* do for a query without
+//! touching any store: which keys are fetched, how candidates are
+//! filtered, and which operators combine them. Useful for understanding
+//! strategy behaviour and for the examples/documentation.
+
+use crate::lookup::{pattern_keys, query_paths};
+use crate::strategy::{ExtractOptions, Strategy};
+use amada_pattern::{Axis, Query, TreePattern};
+use std::fmt::Write;
+
+/// Renders the look-up plan of `query` under `strategy`.
+pub fn explain(strategy: Strategy, query: &Query, opts: ExtractOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "look-up plan [{}]", strategy.name());
+    for (i, p) in query.patterns.iter().enumerate() {
+        if query.patterns.len() > 1 {
+            let _ = writeln!(out, "pattern {}:", i + 1);
+        }
+        explain_pattern(&mut out, strategy, p, opts);
+    }
+    if query.patterns.len() > 1 {
+        let _ = writeln!(
+            out,
+            "then: evaluate each pattern on its candidates; hash-join tuples on the join variables"
+        );
+    }
+    out
+}
+
+fn render_query_path(qp: &[(Axis, String)]) -> String {
+    let mut s = String::new();
+    for (axis, key) in qp {
+        s.push_str(if *axis == Axis::Child { "/" } else { "//" });
+        s.push_str(key);
+    }
+    s
+}
+
+fn explain_pattern(out: &mut String, strategy: Strategy, p: &TreePattern, opts: ExtractOptions) {
+    let keys = pattern_keys(p, opts);
+    match strategy {
+        Strategy::Lu => {
+            let all: Vec<String> = keys
+                .iter()
+                .flat_map(|nk| {
+                    std::iter::once(nk.main_key.clone()).chain(nk.word_keys.iter().cloned())
+                })
+                .collect();
+            let _ = writeln!(out, "  get({})", all.join("), get("));
+            let _ = writeln!(out, "  ∩ intersect URI sets");
+        }
+        Strategy::Lup => {
+            for qp in query_paths(p, opts) {
+                let _ = writeln!(
+                    out,
+                    "  get({}) → filter paths matching {}",
+                    qp.last().expect("paths are non-empty").1,
+                    render_query_path(&qp)
+                );
+            }
+            let _ = writeln!(out, "  ∩ intersect URI sets");
+        }
+        Strategy::Lui => {
+            for nk in &keys {
+                let _ = writeln!(out, "  get({}) → ID stream", nk.main_key);
+                for w in &nk.word_keys {
+                    let _ = writeln!(out, "  get({w}) → ID stream (predicate word)");
+                }
+            }
+            let _ = writeln!(out, "  ⋈ holistic twig join per candidate document");
+        }
+        Strategy::TwoLupi => {
+            let _ = writeln!(out, "  phase 1 (path table):");
+            for qp in query_paths(p, opts) {
+                let _ = writeln!(
+                    out,
+                    "    get({}) → filter paths matching {}",
+                    qp.last().expect("paths are non-empty").1,
+                    render_query_path(&qp)
+                );
+            }
+            let _ = writeln!(out, "    ∩ intersect → R1(URI)");
+            let _ = writeln!(out, "  phase 2 (ID table):");
+            for nk in &keys {
+                let _ = writeln!(out, "    get({}) ⋉ R1(URI)", nk.main_key);
+                for w in &nk.word_keys {
+                    let _ = writeln!(out, "    get({w}) ⋉ R1(URI)");
+                }
+            }
+            let _ = writeln!(out, "    ⋈ holistic twig join per candidate document");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amada_pattern::parse_query;
+
+    fn q2() -> Query {
+        parse_query("//painting[//description{cont}, /year{=1854}]").unwrap()
+    }
+
+    #[test]
+    fn lu_plan_lists_all_keys() {
+        let plan = explain(Strategy::Lu, &q2(), ExtractOptions::default());
+        // The paper's Section 5.3 example look-ups for q2.
+        for key in ["epainting", "edescription", "eyear", "w1854"] {
+            assert!(plan.contains(key), "{plan}");
+        }
+        assert!(plan.contains("intersect"));
+    }
+
+    #[test]
+    fn lup_plan_shows_query_paths() {
+        let plan = explain(Strategy::Lup, &q2(), ExtractOptions::default());
+        assert!(plan.contains("//epainting//edescription"), "{plan}");
+        assert!(plan.contains("//epainting/eyear/w1854"), "{plan}");
+    }
+
+    #[test]
+    fn two_lupi_plan_has_both_phases() {
+        let plan = explain(Strategy::TwoLupi, &q2(), ExtractOptions::default());
+        assert!(plan.contains("phase 1 (path table)"));
+        assert!(plan.contains("phase 2 (ID table)"));
+        assert!(plan.contains("⋉ R1(URI)"), "{plan}");
+        assert!(plan.contains("holistic twig join"));
+    }
+
+    #[test]
+    fn join_queries_explain_every_pattern() {
+        let q = parse_query(
+            "//museum[/name{val}, //painting[/@id{val as $p}]]; \
+             //painting[/@id{val as $p}]",
+        )
+        .unwrap();
+        let plan = explain(Strategy::Lui, &q, ExtractOptions::default());
+        assert!(plan.contains("pattern 1:"));
+        assert!(plan.contains("pattern 2:"));
+        assert!(plan.contains("hash-join tuples"));
+    }
+}

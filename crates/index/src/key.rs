@@ -1,0 +1,189 @@
+//! Index key encoding — the paper's `key(n)` function (Section 5):
+//!
+//! ```text
+//! key(n) = e‖n.label            if n is an XML element
+//!          a‖n.name             if n is an XML attribute      (name key)
+//!          a‖n.name n.val       if n is an XML attribute      (value key)
+//!          w‖n.val              if n is a word
+//! ```
+//!
+//! Attribute nodes produce *two* keys — one reflecting the name, one also
+//! reflecting the value — "these help speed up specific kinds of queries".
+//! Word keys are extracted from text content via the standard tokenizer.
+//!
+//! Data paths (`inPath(n)`) are encoded as `/`-separated sequences of node
+//! keys, e.g. `/epainting/ename/wOlympia`, exactly as in the paper's LUP
+//! examples.
+
+use amada_xml::{Document, NodeId, NodeKind};
+
+/// Prefix for element keys.
+pub const ELEMENT_PREFIX: char = 'e';
+/// Prefix for attribute keys.
+pub const ATTRIBUTE_PREFIX: char = 'a';
+/// Prefix for word keys.
+pub const WORD_PREFIX: char = 'w';
+
+/// `e‖label`.
+pub fn element_key(label: &str) -> String {
+    format!("{ELEMENT_PREFIX}{label}")
+}
+
+/// `a‖name`.
+pub fn attribute_key(name: &str) -> String {
+    format!("{ATTRIBUTE_PREFIX}{name}")
+}
+
+/// Longest value / word fragment embedded in a key. Index keys become
+/// store hash keys, which DynamoDB caps at 2 KB; truncating here (applied
+/// identically at extraction and look-up, so matching is unaffected)
+/// keeps any document indexable. Values this long cannot be told apart by
+/// the index alone — evaluation on the fetched documents stays exact.
+pub const MAX_KEY_VALUE_BYTES: usize = 512;
+
+fn truncated(value: &str) -> &str {
+    if value.len() <= MAX_KEY_VALUE_BYTES {
+        return value;
+    }
+    let mut end = MAX_KEY_VALUE_BYTES;
+    while !value.is_char_boundary(end) {
+        end -= 1;
+    }
+    &value[..end]
+}
+
+/// `a‖name value` — the attribute *value* key (name and value separated by
+/// one space, as in the paper's `aid 1863-1`). Values are truncated to
+/// [`MAX_KEY_VALUE_BYTES`] and `/` is escaped (`%2F`, with `%` as `%25`):
+/// value keys are embedded as components of `/`-separated data paths, and
+/// an unescaped slash would corrupt LUP path matching. The escaping is
+/// applied identically at extraction and look-up, so equality matching is
+/// unaffected.
+pub fn attribute_value_key(name: &str, value: &str) -> String {
+    // '\n' is escaped too: LUP path lists are newline-joined when they
+    // must fall back to the string-blob encoding.
+    let escaped = value.replace('%', "%25").replace('/', "%2F").replace('\n', "%0A");
+    format!("{ATTRIBUTE_PREFIX}{name} {}", truncated(&escaped))
+}
+
+/// `w‖word` (the word must already be tokenized/lowercased; truncated to
+/// [`MAX_KEY_VALUE_BYTES`]).
+pub fn word_key(word: &str) -> String {
+    format!("{WORD_PREFIX}{}", truncated(word))
+}
+
+/// The key of a non-word node (element or attribute name key).
+pub fn node_key(doc: &Document, n: NodeId) -> Option<String> {
+    match doc.kind(n) {
+        NodeKind::Element => Some(element_key(doc.name(n)?)),
+        NodeKind::Attribute => Some(attribute_key(doc.name(n)?)),
+        NodeKind::Text => None,
+    }
+}
+
+/// Encodes `inPath(n)` for an element/attribute node: `/ek1/ek2/...`.
+pub fn encode_path(doc: &Document, n: NodeId) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut cur = Some(n);
+    while let Some(x) = cur {
+        if let Some(k) = node_key(doc, x) {
+            parts.push(k);
+        }
+        cur = doc.parent(x);
+    }
+    parts.reverse();
+    let mut s = String::new();
+    for p in &parts {
+        s.push('/');
+        s.push_str(p);
+    }
+    s
+}
+
+/// Encodes the path of a *word* occurring in the text node `text_node`:
+/// the element path extended by the word key, e.g.
+/// `/epainting/ename/wOlympia`.
+pub fn encode_word_path(doc: &Document, text_node: NodeId, word: &str) -> String {
+    let parent = doc.parent(text_node).expect("text nodes have parents");
+    format!("{}/{}", encode_path(doc, parent), word_key(word))
+}
+
+/// Encodes the path of an attribute under its *value* key, e.g.
+/// `/epainting/aid 1863-1` (paper Figure 4, row `aid 1863-1`).
+pub fn encode_attr_value_path(doc: &Document, attr: NodeId) -> String {
+    let parent = doc.parent(attr).expect("attributes have parents");
+    let name = doc.name(attr).expect("attributes have names");
+    let value = doc.value(attr).unwrap_or_default();
+    format!("{}/{}", encode_path(doc, parent), attribute_value_key(name, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amada_xml::Document;
+
+    const MANET: &str = "<painting id=\"1863-1\"><name>Olympia</name>\
+        <painter><name><first>Edouard</first><last>Manet</last></name></painter></painting>";
+
+    #[test]
+    fn key_constructors_match_paper_examples() {
+        assert_eq!(element_key("name"), "ename");
+        assert_eq!(attribute_key("id"), "aid");
+        assert_eq!(attribute_value_key("id", "1863-1"), "aid 1863-1");
+        assert_eq!(word_key("olympia"), "wolympia");
+    }
+
+    #[test]
+    fn paths_match_paper_figure4() {
+        let d = Document::parse_str("manet.xml", MANET).unwrap();
+        let names = d.elements_named("name");
+        assert_eq!(encode_path(&d, names[0]), "/epainting/ename");
+        assert_eq!(encode_path(&d, names[1]), "/epainting/epainter/ename");
+        let id = d.attributes_named("id")[0];
+        assert_eq!(encode_path(&d, id), "/epainting/aid");
+        assert_eq!(encode_attr_value_path(&d, id), "/epainting/aid 1863-1");
+    }
+
+    #[test]
+    fn word_paths_extend_element_paths() {
+        let d = Document::parse_str("manet.xml", MANET).unwrap();
+        let text = d
+            .all_nodes()
+            .find(|&n| d.value(n) == Some("Olympia"))
+            .unwrap();
+        assert_eq!(encode_word_path(&d, text, "olympia"), "/epainting/ename/wolympia");
+    }
+
+    #[test]
+    fn slashes_in_attribute_values_are_escaped() {
+        // A raw '/' would masquerade as a path separator in LUP data paths.
+        let k = attribute_value_key("href", "a/b%c");
+        assert_eq!(k, "ahref a%2Fb%25c");
+        assert_eq!(attribute_value_key("t", "x\ny"), "at x%0Ay");
+        assert!(!k["ahref ".len()..].contains('/'));
+        // Extraction and look-up agree.
+        assert_eq!(k, attribute_value_key("href", "a/b%c"));
+    }
+
+    #[test]
+    fn oversized_values_truncate_consistently() {
+        let long = "x".repeat(5000);
+        let k = attribute_value_key("id", &long);
+        assert!(k.len() < 600);
+        // Extraction and look-up produce the same key for the same value.
+        assert_eq!(k, attribute_value_key("id", &long));
+        let w = word_key(&long);
+        assert!(w.len() <= MAX_KEY_VALUE_BYTES + 1);
+        // Truncation respects UTF-8 boundaries.
+        let uni = "é".repeat(5000);
+        let k = word_key(&uni);
+        assert!(std::str::from_utf8(k.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn text_nodes_have_no_node_key() {
+        let d = Document::parse_str("t.xml", "<a>x</a>").unwrap();
+        let text = d.all_nodes().find(|&n| d.value(n) == Some("x")).unwrap();
+        assert_eq!(node_key(&d, text), None);
+    }
+}

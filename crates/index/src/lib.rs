@@ -1,0 +1,39 @@
+//! # amada-index
+//!
+//! The paper's four cloud indexing strategies (Section 5) and everything
+//! around them:
+//!
+//! * [`key`] — the `key(n)` encoding (`e‖label`, `a‖name`,
+//!   `a‖name value`, `w‖word`) and `inPath(n)` path encoding;
+//! * [`strategy`] — the extraction functions of Table 2 (LU, LUP, LUI,
+//!   2LUPI), with or without full-text word keys;
+//! * [`codec`] — delta-varint compression of structural-ID lists, plus the
+//!   base64 / 1 KB-chunk fallback for string-only stores;
+//! * [`store`] — mapping entries onto key-value items (UUID range keys,
+//!   per-backend encoding, chunk ordering);
+//! * [`loadutil`] — batched writing of extracted entries;
+//! * [`lookup`] — the per-strategy look-up planners, including the LUP
+//!   query-path matcher and the 2LUPI semijoin + ID twig join plan of the
+//!   paper's Figure 5;
+//! * [`explain`] — textual look-up plans (the Figure 5 outline, for every
+//!   strategy);
+//! * [`summary`] — DataGuide-style path summaries, selectivity estimation
+//!   and the Section 8.5 per-query strategy hint (the paper's future
+//!   work).
+
+pub mod codec;
+pub mod explain;
+pub mod key;
+pub mod loadutil;
+pub mod lookup;
+pub mod store;
+pub mod strategy;
+pub mod summary;
+
+pub use explain::explain;
+pub use loadutil::{index_document, index_documents, write_entries, DocIndexing};
+pub use lookup::{lookup_pattern, lookup_query, LookupOutcome, QueryLookup};
+pub use store::UuidGen;
+pub use summary::{PathSummary, StrategyHint};
+pub use strategy::{extract, ExtractOptions, IndexEntry, Payload, Strategy};
+pub use strategy::{TABLE_ID, TABLE_MAIN, TABLE_PATH};

@@ -1,0 +1,435 @@
+//! Mapping index entries onto key-value items, per backend.
+//!
+//! Paper Section 6: an entry becomes one or more items whose hash key is
+//! the entry key and whose range key is a UUID "generated at indexing
+//! time", so that concurrently-indexing instances can never overwrite each
+//! other's items; the document URI becomes the attribute name and the
+//! entry values the attribute values.
+//!
+//! Encoding differs by backend capability:
+//!
+//! * **DynamoDB** — paths are native string values; ID lists are a single
+//!   compressed *binary* value (split across items only past the 64 KB
+//!   item cap);
+//! * **SimpleDB** — no binary values and a 1 KB value cap, so both paths
+//!   and ID lists are serialized to a byte blob, base64-coded, and chunked
+//!   into ≤ 1 KB string values spread over as many items as needed — the
+//!   request/storage amplification behind the paper's Tables 7–8.
+//!
+//! Chunk order is preserved by prefixing range keys with a zero-padded
+//! sequence number, so a plain `get` returns chunks in order per document.
+
+use crate::codec::{base64_decode, base64_encode, decode_ids, encode_ids, encode_ids_chunked};
+use crate::strategy::{IndexEntry, Payload};
+use amada_cloud::{KvItem, KvProfile, KvValue};
+use amada_xml::StructuralId;
+use std::collections::BTreeMap;
+
+/// Deterministic UUID-shaped range-key generator (splitmix64 over a seed
+/// derived from the document URI, so re-indexing a document is stable).
+#[derive(Debug, Clone)]
+pub struct UuidGen {
+    state: u64,
+}
+
+impl UuidGen {
+    /// Seeds the generator from a document URI.
+    pub fn for_document(uri: &str) -> UuidGen {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in uri.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        UuidGen { state: h }
+    }
+
+    /// Produces the next UUID-shaped token.
+    pub fn next_uuid(&mut self) -> String {
+        let mut z = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.state = z;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let a = z ^ (z >> 31);
+        let mut z2 = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.state = z2;
+        z2 = (z2 ^ (z2 >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let b = z2 ^ (z2 >> 27);
+        format!(
+            "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+            (a >> 32) as u32,
+            (a >> 16) as u16,
+            a as u16,
+            (b >> 48) as u16,
+            b & 0xffff_ffff_ffff
+        )
+    }
+
+    fn range_key(&mut self, seq: usize) -> String {
+        format!("{seq:06}-{}", self.next_uuid())
+    }
+}
+
+/// Base64 chunk size: the largest multiple of 4 not exceeding the 1 KB
+/// SimpleDB value cap, so chunks concatenate into valid base64.
+const B64_CHUNK: usize = 1024;
+
+/// Prefix marking a blob-encoded path list stored on a binary-capable
+/// backend (used when a single path exceeds the per-item budget). `\x01`
+/// cannot start a data path (paths start with `/`).
+const BLOB_MARKER: &str = "\u{1}b64\u{1}";
+
+/// Slack reserved per item for store bookkeeping when computing budgets.
+const ITEM_SLACK: usize = 128;
+
+/// Encodes one extracted entry into store items for the given backend.
+pub fn encode_entry(entry: &IndexEntry, profile: &KvProfile, uuids: &mut UuidGen) -> Vec<KvItem> {
+    let fixed = entry.key.len() + 43 /* range key */ + entry.uri.len() + ITEM_SLACK;
+    let budget = profile.max_item_bytes.saturating_sub(fixed).max(256);
+    let values: Vec<KvValue> = match &entry.payload {
+        Payload::Presence => vec![KvValue::S(String::new())],
+        Payload::Paths(paths) => {
+            if profile.supports_binary && paths.iter().all(|p| p.len() <= budget) {
+                paths.iter().map(|p| KvValue::S(p.clone())).collect()
+            } else {
+                // Either a string-only backend, or a single path exceeds
+                // what one item can hold: fall back to the newline-joined
+                // blob, chunked into in-budget string values. The first
+                // chunk carries a marker so the decoder can tell blob
+                // chunks from native path values.
+                let mut values = blob_to_string_values(paths.join("\n").as_bytes());
+                if profile.supports_binary {
+                    if let Some(KvValue::S(first)) = values.first_mut() {
+                        first.insert_str(0, BLOB_MARKER);
+                    }
+                }
+                values
+            }
+        }
+        Payload::Ids(ids) => {
+            if profile.supports_binary {
+                encode_ids_chunked(ids, budget).into_iter().map(KvValue::B).collect()
+            } else {
+                blob_to_string_values(&encode_ids(ids))
+            }
+        }
+    };
+    // Group values into items within the backend's item budget and
+    // attribute-count limit.
+    let mut items = Vec::new();
+    let mut current: Vec<KvValue> = Vec::new();
+    let mut current_bytes = 0usize;
+    let mut seq = 0usize;
+    let flush = |vals: &mut Vec<KvValue>, seq: &mut usize, items: &mut Vec<KvItem>,
+                 uuids: &mut UuidGen| {
+        if vals.is_empty() {
+            return;
+        }
+        items.push(KvItem {
+            hash_key: entry.key.clone(),
+            range_key: uuids.range_key(*seq),
+            attrs: vec![(entry.uri.clone(), std::mem::take(vals))],
+        });
+        *seq += 1;
+    };
+    for v in values {
+        let vlen = v.len();
+        if !current.is_empty()
+            && (current_bytes + vlen > budget || current.len() >= profile.max_attrs_per_item)
+        {
+            flush(&mut current, &mut seq, &mut items, uuids);
+            current_bytes = 0;
+        }
+        current_bytes += vlen;
+        current.push(v);
+    }
+    flush(&mut current, &mut seq, &mut items, uuids);
+    items
+}
+
+fn blob_to_string_values(blob: &[u8]) -> Vec<KvValue> {
+    let b64 = base64_encode(blob);
+    if b64.is_empty() {
+        return vec![KvValue::S(String::new())];
+    }
+    b64.as_bytes()
+        .chunks(B64_CHUNK)
+        .map(|c| KvValue::S(String::from_utf8(c.to_vec()).expect("base64 is ASCII")))
+        .collect()
+}
+
+/// Groups fetched items per document URI, with values ordered by range key
+/// (i.e. chunk sequence).
+fn group_by_uri(items: &[KvItem]) -> BTreeMap<String, Vec<(&str, &[KvValue])>> {
+    let mut by_uri: BTreeMap<String, Vec<(&str, &[KvValue])>> = BTreeMap::new();
+    for item in items {
+        for (uri, values) in &item.attrs {
+            by_uri
+                .entry(uri.clone())
+                .or_default()
+                .push((item.range_key.as_str(), values.as_slice()));
+        }
+    }
+    for chunks in by_uri.values_mut() {
+        chunks.sort_by(|a, b| a.0.cmp(b.0));
+    }
+    by_uri
+}
+
+/// Decodes LU presence items into the set of document URIs.
+pub fn decode_presence_uris(items: &[KvItem]) -> Vec<String> {
+    group_by_uri(items).into_keys().collect()
+}
+
+/// Decodes LUP items into per-URI path lists.
+pub fn decode_path_lists(
+    items: &[KvItem],
+    profile: &KvProfile,
+) -> BTreeMap<String, Vec<String>> {
+    group_by_uri(items)
+        .into_iter()
+        .map(|(uri, chunks)| {
+            let is_marked_blob = matches!(
+                chunks.first().and_then(|(_, vs)| vs.first()),
+                Some(KvValue::S(s)) if s.starts_with(BLOB_MARKER)
+            );
+            let paths: Vec<String> = if profile.supports_binary && !is_marked_blob {
+                chunks
+                    .iter()
+                    .flat_map(|(_, vs)| vs.iter())
+                    .filter_map(|v| match v {
+                        KvValue::S(s) => Some(s.clone()),
+                        KvValue::B(_) => None,
+                    })
+                    .collect()
+            } else if is_marked_blob {
+                let mut b64 = String::new();
+                for (_, vs) in &chunks {
+                    for v in *vs {
+                        if let KvValue::S(s) = v {
+                            b64.push_str(s.strip_prefix(BLOB_MARKER).unwrap_or(s));
+                        }
+                    }
+                }
+                let blob = base64_decode(&b64).unwrap_or_default();
+                if blob.is_empty() {
+                    Vec::new()
+                } else {
+                    String::from_utf8_lossy(&blob).split('\n').map(String::from).collect()
+                }
+            } else {
+                let blob = reassemble_blob(&chunks);
+                if blob.is_empty() {
+                    Vec::new()
+                } else {
+                    String::from_utf8_lossy(&blob).split('\n').map(String::from).collect()
+                }
+            };
+            (uri, paths)
+        })
+        .collect()
+}
+
+/// Decodes LUI items into per-URI, `pre`-sorted ID lists.
+pub fn decode_id_lists(
+    items: &[KvItem],
+    profile: &KvProfile,
+) -> BTreeMap<String, Vec<StructuralId>> {
+    group_by_uri(items)
+        .into_iter()
+        .map(|(uri, chunks)| {
+            let ids: Vec<StructuralId> = if profile.supports_binary {
+                chunks
+                    .iter()
+                    .flat_map(|(_, vs)| vs.iter())
+                    .filter_map(|v| match v {
+                        KvValue::B(b) => decode_ids(b),
+                        KvValue::S(_) => None,
+                    })
+                    .flatten()
+                    .collect()
+            } else {
+                decode_ids(&reassemble_blob(&chunks)).unwrap_or_default()
+            };
+            (uri, ids)
+        })
+        .collect()
+}
+
+fn reassemble_blob(chunks: &[(&str, &[KvValue])]) -> Vec<u8> {
+    let mut b64 = String::new();
+    for (_, vs) in chunks {
+        for v in *vs {
+            if let KvValue::S(s) = v {
+                b64.push_str(s);
+            }
+        }
+    }
+    base64_decode(&b64).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::TABLE_MAIN;
+    use amada_cloud::{DynamoDb, KvStore, SimpleDb};
+
+    fn dynamo_profile() -> KvProfile {
+        DynamoDb::default().profile()
+    }
+
+    fn simple_profile() -> KvProfile {
+        SimpleDb::default().profile()
+    }
+
+    fn entry(payload: Payload) -> IndexEntry {
+        IndexEntry {
+            table: TABLE_MAIN,
+            key: "ename".into(),
+            uri: "doc.xml".into(),
+            payload,
+        }
+    }
+
+    fn ids(n: u32) -> Vec<StructuralId> {
+        (1..=n).map(|i| StructuralId::new(i * 2, i * 2 - 1, (i % 7) + 1)).collect()
+    }
+
+    #[test]
+    fn uuids_are_unique_and_deterministic() {
+        let mut a = UuidGen::for_document("doc.xml");
+        let mut b = UuidGen::for_document("doc.xml");
+        let u1 = a.next_uuid();
+        assert_eq!(u1, b.next_uuid());
+        assert_ne!(u1, a.next_uuid());
+        assert_eq!(u1.len(), 36);
+        let mut other = UuidGen::for_document("other.xml");
+        assert_ne!(u1, other.next_uuid());
+    }
+
+    #[test]
+    fn dynamo_ids_fit_one_binary_value() {
+        let mut uuids = UuidGen::for_document("doc.xml");
+        let items = encode_entry(&entry(Payload::Ids(ids(100))), &dynamo_profile(), &mut uuids);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].attrs[0].1.len(), 1);
+        assert!(items[0].attrs[0].1[0].is_binary());
+        let decoded = decode_id_lists(&items, &dynamo_profile());
+        assert_eq!(decoded["doc.xml"], ids(100));
+    }
+
+    #[test]
+    fn simpledb_ids_chunk_into_string_values() {
+        let mut uuids = UuidGen::for_document("doc.xml");
+        let list = ids(5000); // ~20 KB encoded → many 1 KB chunks
+        let items = encode_entry(&entry(Payload::Ids(list.clone())), &simple_profile(), &mut uuids);
+        assert!(items.len() >= 1);
+        let total_values: usize = items.iter().map(|i| i.attrs[0].1.len()).sum();
+        assert!(total_values > 10, "expected many chunks, got {total_values}");
+        for item in &items {
+            for (_, vs) in &item.attrs {
+                for v in vs {
+                    assert!(!v.is_binary());
+                    assert!(v.len() <= 1024);
+                }
+            }
+        }
+        let decoded = decode_id_lists(&items, &simple_profile());
+        assert_eq!(decoded["doc.xml"], list);
+    }
+
+    #[test]
+    fn simpledb_amplifies_item_count_vs_dynamo() {
+        let list = ids(60_000); // ~240 KB encoded
+        let mut u1 = UuidGen::for_document("doc.xml");
+        let mut u2 = UuidGen::for_document("doc.xml");
+        let d = encode_entry(&entry(Payload::Ids(list.clone())), &dynamo_profile(), &mut u1);
+        let s = encode_entry(&entry(Payload::Ids(list)), &simple_profile(), &mut u2);
+        let d_values: usize = d.iter().map(|i| i.attrs[0].1.len()).sum();
+        let s_values: usize = s.iter().map(|i| i.attrs[0].1.len()).sum();
+        assert!(
+            s_values > 20 * d_values,
+            "SimpleDB values {s_values} vs DynamoDB values {d_values}"
+        );
+    }
+
+    #[test]
+    fn paths_native_on_dynamo_blob_on_simpledb() {
+        let paths = vec!["/ea/eb".to_string(), "/ea/ec/ed".to_string()];
+        let mut u1 = UuidGen::for_document("doc.xml");
+        let d = encode_entry(&entry(Payload::Paths(paths.clone())), &dynamo_profile(), &mut u1);
+        assert_eq!(d[0].attrs[0].1.len(), 2);
+        let decoded = decode_path_lists(&d, &dynamo_profile());
+        assert_eq!(decoded["doc.xml"], paths);
+
+        let mut u2 = UuidGen::for_document("doc.xml");
+        let s = encode_entry(&entry(Payload::Paths(paths.clone())), &simple_profile(), &mut u2);
+        let decoded = decode_path_lists(&s, &simple_profile());
+        assert_eq!(decoded["doc.xml"], paths);
+    }
+
+    #[test]
+    fn oversized_native_path_falls_back_to_marked_blob() {
+        // One path longer than the DynamoDB item budget: the entry must
+        // still store and decode losslessly (and every item stays legal).
+        let deep = format!("/e{}", "a/e".repeat(40_000));
+        let paths = vec!["/ea/eb".to_string(), deep.clone()];
+        let mut uuids = UuidGen::for_document("doc.xml");
+        let items =
+            encode_entry(&entry(Payload::Paths(paths.clone())), &dynamo_profile(), &mut uuids);
+        for i in &items {
+            assert!(i.byte_size() <= dynamo_profile().max_item_bytes, "{}", i.byte_size());
+        }
+        let decoded = decode_path_lists(&items, &dynamo_profile());
+        assert_eq!(decoded["doc.xml"], paths);
+    }
+
+    #[test]
+    fn presence_round_trip_multiple_documents() {
+        let mut items = Vec::new();
+        for uri in ["b.xml", "a.xml"] {
+            let mut uuids = UuidGen::for_document(uri);
+            let e = IndexEntry {
+                table: TABLE_MAIN,
+                key: "ename".into(),
+                uri: uri.into(),
+                payload: Payload::Presence,
+            };
+            items.extend(encode_entry(&e, &dynamo_profile(), &mut uuids));
+        }
+        assert_eq!(decode_presence_uris(&items), ["a.xml", "b.xml"]);
+    }
+
+    #[test]
+    fn round_trip_through_real_stores() {
+        use amada_cloud::SimTime;
+        for (mut store, profile) in [
+            (Box::new(DynamoDb::default()) as Box<dyn KvStore>, dynamo_profile()),
+            (Box::new(SimpleDb::default()) as Box<dyn KvStore>, simple_profile()),
+        ] {
+            store.ensure_table(TABLE_MAIN);
+            let list = ids(2000);
+            let mut uuids = UuidGen::for_document("doc.xml");
+            let items = encode_entry(&entry(Payload::Ids(list.clone())), &profile, &mut uuids);
+            for batch in items.chunks(profile.batch_put_limit) {
+                store.batch_put(SimTime::ZERO, TABLE_MAIN, batch.to_vec()).unwrap();
+            }
+            let (fetched, _) = store.get(SimTime::ZERO, TABLE_MAIN, "ename").unwrap();
+            let decoded = decode_id_lists(&fetched, &profile);
+            assert_eq!(decoded["doc.xml"], list, "backend {}", profile.name);
+        }
+    }
+
+    #[test]
+    fn large_id_lists_split_across_dynamo_items() {
+        // >64 KB encoded must produce multiple items, all within limits.
+        let list = ids(40_000);
+        let mut uuids = UuidGen::for_document("doc.xml");
+        let items = encode_entry(&entry(Payload::Ids(list.clone())), &dynamo_profile(), &mut uuids);
+        assert!(items.len() > 1);
+        for i in &items {
+            assert!(i.byte_size() <= dynamo_profile().max_item_bytes);
+        }
+        let decoded = decode_id_lists(&items, &dynamo_profile());
+        assert_eq!(decoded["doc.xml"], list);
+    }
+}

@@ -1,0 +1,362 @@
+//! The four indexing strategies of the paper's Table 2 and their
+//! extraction functions `I(d)`.
+//!
+//! | strategy | per key `key(n)` the index stores |
+//! |---|---|
+//! | LU    | `(URI(d), ε)` |
+//! | LUP   | `(URI(d), {inPath₁(n) … inPathᵧ(n)})` |
+//! | LUI   | `(URI(d), id₁(n)‖id₂(n)‖…‖id_z(n))` (pre-sorted, one value) |
+//! | 2LUPI | both of the above, in two separate tables |
+//!
+//! Extraction walks the document once, grouping nodes by key; word keys
+//! come from tokenized text content, attribute nodes contribute both their
+//! name key and their value key (Section 5).
+
+use crate::key;
+use amada_xml::{tokenize, Document, NodeKind, StructuralId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An indexing strategy (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Label–URI.
+    Lu,
+    /// Label–URI–Path.
+    Lup,
+    /// Label–URI–ID.
+    Lui,
+    /// Label–URI–Path + Label–URI–ID (two materialized indexes).
+    TwoLupi,
+}
+
+impl Strategy {
+    /// All strategies, in the paper's presentation order.
+    pub const ALL: [Strategy; 4] = [Strategy::Lu, Strategy::Lup, Strategy::Lui, Strategy::TwoLupi];
+
+    /// The paper's name for the strategy.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Lu => "LU",
+            Strategy::Lup => "LUP",
+            Strategy::Lui => "LUI",
+            Strategy::TwoLupi => "2LUPI",
+        }
+    }
+
+    /// Parses a strategy name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s.to_ascii_uppercase().as_str() {
+            "LU" => Some(Strategy::Lu),
+            "LUP" => Some(Strategy::Lup),
+            "LUI" => Some(Strategy::Lui),
+            "2LUPI" => Some(Strategy::TwoLupi),
+            _ => None,
+        }
+    }
+
+    /// The key-value tables this strategy stores entries in.
+    /// Every strategy but 2LUPI uses a single table; 2LUPI materializes
+    /// its two sub-indexes in two tables (paper Section 6).
+    pub fn tables(self) -> &'static [&'static str] {
+        match self {
+            Strategy::Lu | Strategy::Lup | Strategy::Lui => &[TABLE_MAIN],
+            Strategy::TwoLupi => &[TABLE_PATH, TABLE_ID],
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Table used by the single-table strategies.
+pub const TABLE_MAIN: &str = "amada-index";
+/// 2LUPI path sub-index.
+pub const TABLE_PATH: &str = "amada-index-path";
+/// 2LUPI ID sub-index.
+pub const TABLE_ID: &str = "amada-index-id";
+
+/// Extraction options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtractOptions {
+    /// Whether word (`w‖…`) keys are produced — the full-text variant of
+    /// Figure 8. Queries with `contains` predicates degrade (less precise
+    /// look-ups) without it.
+    pub index_words: bool,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions { index_words: true }
+    }
+}
+
+/// What the index stores for one `(key, document)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// LU: the null string ε.
+    Presence,
+    /// LUP: the distinct data paths under which the key occurs.
+    Paths(Vec<String>),
+    /// LUI: the `pre`-sorted structural IDs of the key's nodes.
+    Ids(Vec<StructuralId>),
+}
+
+/// One extracted index entry: everything to be stored under `key` for this
+/// document (the paper's `(k, (a, v⁺)⁺)` with `a = URI(d)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Destination table.
+    pub table: &'static str,
+    /// The index key (hash key in the store).
+    pub key: String,
+    /// The document URI (attribute name in the store).
+    pub uri: String,
+    /// The values.
+    pub payload: Payload,
+}
+
+impl IndexEntry {
+    /// Approximate raw size of the entry (the paper's `sr(D, I)`
+    /// contribution), before store-specific encoding.
+    pub fn raw_bytes(&self) -> usize {
+        let payload = match &self.payload {
+            Payload::Presence => 0,
+            Payload::Paths(ps) => ps.iter().map(String::len).sum(),
+            Payload::Ids(ids) => crate::codec::encode_ids(ids).len(),
+        };
+        self.key.len() + self.uri.len() + payload
+    }
+}
+
+/// Per-key collected node information (one document).
+#[derive(Debug, Default)]
+struct KeyAcc {
+    paths: BTreeMap<String, ()>,
+    ids: Vec<StructuralId>,
+}
+
+/// Walks the document once and groups, per key, the node IDs and data
+/// paths. IDs come out `pre`-sorted because the walk is in document order.
+fn collect(doc: &Document, opts: ExtractOptions) -> BTreeMap<String, KeyAcc> {
+    let mut acc: BTreeMap<String, KeyAcc> = BTreeMap::new();
+    // Paths are built incrementally: a node's encoded path is its parent's
+    // plus one component (preorder guarantees parents precede children),
+    // instead of re-walking the ancestor chain per node.
+    let mut paths: Vec<String> = vec![String::new(); doc.node_count()];
+    for n in doc.all_nodes() {
+        let parent_path: &str = match doc.parent(n) {
+            Some(p) => &paths[p.index()],
+            None => "",
+        };
+        match doc.kind(n) {
+            NodeKind::Element => {
+                let k = key::element_key(doc.name(n).expect("elements have names"));
+                let path = format!("{parent_path}/{k}");
+                let e = acc.entry(k).or_default();
+                e.paths.insert(path.clone(), ());
+                e.ids.push(doc.sid(n));
+                paths[n.index()] = path;
+            }
+            NodeKind::Attribute => {
+                let name = doc.name(n).expect("attributes have names");
+                let value = doc.value(n).unwrap_or_default();
+                let sid = doc.sid(n);
+                let name_key = key::attribute_key(name);
+                let value_key = key::attribute_value_key(name, value);
+                let e = acc.entry(name_key.clone()).or_default();
+                e.paths.insert(format!("{parent_path}/{name_key}"), ());
+                e.ids.push(sid);
+                let ev = acc.entry(value_key.clone()).or_default();
+                ev.paths.insert(format!("{parent_path}/{value_key}"), ());
+                ev.ids.push(sid);
+            }
+            NodeKind::Text => {
+                if !opts.index_words {
+                    continue;
+                }
+                let sid = doc.sid(n);
+                for word in tokenize(doc.value(n).unwrap_or_default()) {
+                    let wk = key::word_key(&word);
+                    let e = acc.entry(wk.clone()).or_default();
+                    e.paths.insert(format!("{parent_path}/{wk}"), ());
+                    // The same word may occur twice in one text node; the
+                    // ID list stores the node once.
+                    if e.ids.last() != Some(&sid) {
+                        e.ids.push(sid);
+                    }
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Runs a strategy's extraction function `I(d)` over one document.
+pub fn extract(doc: &Document, strategy: Strategy, opts: ExtractOptions) -> Vec<IndexEntry> {
+    let acc = collect(doc, opts);
+    let uri = doc.uri().to_string();
+    let mut out = Vec::with_capacity(acc.len() * strategy.tables().len());
+    for (k, v) in acc {
+        match strategy {
+            Strategy::Lu => out.push(IndexEntry {
+                table: TABLE_MAIN,
+                key: k,
+                uri: uri.clone(),
+                payload: Payload::Presence,
+            }),
+            Strategy::Lup => out.push(IndexEntry {
+                table: TABLE_MAIN,
+                key: k,
+                uri: uri.clone(),
+                payload: Payload::Paths(v.paths.into_keys().collect()),
+            }),
+            Strategy::Lui => out.push(IndexEntry {
+                table: TABLE_MAIN,
+                key: k,
+                uri: uri.clone(),
+                payload: Payload::Ids(v.ids),
+            }),
+            Strategy::TwoLupi => {
+                out.push(IndexEntry {
+                    table: TABLE_PATH,
+                    key: k.clone(),
+                    uri: uri.clone(),
+                    payload: Payload::Paths(v.paths.into_keys().collect()),
+                });
+                out.push(IndexEntry {
+                    table: TABLE_ID,
+                    key: k,
+                    uri: uri.clone(),
+                    payload: Payload::Ids(v.ids),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amada_xml::Document;
+
+    const DELACROIX: &str = "<painting id=\"1854-1\"><name>The Lion Hunt</name>\
+        <painter><name><first>Eugene</first><last>Delacroix</last></name></painter></painting>";
+
+    fn doc() -> Document {
+        Document::parse_str("delacroix.xml", DELACROIX).unwrap()
+    }
+
+    fn find<'a>(entries: &'a [IndexEntry], key: &str) -> &'a IndexEntry {
+        entries.iter().find(|e| e.key == key).unwrap_or_else(|| panic!("no entry {key}"))
+    }
+
+    #[test]
+    fn lu_produces_presence_entries() {
+        let entries = extract(&doc(), Strategy::Lu, ExtractOptions::default());
+        let e = find(&entries, "ename");
+        assert_eq!(e.payload, Payload::Presence);
+        assert_eq!(e.uri, "delacroix.xml");
+        // Attribute name and value keys both exist.
+        assert!(entries.iter().any(|e| e.key == "aid"));
+        assert!(entries.iter().any(|e| e.key == "aid 1854-1"));
+        // Word keys.
+        assert!(entries.iter().any(|e| e.key == "wlion"));
+    }
+
+    #[test]
+    fn lup_paths_match_paper_figure4() {
+        let entries = extract(&doc(), Strategy::Lup, ExtractOptions::default());
+        let e = find(&entries, "ename");
+        assert_eq!(
+            e.payload,
+            Payload::Paths(vec![
+                "/epainting/ename".into(),
+                "/epainting/epainter/ename".into()
+            ])
+        );
+        let id = find(&entries, "aid");
+        assert_eq!(id.payload, Payload::Paths(vec!["/epainting/aid".into()]));
+        let w = find(&entries, "wlion");
+        assert_eq!(w.payload, Payload::Paths(vec!["/epainting/ename/wlion".into()]));
+    }
+
+    #[test]
+    fn lui_ids_match_paper_section53() {
+        let entries = extract(&doc(), Strategy::Lui, ExtractOptions::default());
+        let e = find(&entries, "ename");
+        assert_eq!(
+            e.payload,
+            Payload::Ids(vec![StructuralId::new(3, 3, 2), StructuralId::new(6, 8, 3)])
+        );
+        let id = find(&entries, "aid 1854-1");
+        assert_eq!(id.payload, Payload::Ids(vec![StructuralId::new(2, 1, 2)]));
+    }
+
+    #[test]
+    fn two_lupi_materializes_both_tables() {
+        let entries = extract(&doc(), Strategy::TwoLupi, ExtractOptions::default());
+        let path_entries: Vec<_> = entries.iter().filter(|e| e.table == TABLE_PATH).collect();
+        let id_entries: Vec<_> = entries.iter().filter(|e| e.table == TABLE_ID).collect();
+        assert_eq!(path_entries.len(), id_entries.len());
+        assert!(!path_entries.is_empty());
+    }
+
+    #[test]
+    fn ids_are_pre_sorted_per_key() {
+        let entries = extract(&doc(), Strategy::Lui, ExtractOptions::default());
+        for e in &entries {
+            if let Payload::Ids(ids) = &e.payload {
+                assert!(ids.windows(2).all(|w| w[0].pre < w[1].pre), "key {}", e.key);
+            }
+        }
+    }
+
+    #[test]
+    fn no_words_without_fulltext() {
+        let entries = extract(&doc(), Strategy::Lu, ExtractOptions { index_words: false });
+        assert!(!entries.iter().any(|e| e.key.starts_with('w')));
+        // Attribute value keys are kept: they are not full-text.
+        assert!(entries.iter().any(|e| e.key == "aid 1854-1"));
+    }
+
+    #[test]
+    fn fulltext_index_is_larger() {
+        let with: usize = extract(&doc(), Strategy::Lup, ExtractOptions::default())
+            .iter()
+            .map(IndexEntry::raw_bytes)
+            .sum();
+        let without: usize =
+            extract(&doc(), Strategy::Lup, ExtractOptions { index_words: false })
+                .iter()
+                .map(IndexEntry::raw_bytes)
+                .sum();
+        assert!(with > without);
+    }
+
+    #[test]
+    fn strategy_parse_and_display() {
+        for s in Strategy::ALL {
+            assert_eq!(Strategy::parse(s.name()), Some(s));
+            assert_eq!(s.to_string(), s.name());
+        }
+        assert_eq!(Strategy::parse("2lupi"), Some(Strategy::TwoLupi));
+        assert_eq!(Strategy::parse("nope"), None);
+    }
+
+    #[test]
+    fn repeated_word_in_one_text_node_indexed_once() {
+        let d = Document::parse_str("t.xml", "<a>lion lion lion</a>").unwrap();
+        let entries = extract(&d, Strategy::Lui, ExtractOptions::default());
+        let e = find(&entries, "wlion");
+        if let Payload::Ids(ids) = &e.payload {
+            assert_eq!(ids.len(), 1);
+        } else {
+            panic!("expected ids");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the look-up planners: on random corpora and random
+//! patterns over the XMark vocabulary,
+//!
+//! * candidate sets are contained as LU ⊇ LUP ⊇ LUI = 2LUPI (the paper's
+//!   Table 5 invariant), and
+//! * no strategy ever loses a document that actually matches
+//!   (no false negatives — look-ups are conservative by design).
+
+use amada_cloud::{DynamoDb, KvStore, SimTime};
+use amada_index::{index_documents, lookup_pattern, ExtractOptions, Strategy as IndexStrategy};
+use amada_pattern::ast::{Axis, NodeTest, Output, PatternNode, Predicate, TreePattern};
+use amada_pattern::eval::naive_has_match;
+use amada_xmark::{generate_document, CorpusConfig};
+use amada_xml::Document;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Labels and words that actually occur in the generated corpus, plus a
+/// few that do not (to exercise empty-key paths).
+const LABELS: &[&str] = &[
+    "site", "regions", "item", "name", "payment", "description", "mailbox", "mail", "from",
+    "person", "profile", "age", "open_auction", "bidder", "increase", "closed_auction",
+    "price", "nonexistent",
+];
+const ATTRS: &[&str] = &["id", "person", "item", "category"];
+const WORDS: &[&str] = &["gold", "dragon", "shipment", "creditcard", "regular", "zzzz"];
+
+fn pattern_strategy() -> impl Strategy<Value = TreePattern> {
+    prop::collection::vec(
+        (
+            prop::sample::select(LABELS.to_vec()),
+            prop::bool::ANY,                       // descendant axis
+            prop::num::u8::ANY,                    // parent choice
+            prop::option::weighted(
+                0.3,
+                prop_oneof![
+                    prop::sample::select(WORDS.to_vec())
+                        .prop_map(|w| Predicate::Contains(w.into())),
+                    prop::sample::select(WORDS.to_vec()).prop_map(|w| Predicate::Eq(w.into())),
+                ],
+            ),
+            proptest::bool::weighted(0.25),        // attribute node
+            prop::sample::select(ATTRS.to_vec()),
+        ),
+        1..5,
+    )
+    .prop_map(|spec| {
+        let mut nodes: Vec<PatternNode> = Vec::new();
+        for (i, (label, desc, pchoice, pred, is_attr, attr)) in spec.into_iter().enumerate() {
+            let parent = if i == 0 { None } else { Some(pchoice as usize % i) };
+            let attr_ok = is_attr && i > 0;
+            let test = if attr_ok {
+                NodeTest::Attribute(attr.to_string())
+            } else {
+                NodeTest::Element(label.to_string())
+            };
+            if let Some(p) = parent {
+                nodes[p].children.push(i);
+            }
+            nodes.push(PatternNode {
+                test,
+                axis: if desc { Axis::Descendant } else { Axis::Child },
+                parent,
+                children: Vec::new(),
+                outputs: vec![Output::Val { join_var: None }],
+                predicate: if attr_ok { None } else { pred },
+            });
+        }
+        TreePattern { nodes }
+    })
+    .prop_filter("attributes are leaves", |p| {
+        p.nodes.iter().all(|n| !n.test.is_attribute() || n.children.is_empty())
+    })
+}
+
+fn corpus(seed: u64) -> Vec<Document> {
+    let cfg = CorpusConfig {
+        seed,
+        num_documents: 12,
+        target_doc_bytes: 1200,
+        ..Default::default()
+    };
+    (0..cfg.num_documents)
+        .map(|i| {
+            let d = generate_document(&cfg, i);
+            Document::parse_str(d.uri, &d.xml).unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn containment_and_no_false_negatives(seed in 0u64..8, pattern in pattern_strategy()) {
+        let docs = corpus(seed);
+        let opts = ExtractOptions::default();
+        let mut per_strategy: Vec<BTreeSet<String>> = Vec::new();
+        for s in IndexStrategy::ALL {
+            let mut store: Box<dyn KvStore> = Box::new(DynamoDb::default());
+            index_documents(store.as_mut(), &docs, s, opts);
+            let out = lookup_pattern(store.as_mut(), SimTime::ZERO, s, opts, &pattern).unwrap();
+            per_strategy.push(out.uris.into_iter().collect());
+        }
+        let (lu, lup, lui, lupi) =
+            (&per_strategy[0], &per_strategy[1], &per_strategy[2], &per_strategy[3]);
+        prop_assert!(lup.is_subset(lu), "LUP ⊆ LU\n{pattern:?}");
+        prop_assert!(lui.is_subset(lup), "LUI ⊆ LUP\n{pattern:?}");
+        prop_assert_eq!(lui, lupi, "LUI = 2LUPI");
+        // No false negatives anywhere.
+        for d in &docs {
+            if naive_has_match(d, &pattern) {
+                for (s, set) in IndexStrategy::ALL.iter().zip(&per_strategy) {
+                    prop_assert!(
+                        set.contains(d.uri()),
+                        "{s} dropped matching document {}\npattern {pattern:?}",
+                        d.uri()
+                    );
+                }
+            }
+        }
+    }
+}

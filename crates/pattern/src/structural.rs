@@ -1,0 +1,200 @@
+//! Binary structural joins on *(pre, post, depth)* streams — the
+//! stack-tree algorithm of Al-Khalifa et al. (ICDE 2002), the paper's
+//! citation \[3\] and the primitive its holistic twig join generalizes.
+//!
+//! Given two lists of structural IDs sorted by `pre` (document order), the
+//! join emits every (ancestor, descendant) — or (parent, child) — pair in
+//! a single merge pass with an ancestor stack: `O(|A| + |D| + |output|)`.
+//!
+//! The twig join ([`crate::twig`]) covers whole patterns; this primitive
+//! is exposed for two-node queries, for building alternative plans, and as
+//! an independently verified building block (property-tested against the
+//! quadratic nested-loop definition).
+
+use crate::ast::Axis;
+use amada_xml::StructuralId;
+
+/// Joins `ancestors` × `descendants` under `axis`, both sorted by `pre`.
+/// Returns index pairs `(i, j)` meaning `ancestors[i]` relates to
+/// `descendants[j]`, ordered by descendant then ancestor position.
+pub fn structural_join<A, D>(
+    ancestors: &[(StructuralId, A)],
+    descendants: &[(StructuralId, D)],
+    axis: Axis,
+) -> Vec<(usize, usize)> {
+    debug_assert!(ancestors.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
+    debug_assert!(descendants.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
+    let mut out = Vec::new();
+    // Stack of ancestor indices whose nodes nest along a root-to-leaf line.
+    let mut stack: Vec<usize> = Vec::new();
+    let mut ai = 0;
+    for (dj, (d, _)) in descendants.iter().enumerate() {
+        // Push every ancestor starting before `d`.
+        while ai < ancestors.len() && ancestors[ai].0.pre < d.pre {
+            // Pop ancestors that end before this ancestor starts (they can
+            // contain none of the remaining stream).
+            while stack
+                .last()
+                .is_some_and(|&top| ancestors[top].0.precedes(&ancestors[ai].0))
+            {
+                stack.pop();
+            }
+            stack.push(ai);
+            ai += 1;
+        }
+        // Pop ancestors that end before `d` starts.
+        while stack.last().is_some_and(|&top| ancestors[top].0.precedes(d)) {
+            stack.pop();
+        }
+        // Every remaining stack entry that contains `d` joins with it.
+        for &i in stack.iter() {
+            let a = &ancestors[i].0;
+            let ok = match axis {
+                Axis::Descendant => a.is_ancestor_of(d),
+                Axis::Child => a.is_parent_of(d),
+            };
+            if ok {
+                out.push((i, dj));
+            }
+        }
+    }
+    out
+}
+
+/// The distinct descendants that have at least one ancestor match
+/// (a common projection of the join).
+pub fn semijoin_descendants<A, D: Copy>(
+    ancestors: &[(StructuralId, A)],
+    descendants: &[(StructuralId, D)],
+    axis: Axis,
+) -> Vec<(StructuralId, D)> {
+    let pairs = structural_join(ancestors, descendants, axis);
+    let mut out: Vec<(StructuralId, D)> = Vec::new();
+    let mut last: Option<usize> = None;
+    for (_, dj) in pairs {
+        if last != Some(dj) {
+            out.push(descendants[dj]);
+            last = Some(dj);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amada_xml::Document;
+
+    fn streams(doc: &Document, anc: &str, desc: &str) -> (Vec<(StructuralId, ())>, Vec<(StructuralId, ())>) {
+        let a = doc.elements_named(anc).iter().map(|&n| (doc.sid(n), ())).collect();
+        let d = doc.elements_named(desc).iter().map(|&n| (doc.sid(n), ())).collect();
+        (a, d)
+    }
+
+    /// Quadratic reference implementation.
+    fn nested_loop(
+        a: &[(StructuralId, ())],
+        d: &[(StructuralId, ())],
+        axis: Axis,
+    ) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (dj, (ds, _)) in d.iter().enumerate() {
+            for (ai, (asid, _)) in a.iter().enumerate() {
+                let ok = match axis {
+                    Axis::Descendant => asid.is_ancestor_of(ds),
+                    Axis::Child => asid.is_parent_of(ds),
+                };
+                if ok {
+                    out.push((ai, dj));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_nested_loop_on_recursive_document() {
+        let doc = Document::parse_str(
+            "t.xml",
+            "<a><b><a><b/><b><a><b/></a></b></a></b><b/><a><b/></a></a>",
+        )
+        .unwrap();
+        let (a, b) = streams(&doc, "a", "b");
+        for axis in [Axis::Descendant, Axis::Child] {
+            let mut fast = structural_join(&a, &b, axis);
+            let mut slow = nested_loop(&a, &b, axis);
+            fast.sort();
+            slow.sort();
+            assert_eq!(fast, slow, "{axis:?}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let doc = Document::parse_str("t.xml", "<a><b/></a>").unwrap();
+        let (a, b) = streams(&doc, "a", "b");
+        assert!(structural_join(&a, &[] as &[(StructuralId, ())], Axis::Descendant).is_empty());
+        assert!(structural_join(&[] as &[(StructuralId, ())], &b, Axis::Descendant).is_empty());
+    }
+
+    #[test]
+    fn semijoin_deduplicates_descendants() {
+        // Two nested a's above one b: one b in the semijoin output.
+        let doc = Document::parse_str("t.xml", "<a><a><b/></a></a>").unwrap();
+        let (a, b) = streams(&doc, "a", "b");
+        let pairs = structural_join(&a, &b, Axis::Descendant);
+        assert_eq!(pairs.len(), 2);
+        let semi = semijoin_descendants(&a, &b, Axis::Descendant);
+        assert_eq!(semi.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ast::Axis;
+    use amada_xml::Document;
+    use proptest::prelude::*;
+
+    fn random_doc() -> impl Strategy<Value = String> {
+        // Random nesting of two labels.
+        fn node(depth: u32) -> BoxedStrategy<String> {
+            let label = prop::sample::select(vec!["a", "b"]);
+            if depth == 0 {
+                label.prop_map(|l| format!("<{l}/>")).boxed()
+            } else {
+                (label, prop::collection::vec(node(depth - 1), 0..4))
+                    .prop_map(|(l, kids)| format!("<{l}>{}</{l}>", kids.join("")))
+                    .boxed()
+            }
+        }
+        node(4).prop_map(|inner| format!("<root>{inner}</root>"))
+    }
+
+    proptest! {
+        #[test]
+        fn structural_join_equals_nested_loop(xml in random_doc()) {
+            let doc = Document::parse_str("p.xml", &xml).unwrap();
+            let a: Vec<(amada_xml::StructuralId, ())> =
+                doc.elements_named("a").iter().map(|&n| (doc.sid(n), ())).collect();
+            let b: Vec<(amada_xml::StructuralId, ())> =
+                doc.elements_named("b").iter().map(|&n| (doc.sid(n), ())).collect();
+            for axis in [Axis::Descendant, Axis::Child] {
+                let mut fast = structural_join(&a, &b, axis);
+                fast.sort();
+                let mut slow = Vec::new();
+                for (dj, (d, _)) in b.iter().enumerate() {
+                    for (ai, (asid, _)) in a.iter().enumerate() {
+                        let ok = match axis {
+                            Axis::Descendant => asid.is_ancestor_of(d),
+                            Axis::Child => asid.is_parent_of(d),
+                        };
+                        if ok { slow.push((ai, dj)); }
+                    }
+                }
+                slow.sort();
+                prop_assert_eq!(&fast, &slow, "{:?} on {}", axis, xml);
+            }
+        }
+    }
+}

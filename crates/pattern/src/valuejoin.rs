@@ -1,0 +1,248 @@
+//! Value joins across tree patterns (Section 5.5 of the paper).
+//!
+//! "Since one tree pattern only matches one XML document, a query
+//! consisting of several tree patterns connected by a value join needs to
+//! be answered by combining tree pattern query results from different
+//! documents. […] evaluate first each tree pattern individually […]; then,
+//! apply the value joins on the tree pattern results thus obtained."
+//!
+//! [`join_pattern_results`] implements exactly that second phase: it takes,
+//! for each pattern of a [`Query`], the union of its tuples over all
+//! evaluated documents, and hash-joins them on the shared join variables.
+
+use crate::ast::Query;
+use crate::eval::Tuple;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A joined result tuple of a multi-pattern query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JoinedTuple {
+    /// The documents that contributed (one per pattern, in pattern order;
+    /// duplicates possible when patterns matched the same document).
+    pub uris: Vec<Arc<str>>,
+    /// Concatenated output columns, pattern by pattern.
+    pub columns: Vec<String>,
+}
+
+impl JoinedTuple {
+    /// Total byte size of materialized columns (the paper's `|r(q)|`).
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(String::len).sum()
+    }
+}
+
+/// Joins per-pattern tuple sets into final query results.
+///
+/// `per_pattern[i]` must hold the tuples of `query.patterns[i]` (across all
+/// relevant documents). Patterns are joined left to right; two tuples are
+/// compatible when they agree on every join variable they share. Patterns
+/// without shared variables combine by cartesian product (not used by the
+/// paper's workload, but well-defined).
+pub fn join_pattern_results(query: &Query, per_pattern: &[Vec<Tuple>]) -> Vec<JoinedTuple> {
+    assert_eq!(query.patterns.len(), per_pattern.len(), "one tuple set per pattern");
+    // A variable bound at two sites *within one pattern* is itself an
+    // equality constraint; tuples whose sites disagree are not results.
+    let consistent = |t: &&Tuple| {
+        t.joins.iter().all(|(var, val)| {
+            t.joins.iter().filter(|(v2, _)| v2 == var).all(|(_, v)| v == val)
+        })
+    };
+    // Accumulated: (uris so far, columns so far, var -> value bindings).
+    struct Acc {
+        uris: Vec<Arc<str>>,
+        columns: Vec<String>,
+        bindings: HashMap<String, String>,
+    }
+    let mut acc: Vec<Acc> = vec![Acc {
+        uris: Vec::new(),
+        columns: Vec::new(),
+        bindings: HashMap::new(),
+    }];
+    for tuples in per_pattern {
+        // Shared variables between the accumulated side and this pattern:
+        // bound on both sides. (Each pattern binds the same variable set in
+        // every tuple, so the first tuple is representative.)
+        let shared: Vec<&String> = tuples
+            .first()
+            .map(|t| {
+                t.joins
+                    .iter()
+                    .map(|(var, _)| var)
+                    // Accumulated rows all bind the same variable set
+                    // (pattern annotations are fixed), so the first row is
+                    // representative.
+                    .filter(|var| {
+                        acc.first().is_some_and(|a| a.bindings.contains_key(*var))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        // Hash join on the shared variables (cartesian when none shared).
+        let key_of_acc = |a: &Acc| -> Vec<String> {
+            shared.iter().map(|v| a.bindings[*v].clone()).collect()
+        };
+        let key_of_tuple = |t: &Tuple| -> Vec<String> {
+            shared
+                .iter()
+                .map(|v| {
+                    t.joins
+                        .iter()
+                        .find(|(var, _)| var == *v)
+                        .map(|(_, val)| val.clone())
+                        .expect("shared variable bound by tuple")
+                })
+                .collect()
+        };
+        let mut table: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+        for (i, a) in acc.iter().enumerate() {
+            table.entry(key_of_acc(a)).or_default().push(i);
+        }
+        let mut next: Vec<Acc> = Vec::new();
+        for t in tuples.iter().filter(consistent) {
+            let Some(matches) = table.get(&key_of_tuple(t)) else { continue };
+            for &ai in matches {
+                let a = &acc[ai];
+                // Shared variables already agree; merge the rest.
+                let mut bindings = a.bindings.clone();
+                for (var, val) in &t.joins {
+                    bindings.insert(var.clone(), val.clone());
+                }
+                let mut uris = a.uris.clone();
+                uris.push(t.uri.clone());
+                let mut columns = a.columns.clone();
+                columns.extend(t.columns.iter().cloned());
+                next.push(Acc { uris, columns, bindings });
+            }
+        }
+        acc = next;
+        if acc.is_empty() {
+            return Vec::new();
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    acc.into_iter()
+        .map(|a| JoinedTuple { uris: a.uris, columns: a.columns })
+        .filter(|t| seen.insert(t.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::naive_matches;
+    use crate::parser::parse_query;
+    use amada_xml::Document;
+
+    fn tuples_for(query: &Query, docs: &[&Document]) -> Vec<Vec<Tuple>> {
+        query
+            .patterns
+            .iter()
+            .map(|p| docs.iter().flat_map(|d| naive_matches(d, p).0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn q5_style_join_across_documents() {
+        // A museum document referencing paintings by id, and two painting
+        // documents — the shape of the paper's q5.
+        let museum = Document::parse_str(
+            "museum.xml",
+            "<museum><name>Louvre</name>\
+             <painting id=\"1854-1\"/><painting id=\"1863-1\"/></museum>",
+        )
+        .unwrap();
+        let delacroix = Document::parse_str(
+            "delacroix.xml",
+            "<painting id=\"1854-1\"><painter><name><last>Delacroix</last></name></painter></painting>",
+        )
+        .unwrap();
+        let manet = Document::parse_str(
+            "manet.xml",
+            "<painting id=\"1863-1\"><painter><name><last>Manet</last></name></painter></painting>",
+        )
+        .unwrap();
+        let q = parse_query(
+            "//museum[/name{val}, //painting[/@id{val as $p}]]; \
+             //painting[/@id{val as $p}, //painter[/name[/last{=Delacroix}]]]",
+        )
+        .unwrap();
+        let per_pattern = tuples_for(&q, &[&museum, &delacroix, &manet]);
+        let joined = join_pattern_results(&q, &per_pattern);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].columns, ["Louvre", "1854-1", "1854-1"]);
+        assert_eq!(joined[0].uris.len(), 2);
+        assert_eq!(&*joined[0].uris[0], "museum.xml");
+        assert_eq!(&*joined[0].uris[1], "delacroix.xml");
+    }
+
+    #[test]
+    fn join_with_no_matches_is_empty() {
+        let d = Document::parse_str("a.xml", "<a><x>1</x></a>").unwrap();
+        let q = parse_query("//a[/x{val as $v}]; //b[/y{val as $v}]").unwrap();
+        let per_pattern = tuples_for(&q, &[&d]);
+        assert!(join_pattern_results(&q, &per_pattern).is_empty());
+    }
+
+    #[test]
+    fn self_join_within_one_document() {
+        let d = Document::parse_str(
+            "p.xml",
+            "<ps><p><id>1</id><ref>2</ref></p><p><id>2</id><ref>1</ref></p></ps>",
+        )
+        .unwrap();
+        let q = parse_query("//p[/id{val}, /ref{val as $r}]; //p[/id{val as $r}]").unwrap();
+        let per_pattern = tuples_for(&q, &[&d]);
+        let joined = join_pattern_results(&q, &per_pattern);
+        // (1,2)⋈(2) and (2,1)⋈(1).
+        assert_eq!(joined.len(), 2);
+    }
+
+    #[test]
+    fn three_way_join_chains_variables() {
+        let a = Document::parse_str("a.xml", "<a><k>7</k></a>").unwrap();
+        let b = Document::parse_str("b.xml", "<b><k>7</k><m>9</m></b>").unwrap();
+        let c = Document::parse_str("c.xml", "<c><m>9</m><out>win</out></c>").unwrap();
+        let q = parse_query(
+            "//a[/k{val as $k}]; //b[/k{val as $k}, /m{val as $m}]; //c[/m{val as $m}, /out{val}]",
+        )
+        .unwrap();
+        let per_pattern = tuples_for(&q, &[&a, &b, &c]);
+        let joined = join_pattern_results(&q, &per_pattern);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].columns.last().unwrap(), "win");
+    }
+
+    #[test]
+    fn intra_pattern_variable_reuse_is_an_equality_constraint() {
+        // $v appears at two sites of the same pattern: only tuples whose
+        // two values agree survive.
+        let d = Document::parse_str(
+            "a.xml",
+            "<r><p><x>1</x><y>1</y></p><p><x>2</x><y>3</y></p></r>",
+        )
+        .unwrap();
+        let q = parse_query(
+            "//p[/x{val as $v}, /y{val as $v}]",
+        );
+        // The parser requires ≥2 uses, which this satisfies within one
+        // pattern.
+        let q = q.unwrap();
+        let per_pattern = tuples_for(&q, &[&d]);
+        let joined = join_pattern_results(&q, &per_pattern);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].columns, ["1", "1"]);
+    }
+
+    #[test]
+    fn duplicate_joined_tuples_are_deduplicated() {
+        let a = Document::parse_str("a.xml", "<a><k>1</k><k>1</k></a>").unwrap();
+        let b = Document::parse_str("b.xml", "<b><k>1</k></b>").unwrap();
+        let q = parse_query("//a[/k{val as $k}]; //b[/k{val as $k}]").unwrap();
+        let per_pattern = tuples_for(&q, &[&a, &b]);
+        // Pattern 1 dedups its two identical tuples already; the join
+        // result is a single tuple either way.
+        let joined = join_pattern_results(&q, &per_pattern);
+        assert_eq!(joined.len(), 1);
+    }
+}

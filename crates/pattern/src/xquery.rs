@@ -1,0 +1,783 @@
+//! An XQuery front-end: the FLWR fragment of Section 4, translated to
+//! value joins over tree patterns.
+//!
+//! The paper states that queries "are formulated in an expressive fragment
+//! of XQuery, amounting to value joins over tree patterns" and omits the
+//! translation as straightforward; this module supplies it. The supported
+//! fragment:
+//!
+//! ```text
+//! query    := "for" binding ("," binding)*
+//!             ("where" cond ("and" cond)*)?
+//!             "return" ret ("," ret)*         (optionally parenthesized)
+//! binding  := "$"var "in" source path
+//! source   := "doc()" | "doc(" STRING ")" | "$"var
+//! path     := ( ("/" | "//") step )+
+//! step     := NAME | "@" NAME
+//! cond     := pathexpr cmp (literal | pathexpr)
+//!           | literal cmp pathexpr
+//!           | "contains(" pathexpr "," literal ")"
+//! cmp      := "=" | "<" | "<=" | ">" | ">="
+//! ret      := pathexpr postfix?
+//! postfix  := "/string()" | "/text()"        (string value → val)
+//!             (absent → full subtree → cont; attributes are always val)
+//! pathexpr := "$"var path?
+//! literal  := NUMBER | STRING
+//! ```
+//!
+//! Translation rules:
+//!
+//! * each `doc()` binding opens a new tree pattern; a `$v`-rooted binding
+//!   extends the pattern `$v` belongs to;
+//! * path steps create (or reuse — two conditions on `$p/year` talk about
+//!   the *same* pattern node, which is what turns a pair of inequalities
+//!   into the paper's range predicate) child/descendant pattern nodes;
+//! * comparisons to literals become `=`, range or `contains` predicates;
+//! * equality between two path expressions becomes a value join
+//!   (a fresh join variable on both nodes);
+//! * return expressions add `val` (string value) or `cont` (subtree)
+//!   annotations.
+//!
+//! Result columns follow the engine's convention: pattern order, then
+//! node preorder within a pattern (not `return`-clause order).
+//!
+//! The paper's q4 reads:
+//!
+//! ```
+//! use amada_pattern::xquery::parse_xquery;
+//! let q = parse_xquery(r#"
+//!     for $p in doc()//painting
+//!     where $p/painter/name/last = "Manet"
+//!       and $p/year > 1854 and $p/year <= 1865
+//!     return $p/name/string()
+//! "#).unwrap();
+//! assert_eq!(q.patterns.len(), 1);
+//! ```
+
+use crate::ast::{Axis, Bound, NodeTest, Output, PatternNode, Predicate, Query, TreePattern};
+use crate::parser::ParseError;
+use std::collections::HashMap;
+
+/// Intersects two optional range bounds, keeping the tighter one
+/// (the larger lower bound / the smaller upper bound; on equal values the
+/// exclusive bound is tighter).
+fn tighter(a: Option<Bound>, b: Option<Bound>, lower: bool) -> Option<Bound> {
+    use crate::ast::compare_values;
+    use std::cmp::Ordering;
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(x), Some(y)) => {
+            let ord = compare_values(&x.value, &y.value);
+            let pick_x = match (ord, lower) {
+                (Ordering::Greater, true) | (Ordering::Less, false) => true,
+                (Ordering::Equal, _) => !x.inclusive,
+                _ => false,
+            };
+            Some(if pick_x { x } else { y })
+        }
+    }
+}
+
+/// Parses an XQuery FLWR expression into a [`Query`].
+pub fn parse_xquery(text: &str) -> Result<Query, ParseError> {
+    let mut p = Xq { s: text.as_bytes(), pos: 0, builder: Builder::default() };
+    p.query()?;
+    p.builder.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Pattern builder
+// ---------------------------------------------------------------------------
+
+/// A node address: (pattern index, node index).
+type Addr = (usize, usize);
+
+#[derive(Default)]
+struct Builder {
+    patterns: Vec<TreePattern>,
+    /// Variable bindings to pattern nodes.
+    vars: HashMap<String, Addr>,
+    /// Fresh join-variable counter.
+    next_join: usize,
+}
+
+impl Builder {
+    /// Opens a new pattern rooted at `(axis, test)`; returns its address.
+    fn new_pattern(&mut self, axis: Axis, test: NodeTest) -> Addr {
+        self.patterns.push(TreePattern {
+            nodes: vec![PatternNode {
+                test,
+                axis,
+                parent: None,
+                children: Vec::new(),
+                outputs: Vec::new(),
+                predicate: None,
+            }],
+        });
+        (self.patterns.len() - 1, 0)
+    }
+
+    /// Finds or creates the child of `at` reached by `(axis, test)`.
+    /// Reuse is what merges repeated mentions of the same path into one
+    /// pattern node (giving range predicates and shared outputs).
+    fn step(&mut self, at: Addr, axis: Axis, test: NodeTest) -> Addr {
+        let (pi, ni) = at;
+        let pat = &self.patterns[pi];
+        if let Some(&c) = pat.nodes[ni]
+            .children
+            .iter()
+            .find(|&&c| pat.nodes[c].axis == axis && pat.nodes[c].test == test)
+        {
+            return (pi, c);
+        }
+        let idx = self.patterns[pi].nodes.len();
+        self.patterns[pi].nodes.push(PatternNode {
+            test,
+            axis,
+            parent: Some(ni),
+            children: Vec::new(),
+            outputs: Vec::new(),
+            predicate: None,
+        });
+        self.patterns[pi].nodes[ni].children.push(idx);
+        (pi, idx)
+    }
+
+    /// Walks a parsed path from `at`.
+    fn walk(&mut self, at: Addr, path: &[(Axis, NodeTest)]) -> Addr {
+        let mut cur = at;
+        for (axis, test) in path {
+            cur = self.step(cur, *axis, test.clone());
+        }
+        cur
+    }
+
+    fn node_mut(&mut self, at: Addr) -> &mut PatternNode {
+        &mut self.patterns[at.0].nodes[at.1]
+    }
+
+    /// Merges a new predicate into a node (two inequalities form a range).
+    fn add_predicate(&mut self, at: Addr, pred: Predicate) -> Result<(), ParseError> {
+        let slot = &mut self.node_mut(at).predicate;
+        let merged = match (slot.take(), pred) {
+            (None, p) => p,
+            (
+                Some(Predicate::Range { lo: lo1, hi: hi1 }),
+                Predicate::Range { lo: lo2, hi: hi2 },
+            ) => Predicate::Range {
+                lo: tighter(lo1, lo2, /*lower=*/ true),
+                hi: tighter(hi1, hi2, /*lower=*/ false),
+            },
+            (Some(a), b) => {
+                return Err(ParseError {
+                    msg: format!("conflicting predicates on one node: {a:?} and {b:?}"),
+                    offset: 0,
+                })
+            }
+        };
+        *slot = Some(merged);
+        Ok(())
+    }
+
+    /// Joins two nodes on equal string value (fresh join variable).
+    fn join(&mut self, a: Addr, b: Addr) {
+        let var = format!("xq{}", self.next_join);
+        self.next_join += 1;
+        self.node_mut(a).outputs.push(Output::Val { join_var: Some(var.clone()) });
+        self.node_mut(b).outputs.push(Output::Val { join_var: Some(var) });
+    }
+
+    fn finish(self) -> Result<Query, ParseError> {
+        if self.patterns.is_empty() {
+            return Err(ParseError { msg: "query binds no documents".into(), offset: 0 });
+        }
+        // A query must return something.
+        let any_output = self
+            .patterns
+            .iter()
+            .any(|p| p.nodes.iter().any(|n| !n.outputs.is_empty()));
+        if !any_output {
+            return Err(ParseError { msg: "return clause produced no outputs".into(), offset: 0 });
+        }
+        Ok(Query { patterns: self.patterns, name: None })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Xq<'a> {
+    s: &'a [u8],
+    pos: usize,
+    builder: Builder,
+}
+
+#[derive(Debug, Clone)]
+enum Operand {
+    Path { var: String, path: Vec<(Axis, NodeTest)> },
+    Literal(String),
+}
+
+impl<'a> Xq<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { msg: msg.into(), offset: self.pos }
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.s.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, t: &str) -> bool {
+        self.ws();
+        if self.s[self.pos..].starts_with(t.as_bytes()) {
+            self.pos += t.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a keyword only at a word boundary.
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.ws();
+        if !self.s[self.pos..].starts_with(kw.as_bytes()) {
+            return false;
+        }
+        let after = self.s.get(self.pos + kw.len()).copied();
+        let boundary =
+            !matches!(after, Some(b) if b.is_ascii_alphanumeric() || b == b'_');
+        if boundary {
+            self.pos += kw.len();
+        }
+        boundary
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        self.ws();
+        let start = self.pos;
+        // Same name byte class as the tree-pattern parser (incl. UTF-8
+        // continuation bytes), so both front-ends accept the same labels.
+        while matches!(self.s.get(self.pos),
+            Some(&b) if b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+    }
+
+    fn var(&mut self) -> Result<String, ParseError> {
+        self.ws();
+        if !self.eat("$") {
+            return Err(self.err("expected '$variable'"));
+        }
+        self.name()
+    }
+
+    fn literal(&mut self) -> Result<Option<String>, ParseError> {
+        self.ws();
+        match self.s.get(self.pos) {
+            Some(b'"') | Some(b'\'') => {
+                let quote = self.s[self.pos];
+                self.pos += 1;
+                let start = self.pos;
+                while self.s.get(self.pos) != Some(&quote) {
+                    if self.pos >= self.s.len() {
+                        return Err(self.err("unterminated string literal"));
+                    }
+                    self.pos += 1;
+                }
+                let v = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+                self.pos += 1;
+                Ok(Some(v))
+            }
+            Some(b) if b.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(self.s.get(self.pos), Some(b) if b.is_ascii_digit() || *b == b'.')
+                {
+                    self.pos += 1;
+                }
+                Ok(Some(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned()))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Parses `(("/"|"//") step)+` (possibly empty — returns `[]`).
+    fn path(&mut self) -> Result<Vec<(Axis, NodeTest)>, ParseError> {
+        let mut steps = Vec::new();
+        loop {
+            self.ws();
+            // Remember the position *before* the axis so a `string()` /
+            // `text()` postfix can be handed back to the caller intact,
+            // whatever whitespace surrounded the slash.
+            let step_start = self.pos;
+            let axis = if self.eat("//") {
+                Axis::Descendant
+            } else if self.eat("/") {
+                Axis::Child
+            } else {
+                break;
+            };
+            self.ws();
+            if self.eat("@") {
+                steps.push((axis, NodeTest::Attribute(self.name()?)));
+            } else {
+                // `string()` / `text()` postfixes are handled by callers;
+                // stop before them.
+                let save = self.pos;
+                let n = self.name()?;
+                if n == "string" || n == "text" {
+                    self.pos = step_start;
+                    let _ = save;
+                    break;
+                }
+                steps.push((axis, NodeTest::Element(n)));
+            }
+        }
+        Ok(steps)
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        self.ws();
+        if self.s.get(self.pos) == Some(&b'$') {
+            let var = self.var()?;
+            let path = self.path()?;
+            Ok(Operand::Path { var, path })
+        } else if let Some(lit) = self.literal()? {
+            Ok(Operand::Literal(lit))
+        } else {
+            Err(self.err("expected a path expression or literal"))
+        }
+    }
+
+    fn resolve(&mut self, var: &str, path: &[(Axis, NodeTest)]) -> Result<Addr, ParseError> {
+        let &base = self
+            .builder
+            .vars
+            .get(var)
+            .ok_or_else(|| self.err(format!("unbound variable ${var}")))?;
+        Ok(self.builder.walk(base, path))
+    }
+
+    fn query(&mut self) -> Result<(), ParseError> {
+        if !self.keyword("for") {
+            return Err(self.err("expected 'for'"));
+        }
+        loop {
+            self.binding()?;
+            if !self.eat(",") {
+                break;
+            }
+        }
+        if self.keyword("where") {
+            loop {
+                self.condition()?;
+                if !self.keyword("and") {
+                    break;
+                }
+            }
+        }
+        if !self.keyword("return") {
+            return Err(self.err("expected 'return'"));
+        }
+        self.returns()?;
+        self.ws();
+        if self.pos != self.s.len() {
+            return Err(self.err("trailing input after return clause"));
+        }
+        Ok(())
+    }
+
+    fn binding(&mut self) -> Result<(), ParseError> {
+        let var = self.var()?;
+        if !self.keyword("in") {
+            return Err(self.err("expected 'in'"));
+        }
+        self.ws();
+        let addr = if self.eat("doc(") {
+            // doc() or doc("uri") — the argument names the collection and
+            // is not interpreted (one warehouse = one collection).
+            let _ = self.literal()?;
+            if !self.eat(")") {
+                return Err(self.err("expected ')' after doc("));
+            }
+            let mut path = self.path()?;
+            if path.is_empty() {
+                return Err(self.err("doc() binding needs a path"));
+            }
+            let (axis, test) = path.remove(0);
+            let root = self.builder.new_pattern(axis, test);
+            self.builder.walk(root, &path)
+        } else if self.s.get(self.pos) == Some(&b'$') {
+            let base = self.var()?;
+            let path = self.path()?;
+            if path.is_empty() {
+                return Err(self.err("variable binding needs a path"));
+            }
+            self.resolve(&base, &path)?
+        } else {
+            return Err(self.err("expected doc() or a variable"));
+        };
+        self.builder.vars.insert(var, addr);
+        Ok(())
+    }
+
+    fn condition(&mut self) -> Result<(), ParseError> {
+        self.ws();
+        if self.keyword("contains") {
+            if !self.eat("(") {
+                return Err(self.err("expected '(' after contains"));
+            }
+            let target = self.operand()?;
+            if !self.eat(",") {
+                return Err(self.err("expected ',' in contains()"));
+            }
+            let word = match self.operand()? {
+                Operand::Literal(l) => l,
+                _ => return Err(self.err("contains() needs a literal word")),
+            };
+            if !self.eat(")") {
+                return Err(self.err("expected ')' after contains()"));
+            }
+            let Operand::Path { var, path } = target else {
+                return Err(self.err("contains() needs a path expression"));
+            };
+            let addr = self.resolve(&var, &path)?;
+            return self.builder.add_predicate(addr, Predicate::Contains(word));
+        }
+        let left = self.operand()?;
+        self.ws();
+        let op = if self.eat("<=") {
+            "<="
+        } else if self.eat(">=") {
+            ">="
+        } else if self.eat("<") {
+            "<"
+        } else if self.eat(">") {
+            ">"
+        } else if self.eat("=") {
+            "="
+        } else {
+            return Err(self.err("expected a comparison operator"));
+        };
+        let right = self.operand()?;
+        match (left, right) {
+            (Operand::Path { var, path }, Operand::Literal(lit)) => {
+                let addr = self.resolve(&var, &path)?;
+                self.apply_cmp(addr, op, lit)
+            }
+            (Operand::Literal(lit), Operand::Path { var, path }) => {
+                let addr = self.resolve(&var, &path)?;
+                // Mirror the operator: `1854 < $p/year` ≡ `$p/year > 1854`.
+                let mirrored = match op {
+                    "<" => ">",
+                    "<=" => ">=",
+                    ">" => "<",
+                    ">=" => "<=",
+                    other => other,
+                };
+                self.apply_cmp(addr, mirrored, lit)
+            }
+            (
+                Operand::Path { var: v1, path: p1 },
+                Operand::Path { var: v2, path: p2 },
+            ) => {
+                if op != "=" {
+                    return Err(self.err("only equality joins are supported"));
+                }
+                let a = self.resolve(&v1, &p1)?;
+                let b = self.resolve(&v2, &p2)?;
+                self.builder.join(a, b);
+                Ok(())
+            }
+            _ => Err(self.err("a condition needs at least one path expression")),
+        }
+    }
+
+    fn apply_cmp(&mut self, addr: Addr, op: &str, lit: String) -> Result<(), ParseError> {
+        let pred = match op {
+            "=" => Predicate::Eq(lit),
+            "<" => Predicate::Range {
+                lo: None,
+                hi: Some(Bound { value: lit, inclusive: false }),
+            },
+            "<=" => Predicate::Range {
+                lo: None,
+                hi: Some(Bound { value: lit, inclusive: true }),
+            },
+            ">" => Predicate::Range {
+                lo: Some(Bound { value: lit, inclusive: false }),
+                hi: None,
+            },
+            ">=" => Predicate::Range {
+                lo: Some(Bound { value: lit, inclusive: true }),
+                hi: None,
+            },
+            _ => unreachable!("operators matched above"),
+        };
+        self.builder.add_predicate(addr, pred)
+    }
+
+    fn returns(&mut self) -> Result<(), ParseError> {
+        self.ws();
+        let parenthesized = self.eat("(");
+        loop {
+            self.return_expr()?;
+            if !self.eat(",") {
+                break;
+            }
+        }
+        if parenthesized && !self.eat(")") {
+            return Err(self.err("expected ')' closing the return tuple"));
+        }
+        Ok(())
+    }
+
+    /// Consumes an optional `/string()` / `/text()` postfix.
+    fn eat_postfix(&mut self) -> Result<bool, ParseError> {
+        self.ws();
+        if !self.eat("/") {
+            return Ok(false);
+        }
+        self.ws();
+        if !(self.keyword("string") || self.keyword("text")) {
+            return Err(self.err("expected string() or text() after '/'"));
+        }
+        self.ws();
+        if !self.eat("(") {
+            return Err(self.err("expected '(' in string()/text()"));
+        }
+        self.ws();
+        if !self.eat(")") {
+            return Err(self.err("expected ')' in string()/text()"));
+        }
+        Ok(true)
+    }
+
+    fn return_expr(&mut self) -> Result<(), ParseError> {
+        let var = self.var()?;
+        let path = self.path()?;
+        // Postfix: /string() or /text() → val; none → cont. Parsed
+        // tolerantly: whitespace may surround the slash and parentheses.
+        let val = self.eat_postfix()?;
+        let addr = self.resolve(&var, &path)?;
+        let is_attr = self.builder.patterns[addr.0].nodes[addr.1].test.is_attribute();
+        let output = if val || is_attr {
+            Output::Val { join_var: None }
+        } else {
+            Output::Cont
+        };
+        self.builder.node_mut(addr).outputs.push(output);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::naive_matches;
+    use crate::parser::parse_query;
+    use crate::valuejoin::join_pattern_results;
+    use amada_xml::Document;
+    use std::collections::HashSet;
+
+    const DELACROIX: &str = "<painting id=\"1854-1\"><name>The Lion Hunt</name>\
+        <year>1854</year>\
+        <painter><name><first>Eugene</first><last>Delacroix</last></name></painter></painting>";
+    const MANET: &str = "<painting id=\"1863-1\"><name>Olympia</name>\
+        <year>1863</year>\
+        <painter><name><first>Edouard</first><last>Manet</last></name></painter></painting>";
+    const MUSEUM: &str = "<museum><name>Louvre</name>\
+        <painting id=\"1854-1\"/><painting id=\"1863-1\"/></museum>";
+
+    fn docs() -> Vec<Document> {
+        vec![
+            Document::parse_str("delacroix.xml", DELACROIX).unwrap(),
+            Document::parse_str("manet.xml", MANET).unwrap(),
+            Document::parse_str("museum.xml", MUSEUM).unwrap(),
+        ]
+    }
+
+    /// Evaluates a query over the test documents, returning sorted rows.
+    fn eval(q: &Query) -> Vec<Vec<String>> {
+        let ds = docs();
+        let per_pattern: Vec<Vec<crate::eval::Tuple>> = q
+            .patterns
+            .iter()
+            .map(|p| ds.iter().flat_map(|d| naive_matches(d, p).0).collect())
+            .collect();
+        let mut rows: Vec<Vec<String>> =
+            join_pattern_results(q, &per_pattern).into_iter().map(|t| t.columns).collect();
+        rows.sort();
+        rows
+    }
+
+    /// Compares result sets up to column order (pattern-node creation
+    /// order differs between the two front-ends; the paper's tuples are
+    /// sets of bound values either way).
+    fn assert_equivalent(xquery: &str, pattern_text: &str) {
+        let xq = parse_xquery(xquery).unwrap_or_else(|e| panic!("{xquery}: {e}"));
+        let pat = parse_query(pattern_text).unwrap();
+        let norm = |mut rows: Vec<Vec<String>>| -> HashSet<Vec<String>> {
+            for r in &mut rows {
+                r.sort();
+            }
+            rows.into_iter().collect()
+        };
+        let a = norm(eval(&xq));
+        let b = norm(eval(&pat));
+        assert_eq!(a, b, "\nXQuery: {xquery}\npattern: {pattern_text}");
+    }
+
+    #[test]
+    fn q1_pair_of_names() {
+        assert_equivalent(
+            "for $p in doc()//painting return ($p/name/string(), $p//painter/name/string())",
+            "//painting[/name{val}, //painter[/name{val}]]",
+        );
+    }
+
+    #[test]
+    fn q2_equality_and_cont() {
+        assert_equivalent(
+            "for $p in doc()//painting where $p/year = 1854 return $p/name",
+            "//painting[/name{cont}, /year{=1854}]",
+        );
+    }
+
+    #[test]
+    fn q3_contains() {
+        assert_equivalent(
+            "for $p in doc()//painting where contains($p/name, \"Lion\") \
+             return $p//painter/name/last/string()",
+            "//painting[/name{contains(Lion)}, //painter[/name[/last{val}]]]",
+        );
+    }
+
+    #[test]
+    fn q4_range_from_two_inequalities() {
+        let q = parse_xquery(
+            "for $p in doc()//painting \
+             where $p//painter/name/last = \"Manet\" \
+               and $p/year > 1854 and $p/year <= 1865 \
+             return $p/name/string()",
+        )
+        .unwrap();
+        // The two inequalities merged into one range predicate on one node.
+        let year = q.patterns[0]
+            .nodes
+            .iter()
+            .find(|n| n.test.label() == "year")
+            .expect("year node exists");
+        assert_eq!(
+            year.predicate,
+            Some(Predicate::Range {
+                lo: Some(Bound { value: "1854".into(), inclusive: false }),
+                hi: Some(Bound { value: "1865".into(), inclusive: true }),
+            })
+        );
+        assert_equivalent(
+            "for $p in doc()//painting \
+             where $p//painter/name/last = \"Manet\" \
+               and $p/year > 1854 and $p/year <= 1865 \
+             return $p/name/string()",
+            "//painting[/name{val}, //painter[/name[/last{=Manet}]], /year{1854<val<=1865}]",
+        );
+    }
+
+    #[test]
+    fn q5_value_join_across_documents() {
+        assert_equivalent(
+            "for $m in doc()//museum, $p in doc()//painting \
+             where $m//painting/@id = $p/@id \
+               and $p//painter/name/last = \"Delacroix\" \
+             return $m/name/string()",
+            "//museum[/name{val}, //painting[/@id{val as $j}]]; \
+             //painting[/@id{val as $j}, //painter[/name[/last{=Delacroix}]]]",
+        );
+    }
+
+    #[test]
+    fn chained_variable_bindings() {
+        assert_equivalent(
+            "for $p in doc()//painting, $n in $p/painter/name \
+             return $n/last/string()",
+            "//painting[/painter[/name[/last{val}]]]",
+        );
+    }
+
+    #[test]
+    fn mirrored_literal_comparison() {
+        assert_equivalent(
+            "for $p in doc()//painting where 1854 < $p/year return $p/name/string()",
+            "//painting[/name{val}, /year{1854<val}]",
+        );
+    }
+
+    #[test]
+    fn attribute_returns_are_values() {
+        assert_equivalent(
+            "for $p in doc()//painting return $p/@id",
+            "//painting[/@id{val}]",
+        );
+    }
+
+    #[test]
+    fn postfix_tolerates_whitespace() {
+        assert_equivalent(
+            "for $p in doc()//painting return $p/name / string()",
+            "//painting[/name{val}]",
+        );
+        assert_equivalent(
+            "for $p in doc()//painting return $p/name/ text( )",
+            "//painting[/name{val}]",
+        );
+        // A malformed postfix is a parse error, not a silent cont.
+        assert!(parse_xquery("for $p in doc()//a return $p/b/string").is_err());
+    }
+
+    #[test]
+    fn repeated_inequalities_keep_the_tighter_bound() {
+        let q = parse_xquery(
+            "for $p in doc()//a where $p/y > 5 and $p/y > 2 and $p/y <= 10 and $p/y <= 20 \
+             return $p/y/string()",
+        )
+        .unwrap();
+        let y = q.patterns[0].nodes.iter().find(|n| n.test.label() == "y").unwrap();
+        assert_eq!(
+            y.predicate,
+            Some(Predicate::Range {
+                lo: Some(Bound { value: "5".into(), inclusive: false }),
+                hi: Some(Bound { value: "10".into(), inclusive: true }),
+            })
+        );
+    }
+
+    #[test]
+    fn errors() {
+        // Unbound variable.
+        assert!(parse_xquery("for $p in doc()//a return $q/b").is_err());
+        // Missing return.
+        assert!(parse_xquery("for $p in doc()//a").is_err());
+        // Conflicting equality predicates.
+        assert!(parse_xquery(
+            "for $p in doc()//a where $p/b = \"x\" and $p/b = \"y\" return $p/b"
+        )
+        .is_err());
+        // Non-equality join.
+        assert!(parse_xquery(
+            "for $a in doc()//x, $b in doc()//y where $a/k < $b/k return $a/k/string()"
+        )
+        .is_err());
+        // Trailing garbage.
+        assert!(parse_xquery("for $p in doc()//a return $p/b extra").is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property test: the holistic twig join evaluator and the naive
+//! backtracking evaluator return identical tuple sets on random documents
+//! and random patterns over the same small vocabulary.
+
+use amada_pattern::ast::{Axis, NodeTest, Output, PatternNode, Predicate, TreePattern};
+use amada_pattern::eval::naive_matches;
+use amada_pattern::twig::evaluate_pattern_twig;
+use amada_xml::Document;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const LABELS: &[&str] = &["a", "b", "c", "d"];
+const WORDS: &[&str] = &["lion", "hunt", "olympia", "sun"];
+
+/// Random document over the small vocabulary, rendered directly to XML.
+fn doc_strategy() -> impl Strategy<Value = String> {
+    fn elem(depth: u32) -> BoxedStrategy<String> {
+        let label = prop::sample::select(LABELS.to_vec());
+        let attr = prop_oneof![
+            Just(String::new()),
+            prop::sample::select(WORDS.to_vec()).prop_map(|w| format!(" k=\"{w}\"")),
+        ];
+        if depth == 0 {
+            (label, attr, prop::sample::select(WORDS.to_vec()))
+                .prop_map(|(l, a, w)| format!("<{l}{a}>{w}</{l}>"))
+                .boxed()
+        } else {
+            (
+                label,
+                attr,
+                prop::collection::vec(
+                    prop_oneof![
+                        elem(depth - 1),
+                        prop::sample::select(WORDS.to_vec()).prop_map(|w| w.to_string())
+                    ],
+                    0..4,
+                ),
+            )
+                .prop_map(|(l, a, kids)| format!("<{l}{a}>{}</{l}>", kids.join("")))
+                .boxed()
+        }
+    }
+    elem(3)
+}
+
+/// Random pattern over the same vocabulary.
+fn pattern_strategy() -> impl Strategy<Value = TreePattern> {
+    // A flat spec: per node (label, axis, parent_choice, predicate?, output?).
+    prop::collection::vec(
+        (
+            prop::sample::select(LABELS.to_vec()),
+            prop::bool::ANY,
+            prop::num::u8::ANY,
+            prop::option::of(prop_oneof![
+                prop::sample::select(WORDS.to_vec()).prop_map(|w| Predicate::Contains(w.into())),
+                prop::sample::select(WORDS.to_vec()).prop_map(|w| Predicate::Eq(w.into())),
+            ]),
+            prop::bool::ANY,
+            prop::bool::ANY, // attribute test for @k nodes
+        ),
+        1..5,
+    )
+    .prop_map(|spec| {
+        let mut nodes: Vec<PatternNode> = Vec::new();
+        for (i, (label, desc, pchoice, pred, out, attr)) in spec.into_iter().enumerate() {
+            let parent = if i == 0 { None } else { Some(pchoice as usize % i) };
+            // Attribute leaf nodes use name "k"; elements use the label.
+            let is_attr = attr && i > 0;
+            let test = if is_attr {
+                NodeTest::Attribute("k".into())
+            } else {
+                NodeTest::Element(label.to_string())
+            };
+            let axis = if desc { Axis::Descendant } else { Axis::Child };
+            let outputs = if out || i == 0 {
+                vec![Output::Val { join_var: None }]
+            } else {
+                vec![]
+            };
+            if let Some(p) = parent {
+                nodes[p].children.push(i);
+            }
+            nodes.push(PatternNode {
+                test,
+                axis,
+                parent,
+                children: Vec::new(),
+                outputs,
+                predicate: pred,
+            });
+        }
+        TreePattern { nodes }
+    })
+    .prop_filter("attributes cannot have children", |p| {
+        p.nodes.iter().all(|n| !n.test.is_attribute() || n.children.is_empty())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn twig_equals_naive(xml in doc_strategy(), pattern in pattern_strategy()) {
+        let doc = Document::parse_str("prop.xml", &xml).unwrap();
+        let (naive, _) = naive_matches(&doc, &pattern);
+        let (twig, _) = evaluate_pattern_twig(&doc, &pattern);
+        let a: HashSet<_> = naive.into_iter().collect();
+        let b: HashSet<_> = twig.into_iter().collect();
+        prop_assert_eq!(a, b, "pattern {:?} on {}", pattern, xml);
+    }
+}

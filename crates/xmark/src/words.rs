@@ -1,0 +1,127 @@
+//! Vocabulary and text generation for the synthetic corpus.
+//!
+//! XMark generates its prose from a fixed Shakespeare-derived vocabulary;
+//! we embed a similar fixed word list plus a handful of *marker words*
+//! whose document frequency the generator controls precisely, so that
+//! `contains(...)` queries have known, reproducible selectivities.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The base vocabulary (uniformly sampled filler words).
+pub const VOCABULARY: &[&str] = &[
+    "against", "alarum", "ancient", "appear", "arms", "attend", "banish", "battle", "bear",
+    "beauty", "bed", "blood", "bosom", "breath", "brother", "business", "call", "cause",
+    "charge", "cheek", "command", "content", "crown", "daughter", "dead", "death", "deed",
+    "desire", "devil", "door", "doubt", "dream", "duke", "earth", "enemy", "england", "eye",
+    "face", "fair", "faith", "father", "fear", "field", "fire", "flesh", "follow", "fool",
+    "fortune", "france", "friend", "gentle", "give", "grace", "grave", "great", "grief",
+    "hand", "happy", "hard", "hast", "hath", "head", "hear", "heart", "heaven", "hold",
+    "honour", "hope", "horse", "hour", "house", "husband", "keep", "king", "kiss", "knight",
+    "lady", "land", "leave", "letter", "light", "live", "london", "look", "lord", "love",
+    "madam", "majesty", "marry", "master", "mean", "mind", "mother", "mouth", "music",
+    "name", "nature", "night", "noble", "nothing", "offer", "part", "peace", "person",
+    "play", "pleasure", "poor", "power", "praise", "pray", "prince", "promise", "proud",
+    "queen", "quick", "reason", "rest", "rich", "right", "royal", "sea", "send", "service",
+    "shame", "sleep", "son", "soul", "speak", "spirit", "stand", "state", "stay", "strange",
+    "strong", "sweet", "sword", "tear", "tell", "thank", "thought", "time", "tongue",
+    "touch", "town", "true", "truth", "turn", "virtue", "voice", "war", "watch", "water",
+    "wife", "wind", "wisdom", "wish", "word", "world", "worth", "youth",
+];
+
+/// Marker words with controlled document frequency, used by `contains()`
+/// workload queries. `(word, per-mille probability that a given item name
+/// mentions it)`.
+pub const MARKERS: &[(&str, u32)] = &[
+    ("gold", 120),     // moderately selective (q3/q10 style)
+    ("dragon", 25),    // rare
+    ("shipment", 400), // common
+];
+
+/// Draws `n` filler words into `out`, space-separated.
+pub fn push_words(rng: &mut StdRng, n: usize, out: &mut String) {
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(VOCABULARY[rng.gen_range(0..VOCABULARY.len())]);
+    }
+}
+
+/// Generates a plain name: a few filler words, no marker words (the
+/// corpus generator inserts markers according to per-document themes, so
+/// `contains` predicates stay selective at document granularity).
+pub fn gen_name_plain(rng: &mut StdRng) -> String {
+    let mut s = String::new();
+    let n = rng.gen_range(2..5);
+    push_words(rng, n, &mut s);
+    s
+}
+
+/// Generates an item/auction name with each marker word independently
+/// included at its configured per-mille rate (unclustered; used by the
+/// gallery example corpus and tests).
+pub fn gen_name(rng: &mut StdRng) -> String {
+    let mut s = gen_name_plain(rng);
+    for &(word, permille) in MARKERS {
+        if rng.gen_range(0..1000) < permille {
+            s.push(' ');
+            s.push_str(word);
+        }
+    }
+    s
+}
+
+/// Generates a sentence-ish run of prose of roughly `target_len` bytes.
+pub fn gen_text(rng: &mut StdRng, target_len: usize) -> String {
+    let mut s = String::with_capacity(target_len + 16);
+    while s.len() < target_len {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(VOCABULARY[rng.gen_range(0..VOCABULARY.len())]);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gen_text_reaches_target_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = gen_text(&mut rng, 100);
+        assert!(t.len() >= 100);
+        assert!(t.len() < 130);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_name(&mut StdRng::seed_from_u64(7));
+        let b = gen_name(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn marker_frequencies_are_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 5000;
+        let mut gold = 0;
+        for _ in 0..n {
+            if gen_name(&mut rng).contains("gold") {
+                gold += 1;
+            }
+        }
+        let rate = gold as f64 / n as f64;
+        assert!((0.08..0.16).contains(&rate), "gold rate {rate}");
+    }
+
+    #[test]
+    fn vocabulary_is_lowercase_single_words() {
+        for w in VOCABULARY {
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+        }
+    }
+}

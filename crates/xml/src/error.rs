@@ -1,0 +1,121 @@
+//! Parse-error reporting with byte offsets and line/column positions.
+
+use std::fmt;
+
+/// The category of an XML parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A byte that cannot start or continue the current construct.
+    UnexpectedByte(u8),
+    /// `</b>` closing an element opened as `<a>`.
+    MismatchedTag { open: String, close: String },
+    /// A closing tag with no matching open tag.
+    UnmatchedClose(String),
+    /// An element or attribute name that is empty or starts illegally.
+    InvalidName,
+    /// `&foo;` where `foo` is not one of the five predefined entities and
+    /// not a character reference.
+    UnknownEntity(String),
+    /// A character reference (`&#NNN;`) that is out of range or malformed.
+    InvalidCharRef,
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute(String),
+    /// The document has no root element, or text outside the root.
+    NoRootElement,
+    /// More than one top-level element.
+    MultipleRoots,
+    /// Malformed UTF-8 in text content.
+    InvalidUtf8,
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::UnexpectedByte(b) => {
+                if b.is_ascii_graphic() {
+                    write!(f, "unexpected byte '{}'", *b as char)
+                } else {
+                    write!(f, "unexpected byte 0x{b:02x}")
+                }
+            }
+            XmlErrorKind::MismatchedTag { open, close } => {
+                write!(f, "mismatched tag: <{open}> closed by </{close}>")
+            }
+            XmlErrorKind::UnmatchedClose(name) => write!(f, "unmatched closing tag </{name}>"),
+            XmlErrorKind::InvalidName => write!(f, "invalid XML name"),
+            XmlErrorKind::UnknownEntity(e) => write!(f, "unknown entity &{e};"),
+            XmlErrorKind::InvalidCharRef => write!(f, "invalid character reference"),
+            XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute '{a}'"),
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::MultipleRoots => write!(f, "document has multiple root elements"),
+            XmlErrorKind::InvalidUtf8 => write!(f, "invalid UTF-8 in document"),
+        }
+    }
+}
+
+/// An XML parse error, carrying the byte offset at which it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub column: u32,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, input: &[u8], offset: usize) -> Self {
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for &b in &input[..offset.min(input.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        XmlError { kind, offset, line, column: col }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at line {}, column {}: {}", self.line, self.column, self.kind)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_is_computed_from_offset() {
+        let input = b"<a>\n  <b oops";
+        let err = XmlError::new(XmlErrorKind::UnexpectedEof, input, 9);
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 6);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let err = XmlError::new(XmlErrorKind::UnmatchedClose("b".into()), b"</b>", 0);
+        let s = err.to_string();
+        assert!(s.contains("line 1"));
+        assert!(s.contains("</b>"));
+    }
+
+    #[test]
+    fn unexpected_byte_displays_printable_and_hex() {
+        assert!(XmlErrorKind::UnexpectedByte(b'<').to_string().contains("'<'"));
+        assert!(XmlErrorKind::UnexpectedByte(0x01).to_string().contains("0x01"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-document string interning for element and attribute names.
+//!
+//! XML corpora repeat a small vocabulary of tag names across millions of
+//! nodes, so nodes store a 4-byte [`Sym`] instead of an owned string. Label
+//! comparison during pattern matching is then a single integer compare.
+
+use std::collections::HashMap;
+
+/// An interned name. Only meaningful together with the [`Interner`]
+/// (in practice: the [`crate::Document`]) that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+/// A simple append-only string interner.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, Sym>,
+    names: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Sym(self.names.len() as u32);
+        self.names.push(name.into());
+        self.map.insert(name.into(), sym);
+        sym
+    }
+
+    /// Looks up the symbol for `name` without interning it.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Sym, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (Sym(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("painting");
+        let b = i.intern("painter");
+        let a2 = i.intern("painting");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let s = i.intern("name");
+        assert_eq!(i.resolve(s), "name");
+        assert_eq!(i.lookup("name"), Some(s));
+        assert_eq!(i.lookup("absent"), None);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let names: Vec<&str> = i.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Arena node storage for parsed documents.
+
+use crate::interner::Sym;
+use crate::sid::StructuralId;
+use std::sync::Arc;
+
+/// Index of a node inside its [`crate::Document`]'s arena.
+///
+/// Nodes are stored in document (preorder) order, so `NodeId(i)` always has
+/// `pre == i + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub(crate) const NONE: u32 = u32::MAX;
+
+    /// The arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The three node kinds the warehouse distinguishes.
+///
+/// Comments and processing instructions are dropped at parse time: the
+/// paper's indexing strategies (Table 2) only ever key on elements,
+/// attributes and words, and queries cannot address anything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An XML element (`<painting>`).
+    Element,
+    /// An attribute (`id="1854-1"`); a leaf node carrying its value inline,
+    /// numbered *before* its owner element's children, matching the
+    /// paper's Figure 3 IDs (e.g. `@id` = `(2, 1, 2)` in delacroix.xml).
+    Attribute,
+    /// A text leaf.
+    Text,
+}
+
+/// One node of a parsed document.
+#[derive(Debug, Clone)]
+pub struct NodeData {
+    /// Element / attribute kind.
+    pub kind: NodeKind,
+    /// Interned name for elements and attributes; unused (`Sym(u32::MAX)`
+    /// never handed out by the interner) for text nodes.
+    pub(crate) sym: Option<Sym>,
+    /// Attribute value or text content.
+    pub(crate) value: Option<Arc<str>>,
+    pub(crate) parent: u32,
+    pub(crate) first_child: u32,
+    pub(crate) next_sibling: u32,
+    /// Postorder rank; `pre` is implicit (arena index + 1).
+    pub(crate) post: u32,
+    pub(crate) depth: u32,
+}
+
+impl NodeData {
+    /// The structural identifier of the node sitting at arena index `index`.
+    #[inline]
+    pub(crate) fn sid(&self, index: usize) -> StructuralId {
+        StructuralId { pre: index as u32 + 1, post: self.post, depth: self.depth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sid_derives_pre_from_index() {
+        let n = NodeData {
+            kind: NodeKind::Element,
+            sym: None,
+            value: None,
+            parent: NodeId::NONE,
+            first_child: NodeId::NONE,
+            next_sibling: NodeId::NONE,
+            post: 7,
+            depth: 2,
+        };
+        assert_eq!(n.sid(4), StructuralId::new(5, 7, 2));
+    }
+}

@@ -1,0 +1,604 @@
+//! A single-pass, from-scratch XML parser producing the arena tree.
+//!
+//! Scope: well-formed document parsing sufficient for data-centric corpora
+//! such as XMark — elements, attributes, text, CDATA, comments, processing
+//! instructions, an optional XML declaration and DOCTYPE, the five
+//! predefined entities and numeric character references. Namespaces are
+//! treated lexically (a name may contain `:`), which is also how the
+//! paper's index keys treat labels.
+//!
+//! Whitespace-only text between elements is dropped (data-centric
+//! convention); this keeps *(pre, post, depth)* numbering identical whether
+//! or not a document is pretty-printed, matching the paper's Figure 3
+//! numbering.
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::interner::Interner;
+use crate::node::{NodeData, NodeId, NodeKind};
+use std::sync::Arc;
+
+/// Internal parser state.
+pub(crate) struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    nodes: Vec<NodeData>,
+    interner: Interner,
+    /// Stack of open element arena indices.
+    stack: Vec<usize>,
+    /// Last child pushed for each open element (for sibling linking),
+    /// parallel to `stack`.
+    last_child: Vec<u32>,
+    post_counter: u32,
+    root_seen: bool,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn new(input: &'a [u8]) -> Self {
+        Parser {
+            input,
+            pos: 0,
+            nodes: Vec::new(),
+            interner: Interner::new(),
+            stack: Vec::new(),
+            last_child: Vec::new(),
+            post_counter: 0,
+            root_seen: false,
+        }
+    }
+
+    pub(crate) fn parse(mut self) -> Result<(Vec<NodeData>, Interner), XmlError> {
+        self.skip_bom();
+        loop {
+            self.skip_misc_or_text()?;
+            if self.pos >= self.input.len() {
+                break;
+            }
+            // At '<' of a tag.
+            if self.peek() != Some(b'<') {
+                return Err(self.err(XmlErrorKind::UnexpectedByte(self.input[self.pos])));
+            }
+            match self.input.get(self.pos + 1) {
+                Some(b'/') => self.parse_close_tag()?,
+                Some(b'!') | Some(b'?') => self.parse_markup_decl()?,
+                Some(_) => self.parse_open_tag()?,
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+        if !self.stack.is_empty() {
+            return Err(self.err(XmlErrorKind::UnexpectedEof));
+        }
+        if !self.root_seen {
+            return Err(self.err(XmlErrorKind::NoRootElement));
+        }
+        Ok((self.nodes, self.interner))
+    }
+
+    // ---- low-level helpers -------------------------------------------------
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.input, self.pos)
+    }
+
+    fn skip_bom(&mut self) {
+        if self.input.starts_with(&[0xEF, 0xBB, 0xBF]) {
+            self.pos = 3;
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), XmlError> {
+        match self.peek() {
+            Some(x) if x == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(x) => Err(self.err(XmlErrorKind::UnexpectedByte(x))),
+            None => Err(self.err(XmlErrorKind::UnexpectedEof)),
+        }
+    }
+
+    /// Consumes text content up to the next `<`, decoding entities, and
+    /// emits a text node if the content is not all-whitespace. Returns at
+    /// EOF or at a `<`.
+    fn skip_misc_or_text(&mut self) -> Result<(), XmlError> {
+        let mut buf = String::new();
+        let mut any_non_ws = false;
+        loop {
+            match self.peek() {
+                None | Some(b'<') => break,
+                Some(b'&') => {
+                    let c = self.parse_entity()?;
+                    if !c.is_whitespace() {
+                        any_non_ws = true;
+                    }
+                    buf.push(c);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'<') | Some(b'&')) {
+                        if !self.input[self.pos].is_ascii_whitespace() {
+                            any_non_ws = true;
+                        }
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.err(XmlErrorKind::InvalidUtf8))?;
+                    buf.push_str(s);
+                }
+            }
+        }
+        if any_non_ws {
+            if self.stack.is_empty() {
+                return Err(self.err(XmlErrorKind::NoRootElement));
+            }
+            self.push_leaf(NodeKind::Text, None, Some(buf.into()));
+        }
+        Ok(())
+    }
+
+    fn parse_entity(&mut self) -> Result<char, XmlError> {
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        self.pos += 1;
+        let start = self.pos;
+        while self.peek() != Some(b';') {
+            if self.peek().is_none() {
+                return Err(self.err(XmlErrorKind::UnexpectedEof));
+            }
+            self.pos += 1;
+            if self.pos - start > 10 {
+                return Err(self.err(XmlErrorKind::InvalidCharRef));
+            }
+        }
+        let name = &self.input[start..self.pos];
+        self.pos += 1; // ';'
+        match name {
+            b"lt" => Ok('<'),
+            b"gt" => Ok('>'),
+            b"amp" => Ok('&'),
+            b"quot" => Ok('"'),
+            b"apos" => Ok('\''),
+            _ if name.first() == Some(&b'#') => {
+                let digits = &name[1..];
+                let (digits, radix) = match digits.first() {
+                    Some(b'x') | Some(b'X') => (&digits[1..], 16),
+                    _ => (digits, 10),
+                };
+                let s = std::str::from_utf8(digits)
+                    .map_err(|_| self.err(XmlErrorKind::InvalidCharRef))?;
+                let code = u32::from_str_radix(s, radix)
+                    .map_err(|_| self.err(XmlErrorKind::InvalidCharRef))?;
+                char::from_u32(code).ok_or_else(|| self.err(XmlErrorKind::InvalidCharRef))
+            }
+            _ => {
+                let n = String::from_utf8_lossy(name).into_owned();
+                Err(self.err(XmlErrorKind::UnknownEntity(n)))
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if is_name_start(b) => self.pos += 1,
+            _ => return Err(self.err(XmlErrorKind::InvalidName)),
+        }
+        while matches!(self.peek(), Some(b) if is_name_char(b)) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err(XmlErrorKind::InvalidUtf8))
+    }
+
+    // ---- markup ------------------------------------------------------------
+
+    /// `<?...?>`, `<!--...-->`, `<!DOCTYPE...>`, `<![CDATA[...]]>`.
+    fn parse_markup_decl(&mut self) -> Result<(), XmlError> {
+        let rest = &self.input[self.pos..];
+        if rest.starts_with(b"<!--") {
+            self.pos += 4;
+            self.consume_until(b"-->")
+        } else if rest.starts_with(b"<![CDATA[") {
+            self.parse_cdata()
+        } else if rest.starts_with(b"<!DOCTYPE") {
+            self.parse_doctype()
+        } else if rest.starts_with(b"<?") {
+            self.pos += 2;
+            self.consume_until(b"?>")
+        } else {
+            Err(self.err(XmlErrorKind::UnexpectedByte(rest.get(1).copied().unwrap_or(b'!'))))
+        }
+    }
+
+    fn consume_until(&mut self, delim: &[u8]) -> Result<(), XmlError> {
+        while self.pos < self.input.len() {
+            if self.input[self.pos..].starts_with(delim) {
+                self.pos += delim.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(self.err(XmlErrorKind::UnexpectedEof))
+    }
+
+    fn parse_cdata(&mut self) -> Result<(), XmlError> {
+        if self.stack.is_empty() {
+            return Err(self.err(XmlErrorKind::NoRootElement));
+        }
+        self.pos += b"<![CDATA[".len();
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            if self.input[self.pos..].starts_with(b"]]>") {
+                let s = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err(XmlErrorKind::InvalidUtf8))?;
+                self.pos += 3;
+                if !s.trim().is_empty() {
+                    self.push_leaf(NodeKind::Text, None, Some(s.into()));
+                }
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(self.err(XmlErrorKind::UnexpectedEof))
+    }
+
+    /// DOCTYPE with an optional internal subset `[ ... ]`.
+    fn parse_doctype(&mut self) -> Result<(), XmlError> {
+        self.pos += b"<!DOCTYPE".len();
+        let mut depth = 0i32;
+        while self.pos < self.input.len() {
+            match self.input[self.pos] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                b'>' if depth == 0 => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(self.err(XmlErrorKind::UnexpectedEof))
+    }
+
+    // ---- elements ----------------------------------------------------------
+
+    fn parse_open_tag(&mut self) -> Result<(), XmlError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        if self.stack.is_empty() {
+            if self.root_seen {
+                return Err(self.err(XmlErrorKind::MultipleRoots));
+            }
+            self.root_seen = true;
+        }
+        let sym = self.interner.intern(name);
+        let elem_idx = self.push_node(NodeKind::Element, Some(sym), None);
+        self.stack.push(elem_idx);
+        self.last_child.push(NodeId::NONE);
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    self.finish_element();
+                    return Ok(());
+                }
+                Some(b) if is_name_start(b) => self.parse_attribute(elem_idx)?,
+                Some(b) => return Err(self.err(XmlErrorKind::UnexpectedByte(b))),
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_attribute(&mut self, elem_idx: usize) -> Result<(), XmlError> {
+        let name = self.parse_name()?;
+        let err_pos = self.pos;
+        self.skip_ws();
+        self.expect(b'=')?;
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                q
+            }
+            Some(b) => return Err(self.err(XmlErrorKind::UnexpectedByte(b))),
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        };
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(q) if q == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'&') => value.push(self.parse_entity()?),
+                Some(b'<') => return Err(self.err(XmlErrorKind::UnexpectedByte(b'<'))),
+                Some(_) => {
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'&') | Some(b'<'))
+                        && self.peek() != Some(quote)
+                    {
+                        self.pos += 1;
+                    }
+                    value.push_str(
+                        std::str::from_utf8(&self.input[start..self.pos])
+                            .map_err(|_| self.err(XmlErrorKind::InvalidUtf8))?,
+                    );
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+        let sym = self.interner.intern(name);
+        // Duplicate attribute detection: scan existing attribute children.
+        let mut c = self.nodes[elem_idx].first_child;
+        while c != NodeId::NONE {
+            let child = &self.nodes[c as usize];
+            if child.kind == NodeKind::Attribute && child.sym == Some(sym) {
+                return Err(XmlError::new(
+                    XmlErrorKind::DuplicateAttribute(name.to_string()),
+                    self.input,
+                    err_pos,
+                ));
+            }
+            c = child.next_sibling;
+        }
+        self.push_leaf(NodeKind::Attribute, Some(sym), Some(value.into()));
+        Ok(())
+    }
+
+    fn parse_close_tag(&mut self) -> Result<(), XmlError> {
+        self.pos += 2; // "</"
+        let name = self.parse_name()?;
+        self.skip_ws();
+        self.expect(b'>')?;
+        let Some(&open_idx) = self.stack.last() else {
+            return Err(self.err(XmlErrorKind::UnmatchedClose(name.to_string())));
+        };
+        let open_sym = self.nodes[open_idx].sym.expect("open elements have names");
+        if self.interner.resolve(open_sym) != name {
+            return Err(self.err(XmlErrorKind::MismatchedTag {
+                open: self.interner.resolve(open_sym).to_string(),
+                close: name.to_string(),
+            }));
+        }
+        self.finish_element();
+        Ok(())
+    }
+
+    fn finish_element(&mut self) {
+        let idx = self.stack.pop().expect("finish_element with open element");
+        self.last_child.pop();
+        self.post_counter += 1;
+        self.nodes[idx].post = self.post_counter;
+    }
+
+    // ---- arena construction --------------------------------------------------
+
+    /// Pushes a node, linking it under the current open element.
+    fn push_node(
+        &mut self,
+        kind: NodeKind,
+        sym: Option<crate::interner::Sym>,
+        value: Option<Arc<str>>,
+    ) -> usize {
+        let idx = self.nodes.len();
+        let parent = self.stack.last().copied();
+        let depth = parent.map_or(1, |p| self.nodes[p].depth + 1);
+        self.nodes.push(NodeData {
+            kind,
+            sym,
+            value,
+            parent: parent.map_or(NodeId::NONE, |p| p as u32),
+            first_child: NodeId::NONE,
+            next_sibling: NodeId::NONE,
+            post: 0,
+            depth,
+        });
+        if let Some(p) = parent {
+            let slot = self.last_child.last_mut().expect("stack and last_child in sync");
+            if *slot == NodeId::NONE {
+                self.nodes[p].first_child = idx as u32;
+            } else {
+                self.nodes[*slot as usize].next_sibling = idx as u32;
+            }
+            *slot = idx as u32;
+        }
+        idx
+    }
+
+    /// Pushes a leaf (attribute or text), which completes immediately and
+    /// therefore receives the next postorder rank.
+    fn push_leaf(
+        &mut self,
+        kind: NodeKind,
+        sym: Option<crate::interner::Sym>,
+        value: Option<Arc<str>>,
+    ) {
+        let idx = self.push_node(kind, sym, value);
+        self.post_counter += 1;
+        self.nodes[idx].post = self.post_counter;
+    }
+}
+
+#[inline]
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+#[inline]
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::XmlErrorKind;
+    use crate::node::NodeKind;
+    use crate::tree::Document;
+
+    #[test]
+    fn parses_declaration_comments_and_pi() {
+        let doc = Document::parse_str(
+            "t.xml",
+            "<?xml version=\"1.0\"?><!-- hi --><?pi data?><a><b/></a><!-- bye -->",
+        )
+        .unwrap();
+        assert_eq!(doc.name(doc.root()), Some("a"));
+        assert_eq!(doc.node_count(), 2);
+    }
+
+    #[test]
+    fn parses_doctype_with_internal_subset() {
+        let doc = Document::parse_str(
+            "t.xml",
+            "<!DOCTYPE site [ <!ELEMENT site (x)> ]><site><x>1</x></site>",
+        )
+        .unwrap();
+        assert_eq!(doc.name(doc.root()), Some("site"));
+    }
+
+    #[test]
+    fn decodes_entities_in_text_and_attributes() {
+        let doc = Document::parse_str(
+            "t.xml",
+            "<a t=\"x &amp; y &#65;\">&lt;tag&gt; &apos;q&quot; &#x41;</a>",
+        )
+        .unwrap();
+        assert_eq!(doc.attribute(doc.root(), "t"), Some("x & y A"));
+        assert_eq!(doc.string_value(doc.root()), "<tag> 'q\" A");
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        let doc = Document::parse_str("t.xml", "<a><![CDATA[1 < 2 & 3]]></a>").unwrap();
+        assert_eq!(doc.string_value(doc.root()), "1 < 2 & 3");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let pretty = Document::parse_str("t.xml", "<a>\n  <b>x</b>\n  <c>y</c>\n</a>").unwrap();
+        let dense = Document::parse_str("t.xml", "<a><b>x</b><c>y</c></a>").unwrap();
+        assert_eq!(pretty.node_count(), dense.node_count());
+        for (p, d) in pretty.all_nodes().zip(dense.all_nodes()) {
+            assert_eq!(pretty.sid(p), dense.sid(d));
+        }
+    }
+
+    #[test]
+    fn mixed_content_text_is_kept() {
+        let doc = Document::parse_str("t.xml", "<p>hello <b>bold</b> world</p>").unwrap();
+        assert_eq!(doc.string_value(doc.root()), "hello bold world");
+        let texts = doc
+            .all_nodes()
+            .filter(|&n| doc.kind(n) == NodeKind::Text)
+            .count();
+        assert_eq!(texts, 3);
+    }
+
+    #[test]
+    fn self_closing_elements() {
+        let doc = Document::parse_str("t.xml", "<a><b x=\"1\"/><c/></a>").unwrap();
+        assert_eq!(doc.element_children(doc.root()).count(), 2);
+        let b = doc.elements_named("b")[0];
+        assert_eq!(doc.attribute(b, "x"), Some("1"));
+    }
+
+    #[test]
+    fn error_mismatched_tag() {
+        let err = Document::parse_str("t.xml", "<a><b></a>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn error_unmatched_close() {
+        let err = Document::parse_str("t.xml", "<a></a></b>").unwrap_err();
+        // After the root closes, `</b>` has nothing to match.
+        assert!(matches!(
+            err.kind,
+            XmlErrorKind::UnmatchedClose(_) | XmlErrorKind::MultipleRoots
+        ));
+    }
+
+    #[test]
+    fn error_eof_inside_element() {
+        let err = Document::parse_str("t.xml", "<a><b>").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn error_duplicate_attribute() {
+        let err = Document::parse_str("t.xml", "<a x=\"1\" x=\"2\"/>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::DuplicateAttribute(a) if a == "x"));
+    }
+
+    #[test]
+    fn error_multiple_roots() {
+        let err = Document::parse_str("t.xml", "<a/><b/>").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::MultipleRoots);
+    }
+
+    #[test]
+    fn error_no_root() {
+        let err = Document::parse_str("t.xml", "   ").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::NoRootElement);
+        let err = Document::parse_str("t.xml", "just text").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::NoRootElement);
+    }
+
+    #[test]
+    fn error_unknown_entity() {
+        let err = Document::parse_str("t.xml", "<a>&nope;</a>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnknownEntity(e) if e == "nope"));
+    }
+
+    #[test]
+    fn error_invalid_char_ref() {
+        let err = Document::parse_str("t.xml", "<a>&#xD800;</a>").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::InvalidCharRef);
+    }
+
+    #[test]
+    fn bom_is_skipped() {
+        let mut bytes = vec![0xEF, 0xBB, 0xBF];
+        bytes.extend_from_slice(b"<a>x</a>");
+        let doc = Document::parse("t.xml", &bytes).unwrap();
+        assert_eq!(doc.string_value(doc.root()), "x");
+    }
+
+    #[test]
+    fn utf8_names_and_text() {
+        let doc = Document::parse_str("t.xml", "<musée>Eugène</musée>").unwrap();
+        assert_eq!(doc.name(doc.root()), Some("musée"));
+        assert_eq!(doc.string_value(doc.root()), "Eugène");
+    }
+
+    #[test]
+    fn post_order_is_a_permutation() {
+        let doc = Document::parse_str(
+            "t.xml",
+            "<a p=\"1\"><b><c>t</c></b><d>u<e/>v</d></a>",
+        )
+        .unwrap();
+        let mut posts: Vec<u32> = doc.all_nodes().map(|n| doc.sid(n).post).collect();
+        posts.sort_unstable();
+        let expect: Vec<u32> = (1..=doc.node_count() as u32).collect();
+        assert_eq!(posts, expect);
+    }
+}

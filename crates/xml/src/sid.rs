@@ -1,0 +1,130 @@
+//! *(pre, post, depth)* structural identifiers and their order algebra.
+//!
+//! These are the node IDs the paper's LUI / 2LUPI strategies store in the
+//! key-value index (Section 5, "Notations", citing Al-Khalifa et al.,
+//! ICDE 2002). The whole point of the encoding is that structural
+//! relationships between two nodes can be decided from the IDs alone,
+//! without touching the document:
+//!
+//! * ancestor:  `a.pre < d.pre && a.post > d.post`
+//! * parent:    ancestor and `a.depth + 1 == d.depth`
+//!
+//! `pre` is assigned on first visit (document order), `post` on last visit;
+//! both are 1-based and count every node kind (element, attribute, text),
+//! matching the worked example of the paper's Figure 3 where
+//! `name` in `delacroix.xml` gets `(3, 3, 2)` and the attribute `@id`
+//! gets `(2, 1, 2)`.
+
+use std::fmt;
+
+/// A structural node identifier: `(pre, post, depth)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructuralId {
+    /// 1-based preorder rank (document order).
+    pub pre: u32,
+    /// 1-based postorder rank.
+    pub post: u32,
+    /// Depth; the document root element has depth 1.
+    pub depth: u32,
+}
+
+impl StructuralId {
+    /// Creates an ID from its three components.
+    pub const fn new(pre: u32, post: u32, depth: u32) -> Self {
+        StructuralId { pre, post, depth }
+    }
+
+    /// True iff `self` is a proper ancestor of `other`.
+    #[inline]
+    pub fn is_ancestor_of(&self, other: &StructuralId) -> bool {
+        self.pre < other.pre && self.post > other.post
+    }
+
+    /// True iff `self` is the parent of `other`.
+    #[inline]
+    pub fn is_parent_of(&self, other: &StructuralId) -> bool {
+        self.is_ancestor_of(other) && self.depth + 1 == other.depth
+    }
+
+    /// True iff `self` precedes `other` in document order and is *not*
+    /// one of its ancestors (the XPath `preceding` axis).
+    #[inline]
+    pub fn precedes(&self, other: &StructuralId) -> bool {
+        self.pre < other.pre && self.post < other.post
+    }
+}
+
+/// IDs order by `pre` (document order); the paper keeps per-key ID lists
+/// "already sorted by their pre component" so holistic twig joins can
+/// consume them without re-sorting (Section 5.3).
+impl PartialOrd for StructuralId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for StructuralId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.pre.cmp(&other.pre)
+    }
+}
+
+/// Formats as the paper's `(pre, post, depth)` notation used in its
+/// index-content tables.
+impl fmt::Display for StructuralId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.pre, self.post, self.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The delacroix.xml IDs from the paper's Section 5.3 example.
+    const PAINTING: StructuralId = StructuralId::new(1, 10, 1);
+    const AT_ID: StructuralId = StructuralId::new(2, 1, 2);
+    const NAME1: StructuralId = StructuralId::new(3, 3, 2);
+    const TEXT1: StructuralId = StructuralId::new(4, 2, 3);
+    const NAME2: StructuralId = StructuralId::new(6, 8, 3);
+
+    #[test]
+    fn ancestor_relation_matches_paper_example() {
+        assert!(PAINTING.is_ancestor_of(&AT_ID));
+        assert!(PAINTING.is_ancestor_of(&NAME2));
+        assert!(NAME1.is_ancestor_of(&TEXT1));
+        assert!(!NAME1.is_ancestor_of(&NAME2));
+        assert!(!AT_ID.is_ancestor_of(&PAINTING));
+        // A node is not its own ancestor.
+        assert!(!NAME1.is_ancestor_of(&NAME1));
+    }
+
+    #[test]
+    fn parent_needs_adjacent_depth() {
+        assert!(PAINTING.is_parent_of(&NAME1));
+        assert!(NAME1.is_parent_of(&TEXT1));
+        // painting is an ancestor of the nested name but not its parent.
+        assert!(PAINTING.is_ancestor_of(&NAME2) && !PAINTING.is_parent_of(&NAME2));
+    }
+
+    #[test]
+    fn preceding_axis() {
+        assert!(AT_ID.precedes(&NAME1));
+        assert!(NAME1.precedes(&NAME2));
+        assert!(!PAINTING.precedes(&NAME1)); // ancestor, not preceding
+        assert!(!NAME2.precedes(&NAME1));
+    }
+
+    #[test]
+    fn ordering_is_by_pre() {
+        let mut v = vec![NAME2, AT_ID, TEXT1, NAME1, PAINTING];
+        v.sort();
+        let pres: Vec<u32> = v.iter().map(|s| s.pre).collect();
+        assert_eq!(pres, [1, 2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(NAME1.to_string(), "(3, 3, 2)");
+    }
+}

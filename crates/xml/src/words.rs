@@ -1,0 +1,68 @@
+//! The word tokenizer behind the full-text (`w‖word`) index keys and the
+//! `contains(c)` predicate (Sections 4 and 5).
+//!
+//! A *word* is a maximal run of alphanumeric characters; matching is
+//! case-insensitive, implemented by lowercasing at both index and query
+//! time. `contains(Lion)` on the value `"The Lion Hunt"` therefore matches
+//! the word list `["the", "lion", "hunt"]`.
+
+/// Splits `text` into lowercase words.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            words.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        words.push(current);
+    }
+    words
+}
+
+/// True iff `word` occurs in `text` under word tokenization.
+/// `word` must itself be a single word; it is lowercased internally.
+pub fn contains_word(text: &str, word: &str) -> bool {
+    let needle = word.to_lowercase();
+    tokenize(text).contains(&needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basic() {
+        assert_eq!(tokenize("The Lion Hunt"), ["the", "lion", "hunt"]);
+    }
+
+    #[test]
+    fn tokenize_punctuation_and_digits() {
+        assert_eq!(tokenize("Olympia, 1863-1!"), ["olympia", "1863", "1"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  \t\n .,;").is_empty());
+    }
+
+    #[test]
+    fn tokenize_unicode() {
+        assert_eq!(tokenize("Eugène Delacroix"), ["eugène", "delacroix"]);
+    }
+
+    #[test]
+    fn contains_word_is_word_granular() {
+        assert!(contains_word("The Lion Hunt", "Lion"));
+        assert!(contains_word("The Lion Hunt", "lion"));
+        // Substrings of words do not match: "Lio" is not a word of the text.
+        assert!(!contains_word("The Lion Hunt", "Lio"));
+        assert!(!contains_word("The Lionhunt", "Lion"));
+    }
+}

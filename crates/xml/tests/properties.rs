@@ -1,0 +1,160 @@
+//! Property-based tests for the XML substrate: serialization round-trips
+//! and the (pre, post, depth) structural-identifier invariants.
+
+use amada_xml::{Document, NodeKind};
+use proptest::prelude::*;
+
+/// A recursively generated XML element as a value tree.
+#[derive(Debug, Clone)]
+struct GenElem {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<GenContent>,
+}
+
+#[derive(Debug, Clone)]
+enum GenContent {
+    Elem(GenElem),
+    Text(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes XML-special characters to exercise escaping.
+    "[ a-zA-Z0-9<>&\"']{1,20}".prop_filter("non-whitespace", |s| !s.trim().is_empty())
+}
+
+fn elem_strategy() -> impl Strategy<Value = GenElem> {
+    let leaf = (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3))
+        .prop_map(|(name, attrs)| GenElem { name, attrs: dedup_attrs(attrs), children: vec![] });
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+            prop::collection::vec(
+                prop_oneof![
+                    inner.prop_map(GenContent::Elem),
+                    text_strategy().prop_map(GenContent::Text)
+                ],
+                0..5,
+            ),
+        )
+            .prop_map(|(name, attrs, children)| GenElem {
+                name,
+                attrs: dedup_attrs(attrs),
+                children,
+            })
+    })
+}
+
+fn dedup_attrs(mut attrs: Vec<(String, String)>) -> Vec<(String, String)> {
+    let mut seen = std::collections::HashSet::new();
+    attrs.retain(|(k, _)| seen.insert(k.clone()));
+    attrs
+}
+
+fn render(e: &GenElem, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        amada_xml::serialize::escape_attr(v, out);
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &e.children {
+        match c {
+            GenContent::Elem(e) => render(e, out),
+            GenContent::Text(t) => amada_xml::serialize::escape_text(t, out),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+proptest! {
+    /// parse ∘ serialize ∘ parse is the identity on document structure.
+    #[test]
+    fn round_trip_preserves_structure(e in elem_strategy()) {
+        let mut src = String::new();
+        render(&e, &mut src);
+        let doc = Document::parse_str("p.xml", &src).unwrap();
+        let out = doc.to_xml();
+        let doc2 = Document::parse_str("p.xml", &out).unwrap();
+        prop_assert_eq!(doc.node_count(), doc2.node_count());
+        for (a, b) in doc.all_nodes().zip(doc2.all_nodes()) {
+            prop_assert_eq!(doc.kind(a), doc2.kind(b));
+            prop_assert_eq!(doc.sid(a), doc2.sid(b));
+            prop_assert_eq!(doc.name(a), doc2.name(b));
+            prop_assert_eq!(doc.value(a), doc2.value(b));
+        }
+        // Serialization is a fixpoint after one round.
+        prop_assert_eq!(doc2.to_xml(), out);
+    }
+
+    /// pre and post are permutations of 1..=n; depth of root is 1.
+    #[test]
+    fn pre_post_are_permutations(e in elem_strategy()) {
+        let mut src = String::new();
+        render(&e, &mut src);
+        let doc = Document::parse_str("p.xml", &src).unwrap();
+        let n = doc.node_count() as u32;
+        let mut pres: Vec<u32> = doc.all_nodes().map(|i| doc.sid(i).pre).collect();
+        let mut posts: Vec<u32> = doc.all_nodes().map(|i| doc.sid(i).post).collect();
+        pres.sort_unstable();
+        posts.sort_unstable();
+        let expect: Vec<u32> = (1..=n).collect();
+        prop_assert_eq!(&pres, &expect);
+        prop_assert_eq!(&posts, &expect);
+        prop_assert_eq!(doc.sid(doc.root()).depth, 1);
+    }
+
+    /// The ID algebra agrees with actual tree navigation: for every pair of
+    /// nodes, `is_ancestor_of` iff walking parents reaches the other node,
+    /// and `is_parent_of` iff it is the direct parent.
+    #[test]
+    fn id_algebra_matches_tree(e in elem_strategy()) {
+        let mut src = String::new();
+        render(&e, &mut src);
+        let doc = Document::parse_str("p.xml", &src).unwrap();
+        let nodes: Vec<_> = doc.all_nodes().collect();
+        for &a in nodes.iter().take(30) {
+            for &d in nodes.iter().take(30) {
+                let really_ancestor = doc.ancestors(d).any(|x| x == a);
+                prop_assert_eq!(
+                    doc.sid(a).is_ancestor_of(&doc.sid(d)),
+                    really_ancestor,
+                    "ancestor mismatch for {:?} vs {:?}", a, d
+                );
+                let really_parent = doc.parent(d) == Some(a);
+                prop_assert_eq!(doc.sid(a).is_parent_of(&doc.sid(d)), really_parent);
+            }
+        }
+    }
+
+    /// string_value equals the concatenation of descendant text nodes.
+    #[test]
+    fn string_value_is_descendant_text(e in elem_strategy()) {
+        let mut src = String::new();
+        render(&e, &mut src);
+        let doc = Document::parse_str("p.xml", &src).unwrap();
+        let root = doc.root();
+        let mut expected = String::new();
+        for d in doc.descendants(root) {
+            if doc.kind(d) == NodeKind::Text {
+                expected.push_str(doc.value(d).unwrap());
+            }
+        }
+        prop_assert_eq!(doc.string_value(root), expected);
+    }
+}

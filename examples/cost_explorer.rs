@@ -1,0 +1,122 @@
+//! Cost what-if explorer: the Section 7 cost model applied symbolically,
+//! the index advisor (the paper's future-work tool), and provider
+//! portability (Table 1: the same architecture priced on AWS, Google
+//! Cloud and Windows Azure).
+//!
+//! ```text
+//! cargo run --release --example cost_explorer
+//! ```
+
+use amada::cloud::{InstanceType, PriceTable, SimDuration};
+use amada::index::{explain, ExtractOptions, Strategy};
+use amada::warehouse::{advise, advise_queries, CostModel, WarehouseConfig};
+use amada::xmark::{generate_corpus, workload, workload_query, CorpusConfig};
+
+fn main() {
+    // ----- 1. The paper's own scenario, through the symbolic cost model.
+    // 20 000 documents, 40 GB, LUP index ≈ 55 GB with full text.
+    let model = CostModel::default();
+    println!("== Section 7 cost model, paper-scale inputs ==");
+    println!("upload 20 000 documents:        {}", model.upload_documents(20_000));
+    let ci = model.index_building(
+        20_000,
+        140_000_000, // billed write units for a ~55 GB index
+        SimDuration::from_secs(4 * 3600 + 25 * 60),
+        8,
+        InstanceType::Large,
+    );
+    println!("build LUP index (8 L, 4h25):    {ci}");
+    println!(
+        "store 40 GB data + 55 GB index: {} / month",
+        model.monthly_storage(40_000_000_000, 55_000_000_000)
+    );
+    println!(
+        "selective query, indexed:       {}",
+        model.query_indexed(
+            500_000,
+            100,
+            350,
+            SimDuration::from_secs(12),
+            InstanceType::Large
+        )
+    );
+    println!(
+        "same query, full scan:          {}",
+        model.query_no_index(
+            500_000,
+            20_000,
+            SimDuration::from_secs(1800),
+            InstanceType::Large
+        )
+    );
+
+    // ----- 2. Provider portability (paper Table 1).
+    println!("\n== Same workload, different providers ==");
+    for prices in [
+        PriceTable::aws_singapore_2012(),
+        PriceTable::google_cloud_2012(),
+        PriceTable::windows_azure_2012(),
+    ] {
+        let m = CostModel::new(prices);
+        println!(
+            "{:<28} storage {} / month, indexed query {}",
+            m.prices.provider,
+            m.monthly_storage(40_000_000_000, 55_000_000_000),
+            m.query_indexed(500_000, 100, 350, SimDuration::from_secs(12), InstanceType::Large),
+        );
+    }
+
+    // ----- 3. Look-up plans (the paper's Figure 5, for each strategy).
+    println!("\n== Look-up plans for q2 ==");
+    let q2 = workload_query("q2").expect("q2 exists");
+    for s in Strategy::ALL {
+        println!("{}", explain(s, &q2, ExtractOptions::default()));
+    }
+
+    // ----- 4. The index advisor on a live sample.
+    println!("\n== Index advisor (paper Section 9 future work) ==");
+    let sample_cfg = CorpusConfig { num_documents: 120, ..Default::default() };
+    let sample: Vec<(String, String)> =
+        generate_corpus(&sample_cfg).into_iter().map(|d| (d.uri, d.xml)).collect();
+    let queries = workload();
+    for expected_runs in [5u32, 500] {
+        let advice = advise(&sample, &queries, expected_runs, 1.0, &WarehouseConfig::default());
+        println!("\nexpected workload runs: {expected_runs}");
+        println!(
+            "  {:<8} {:>14} {:>14} {:>14} {:>14}",
+            "strategy", "build", "$/run", "storage/mo", "projected"
+        );
+        for e in &advice.ranked {
+            println!(
+                "  {:<8} {:>14} {:>14} {:>14} {:>14}",
+                e.strategy.name(),
+                e.build_cost.to_string(),
+                e.run_cost.to_string(),
+                e.storage_per_month.to_string(),
+                e.projected_total.to_string(),
+            );
+        }
+        println!(
+            "  no-index baseline projected: {} -> indexing {}",
+            advice.no_index_total,
+            if advice.indexing_pays_off() { "pays off" } else { "does not pay off yet" }
+        );
+    }
+
+    // ----- 5. Per-query structural hints from the DataGuide summary
+    // (the paper's Section 8.5 criterion for LUI/2LUPI).
+    println!("\n== Per-query strategy hints (DataGuide summary) ==");
+    for (name, hints) in advise_queries(&sample, &queries) {
+        for (i, h) in hints.iter().enumerate() {
+            println!(
+                "  {name} pattern {}: {} branch(es), est. selectivity {:.3}, \
+                 co-occurrence gap {:.2} -> {}",
+                i + 1,
+                h.branches,
+                h.estimated_selectivity,
+                h.cooccurrence_gap,
+                if h.use_fine_granularity { "LUI/2LUPI" } else { "LU/LUP" }
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # amada — cloud XML warehousing with cost-aware indexing
+//!
+//! A from-scratch Rust reproduction of *"Web Data Indexing in the Cloud:
+//! Efficiency and Cost Reductions"* (Camacho-Rodríguez, Colazzo, Manolescu;
+//! EDBT 2013): an architecture for warehousing tree-shaped Web data (XML) in
+//! a commercial cloud, where documents live in a file store, a structural /
+//! full-text index lives in a key-value store, virtual instances run the
+//! indexing and query-processing modules, and message queues tie the
+//! pipeline together — with a first-class *monetary cost model*.
+//!
+//! This umbrella crate re-exports the subsystem crates:
+//!
+//! * [`xml`] — XML parser, arena trees, *(pre, post, depth)* structural IDs;
+//! * [`pattern`] — the tree-pattern query language and evaluators
+//!   (naive + holistic twig join);
+//! * [`xmark`] — deterministic XMark-style corpus generator and the paper's
+//!   experimental workload;
+//! * [`cloud`] — the simulated commercial cloud (file store, key-value
+//!   stores, queues, instances, pricing, discrete-event clock);
+//! * [`index`] — the four indexing strategies (LU, LUP, LUI, 2LUPI) and
+//!   their look-up planners;
+//! * [`warehouse`] — the end-to-end warehouse tying everything together,
+//!   plus the Section 7 cost model.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+pub use amada_cloud as cloud;
+pub use amada_core as warehouse;
+pub use amada_index as index;
+pub use amada_pattern as pattern;
+pub use amada_xmark as xmark;
+pub use amada_xml as xml;
