@@ -1,17 +1,68 @@
-//! Criterion microbenchmarks of the warehouse's hot kernels: XML parsing,
-//! holistic twig joins, index extraction per strategy, the structural-ID
-//! codec, key-value store operations, and index look-ups.
+//! Microbenchmarks of the warehouse's hot kernels: XML parsing, holistic
+//! twig joins, index extraction per strategy, the structural-ID codec,
+//! key-value store operations, and index look-ups.
 //!
 //! These measure *host* performance of the real algorithms (the
 //! discrete-event simulation charges virtual time separately).
+//!
+//! The harness is self-contained (the build environment cannot fetch
+//! criterion): each benchmark is auto-calibrated to run for at least
+//! ~100 ms and reports the mean time per iteration. Run with
+//!
+//! ```text
+//! cargo bench -p amada-bench
+//! ```
 
 use amada_cloud::{DynamoDb, KvStore, SimTime};
 use amada_index::{extract, lookup_pattern, ExtractOptions, Strategy};
 use amada_pattern::{evaluate_pattern_twig, naive_matches, parse_pattern};
 use amada_xmark::{generate_document, CorpusConfig};
 use amada_xml::{Document, StructuralId};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runs `f` repeatedly for at least `MIN_RUN`, after a short warm-up, and
+/// prints the mean wall time per iteration (plus optional throughput).
+fn bench(group: &str, name: &str, bytes_per_iter: Option<u64>, mut f: impl FnMut()) {
+    const WARMUP: Duration = Duration::from_millis(20);
+    const MIN_RUN: Duration = Duration::from_millis(100);
+    let start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while start.elapsed() < WARMUP {
+        f();
+        warm_iters += 1;
+    }
+    // Estimate a batch size from the warm-up rate, then time whole batches
+    // until the total run is long enough.
+    let per_iter = WARMUP.as_secs_f64() / warm_iters.max(1) as f64;
+    let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+    let mut iters: u64 = 0;
+    let timed = Instant::now();
+    while timed.elapsed() < MIN_RUN {
+        for _ in 0..batch {
+            f();
+        }
+        iters += batch;
+    }
+    let per = timed.elapsed().as_secs_f64() / iters as f64;
+    let rate = match bytes_per_iter {
+        Some(b) => format!("  {:8.1} MiB/s", b as f64 / per / (1024.0 * 1024.0)),
+        None => String::new(),
+    };
+    println!("{group:<18} {name:<24} {:>12}/iter{rate}", fmt_time(per));
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
 
 fn corpus_doc(bytes: usize) -> (String, String) {
     let cfg = CorpusConfig {
@@ -23,72 +74,75 @@ fn corpus_doc(bytes: usize) -> (String, String) {
     (d.uri, d.xml)
 }
 
-fn bench_parser(c: &mut Criterion) {
-    let mut g = c.benchmark_group("xml-parse");
+fn bench_parser() {
     for kb in [2usize, 8, 32] {
         let (uri, xml) = corpus_doc(kb * 1024);
-        g.throughput(Throughput::Bytes(xml.len() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KB")), &xml, |b, xml| {
-            b.iter(|| Document::parse_str(uri.clone(), black_box(xml)).unwrap())
-        });
+        bench(
+            "xml-parse",
+            &format!("{kb}KB"),
+            Some(xml.len() as u64),
+            || {
+                black_box(Document::parse_str(uri.clone(), black_box(&xml)).unwrap());
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_twig_join(c: &mut Criterion) {
+fn bench_twig_join() {
     let (uri, xml) = corpus_doc(32 * 1024);
     let doc = Document::parse_str(uri, &xml).unwrap();
     let patterns = [
         ("linear", "//item[/name{val}]"),
-        ("branching", "//item[/name{val}, /payment{val}, //mailbox[/mail[/from{val}]]]"),
-        ("predicated", "//open_auction[/initial{val}, //bidder[/increase{\"10\"<val<=\"50\"}]]"),
+        (
+            "branching",
+            "//item[/name{val}, /payment{val}, //mailbox[/mail[/from{val}]]]",
+        ),
+        (
+            "predicated",
+            "//open_auction[/initial{val}, //bidder[/increase{\"10\"<val<=\"50\"}]]",
+        ),
     ];
-    let mut g = c.benchmark_group("twig-join");
     for (name, text) in patterns {
         let p = parse_pattern(text).unwrap();
-        g.bench_function(BenchmarkId::new("holistic", name), |b| {
-            b.iter(|| evaluate_pattern_twig(black_box(&doc), black_box(&p)))
+        bench("twig-join", &format!("holistic/{name}"), None, || {
+            black_box(evaluate_pattern_twig(black_box(&doc), black_box(&p)));
         });
-        g.bench_function(BenchmarkId::new("naive", name), |b| {
-            b.iter(|| naive_matches(black_box(&doc), black_box(&p)))
+        bench("twig-join", &format!("naive/{name}"), None, || {
+            black_box(naive_matches(black_box(&doc), black_box(&p)));
         });
     }
-    g.finish();
 }
 
-fn bench_extraction(c: &mut Criterion) {
+fn bench_extraction() {
     let (uri, xml) = corpus_doc(32 * 1024);
+    let len = xml.len() as u64;
     let doc = Document::parse_str(uri, &xml).unwrap();
-    let mut g = c.benchmark_group("index-extract");
-    g.throughput(Throughput::Bytes(xml.len() as u64));
     for s in Strategy::ALL {
-        g.bench_function(s.name(), |b| {
-            b.iter(|| extract(black_box(&doc), s, ExtractOptions::default()))
+        bench("index-extract", s.name(), Some(len), || {
+            black_box(extract(black_box(&doc), s, ExtractOptions::default()));
         });
     }
-    g.finish();
 }
 
-fn bench_id_codec(c: &mut Criterion) {
-    let ids: Vec<StructuralId> =
-        (1..=10_000).map(|i| StructuralId::new(i * 3, i * 2, (i % 12) + 1)).collect();
+fn bench_id_codec() {
+    let ids: Vec<StructuralId> = (1..=10_000)
+        .map(|i| StructuralId::new(i * 3, i * 2, (i % 12) + 1))
+        .collect();
     let encoded = amada_index::codec::encode_ids(&ids);
-    let mut g = c.benchmark_group("id-codec");
-    g.throughput(Throughput::Elements(ids.len() as u64));
-    g.bench_function("encode", |b| b.iter(|| amada_index::codec::encode_ids(black_box(&ids))));
-    g.bench_function("decode", |b| {
-        b.iter(|| amada_index::codec::decode_ids(black_box(&encoded)).unwrap())
+    bench("id-codec", "encode-10k", None, || {
+        black_box(amada_index::codec::encode_ids(black_box(&ids)));
     });
-    g.finish();
+    bench("id-codec", "decode-10k", None, || {
+        black_box(amada_index::codec::decode_ids(black_box(&encoded)).unwrap());
+    });
 }
 
-fn bench_kv_store(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dynamodb-host-ops");
-    g.bench_function("batch_put-25", |b| {
+fn bench_kv_store() {
+    {
         let mut db = DynamoDb::default();
         db.ensure_table("t");
         let mut i = 0u64;
-        b.iter(|| {
+        bench("dynamodb-host-ops", "batch_put-25", None, || {
             let items: Vec<amada_cloud::KvItem> = (0..25)
                 .map(|k| amada_cloud::KvItem {
                     hash_key: format!("key{}", k % 7),
@@ -97,10 +151,10 @@ fn bench_kv_store(c: &mut Criterion) {
                 })
                 .collect();
             i += 1;
-            db.batch_put(SimTime::ZERO, "t", items).unwrap()
-        })
-    });
-    g.bench_function("get-hot-key", |b| {
+            black_box(db.batch_put(SimTime::ZERO, "t", items).unwrap());
+        });
+    }
+    {
         let mut db = DynamoDb::default();
         db.ensure_table("t");
         for i in 0..200 {
@@ -110,19 +164,32 @@ fn bench_kv_store(c: &mut Criterion) {
                 vec![amada_cloud::KvItem {
                     hash_key: "ename".into(),
                     range_key: format!("r{i}"),
-                    attrs: vec![(format!("doc{i}.xml"), vec![amada_cloud::KvValue::S(String::new())])],
+                    attrs: vec![(
+                        format!("doc{i}.xml"),
+                        vec![amada_cloud::KvValue::S(String::new())],
+                    )],
                 }],
             )
             .unwrap();
         }
-        b.iter(|| db.get(SimTime::ZERO, "t", black_box("ename")).unwrap().0.len())
-    });
-    g.finish();
+        bench("dynamodb-host-ops", "get-hot-key", None, || {
+            black_box(
+                db.get(SimTime::ZERO, "t", black_box("ename"))
+                    .unwrap()
+                    .0
+                    .len(),
+            );
+        });
+    }
 }
 
-fn bench_lookup(c: &mut Criterion) {
+fn bench_lookup() {
     // A 50-document indexed corpus per strategy; measure look-up host time.
-    let cfg = CorpusConfig { num_documents: 50, target_doc_bytes: 4096, ..Default::default() };
+    let cfg = CorpusConfig {
+        num_documents: 50,
+        target_doc_bytes: 4096,
+        ..Default::default()
+    };
     let docs: Vec<Document> = (0..cfg.num_documents)
         .map(|i| {
             let d = generate_document(&cfg, i);
@@ -131,12 +198,11 @@ fn bench_lookup(c: &mut Criterion) {
         .collect();
     let pattern =
         parse_pattern("//item[/name{contains(gold)}, //mailbox[/mail[/from{val}]]]").unwrap();
-    let mut g = c.benchmark_group("index-lookup");
     for s in Strategy::ALL {
         let mut store: Box<dyn KvStore> = Box::new(DynamoDb::default());
         amada_index::index_documents(store.as_mut(), &docs, s, ExtractOptions::default());
-        g.bench_function(s.name(), |b| {
-            b.iter(|| {
+        bench("index-lookup", s.name(), None, || {
+            black_box(
                 lookup_pattern(
                     store.as_mut(),
                     SimTime::ZERO,
@@ -146,20 +212,18 @@ fn bench_lookup(c: &mut Criterion) {
                 )
                 .unwrap()
                 .uris
-                .len()
-            })
+                .len(),
+            );
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_parser,
-    bench_twig_join,
-    bench_extraction,
-    bench_id_codec,
-    bench_kv_store,
-    bench_lookup
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<18} {:<24} {:>17}", "group", "benchmark", "mean");
+    bench_parser();
+    bench_twig_join();
+    bench_extraction();
+    bench_id_codec();
+    bench_kv_store();
+    bench_lookup();
+}

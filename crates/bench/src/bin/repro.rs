@@ -18,10 +18,24 @@
 //!   table8   query comparison: SimpleDB [8] vs. DynamoDB
 //!   all      everything above, in order
 //! ```
+//!
+//! Artifacts that share an expensive suite (e.g. `table4`/`fig8`/`table6`
+//! all need the indexing suite) run sequentially within one host task so
+//! the suite is built once; *independent* suites run concurrently, one
+//! host thread each. Output order is always the selection order, and the
+//! bodies are byte-identical to a sequential run — host threading never
+//! touches virtual time. `AMADA_THREADS=1` forces a fully sequential run.
+//!
+//! Each invocation also writes `BENCH_repro.json` to the working
+//! directory: wall-clock seconds per artifact, thread count, and the
+//! process-wide extraction-cache hit rate.
 
 use amada_bench::experiments as exp;
 use amada_bench::Scale;
 use std::time::Instant;
+
+/// `(name, body, wall seconds)` for one computed artifact.
+type Computed = (String, String, f64);
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,8 +74,8 @@ fn main() {
     );
 
     let known: &[&str] = &[
-        "table4", "fig7", "fig8", "table5", "fig9", "fig10", "table6", "fig11", "fig12",
-        "fig13", "table7", "table8", "ablation",
+        "table4", "fig7", "fig8", "table5", "fig9", "fig10", "table6", "fig11", "fig12", "fig13",
+        "table7", "table8", "ablation",
     ];
     let selected: Vec<&str> = if artifacts == ["all"] {
         known.to_vec()
@@ -74,43 +88,166 @@ fn main() {
         artifacts
     };
 
-    // Expensive suites are shared across artifacts that need them.
-    let mut indexing: Option<exp::IndexingSuite> = None;
-    let mut querying: Option<exp::QuerySuite> = None;
-    let mut comparing: Option<exp::ComparisonSuite> = None;
-    for artifact in selected {
-        let start = Instant::now();
-        let body = match artifact {
-            "table4" => exp::table4(indexing.get_or_insert_with(|| exp::indexing_suite(&scale)))
-                .to_string(),
-            "fig7" => exp::fig7(&scale).to_string(),
-            "fig8" => exp::fig8(indexing.get_or_insert_with(|| exp::indexing_suite(&scale)))
-                .to_string(),
-            "table5" => exp::table5(querying.get_or_insert_with(|| exp::query_suite(&scale)))
-                .to_string(),
-            "fig9" => exp::fig9(querying.get_or_insert_with(|| exp::query_suite(&scale))),
-            "fig10" => exp::fig10(&scale).to_string(),
-            "table6" => exp::table6(indexing.get_or_insert_with(|| exp::indexing_suite(&scale)))
-                .to_string(),
-            "fig11" => exp::fig11(querying.get_or_insert_with(|| exp::query_suite(&scale)))
-                .to_string(),
-            "fig12" => exp::fig12(querying.get_or_insert_with(|| exp::query_suite(&scale)))
-                .to_string(),
-            "fig13" => exp::fig13(&scale).to_string(),
-            "table7" => exp::table7(
-                comparing.get_or_insert_with(|| exp::comparison_suite(&scale)),
-            )
-            .to_string(),
-            "table8" => exp::table8(
-                comparing.get_or_insert_with(|| exp::comparison_suite(&scale)),
-            )
-            .to_string(),
-            "ablation" => exp::ablation(&scale).to_string(),
-            _ => unreachable!("validated above"),
-        };
-        println!("\n== {} ==\n{body}", title(artifact));
-        eprintln!("# {artifact} computed in {:.1}s wall time", start.elapsed().as_secs_f64());
+    let total = Instant::now();
+    let computed = compute(&scale, &selected);
+    let total_wall = total.elapsed().as_secs_f64();
+
+    // Print in selection order, exactly as a sequential run would.
+    for (name, body, wall) in &computed {
+        println!("\n== {} ==\n{body}", title(name));
+        eprintln!("# {name} computed in {wall:.1}s wall time");
     }
+
+    let threads = amada_par::num_threads();
+    eprintln!("# total {total_wall:.1}s wall time on {threads} host thread(s)");
+    match write_report(&computed, total_wall, threads, &scale) {
+        Ok(path) => eprintln!("# wrote {path}"),
+        Err(e) => eprintln!("# warning: could not write BENCH_repro.json: {e}"),
+    }
+}
+
+/// Runs every selected artifact, sharing expensive suites within a group
+/// and running independent groups concurrently. Results come back in
+/// selection order.
+fn compute(scale: &Scale, selected: &[&str]) -> Vec<Computed> {
+    // Which suite an artifact needs; artifacts with the same suite are
+    // grouped onto one task so the suite is built once. `None` means the
+    // artifact is self-contained and gets its own task.
+    fn suite_of(artifact: &str) -> Option<&'static str> {
+        match artifact {
+            "table4" | "fig8" | "table6" => Some("indexing"),
+            "table5" | "fig9" | "fig11" | "fig12" => Some("querying"),
+            "table7" | "table8" => Some("comparison"),
+            _ => None,
+        }
+    }
+
+    let mut groups: Vec<(Option<&'static str>, Vec<&str>)> = Vec::new();
+    for &a in selected {
+        let key = suite_of(a);
+        match groups.iter_mut().find(|(k, _)| k.is_some() && *k == key) {
+            Some((_, members)) => members.push(a),
+            None => groups.push((key, vec![a])),
+        }
+    }
+
+    let tasks: Vec<Box<dyn FnOnce() -> Vec<Computed> + Send + '_>> = groups
+        .into_iter()
+        .map(|(_, members)| {
+            let f: Box<dyn FnOnce() -> Vec<Computed> + Send + '_> = Box::new(move || {
+                // Suites are built lazily by the first member that needs
+                // them (its wall time includes the build, as in a
+                // sequential run) and reused by the rest of the group.
+                let mut indexing: Option<exp::IndexingSuite> = None;
+                let mut querying: Option<exp::QuerySuite> = None;
+                let mut comparing: Option<exp::ComparisonSuite> = None;
+                members
+                    .into_iter()
+                    .map(|artifact| {
+                        let start = Instant::now();
+                        let body = match artifact {
+                            "table4" => exp::table4(
+                                indexing.get_or_insert_with(|| exp::indexing_suite(scale)),
+                            )
+                            .to_string(),
+                            "fig7" => exp::fig7(scale).to_string(),
+                            "fig8" => exp::fig8(
+                                indexing.get_or_insert_with(|| exp::indexing_suite(scale)),
+                            )
+                            .to_string(),
+                            "table5" => {
+                                exp::table5(querying.get_or_insert_with(|| exp::query_suite(scale)))
+                                    .to_string()
+                            }
+                            "fig9" => {
+                                exp::fig9(querying.get_or_insert_with(|| exp::query_suite(scale)))
+                            }
+                            "fig10" => exp::fig10(scale).to_string(),
+                            "table6" => exp::table6(
+                                indexing.get_or_insert_with(|| exp::indexing_suite(scale)),
+                            )
+                            .to_string(),
+                            "fig11" => {
+                                exp::fig11(querying.get_or_insert_with(|| exp::query_suite(scale)))
+                                    .to_string()
+                            }
+                            "fig12" => {
+                                exp::fig12(querying.get_or_insert_with(|| exp::query_suite(scale)))
+                                    .to_string()
+                            }
+                            "fig13" => exp::fig13(scale).to_string(),
+                            "table7" => exp::table7(
+                                comparing.get_or_insert_with(|| exp::comparison_suite(scale)),
+                            )
+                            .to_string(),
+                            "table8" => exp::table8(
+                                comparing.get_or_insert_with(|| exp::comparison_suite(scale)),
+                            )
+                            .to_string(),
+                            "ablation" => exp::ablation(scale).to_string(),
+                            _ => unreachable!("validated in main"),
+                        };
+                        (artifact.to_string(), body, start.elapsed().as_secs_f64())
+                    })
+                    .collect()
+            });
+            f
+        })
+        .collect();
+
+    // par_run caps workers at `num_threads()`, so AMADA_THREADS=1 makes
+    // this a plain sequential loop.
+    let per_group: Vec<Vec<Computed>> = amada_par::par_run(tasks);
+
+    // Flatten back to selection order.
+    let mut by_name: std::collections::HashMap<String, Computed> = per_group
+        .into_iter()
+        .flatten()
+        .map(|c| (c.0.clone(), c))
+        .collect();
+    selected
+        .iter()
+        .map(|&a| by_name.remove(a).expect("every artifact computed"))
+        .collect()
+}
+
+/// Writes `BENCH_repro.json` (hand-rolled JSON; the build environment has
+/// no serde). Returns the path written.
+fn write_report(
+    computed: &[Computed],
+    total_wall: f64,
+    threads: usize,
+    scale: &Scale,
+) -> std::io::Result<&'static str> {
+    let stats = amada_index::cache::global_stats();
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"amada-bench-repro/1\",\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"scale\": {{ \"docs\": {}, \"doc_bytes\": {}, \"workload_repeats\": {} }},\n",
+        scale.docs, scale.doc_bytes, scale.workload_repeats
+    ));
+    json.push_str("  \"artifacts\": [\n");
+    for (i, (name, _, wall)) in computed.iter().enumerate() {
+        let comma = if i + 1 < computed.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"wall_seconds\": {wall:.6} }}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
+    let hit_rate = match stats.hit_rate() {
+        Some(r) => format!("{r:.6}"),
+        None => "null".to_string(),
+    };
+    json.push_str(&format!(
+        "  \"cache\": {{ \"parse_hits\": {}, \"parse_misses\": {}, \"extract_hits\": {}, \
+         \"extract_misses\": {}, \"hit_rate\": {} }}\n",
+        stats.parse_hits, stats.parse_misses, stats.extract_hits, stats.extract_misses, hit_rate
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_repro.json", json)?;
+    Ok("BENCH_repro.json")
 }
 
 fn title(artifact: &str) -> &'static str {

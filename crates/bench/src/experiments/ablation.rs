@@ -44,11 +44,17 @@ pub fn ablation_rows(scale: &Scale) -> Vec<AblationRow> {
         ("LUI (binary + batched)", KvTuning::NONE),
         (
             "LUI, string-encoded IDs",
-            KvTuning { force_string_values: true, disable_batching: false },
+            KvTuning {
+                force_string_values: true,
+                disable_batching: false,
+            },
         ),
         (
             "LUI, unbatched writes",
-            KvTuning { force_string_values: false, disable_batching: true },
+            KvTuning {
+                force_string_values: false,
+                disable_batching: true,
+            },
         ),
     ];
     let mut rows = Vec::new();

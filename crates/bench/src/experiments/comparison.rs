@@ -32,37 +32,58 @@ pub struct ComparisonSuite {
     pub corpus_mb: f64,
 }
 
-/// Runs both backends across all strategies.
+/// Runs both backends across all strategies — eight independent
+/// warehouses, run concurrently across host threads (each owns its own
+/// simulated cloud and virtual clock).
 pub fn comparison_suite(scale: &Scale) -> ComparisonSuite {
     let docs = corpus(scale);
     let corpus_bytes: u64 = docs.iter().map(|(_, x)| x.len() as u64).sum();
     let corpus_mb = corpus_bytes as f64 / (1024.0 * 1024.0);
     let queries = crate::workload();
-    let mut rows = HashMap::new();
-    for (label, backend) in [
+    let units: Vec<(&'static str, KvBackend, Strategy)> = [
         ("SimpleDB [8]", KvBackend::Simple(SimpleDbConfig::default())),
-        ("DynamoDB (this work)", KvBackend::Dynamo(Default::default())),
-    ] {
-        for strategy in Strategy::ALL {
-            let mut cfg = WarehouseConfig::with_strategy(strategy);
-            cfg.backend = backend.clone();
-            cfg.query_pool = Pool::new(1, InstanceType::Large);
-            let (mut w, build) = build_warehouse(cfg, &docs);
-            let run = w.run_workload(&queries, 1);
-            let storage = w.storage_cost().index_store;
-            rows.insert(
-                (label, strategy),
-                BackendRow {
-                    index_ms_per_mb: build.total_time.as_secs_f64() * 1000.0 / corpus_mb,
-                    index_cost_per_mb: build.cost.total().dollars() / corpus_mb,
-                    storage_per_gb_month: storage.dollars()
-                        / (corpus_bytes as f64 / 1_000_000_000.0),
-                    query_ms_per_mb: run.total_time.as_secs_f64() * 1000.0 / corpus_mb,
-                    query_cost_per_mb: run.cost.total().dollars() / corpus_mb,
-                },
-            );
-        }
-    }
+        (
+            "DynamoDB (this work)",
+            KvBackend::Dynamo(Default::default()),
+        ),
+    ]
+    .into_iter()
+    .flat_map(|(label, backend)| {
+        Strategy::ALL
+            .iter()
+            .map(move |&s| (label, backend.clone(), s))
+    })
+    .collect();
+    let rows: HashMap<(&'static str, Strategy), BackendRow> = amada_par::par_run(
+        units
+            .into_iter()
+            .map(|(label, backend, strategy)| {
+                let docs = &docs;
+                let queries = &queries;
+                move || {
+                    let mut cfg = WarehouseConfig::with_strategy(strategy);
+                    cfg.backend = backend;
+                    cfg.query_pool = Pool::new(1, InstanceType::Large);
+                    let (mut w, build) = build_warehouse(cfg, docs);
+                    let run = w.run_workload(queries, 1);
+                    let storage = w.storage_cost().index_store;
+                    (
+                        (label, strategy),
+                        BackendRow {
+                            index_ms_per_mb: build.total_time.as_secs_f64() * 1000.0 / corpus_mb,
+                            index_cost_per_mb: build.cost.total().dollars() / corpus_mb,
+                            storage_per_gb_month: storage.dollars()
+                                / (corpus_bytes as f64 / 1_000_000_000.0),
+                            query_ms_per_mb: run.total_time.as_secs_f64() * 1000.0 / corpus_mb,
+                            query_cost_per_mb: run.cost.total().dollars() / corpus_mb,
+                        },
+                    )
+                }
+            })
+            .collect(),
+    )
+    .into_iter()
+    .collect();
     ComparisonSuite { rows, corpus_mb }
 }
 

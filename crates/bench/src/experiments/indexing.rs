@@ -18,17 +18,37 @@ pub struct IndexingSuite {
 }
 
 /// Builds the index once per strategy (and once more without keywords).
+/// The eight builds are independent warehouses (each owns its own
+/// simulated cloud and virtual clock), so they run concurrently across
+/// host threads; reports come back in deterministic strategy order.
 pub fn indexing_suite(scale: &Scale) -> IndexingSuite {
     let docs = corpus(scale);
-    let full_text = Strategy::ALL
+    let units: Vec<(Strategy, bool)> = Strategy::ALL
         .iter()
-        .map(|&s| (s, strategy_warehouse(s, &docs).1))
+        .map(|&s| (s, true))
+        .chain(Strategy::ALL.iter().map(|&s| (s, false)))
         .collect();
-    let no_words = Strategy::ALL
-        .iter()
-        .map(|&s| (s, strategy_warehouse_no_words(s, &docs).1))
-        .collect();
-    IndexingSuite { scale: scale.clone(), full_text, no_words }
+    let mut reports = amada_par::par_run(
+        units
+            .iter()
+            .map(|&(s, full)| {
+                let docs = &docs;
+                move || {
+                    if full {
+                        (s, strategy_warehouse(s, docs).1)
+                    } else {
+                        (s, strategy_warehouse_no_words(s, docs).1)
+                    }
+                }
+            })
+            .collect(),
+    );
+    let no_words = reports.split_off(Strategy::ALL.len());
+    IndexingSuite {
+        scale: scale.clone(),
+        full_text: reports,
+        no_words,
+    }
 }
 
 /// Paper Table 4: per-strategy average extraction time, average uploading
@@ -55,15 +75,29 @@ pub fn table4(suite: &IndexingSuite) -> TextTable {
 /// the paper's linear-scaling result.
 pub fn fig7(scale: &Scale) -> TextTable {
     let docs = corpus(scale);
+    // 4 quarters × 4 strategies: 16 independent warehouses, run
+    // concurrently; the table is assembled in deterministic order after.
+    let units: Vec<(usize, Strategy)> = (1..=4)
+        .flat_map(|quarter| Strategy::ALL.iter().map(move |&s| (quarter, s)))
+        .collect();
+    let times = amada_par::par_run(
+        units
+            .iter()
+            .map(|&(quarter, s)| {
+                let prefix = &docs[..docs.len() * quarter / 4];
+                move || strategy_warehouse(s, prefix).1.total_time
+            })
+            .collect(),
+    );
     let mut t = TextTable::new(["Documents size (MB)", "LU", "LUP", "LUI", "2LUPI"]);
     for quarter in 1..=4 {
         let n = docs.len() * quarter / 4;
-        let prefix = &docs[..n];
-        let bytes: u64 = prefix.iter().map(|(_, x)| x.len() as u64).sum();
+        let bytes: u64 = docs[..n].iter().map(|(_, x)| x.len() as u64).sum();
         let mut cells = vec![mb(bytes)];
-        for s in Strategy::ALL {
-            let (_, r) = strategy_warehouse(s, prefix);
-            cells.push(format!("{:.1}s", r.total_time.as_secs_f64()));
+        for (i, _) in units.iter().enumerate() {
+            if units[i].0 == quarter {
+                cells.push(format!("{:.1}s", times[i].as_secs_f64()));
+            }
         }
         t.row(cells);
     }
@@ -80,9 +114,10 @@ pub fn fig8(suite: &IndexingSuite) -> TextTable {
         "Store overhead (MB)",
         "Storage cost ($/month)",
     ]);
-    for (label, reports) in
-        [("full-text", &suite.full_text), ("no keywords", &suite.no_words)]
-    {
+    for (label, reports) in [
+        ("full-text", &suite.full_text),
+        ("no keywords", &suite.no_words),
+    ] {
         for (s, r) in reports.iter() {
             t.row([
                 format!("{label} {}", s.name()),
@@ -99,13 +134,7 @@ pub fn fig8(suite: &IndexingSuite) -> TextTable {
 /// Paper Table 6: indexing monetary cost per strategy, decomposed across
 /// services (DynamoDB / EC2 / S3 + SQS / total).
 pub fn table6(suite: &IndexingSuite) -> TextTable {
-    let mut t = TextTable::new([
-        "Indexing strategy",
-        "DynamoDB",
-        "EC2",
-        "S3 + SQS",
-        "Total",
-    ]);
+    let mut t = TextTable::new(["Indexing strategy", "DynamoDB", "EC2", "S3 + SQS", "Total"]);
     for (s, r) in &suite.full_text {
         let c = &r.cost;
         t.row([
@@ -130,8 +159,14 @@ mod tests {
     #[test]
     fn table4_shape_lu_fastest_2lupi_slowest() {
         let s = suite();
-        let time =
-            |st: Strategy| s.full_text.iter().find(|(x, _)| *x == st).unwrap().1.total_time;
+        let time = |st: Strategy| {
+            s.full_text
+                .iter()
+                .find(|(x, _)| *x == st)
+                .unwrap()
+                .1
+                .total_time
+        };
         assert!(time(Strategy::Lu) < time(Strategy::Lup), "LU < LUP");
         assert!(time(Strategy::Lu) < time(Strategy::Lui), "LU < LUI");
         assert!(time(Strategy::Lup) < time(Strategy::TwoLupi), "LUP < 2LUPI");
@@ -143,7 +178,12 @@ mod tests {
     fn fig8_shape_index_size_order_and_fulltext_blowup() {
         let s = suite();
         let size = |reports: &[(Strategy, amada_core::IndexBuildReport)], st: Strategy| {
-            reports.iter().find(|(x, _)| *x == st).unwrap().1.index_raw_bytes
+            reports
+                .iter()
+                .find(|(x, _)| *x == st)
+                .unwrap()
+                .1
+                .index_raw_bytes
         };
         // LU < LUI < LUP < 2LUPI in index content (paper Figure 8: LUP and
         // 2LUPI are the larger indexes; LUI is smaller than LUP because
@@ -160,9 +200,7 @@ mod tests {
     #[test]
     fn table6_shape_kv_dominates_and_orders_match_paper() {
         let s = suite();
-        let cost = |st: Strategy| {
-            s.full_text.iter().find(|(x, _)| *x == st).unwrap().1.cost
-        };
+        let cost = |st: Strategy| s.full_text.iter().find(|(x, _)| *x == st).unwrap().1.cost;
         // Cheapest LU, costliest 2LUPI (paper Table 6).
         assert!(cost(Strategy::Lu).total() < cost(Strategy::Lup).total());
         assert!(cost(Strategy::Lup).total() < cost(Strategy::TwoLupi).total());

@@ -25,38 +25,67 @@ pub struct QuerySuite {
 const ITYPES: [InstanceType; 2] = [InstanceType::Large, InstanceType::ExtraLarge];
 
 /// Runs the whole query matrix (the expensive part; every figure below
-/// just renders a slice of it).
+/// just renders a slice of it). One independent warehouse per strategy —
+/// each owns its own simulated cloud and virtual clock — so the four run
+/// concurrently across host threads; the per-query runs within a
+/// warehouse stay sequential (they share its virtual timeline).
 pub fn query_suite(scale: &Scale) -> QuerySuite {
     let docs = corpus(scale);
     let queries = crate::workload();
+    type Indexed = Vec<((String, Strategy, &'static str), CostedQuery)>;
+    type Baseline = Vec<((String, &'static str), CostedQuery)>;
+    let per_strategy: Vec<(Indexed, Baseline)> = amada_par::par_run(
+        Strategy::ALL
+            .iter()
+            .map(|&strategy| {
+                let docs = &docs;
+                let queries = &queries;
+                move || {
+                    let mut indexed = Vec::new();
+                    let mut no_index = Vec::new();
+                    let (mut w, _) = strategy_warehouse(strategy, docs);
+                    for itype in ITYPES {
+                        w.set_query_pool(Pool::new(1, itype));
+                        for q in queries {
+                            let name = q.name.clone().expect("workload queries are named");
+                            let run = w.run_query(q);
+                            indexed.push(((name, strategy, itype.label()), run));
+                        }
+                        // The no-index baseline is strategy-independent; run
+                        // it once, piggybacking on the LU warehouse (the
+                        // index is not touched).
+                        if strategy == Strategy::Lu {
+                            for q in queries {
+                                let name = q.name.clone().expect("workload queries are named");
+                                let run = w.run_query_no_index(q);
+                                no_index.push(((name, itype.label()), run));
+                            }
+                        }
+                    }
+                    (indexed, no_index)
+                }
+            })
+            .collect(),
+    );
     let mut no_index = HashMap::new();
     let mut indexed = HashMap::new();
-    for strategy in Strategy::ALL {
-        let (mut w, _) = strategy_warehouse(strategy, &docs);
-        for itype in ITYPES {
-            w.set_query_pool(Pool::new(1, itype));
-            for q in &queries {
-                let name = q.name.clone().expect("workload queries are named");
-                let run = w.run_query(q);
-                indexed.insert((name, strategy, itype.label()), run);
-            }
-            // The no-index baseline is strategy-independent; run it once,
-            // piggybacking on the LU warehouse (the index is not touched).
-            if strategy == Strategy::Lu {
-                for q in &queries {
-                    let name = q.name.clone().expect("workload queries are named");
-                    let run = w.run_query_no_index(q);
-                    no_index.insert((name, itype.label()), run);
-                }
-            }
-        }
+    for (idx, base) in per_strategy {
+        indexed.extend(idx);
+        no_index.extend(base);
     }
-    QuerySuite { scale: scale.clone(), queries, no_index, indexed }
+    QuerySuite {
+        scale: scale.clone(),
+        queries,
+        no_index,
+        indexed,
+    }
 }
 
 impl QuerySuite {
     fn names(&self) -> impl Iterator<Item = &str> {
-        self.queries.iter().map(|q| q.name.as_deref().expect("named"))
+        self.queries
+            .iter()
+            .map(|q| q.name.as_deref().expect("named"))
     }
 
     /// The indexed run for `(query, strategy, itype)`.
@@ -87,10 +116,26 @@ pub fn table5(suite: &QuerySuite) -> TextTable {
         let base = suite.baseline(name, "l");
         let cells = vec![
             name.to_string(),
-            suite.run(name, Strategy::Lu, "l").exec.docs_from_index.to_string(),
-            suite.run(name, Strategy::Lup, "l").exec.docs_from_index.to_string(),
-            suite.run(name, Strategy::Lui, "l").exec.docs_from_index.to_string(),
-            suite.run(name, Strategy::TwoLupi, "l").exec.docs_from_index.to_string(),
+            suite
+                .run(name, Strategy::Lu, "l")
+                .exec
+                .docs_from_index
+                .to_string(),
+            suite
+                .run(name, Strategy::Lup, "l")
+                .exec
+                .docs_from_index
+                .to_string(),
+            suite
+                .run(name, Strategy::Lui, "l")
+                .exec
+                .docs_from_index
+                .to_string(),
+            suite
+                .run(name, Strategy::TwoLupi, "l")
+                .exec
+                .docs_from_index
+                .to_string(),
             base.exec.docs_with_results.to_string(),
             format!("{:.2}", base.exec.result_bytes as f64 / 1024.0),
         ];
@@ -104,22 +149,20 @@ pub fn table5(suite: &QuerySuite) -> TextTable {
 /// (look-up get / plan execution / transfer + evaluation).
 pub fn fig9(suite: &QuerySuite) -> String {
     let mut out = String::new();
-    let mut a = TextTable::new([
-        "Query",
-        "Instance",
-        "No index",
-        "LU",
-        "LUP",
-        "LUI",
-        "2LUPI",
-    ]);
+    let mut a = TextTable::new(["Query", "Instance", "No index", "LU", "LUP", "LUI", "2LUPI"]);
     for name in suite.names() {
         for itype in ITYPES {
             let l = itype.label();
             let mut cells = vec![name.to_string(), l.to_uppercase()];
-            cells.push(format!("{:.3}s", suite.baseline(name, l).exec.response_time.as_secs_f64()));
+            cells.push(format!(
+                "{:.3}s",
+                suite.baseline(name, l).exec.response_time.as_secs_f64()
+            ));
             for s in Strategy::ALL {
-                cells.push(format!("{:.3}s", suite.run(name, s, l).exec.response_time.as_secs_f64()));
+                cells.push(format!(
+                    "{:.3}s",
+                    suite.run(name, s, l).exec.response_time.as_secs_f64()
+                ));
             }
             a.row(cells);
         }
@@ -160,22 +203,20 @@ pub fn fig9(suite: &QuerySuite) -> String {
 /// Paper Figure 11: monetary cost per query, no-index and per strategy,
 /// on large and extra-large instances.
 pub fn fig11(suite: &QuerySuite) -> TextTable {
-    let mut t = TextTable::new([
-        "Query",
-        "Instance",
-        "No index",
-        "LU",
-        "LUP",
-        "LUI",
-        "2LUPI",
-    ]);
+    let mut t = TextTable::new(["Query", "Instance", "No index", "LU", "LUP", "LUI", "2LUPI"]);
     for name in suite.names() {
         for itype in ITYPES {
             let l = itype.label();
             let mut cells = vec![name.to_string(), l.to_uppercase()];
-            cells.push(format!("${:.6}", suite.baseline(name, l).cost.total().dollars()));
+            cells.push(format!(
+                "${:.6}",
+                suite.baseline(name, l).cost.total().dollars()
+            ));
             for s in Strategy::ALL {
-                cells.push(format!("${:.6}", suite.run(name, s, l).cost.total().dollars()));
+                cells.push(format!(
+                    "${:.6}",
+                    suite.run(name, s, l).cost.total().dollars()
+                ));
             }
             t.row(cells);
         }

@@ -36,12 +36,17 @@ pub fn scaling_grid(scale: &Scale) -> ScalingGrid {
                 let report = w.run_workload(&queries, scale.workload_repeats);
                 cells.insert(
                     (strategy, itype.label(), count),
-                    ScalingCell { total_time: report.total_time },
+                    ScalingCell {
+                        total_time: report.total_time,
+                    },
                 );
             }
         }
     }
-    ScalingGrid { cells, repeats: scale.workload_repeats }
+    ScalingGrid {
+        cells,
+        repeats: scale.workload_repeats,
+    }
 }
 
 /// Paper Figure 10: workload time on 1 vs. 8 instances.

@@ -2,7 +2,8 @@
 //!
 //! The reproduction harness: one module per table / figure of the paper's
 //! evaluation (Section 8), regenerating the same rows and series over the
-//! simulated cloud, plus criterion microbenchmarks of the hot kernels.
+//! simulated cloud, plus self-timed microbenchmarks of the hot kernels
+//! (`cargo bench -p amada-bench`).
 //!
 //! Run everything with
 //!

@@ -20,12 +20,22 @@ impl Scale {
     /// regime where index payloads, not per-item constants, drive the
     /// strategy differences, as at the paper's 2 MB documents).
     pub fn default_scale() -> Scale {
-        Scale { docs: 2000, doc_bytes: 8192, seed: 0xA3ADA, workload_repeats: 16 }
+        Scale {
+            docs: 2000,
+            doc_bytes: 8192,
+            seed: 0xA3ADA,
+            workload_repeats: 16,
+        }
     }
 
     /// A tiny scale for unit/integration tests (seconds of wall time).
     pub fn tiny() -> Scale {
-        Scale { docs: 60, doc_bytes: 1536, seed: 0xA3ADA, workload_repeats: 2 }
+        Scale {
+            docs: 60,
+            doc_bytes: 1536,
+            seed: 0xA3ADA,
+            workload_repeats: 2,
+        }
     }
 
     /// Multiplies the document count by `factor`.

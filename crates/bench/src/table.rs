@@ -13,7 +13,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> TextTable {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; must match the header arity.

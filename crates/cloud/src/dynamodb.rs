@@ -20,9 +20,9 @@
 //!   more.
 
 use crate::clock::{SimDuration, SimTime};
-use crate::kv::{KvError, KvItem, KvProfile, KvStats, KvStore};
 #[cfg(test)]
 use crate::kv::KvValue;
+use crate::kv::{KvError, KvItem, KvProfile, KvStats, KvStore};
 use crate::service::ServiceQueue;
 use std::collections::{BTreeMap, HashMap};
 
@@ -122,13 +122,18 @@ impl DynamoDb {
         }
         let size = item.byte_size();
         if size > MAX_ITEM_BYTES {
-            return Err(KvError::ItemTooLarge { limit: MAX_ITEM_BYTES, got: size });
+            return Err(KvError::ItemTooLarge {
+                limit: MAX_ITEM_BYTES,
+                got: size,
+            });
         }
         Ok(())
     }
 
     fn table_mut(&mut self, table: &str) -> Result<&mut Table, KvError> {
-        self.tables.get_mut(table).ok_or_else(|| KvError::NoSuchTable(table.to_string()))
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| KvError::NoSuchTable(table.to_string()))
     }
 }
 
@@ -162,7 +167,10 @@ impl KvStore for DynamoDb {
         items: Vec<KvItem>,
     ) -> Result<SimTime, KvError> {
         if items.len() > BATCH_PUT_LIMIT {
-            return Err(KvError::BatchTooLarge { limit: BATCH_PUT_LIMIT, got: items.len() });
+            return Err(KvError::BatchTooLarge {
+                limit: BATCH_PUT_LIMIT,
+                got: items.len(),
+            });
         }
         let mut units = 0.0;
         for item in &items {
@@ -205,8 +213,10 @@ impl KvStore for DynamoDb {
             .tables
             .get(table)
             .ok_or_else(|| KvError::NoSuchTable(table.to_string()))?;
-        let items: Vec<KvItem> =
-            t.get(hash_key).map(|rows| rows.values().cloned().collect()).unwrap_or_default();
+        let items: Vec<KvItem> = t
+            .get(hash_key)
+            .map(|rows| rows.values().cloned().collect())
+            .unwrap_or_default();
         let bytes: usize = items.iter().map(KvItem::byte_size).sum();
         let units = Self::read_units(bytes);
         self.stats.get_ops += units.ceil() as u64;
@@ -223,7 +233,10 @@ impl KvStore for DynamoDb {
         hash_keys: &[String],
     ) -> Result<(Vec<KvItem>, SimTime), KvError> {
         if hash_keys.len() > BATCH_GET_LIMIT {
-            return Err(KvError::BatchTooLarge { limit: BATCH_GET_LIMIT, got: hash_keys.len() });
+            return Err(KvError::BatchTooLarge {
+                limit: BATCH_GET_LIMIT,
+                got: hash_keys.len(),
+            });
         }
         let t = self
             .tables
@@ -286,10 +299,18 @@ mod tests {
     fn same_primary_key_replaces() {
         let mut db = DynamoDb::default();
         db.ensure_table("t");
-        db.batch_put(SimTime::ZERO, "t", vec![item("k", "r", "a", KvValue::S("1".into()))])
-            .unwrap();
-        db.batch_put(SimTime::ZERO, "t", vec![item("k", "r", "b", KvValue::S("22".into()))])
-            .unwrap();
+        db.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![item("k", "r", "a", KvValue::S("1".into()))],
+        )
+        .unwrap();
+        db.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![item("k", "r", "b", KvValue::S("22".into()))],
+        )
+        .unwrap();
         let (items, _) = db.get(SimTime::ZERO, "t", "k").unwrap();
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].attrs[0].0, "b");
@@ -303,8 +324,12 @@ mod tests {
     fn binary_values_are_supported() {
         let mut db = DynamoDb::default();
         db.ensure_table("t");
-        db.batch_put(SimTime::ZERO, "t", vec![item("k", "r", "doc", KvValue::B(vec![1, 2, 3]))])
-            .unwrap();
+        db.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![item("k", "r", "doc", KvValue::B(vec![1, 2, 3]))],
+        )
+        .unwrap();
         let (items, _) = db.get(SimTime::ZERO, "t", "k").unwrap();
         assert!(items[0].attrs[0].1[0].is_binary());
     }
@@ -421,6 +446,10 @@ mod tests {
         assert_eq!(items.len(), 5);
         assert_eq!(db.stats().api_requests, before + 1);
         // Five near-empty keys bill ≈ 5 × 0.25 read units, rounded up.
-        assert!(db.stats().get_ops >= 2 && db.stats().get_ops <= 4, "{}", db.stats().get_ops);
+        assert!(
+            db.stats().get_ops >= 2 && db.stats().get_ops <= 4,
+            "{}",
+            db.stats().get_ops
+        );
     }
 }

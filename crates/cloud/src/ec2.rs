@@ -45,7 +45,11 @@ impl Ec2 {
 
     /// Launches an instance at `now`.
     pub fn launch(&mut self, itype: InstanceType, now: SimTime) -> InstanceId {
-        self.records.push(InstanceRecord { itype, start: now, end: now });
+        self.records.push(InstanceRecord {
+            itype,
+            start: now,
+            end: now,
+        });
         InstanceId(self.records.len() - 1)
     }
 
@@ -77,7 +81,10 @@ impl Ec2 {
 
     /// Total instance-hours (for reports).
     pub fn total_hours(&self) -> f64 {
-        self.records.iter().map(|r| r.uptime().as_secs_f64() / 3600.0).sum()
+        self.records
+            .iter()
+            .map(|r| r.uptime().as_secs_f64() / 3600.0)
+            .sum()
     }
 }
 
@@ -114,6 +121,9 @@ mod tests {
         let mut b = Ec2::new();
         let j = b.launch(InstanceType::ExtraLarge, SimTime::ZERO);
         b.extend(j, SimTime(3_600_000_000));
-        assert_eq!(b.total_cost(&prices).pico(), 2 * a.total_cost(&prices).pico());
+        assert_eq!(
+            b.total_cost(&prices).pico(),
+            2 * a.total_cost(&prices).pico()
+        );
     }
 }

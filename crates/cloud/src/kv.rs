@@ -236,10 +236,10 @@ mod tests {
     #[test]
     fn item_byte_size_counts_everything() {
         let item = KvItem {
-            hash_key: "ename".into(),                       // 5
-            range_key: "u1".into(),                         // 2
+            hash_key: "ename".into(), // 5
+            range_key: "u1".into(),   // 2
             attrs: vec![(
-                "doc.xml".into(),                           // 7
+                "doc.xml".into(),                                        // 7
                 vec![KvValue::S("x".into()), KvValue::B(vec![1, 2, 3])], // 1 + 3
             )],
         };
@@ -256,7 +256,10 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = KvError::ValueTooLarge { limit: 1024, got: 2048 };
+        let e = KvError::ValueTooLarge {
+            limit: 1024,
+            got: 2048,
+        };
         assert!(e.to_string().contains("1024"));
     }
 }

@@ -31,11 +31,11 @@ pub mod money;
 pub mod pricing;
 pub mod s3;
 pub mod service;
+pub mod sim;
 pub mod simpledb;
 pub mod sqs;
 pub mod tuning;
 pub mod workmodel;
-pub mod sim;
 
 pub use clock::{SimDuration, SimTime};
 pub use dynamodb::{DynamoConfig, DynamoDb};
@@ -44,8 +44,8 @@ pub use kv::{KvError, KvItem, KvProfile, KvStats, KvStore, KvValue};
 pub use money::Money;
 pub use pricing::{InstanceType, PriceTable};
 pub use s3::{S3Error, S3Stats, S3};
+pub use sim::{Actor, CostReport, CostSnapshot, Engine, KvBackend, StepResult, StorageCost, World};
 pub use simpledb::{SimpleDb, SimpleDbConfig};
 pub use sqs::{Message, Sqs, SqsStats};
 pub use tuning::{KvTuning, TunedKvStore};
-pub use sim::{Actor, CostReport, CostSnapshot, Engine, KvBackend, StepResult, StorageCost, World};
 pub use workmodel::WorkModel;

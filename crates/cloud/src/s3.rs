@@ -108,10 +108,10 @@ impl S3 {
             .buckets
             .get(bucket)
             .ok_or_else(|| S3Error::NoSuchBucket(bucket.to_string()))?;
-        let data = b
-            .get(key)
-            .cloned()
-            .ok_or_else(|| S3Error::NoSuchKey { bucket: bucket.into(), key: key.into() })?;
+        let data = b.get(key).cloned().ok_or_else(|| S3Error::NoSuchKey {
+            bucket: bucket.into(),
+            key: key.into(),
+        })?;
         self.stats.get_requests += 1;
         self.stats.bytes_out += data.len() as u64;
         let ready = self.transfer.serve_unqueued(now, data.len() as f64);
@@ -131,9 +131,24 @@ impl S3 {
         Ok(keys)
     }
 
+    /// Host-side snapshot of a bucket's objects, in key order. No request
+    /// is billed and no virtual time passes — this exists for the host's
+    /// cache-prewarm stage, which must not perturb the simulation.
+    pub fn peek_all(&self, bucket: &str) -> Vec<(String, Arc<Vec<u8>>)> {
+        let Some(b) = self.buckets.get(bucket) else {
+            return Vec::new();
+        };
+        let mut objects: Vec<(String, Arc<Vec<u8>>)> =
+            b.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        objects.sort_by(|(a, _), (b, _)| a.cmp(b));
+        objects
+    }
+
     /// True if the object exists.
     pub fn exists(&self, bucket: &str, key: &str) -> bool {
-        self.buckets.get(bucket).is_some_and(|b| b.contains_key(key))
+        self.buckets
+            .get(bucket)
+            .is_some_and(|b| b.contains_key(key))
     }
 
     /// Size in bytes of an object, if present.
@@ -161,7 +176,9 @@ mod tests {
     fn put_get_round_trip() {
         let mut s3 = S3::new();
         s3.create_bucket("docs");
-        let t1 = s3.put(SimTime::ZERO, "docs", "a.xml", b"<a/>".to_vec()).unwrap();
+        let t1 = s3
+            .put(SimTime::ZERO, "docs", "a.xml", b"<a/>".to_vec())
+            .unwrap();
         assert!(t1 > SimTime::ZERO);
         let (data, t2) = s3.get(t1, "docs", "a.xml").unwrap();
         assert_eq!(&**data, b"<a/>");
@@ -208,7 +225,9 @@ mod tests {
         let mut s3 = S3::new();
         s3.create_bucket("b");
         let small = s3.put(SimTime::ZERO, "b", "s", vec![0; 1024]).unwrap();
-        let large = s3.put(SimTime::ZERO, "b", "l", vec![0; 50 * 1024 * 1024]).unwrap();
+        let large = s3
+            .put(SimTime::ZERO, "b", "l", vec![0; 50 * 1024 * 1024])
+            .unwrap();
         assert!(large.micros() > small.micros());
         // 50 MB at 25 MB/s ≈ 2 s.
         assert!((large.as_secs_f64() - 2.0).abs() < 0.1);

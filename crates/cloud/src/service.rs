@@ -53,7 +53,8 @@ impl ServiceQueue {
     /// Serves a request of `units` capacity units arriving at `now`;
     /// returns the virtual time at which the response is available.
     pub fn serve(&mut self, now: SimTime, units: f64) -> SimTime {
-        let service = self.request_overhead + SimDuration::from_secs_f64(units / self.units_per_sec);
+        let service =
+            self.request_overhead + SimDuration::from_secs_f64(units / self.units_per_sec);
         let start = now.max(self.next_free);
         let done = start + service;
         self.next_free = done;
@@ -65,7 +66,8 @@ impl ServiceQueue {
     /// An infinitely-parallel variant: the request never queues (used for
     /// S3, which scales horizontally); only per-request time applies.
     pub fn serve_unqueued(&mut self, now: SimTime, units: f64) -> SimTime {
-        let service = self.request_overhead + SimDuration::from_secs_f64(units / self.units_per_sec);
+        let service =
+            self.request_overhead + SimDuration::from_secs_f64(units / self.units_per_sec);
         self.busy += service;
         self.served += 1;
         now + service + self.latency

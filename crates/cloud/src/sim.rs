@@ -112,7 +112,13 @@ impl World {
         let sqs_cost = p.qs_request * (sqs.requests - since.sqs.requests);
         let egress_cost = p.egress_gb.per_gb(self.egress_bytes - since.egress_bytes);
         let ec2_cost = self.ec2.total_cost(p) - since.ec2_cost;
-        CostReport { s3: s3_cost, kv: kv_cost, ec2: ec2_cost, sqs: sqs_cost, egress: egress_cost }
+        CostReport {
+            s3: s3_cost,
+            kv: kv_cost,
+            ec2: ec2_cost,
+            sqs: sqs_cost,
+            egress: egress_cost,
+        }
     }
 
     /// Total charges since world creation.
@@ -125,7 +131,10 @@ impl World {
     pub fn storage_cost_per_month(&self) -> StorageCost {
         StorageCost {
             file_store: self.prices.st_month_gb.per_gb(self.s3.stats().stored_bytes),
-            index_store: self.prices.idx_month_gb.per_gb(self.kv.stats().stored_bytes()),
+            index_store: self
+                .prices
+                .idx_month_gb
+                .per_gb(self.kv.stats().stored_bytes()),
         }
     }
 }
@@ -240,7 +249,13 @@ pub struct Engine {
 impl Engine {
     /// Creates an engine over a world.
     pub fn new(world: World) -> Engine {
-        Engine { world, heap: BinaryHeap::new(), actors: Vec::new(), seq: 0, now: SimTime::ZERO }
+        Engine {
+            world,
+            heap: BinaryHeap::new(),
+            actors: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Adds an actor, first woken at `at`.
@@ -261,7 +276,9 @@ impl Engine {
     pub fn run(&mut self) -> SimTime {
         while let Some(Reverse((t, _, idx))) = self.heap.pop() {
             self.now = SimTime(t);
-            let Some(actor) = self.actors[idx].as_mut() else { continue };
+            let Some(actor) = self.actors[idx].as_mut() else {
+                continue;
+            };
             match actor.step(self.now, &mut self.world) {
                 StepResult::NextAt(next) => {
                     debug_assert!(next >= self.now, "actors cannot travel back in time");
@@ -310,11 +327,19 @@ mod tests {
         let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         let mut eng = Engine::new(World::new(KvBackend::default()));
         eng.spawn(
-            Box::new(Ticker { remaining: 2, log: log.clone(), name: "a" }),
+            Box::new(Ticker {
+                remaining: 2,
+                log: log.clone(),
+                name: "a",
+            }),
             SimTime::ZERO,
         );
         eng.spawn(
-            Box::new(Ticker { remaining: 1, log: log.clone(), name: "b" }),
+            Box::new(Ticker {
+                remaining: 1,
+                log: log.clone(),
+                name: "b",
+            }),
             SimTime(500_000),
         );
         let end = eng.run();
@@ -336,7 +361,10 @@ mod tests {
     fn cost_report_reflects_service_usage() {
         let mut world = World::new(KvBackend::default());
         world.s3.create_bucket("b");
-        world.s3.put(SimTime::ZERO, "b", "k", vec![0; 1000]).unwrap();
+        world
+            .s3
+            .put(SimTime::ZERO, "b", "k", vec![0; 1000])
+            .unwrap();
         world.sqs.create_queue("q");
         world.sqs.send(SimTime::ZERO, "q", "m");
         world.egress(1_000_000_000);
@@ -365,14 +393,20 @@ mod tests {
         let world = World::new(KvBackend::default());
         let r = world.cost_report();
         assert!(r.to_string().contains("index store"));
-        assert!(world.storage_cost_per_month().to_string().contains("/month"));
+        assert!(world
+            .storage_cost_per_month()
+            .to_string()
+            .contains("/month"));
     }
 
     #[test]
     fn storage_cost_uses_stored_bytes() {
         let mut world = World::new(KvBackend::default());
         world.s3.create_bucket("b");
-        world.s3.put(SimTime::ZERO, "b", "k", vec![0; 2_000_000_000]).unwrap();
+        world
+            .s3
+            .put(SimTime::ZERO, "b", "k", vec![0; 2_000_000_000])
+            .unwrap();
         let st = world.storage_cost_per_month();
         assert_eq!(st.file_store.dollars(), 0.25); // 2 GB × $0.125
         assert_eq!(st.index_store, Money::ZERO);

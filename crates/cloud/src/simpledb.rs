@@ -146,7 +146,10 @@ impl KvStore for SimpleDb {
         items: Vec<KvItem>,
     ) -> Result<SimTime, KvError> {
         if items.len() > BATCH_PUT_LIMIT {
-            return Err(KvError::BatchTooLarge { limit: BATCH_PUT_LIMIT, got: items.len() });
+            return Err(KvError::BatchTooLarge {
+                limit: BATCH_PUT_LIMIT,
+                got: items.len(),
+            });
         }
         for item in &items {
             self.validate(item)?;
@@ -163,8 +166,11 @@ impl KvStore for SimpleDb {
         for item in items {
             bytes += item.byte_size();
             let size = item.byte_size() as i64;
-            let attr_values: i64 =
-                item.attrs.iter().map(|(_, vs)| vs.len() as i64).sum::<i64>();
+            let attr_values: i64 = item
+                .attrs
+                .iter()
+                .map(|(_, vs)| vs.len() as i64)
+                .sum::<i64>();
             total_attr_values += attr_values as u64;
             let rows = d.entry(item.hash_key.clone()).or_default();
             if let Some(old) = rows.insert(item.range_key.clone(), item) {
@@ -196,8 +202,10 @@ impl KvStore for SimpleDb {
             .domains
             .get(table)
             .ok_or_else(|| KvError::NoSuchTable(table.to_string()))?;
-        let items: Vec<KvItem> =
-            d.get(hash_key).map(|rows| rows.values().cloned().collect()).unwrap_or_default();
+        let items: Vec<KvItem> = d
+            .get(hash_key)
+            .map(|rows| rows.values().cloned().collect())
+            .unwrap_or_default();
         let bytes: usize = items.iter().map(KvItem::byte_size).sum();
         self.stats.get_ops += 1;
         self.stats.api_requests += 1;
@@ -246,7 +254,11 @@ mod tests {
         let mut db = SimpleDb::default();
         db.ensure_table("t");
         let err = db
-            .batch_put(SimTime::ZERO, "t", vec![item("k", "r", KvValue::B(vec![1]))])
+            .batch_put(
+                SimTime::ZERO,
+                "t",
+                vec![item("k", "r", KvValue::B(vec![1]))],
+            )
             .unwrap_err();
         assert_eq!(err, KvError::BinaryNotSupported);
     }
@@ -283,10 +295,18 @@ mod tests {
     fn accepts_and_returns_string_values() {
         let mut db = SimpleDb::default();
         db.ensure_table("t");
-        db.batch_put(SimTime::ZERO, "t", vec![item("ename", "r1", KvValue::S("p1".into()))])
-            .unwrap();
-        db.batch_put(SimTime::ZERO, "t", vec![item("ename", "r2", KvValue::S("p2".into()))])
-            .unwrap();
+        db.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![item("ename", "r1", KvValue::S("p1".into()))],
+        )
+        .unwrap();
+        db.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![item("ename", "r2", KvValue::S("p2".into()))],
+        )
+        .unwrap();
         let (items, _) = db.get(SimTime::ZERO, "t", "ename").unwrap();
         assert_eq!(items.len(), 2);
     }
@@ -318,10 +338,18 @@ mod tests {
     fn batch_get_issues_sequential_requests() {
         let mut db = SimpleDb::default();
         db.ensure_table("t");
-        db.batch_put(SimTime::ZERO, "t", vec![item("a", "r", KvValue::S(String::new()))])
-            .unwrap();
-        db.batch_put(SimTime::ZERO, "t", vec![item("b", "r", KvValue::S(String::new()))])
-            .unwrap();
+        db.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![item("a", "r", KvValue::S(String::new()))],
+        )
+        .unwrap();
+        db.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![item("b", "r", KvValue::S(String::new()))],
+        )
+        .unwrap();
         let before = db.stats().api_requests;
         let (_, _) = db
             .batch_get(SimTime::ZERO, "t", &["a".to_string(), "b".to_string()])
@@ -336,7 +364,10 @@ mod tests {
         let it = KvItem {
             hash_key: "k".into(),
             range_key: "r".into(),
-            attrs: vec![("a".into(), vec![KvValue::S("1".into()), KvValue::S("2".into())])],
+            attrs: vec![(
+                "a".into(),
+                vec![KvValue::S("1".into()), KvValue::S("2".into())],
+            )],
         };
         db.batch_put(SimTime::ZERO, "t", vec![it]).unwrap();
         assert_eq!(db.stats().overhead_bytes, 2 * ATTR_OVERHEAD_BYTES);

@@ -79,7 +79,11 @@ impl Queue {
 impl Sqs {
     /// Creates the service with a default 4 ms request latency.
     pub fn new() -> Sqs {
-        Sqs { queues: HashMap::new(), stats: SqsStats::default(), latency: SimDuration::from_millis(4) }
+        Sqs {
+            queues: HashMap::new(),
+            stats: SqsStats::default(),
+            latency: SimDuration::from_millis(4),
+        }
     }
 
     /// Creates a queue (idempotent).
@@ -88,7 +92,9 @@ impl Sqs {
     }
 
     fn queue_mut(&mut self, name: &str) -> &mut Queue {
-        self.queues.get_mut(name).unwrap_or_else(|| panic!("no such queue: {name}"))
+        self.queues
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no such queue: {name}"))
     }
 
     /// Sends a message; returns the virtual completion time.
@@ -100,7 +106,12 @@ impl Sqs {
         assert!(!q.closed, "send on closed queue {queue}");
         let id = q.next_id;
         q.next_id += 1;
-        q.messages.push(Stored { id, body: body.into(), invisible_until: None, receive_count: 0 });
+        q.messages.push(Stored {
+            id,
+            body: body.into(),
+            invisible_until: None,
+            receive_count: 0,
+        });
         now + latency
     }
 
@@ -127,7 +138,11 @@ impl Sqs {
         let msg = found.map(|m| {
             m.invisible_until = Some(now + visibility);
             m.receive_count += 1;
-            Message { id: m.id, body: m.body.clone(), receive_count: m.receive_count }
+            Message {
+                id: m.id,
+                body: m.body.clone(),
+                receive_count: m.receive_count,
+            }
         });
         if let Some(m) = &msg {
             self.stats.delivered += 1;
@@ -283,7 +298,10 @@ mod tests {
         let id = m.unwrap().id;
         let deadline = SimTime::ZERO + VIS;
         let (race, _) = sqs.receive(deadline, "q", VIS);
-        assert!(race.is_none(), "message must stay protected at the deadline");
+        assert!(
+            race.is_none(),
+            "message must stay protected at the deadline"
+        );
         sqs.renew_lease(deadline, "q", id, VIS);
         let (race, _) = sqs.receive(deadline + SimDuration::from_micros(1), "q", VIS);
         assert!(race.is_none(), "renewal at the deadline holds the lease");

@@ -30,7 +30,10 @@ pub struct KvTuning {
 
 impl KvTuning {
     /// No capability withheld.
-    pub const NONE: KvTuning = KvTuning { force_string_values: false, disable_batching: false };
+    pub const NONE: KvTuning = KvTuning {
+        force_string_values: false,
+        disable_batching: false,
+    };
 
     /// True when any capability is withheld.
     pub fn is_active(&self) -> bool {
@@ -78,7 +81,10 @@ impl KvStore for TunedKvStore {
         items: Vec<KvItem>,
     ) -> Result<SimTime, KvError> {
         if self.tuning.disable_batching && items.len() > 1 {
-            return Err(KvError::BatchTooLarge { limit: 1, got: items.len() });
+            return Err(KvError::BatchTooLarge {
+                limit: 1,
+                got: items.len(),
+            });
         }
         if self.tuning.force_string_values {
             let profile = self.profile();
@@ -142,7 +148,10 @@ mod tests {
     fn string_tuning_narrows_profile_only() {
         let t = TunedKvStore::new(
             Box::new(DynamoDb::default()),
-            KvTuning { force_string_values: true, disable_batching: false },
+            KvTuning {
+                force_string_values: true,
+                disable_batching: false,
+            },
         );
         let p = t.profile();
         assert!(!p.supports_binary);
@@ -154,7 +163,10 @@ mod tests {
     fn unbatched_tuning_enforces_single_item_puts() {
         let mut t = TunedKvStore::new(
             Box::new(DynamoDb::default()),
-            KvTuning { force_string_values: false, disable_batching: true },
+            KvTuning {
+                force_string_values: false,
+                disable_batching: true,
+            },
         );
         t.ensure_table("t");
         assert_eq!(t.profile().batch_put_limit, 1);
@@ -171,7 +183,10 @@ mod tests {
     fn string_tuning_enforces_the_narrowed_profile() {
         let mut t = TunedKvStore::new(
             Box::new(DynamoDb::default()),
-            KvTuning { force_string_values: true, disable_batching: false },
+            KvTuning {
+                force_string_values: true,
+                disable_batching: false,
+            },
         );
         t.ensure_table("t");
         let bin = KvItem {
@@ -198,7 +213,8 @@ mod tests {
     fn noop_tuning_is_transparent() {
         let mut t = TunedKvStore::new(Box::new(DynamoDb::default()), KvTuning::NONE);
         t.ensure_table("t");
-        t.batch_put(SimTime::ZERO, "t", vec![item(0), item(1)]).unwrap();
+        t.batch_put(SimTime::ZERO, "t", vec![item(0), item(1)])
+            .unwrap();
         assert_eq!(t.stats().api_requests, 1);
         assert!(t.profile().supports_binary);
     }

@@ -97,9 +97,8 @@ pub fn advise(
                 + months_scaled(w.storage_cost().file_store, months);
         }
         let storage = w.storage_cost().total();
-        let projected = build.cost.total()
-            + run_cost * expected_runs as u64
-            + months_scaled(storage, months);
+        let projected =
+            build.cost.total() + run_cost * expected_runs as u64 + months_scaled(storage, months);
         estimates.push(StrategyEstimate {
             strategy,
             build_cost: build.cost.total(),
@@ -110,7 +109,10 @@ pub fn advise(
         });
     }
     estimates.sort_by_key(|e| e.projected_total);
-    Advice { ranked: estimates, no_index_total }
+    Advice {
+        ranked: estimates,
+        no_index_total,
+    }
 }
 
 fn months_scaled(per_month: Money, months: f64) -> Money {
@@ -153,14 +155,23 @@ mod tests {
     use amada_xmark::{generate_corpus, workload_query, CorpusConfig};
 
     fn sample() -> Vec<(String, String)> {
-        let cfg = CorpusConfig { num_documents: 25, target_doc_bytes: 1200, ..Default::default() };
-        generate_corpus(&cfg).into_iter().map(|d| (d.uri, d.xml)).collect()
+        let cfg = CorpusConfig {
+            num_documents: 25,
+            target_doc_bytes: 1200,
+            ..Default::default()
+        };
+        generate_corpus(&cfg)
+            .into_iter()
+            .map(|d| (d.uri, d.xml))
+            .collect()
     }
 
     #[test]
     fn advisor_ranks_all_strategies() {
-        let workload: Vec<Query> =
-            ["q1", "q6"].iter().map(|n| workload_query(n).unwrap()).collect();
+        let workload: Vec<Query> = ["q1", "q6"]
+            .iter()
+            .map(|n| workload_query(n).unwrap())
+            .collect();
         let advice = advise(&sample(), &workload, 500, 1.0, &WarehouseConfig::default());
         assert_eq!(advice.ranked.len(), 4);
         // Ranking is ascending in projected total.
@@ -197,7 +208,12 @@ mod tests {
         let workload = vec![workload_query("q2").unwrap()];
         let advice = advise(&sample(), &workload, 10, 1.0, &WarehouseConfig::default());
         let by = |s: Strategy| {
-            advice.ranked.iter().find(|e| e.strategy == s).unwrap().build_cost
+            advice
+                .ranked
+                .iter()
+                .find(|e| e.strategy == s)
+                .unwrap()
+                .build_cost
         };
         assert!(by(Strategy::Lu) < by(Strategy::Lup));
         assert!(by(Strategy::Lup) < by(Strategy::TwoLupi));

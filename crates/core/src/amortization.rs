@@ -49,7 +49,10 @@ impl Amortization {
         let benefit = self.benefit_per_run().pico() as i128;
         let build = self.build_cost.pico() as i128;
         (0..=max_runs)
-            .map(|runs| AmortizationPoint { runs, net_pico: benefit * runs as i128 - build })
+            .map(|runs| AmortizationPoint {
+                runs,
+                net_pico: benefit * runs as i128 - build,
+            })
             .collect()
     }
 
@@ -58,7 +61,11 @@ impl Amortization {
     pub fn breakeven_runs(&self) -> Option<u32> {
         let benefit = self.benefit_per_run().pico();
         if benefit == 0 {
-            return if self.build_cost == Money::ZERO { Some(0) } else { None };
+            return if self.build_cost == Money::ZERO {
+                Some(0)
+            } else {
+                None
+            };
         }
         Some(self.build_cost.pico().div_ceil(benefit) as u32)
     }

@@ -31,6 +31,25 @@ impl Pool {
     }
 }
 
+/// Host-side execution knobs. Everything here shapes only the *wall
+/// clock* of the simulation host; no field can change virtual times,
+/// costs, or any emitted number (asserted by the
+/// `prewarm_identity` tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostConfig {
+    /// Parse and extract all stored documents across all host cores
+    /// before the discrete-event engine runs, so loader and query steps
+    /// become cache hits. Thread count comes from `AMADA_THREADS` or the
+    /// machine's available parallelism.
+    pub prewarm: bool,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig { prewarm: true }
+    }
+}
+
 /// Full warehouse configuration.
 #[derive(Debug, Clone)]
 pub struct WarehouseConfig {
@@ -59,6 +78,8 @@ pub struct WarehouseConfig {
     pub visibility: SimDuration,
     /// How often an idle module core polls an empty queue.
     pub poll_interval: SimDuration,
+    /// Host-side (wall-clock only) execution knobs.
+    pub host: HostConfig,
 }
 
 impl Default for WarehouseConfig {
@@ -74,6 +95,7 @@ impl Default for WarehouseConfig {
             work: WorkModel::default(),
             visibility: SimDuration::from_secs(4 * 3600),
             poll_interval: SimDuration::from_millis(100),
+            host: HostConfig::default(),
         }
     }
 }
@@ -81,7 +103,10 @@ impl Default for WarehouseConfig {
 impl WarehouseConfig {
     /// Convenience: the default configuration with a given strategy.
     pub fn with_strategy(strategy: Strategy) -> WarehouseConfig {
-        WarehouseConfig { strategy, ..Default::default() }
+        WarehouseConfig {
+            strategy,
+            ..Default::default()
+        }
     }
 }
 

@@ -61,9 +61,7 @@ impl CostModel {
     /// `rq$(q) = STget$ + egress$_{GB} × |r(q)| + QS$ × 3` — the front end
     /// retrieving a query's results.
     pub fn retrieve_results(&self, result_bytes: u64) -> Money {
-        self.prices.st_get
-            + self.prices.egress_gb.per_gb(result_bytes)
-            + self.prices.qs_request * 3
+        self.prices.st_get + self.prices.egress_gb.per_gb(result_bytes) + self.prices.qs_request * 3
     }
 
     /// `cq$(q, D) = rq$(q) + STget$ × |D| + STput$ + VM$_h × pt(q, D)
@@ -169,8 +167,7 @@ mod tests {
     #[test]
     fn xl_and_l_instances_bill_proportionally() {
         let l = m().query_no_index(0, 0, SimDuration::from_secs(3600), InstanceType::Large);
-        let xl =
-            m().query_no_index(0, 0, SimDuration::from_secs(1800), InstanceType::ExtraLarge);
+        let xl = m().query_no_index(0, 0, SimDuration::from_secs(1800), InstanceType::ExtraLarge);
         // Twice the hourly rate for half the time: identical EC2 charge —
         // the paper's observation that indexed-query cost is practically
         // independent of the machine type.

@@ -15,10 +15,10 @@ pub mod cost;
 pub mod metrics;
 pub mod warehouse;
 
-pub use config::{Pool, WarehouseConfig};
-pub use config::{DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE, RESULT_BUCKET};
-pub use metrics::{CostedQuery, IndexBuildReport, QueryExecution, QueryPhases, WorkloadReport};
 pub use advisor::{advise, advise_queries, Advice, StrategyEstimate};
 pub use amortization::{Amortization, AmortizationPoint};
+pub use config::{Pool, WarehouseConfig};
+pub use config::{DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE, RESULT_BUCKET};
 pub use cost::CostModel;
+pub use metrics::{CostedQuery, IndexBuildReport, QueryExecution, QueryPhases, WorkloadReport};
 pub use warehouse::{UploadReport, Warehouse};

@@ -68,7 +68,10 @@ fn write_id(prev_pre: u32, id: &StructuralId, out: &mut Vec<u8>) {
 
 /// Encodes a `pre`-sorted ID list. Panics in debug builds if unsorted.
 pub fn encode_ids(ids: &[StructuralId]) -> Vec<u8> {
-    debug_assert!(ids.windows(2).all(|w| w[0].pre <= w[1].pre), "ID list must be pre-sorted");
+    debug_assert!(
+        ids.windows(2).all(|w| w[0].pre <= w[1].pre),
+        "ID list must be pre-sorted"
+    );
     let mut out = Vec::with_capacity(ids.len() * 4);
     let mut prev_pre = 0u32;
     for id in ids {
@@ -129,12 +132,24 @@ const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz012
 pub fn base64_encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
-        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
         let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
         out.push(B64[(n >> 18) as usize & 63] as char);
         out.push(B64[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 { B64[(n >> 6) as usize & 63] as char } else { '=' });
-        out.push(if chunk.len() > 2 { B64[n as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            B64[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64[n as usize & 63] as char
+        } else {
+            '='
+        });
     }
     out
 }
@@ -163,7 +178,11 @@ pub fn base64_decode(s: &str) -> Option<Vec<u8>> {
         }
         let mut n: u32 = 0;
         for (i, &c) in chunk.iter().enumerate() {
-            let v = if c == b'=' && i >= 4 - pad { 0 } else { val(c)? };
+            let v = if c == b'=' && i >= 4 - pad {
+                0
+            } else {
+                val(c)?
+            };
             n = (n << 6) | v;
         }
         out.push((n >> 16) as u8);
@@ -182,7 +201,9 @@ mod tests {
     use super::*;
 
     fn ids(raw: &[(u32, u32, u32)]) -> Vec<StructuralId> {
-        raw.iter().map(|&(p, q, d)| StructuralId::new(p, q, d)).collect()
+        raw.iter()
+            .map(|&(p, q, d)| StructuralId::new(p, q, d))
+            .collect()
     }
 
     #[test]
@@ -201,8 +222,7 @@ mod tests {
     #[test]
     fn encoding_is_compact() {
         // Sequential IDs with small deltas: ≈3 bytes each vs 12 raw.
-        let list: Vec<StructuralId> =
-            (1..=1000).map(|i| StructuralId::new(i, i, 3)).collect();
+        let list: Vec<StructuralId> = (1..=1000).map(|i| StructuralId::new(i, i, 3)).collect();
         let enc = encode_ids(&list);
         assert!(enc.len() < 4500, "encoded {} bytes", enc.len());
     }
@@ -212,18 +232,22 @@ mod tests {
         assert!(decode_ids(&[0x80]).is_none()); // truncated varint
         assert!(decode_ids(&[0x01]).is_none()); // missing post/depth
         assert!(decode_ids(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff]).is_none()); // overlong
-        // A 5-byte varint whose top bits exceed u32 must be rejected, not
-        // silently truncated.
+                                                                              // A 5-byte varint whose top bits exceed u32 must be rejected, not
+                                                                              // silently truncated.
         let mut pos = 0;
         assert_eq!(read_varint(&[0xff, 0xff, 0xff, 0xff, 0x1f], &mut pos), None);
         pos = 0;
-        assert_eq!(read_varint(&[0xff, 0xff, 0xff, 0xff, 0x0f], &mut pos), Some(u32::MAX));
+        assert_eq!(
+            read_varint(&[0xff, 0xff, 0xff, 0xff, 0x0f], &mut pos),
+            Some(u32::MAX)
+        );
     }
 
     #[test]
     fn chunked_encoding_decodes_to_same_list() {
-        let list: Vec<StructuralId> =
-            (1..=500).map(|i| StructuralId::new(i * 3, i * 2, (i % 9) + 1)).collect();
+        let list: Vec<StructuralId> = (1..=500)
+            .map(|i| StructuralId::new(i * 3, i * 2, (i % 9) + 1))
+            .collect();
         let chunks = encode_ids_chunked(&list, 64);
         assert!(chunks.len() > 1);
         assert!(chunks.iter().all(|c| c.len() <= 64));
@@ -234,8 +258,7 @@ mod tests {
 
     #[test]
     fn chunks_preserve_global_sort_order() {
-        let list: Vec<StructuralId> =
-            (1..=300).map(|i| StructuralId::new(i * 7, i, 2)).collect();
+        let list: Vec<StructuralId> = (1..=300).map(|i| StructuralId::new(i * 7, i, 2)).collect();
         let chunks = encode_ids_chunked(&list, 32);
         let decoded: Vec<StructuralId> =
             chunks.iter().flat_map(|c| decode_ids(c).unwrap()).collect();

@@ -62,7 +62,10 @@ fn truncated(value: &str) -> &str {
 pub fn attribute_value_key(name: &str, value: &str) -> String {
     // '\n' is escaped too: LUP path lists are newline-joined when they
     // must fall back to the string-blob encoding.
-    let escaped = value.replace('%', "%25").replace('/', "%2F").replace('\n', "%0A");
+    let escaped = value
+        .replace('%', "%25")
+        .replace('/', "%2F")
+        .replace('\n', "%0A");
     format!("{ATTRIBUTE_PREFIX}{name} {}", truncated(&escaped))
 }
 
@@ -114,7 +117,11 @@ pub fn encode_attr_value_path(doc: &Document, attr: NodeId) -> String {
     let parent = doc.parent(attr).expect("attributes have parents");
     let name = doc.name(attr).expect("attributes have names");
     let value = doc.value(attr).unwrap_or_default();
-    format!("{}/{}", encode_path(doc, parent), attribute_value_key(name, value))
+    format!(
+        "{}/{}",
+        encode_path(doc, parent),
+        attribute_value_key(name, value)
+    )
 }
 
 #[cfg(test)]
@@ -151,7 +158,10 @@ mod tests {
             .all_nodes()
             .find(|&n| d.value(n) == Some("Olympia"))
             .unwrap();
-        assert_eq!(encode_word_path(&d, text, "olympia"), "/epainting/ename/wolympia");
+        assert_eq!(
+            encode_word_path(&d, text, "olympia"),
+            "/epainting/ename/wolympia"
+        );
     }
 
     #[test]

@@ -21,19 +21,23 @@
 //!   and the Section 8.5 per-query strategy hint (the paper's future
 //!   work).
 
+pub mod cache;
 pub mod codec;
 pub mod explain;
 pub mod key;
 pub mod loadutil;
 pub mod lookup;
+pub mod parallel;
 pub mod store;
 pub mod strategy;
 pub mod summary;
 
+pub use cache::{content_hash, CacheStats, ExtractCache};
 pub use explain::explain;
 pub use loadutil::{index_document, index_documents, write_entries, DocIndexing};
 pub use lookup::{lookup_pattern, lookup_query, LookupOutcome, QueryLookup};
+pub use parallel::{prewarm, PrewarmReport};
 pub use store::UuidGen;
-pub use summary::{PathSummary, StrategyHint};
 pub use strategy::{extract, ExtractOptions, IndexEntry, Payload, Strategy};
 pub use strategy::{TABLE_ID, TABLE_MAIN, TABLE_PATH};
+pub use summary::{PathSummary, StrategyHint};

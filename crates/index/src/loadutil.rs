@@ -44,7 +44,10 @@ pub fn write_entries(
 ) -> Result<(DocIndexing, SimTime), KvError> {
     let profile = store.profile();
     let mut uuids = UuidGen::for_document(uri);
-    let mut metrics = DocIndexing { entries: entries.len() as u64, ..Default::default() };
+    let mut metrics = DocIndexing {
+        entries: entries.len() as u64,
+        ..Default::default()
+    };
     // Group items per destination table, preserving order.
     let mut per_table: BTreeMap<&'static str, Vec<KvItem>> = BTreeMap::new();
     for e in entries {
@@ -90,7 +93,7 @@ pub fn index_documents(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amada_cloud::{DynamoDb, KvStore as _, SimpleDb};
+    use amada_cloud::{DynamoDb, SimpleDb};
 
     fn doc() -> Document {
         Document::parse_str(
@@ -114,7 +117,9 @@ mod tests {
         assert!(m.entries > 0);
         assert!(m.items >= m.entries);
         assert!(t > SimTime::ZERO);
-        let (items, _) = store.get(SimTime::ZERO, crate::strategy::TABLE_MAIN, "ename").unwrap();
+        let (items, _) = store
+            .get(SimTime::ZERO, crate::strategy::TABLE_MAIN, "ename")
+            .unwrap();
         assert_eq!(items.len(), 1);
     }
 
@@ -129,8 +134,12 @@ mod tests {
             ExtractOptions::default(),
         )
         .unwrap();
-        let (p, _) = store.get(SimTime::ZERO, crate::strategy::TABLE_PATH, "ename").unwrap();
-        let (i, _) = store.get(SimTime::ZERO, crate::strategy::TABLE_ID, "ename").unwrap();
+        let (p, _) = store
+            .get(SimTime::ZERO, crate::strategy::TABLE_PATH, "ename")
+            .unwrap();
+        let (i, _) = store
+            .get(SimTime::ZERO, crate::strategy::TABLE_ID, "ename")
+            .unwrap();
         assert!(!p.is_empty());
         assert!(!i.is_empty());
     }

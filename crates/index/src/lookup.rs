@@ -68,7 +68,11 @@ impl QueryLookup {
 
     /// Virtual completion time of the slowest pattern chain.
     pub fn ready_at(&self) -> SimTime {
-        self.per_pattern.iter().map(|p| p.ready_at).max().unwrap_or(SimTime::ZERO)
+        self.per_pattern
+            .iter()
+            .map(|p| p.ready_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 }
 
@@ -87,12 +91,18 @@ pub fn lookup_query(
         t = outcome.ready_at;
         per_pattern.push(outcome);
     }
-    let mut uris: Vec<String> =
-        per_pattern.iter().flat_map(|o| o.uris.iter().cloned()).collect();
+    let mut uris: Vec<String> = per_pattern
+        .iter()
+        .flat_map(|o| o.uris.iter().cloned())
+        .collect();
     uris.sort();
     uris.dedup();
     let total = per_pattern.iter().map(|o| o.uris.len()).sum();
-    Ok(QueryLookup { per_pattern, uris, total_doc_ids: total })
+    Ok(QueryLookup {
+        per_pattern,
+        uris,
+        total_doc_ids: total,
+    })
 }
 
 /// Looks up a single tree pattern.
@@ -115,8 +125,7 @@ pub fn lookup_pattern(
             }
             let reduce: BTreeSet<String> = r1.uris.iter().cloned().collect();
             // Phase 2: ID twig join reduced to R1.
-            let mut r2 =
-                lookup_lui(store, r1.ready_at, opts, pattern, TABLE_ID, Some(&reduce))?;
+            let mut r2 = lookup_lui(store, r1.ready_at, opts, pattern, TABLE_ID, Some(&reduce))?;
             r2.entries_processed += r1.entries_processed;
             r2.get_ops += r1.get_ops;
             Ok(r2)
@@ -268,8 +277,10 @@ pub fn query_paths(pattern: &TreePattern, opts: ExtractOptions) -> Vec<QueryPath
     let node_keys = pattern_keys(pattern, opts);
     let mut out = Vec::new();
     for path in pattern.root_to_leaf_paths() {
-        let base: QueryPath =
-            path.iter().map(|&(axis, n)| (axis, node_keys[n].main_key.clone())).collect();
+        let base: QueryPath = path
+            .iter()
+            .map(|&(axis, n)| (axis, node_keys[n].main_key.clone()))
+            .collect();
         let (_, leaf) = *path.last().expect("paths are non-empty");
         let words = &node_keys[leaf].word_keys;
         if words.is_empty() {
@@ -333,8 +344,10 @@ fn lookup_lup(
     table: &str,
 ) -> Result<LookupOutcome, KvError> {
     let paths = query_paths(pattern, opts);
-    let terminal_keys: Vec<String> =
-        paths.iter().map(|p| p.last().expect("non-empty").1.clone()).collect();
+    let terminal_keys: Vec<String> = paths
+        .iter()
+        .map(|p| p.last().expect("non-empty").1.clone())
+        .collect();
     let (by_key, ready_at, get_ops) = fetch_keys(store, now, table, &terminal_keys)?;
     let profile = store.profile();
     // Decode each distinct terminal key once; several query paths may share
@@ -452,7 +465,12 @@ fn lookup_lui(
             uris.push(uri);
         }
     }
-    Ok(LookupOutcome { uris, entries_processed: entries, get_ops, ready_at })
+    Ok(LookupOutcome {
+        uris,
+        entries_processed: entries,
+        get_ops,
+        ready_at,
+    })
 }
 
 #[cfg(test)]
@@ -508,9 +526,15 @@ mod tests {
     fn run(strategy: Strategy, pattern: &str) -> Vec<String> {
         let mut store = store_with(strategy);
         let p = parse_pattern(pattern).unwrap();
-        lookup_pattern(store.as_mut(), SimTime::ZERO, strategy, ExtractOptions::default(), &p)
-            .unwrap()
-            .uris
+        lookup_pattern(
+            store.as_mut(),
+            SimTime::ZERO,
+            strategy,
+            ExtractOptions::default(),
+            &p,
+        )
+        .unwrap()
+        .uris
     }
 
     const Q1_LIKE: &str = "//painting[/name{val}, //painter[/name{val}]]";
@@ -603,8 +627,14 @@ mod tests {
                     .collect::<String>()
             })
             .collect();
-        assert!(rendered.contains(&"//epainting//edescription".to_string()), "{rendered:?}");
-        assert!(rendered.contains(&"//epainting/eyear/w1854".to_string()), "{rendered:?}");
+        assert!(
+            rendered.contains(&"//epainting//edescription".to_string()),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered.contains(&"//epainting/eyear/w1854".to_string()),
+            "{rendered:?}"
+        );
     }
 
     #[test]
@@ -627,9 +657,18 @@ mod tests {
             }
             out
         };
-        assert!(data_path_matches(&q("//eitem/ename"), "/esite/eregions/eitem/ename"));
-        assert!(!data_path_matches(&q("//eitem/ename"), "/esite/eitem/einfo/ename"));
-        assert!(data_path_matches(&q("//eitem//ename"), "/esite/eitem/einfo/ename"));
+        assert!(data_path_matches(
+            &q("//eitem/ename"),
+            "/esite/eregions/eitem/ename"
+        ));
+        assert!(!data_path_matches(
+            &q("//eitem/ename"),
+            "/esite/eitem/einfo/ename"
+        ));
+        assert!(data_path_matches(
+            &q("//eitem//ename"),
+            "/esite/eitem/einfo/ename"
+        ));
         assert!(data_path_matches(&q("/ea/eb"), "/ea/eb"));
         assert!(!data_path_matches(&q("/eb"), "/ea/eb"));
         // The query must consume the whole data path tail.

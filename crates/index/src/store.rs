@@ -107,7 +107,10 @@ pub fn encode_entry(entry: &IndexEntry, profile: &KvProfile, uuids: &mut UuidGen
         }
         Payload::Ids(ids) => {
             if profile.supports_binary {
-                encode_ids_chunked(ids, budget).into_iter().map(KvValue::B).collect()
+                encode_ids_chunked(ids, budget)
+                    .into_iter()
+                    .map(KvValue::B)
+                    .collect()
             } else {
                 blob_to_string_values(&encode_ids(ids))
             }
@@ -119,18 +122,18 @@ pub fn encode_entry(entry: &IndexEntry, profile: &KvProfile, uuids: &mut UuidGen
     let mut current: Vec<KvValue> = Vec::new();
     let mut current_bytes = 0usize;
     let mut seq = 0usize;
-    let flush = |vals: &mut Vec<KvValue>, seq: &mut usize, items: &mut Vec<KvItem>,
-                 uuids: &mut UuidGen| {
-        if vals.is_empty() {
-            return;
-        }
-        items.push(KvItem {
-            hash_key: entry.key.clone(),
-            range_key: uuids.range_key(*seq),
-            attrs: vec![(entry.uri.clone(), std::mem::take(vals))],
-        });
-        *seq += 1;
-    };
+    let flush =
+        |vals: &mut Vec<KvValue>, seq: &mut usize, items: &mut Vec<KvItem>, uuids: &mut UuidGen| {
+            if vals.is_empty() {
+                return;
+            }
+            items.push(KvItem {
+                hash_key: entry.key.clone(),
+                range_key: uuids.range_key(*seq),
+                attrs: vec![(entry.uri.clone(), std::mem::take(vals))],
+            });
+            *seq += 1;
+        };
     for v in values {
         let vlen = v.len();
         if !current.is_empty()
@@ -181,10 +184,7 @@ pub fn decode_presence_uris(items: &[KvItem]) -> Vec<String> {
 }
 
 /// Decodes LUP items into per-URI path lists.
-pub fn decode_path_lists(
-    items: &[KvItem],
-    profile: &KvProfile,
-) -> BTreeMap<String, Vec<String>> {
+pub fn decode_path_lists(items: &[KvItem], profile: &KvProfile) -> BTreeMap<String, Vec<String>> {
     group_by_uri(items)
         .into_iter()
         .map(|(uri, chunks)| {
@@ -214,14 +214,20 @@ pub fn decode_path_lists(
                 if blob.is_empty() {
                     Vec::new()
                 } else {
-                    String::from_utf8_lossy(&blob).split('\n').map(String::from).collect()
+                    String::from_utf8_lossy(&blob)
+                        .split('\n')
+                        .map(String::from)
+                        .collect()
                 }
             } else {
                 let blob = reassemble_blob(&chunks);
                 if blob.is_empty() {
                     Vec::new()
                 } else {
-                    String::from_utf8_lossy(&blob).split('\n').map(String::from).collect()
+                    String::from_utf8_lossy(&blob)
+                        .split('\n')
+                        .map(String::from)
+                        .collect()
                 }
             };
             (uri, paths)
@@ -291,7 +297,9 @@ mod tests {
     }
 
     fn ids(n: u32) -> Vec<StructuralId> {
-        (1..=n).map(|i| StructuralId::new(i * 2, i * 2 - 1, (i % 7) + 1)).collect()
+        (1..=n)
+            .map(|i| StructuralId::new(i * 2, i * 2 - 1, (i % 7) + 1))
+            .collect()
     }
 
     #[test]
@@ -309,7 +317,11 @@ mod tests {
     #[test]
     fn dynamo_ids_fit_one_binary_value() {
         let mut uuids = UuidGen::for_document("doc.xml");
-        let items = encode_entry(&entry(Payload::Ids(ids(100))), &dynamo_profile(), &mut uuids);
+        let items = encode_entry(
+            &entry(Payload::Ids(ids(100))),
+            &dynamo_profile(),
+            &mut uuids,
+        );
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].attrs[0].1.len(), 1);
         assert!(items[0].attrs[0].1[0].is_binary());
@@ -321,10 +333,17 @@ mod tests {
     fn simpledb_ids_chunk_into_string_values() {
         let mut uuids = UuidGen::for_document("doc.xml");
         let list = ids(5000); // ~20 KB encoded → many 1 KB chunks
-        let items = encode_entry(&entry(Payload::Ids(list.clone())), &simple_profile(), &mut uuids);
-        assert!(items.len() >= 1);
+        let items = encode_entry(
+            &entry(Payload::Ids(list.clone())),
+            &simple_profile(),
+            &mut uuids,
+        );
+        assert!(!items.is_empty());
         let total_values: usize = items.iter().map(|i| i.attrs[0].1.len()).sum();
-        assert!(total_values > 10, "expected many chunks, got {total_values}");
+        assert!(
+            total_values > 10,
+            "expected many chunks, got {total_values}"
+        );
         for item in &items {
             for (_, vs) in &item.attrs {
                 for v in vs {
@@ -342,7 +361,11 @@ mod tests {
         let list = ids(60_000); // ~240 KB encoded
         let mut u1 = UuidGen::for_document("doc.xml");
         let mut u2 = UuidGen::for_document("doc.xml");
-        let d = encode_entry(&entry(Payload::Ids(list.clone())), &dynamo_profile(), &mut u1);
+        let d = encode_entry(
+            &entry(Payload::Ids(list.clone())),
+            &dynamo_profile(),
+            &mut u1,
+        );
         let s = encode_entry(&entry(Payload::Ids(list)), &simple_profile(), &mut u2);
         let d_values: usize = d.iter().map(|i| i.attrs[0].1.len()).sum();
         let s_values: usize = s.iter().map(|i| i.attrs[0].1.len()).sum();
@@ -356,13 +379,21 @@ mod tests {
     fn paths_native_on_dynamo_blob_on_simpledb() {
         let paths = vec!["/ea/eb".to_string(), "/ea/ec/ed".to_string()];
         let mut u1 = UuidGen::for_document("doc.xml");
-        let d = encode_entry(&entry(Payload::Paths(paths.clone())), &dynamo_profile(), &mut u1);
+        let d = encode_entry(
+            &entry(Payload::Paths(paths.clone())),
+            &dynamo_profile(),
+            &mut u1,
+        );
         assert_eq!(d[0].attrs[0].1.len(), 2);
         let decoded = decode_path_lists(&d, &dynamo_profile());
         assert_eq!(decoded["doc.xml"], paths);
 
         let mut u2 = UuidGen::for_document("doc.xml");
-        let s = encode_entry(&entry(Payload::Paths(paths.clone())), &simple_profile(), &mut u2);
+        let s = encode_entry(
+            &entry(Payload::Paths(paths.clone())),
+            &simple_profile(),
+            &mut u2,
+        );
         let decoded = decode_path_lists(&s, &simple_profile());
         assert_eq!(decoded["doc.xml"], paths);
     }
@@ -374,10 +405,17 @@ mod tests {
         let deep = format!("/e{}", "a/e".repeat(40_000));
         let paths = vec!["/ea/eb".to_string(), deep.clone()];
         let mut uuids = UuidGen::for_document("doc.xml");
-        let items =
-            encode_entry(&entry(Payload::Paths(paths.clone())), &dynamo_profile(), &mut uuids);
+        let items = encode_entry(
+            &entry(Payload::Paths(paths.clone())),
+            &dynamo_profile(),
+            &mut uuids,
+        );
         for i in &items {
-            assert!(i.byte_size() <= dynamo_profile().max_item_bytes, "{}", i.byte_size());
+            assert!(
+                i.byte_size() <= dynamo_profile().max_item_bytes,
+                "{}",
+                i.byte_size()
+            );
         }
         let decoded = decode_path_lists(&items, &dynamo_profile());
         assert_eq!(decoded["doc.xml"], paths);
@@ -403,15 +441,23 @@ mod tests {
     fn round_trip_through_real_stores() {
         use amada_cloud::SimTime;
         for (mut store, profile) in [
-            (Box::new(DynamoDb::default()) as Box<dyn KvStore>, dynamo_profile()),
-            (Box::new(SimpleDb::default()) as Box<dyn KvStore>, simple_profile()),
+            (
+                Box::new(DynamoDb::default()) as Box<dyn KvStore>,
+                dynamo_profile(),
+            ),
+            (
+                Box::new(SimpleDb::default()) as Box<dyn KvStore>,
+                simple_profile(),
+            ),
         ] {
             store.ensure_table(TABLE_MAIN);
             let list = ids(2000);
             let mut uuids = UuidGen::for_document("doc.xml");
             let items = encode_entry(&entry(Payload::Ids(list.clone())), &profile, &mut uuids);
             for batch in items.chunks(profile.batch_put_limit) {
-                store.batch_put(SimTime::ZERO, TABLE_MAIN, batch.to_vec()).unwrap();
+                store
+                    .batch_put(SimTime::ZERO, TABLE_MAIN, batch.to_vec())
+                    .unwrap();
             }
             let (fetched, _) = store.get(SimTime::ZERO, TABLE_MAIN, "ename").unwrap();
             let decoded = decode_id_lists(&fetched, &profile);
@@ -424,7 +470,11 @@ mod tests {
         // >64 KB encoded must produce multiple items, all within limits.
         let list = ids(40_000);
         let mut uuids = UuidGen::for_document("doc.xml");
-        let items = encode_entry(&entry(Payload::Ids(list.clone())), &dynamo_profile(), &mut uuids);
+        let items = encode_entry(
+            &entry(Payload::Ids(list.clone())),
+            &dynamo_profile(),
+            &mut uuids,
+        );
         assert!(items.len() > 1);
         for i in &items {
             assert!(i.byte_size() <= dynamo_profile().max_item_bytes);

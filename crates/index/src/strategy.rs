@@ -32,7 +32,12 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies, in the paper's presentation order.
-    pub const ALL: [Strategy; 4] = [Strategy::Lu, Strategy::Lup, Strategy::Lui, Strategy::TwoLupi];
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Lu,
+        Strategy::Lup,
+        Strategy::Lui,
+        Strategy::TwoLupi,
+    ];
 
     /// The paper's name for the strategy.
     pub fn name(self) -> &'static str {
@@ -80,7 +85,7 @@ pub const TABLE_PATH: &str = "amada-index-path";
 pub const TABLE_ID: &str = "amada-index-id";
 
 /// Extraction options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExtractOptions {
     /// Whether word (`w‖…`) keys are produced — the full-text variant of
     /// Figure 8. Queries with `contains` predicates degrade (less precise
@@ -252,7 +257,10 @@ mod tests {
     }
 
     fn find<'a>(entries: &'a [IndexEntry], key: &str) -> &'a IndexEntry {
-        entries.iter().find(|e| e.key == key).unwrap_or_else(|| panic!("no entry {key}"))
+        entries
+            .iter()
+            .find(|e| e.key == key)
+            .unwrap_or_else(|| panic!("no entry {key}"))
     }
 
     #[test]
@@ -282,7 +290,10 @@ mod tests {
         let id = find(&entries, "aid");
         assert_eq!(id.payload, Payload::Paths(vec!["/epainting/aid".into()]));
         let w = find(&entries, "wlion");
-        assert_eq!(w.payload, Payload::Paths(vec!["/epainting/ename/wlion".into()]));
+        assert_eq!(
+            w.payload,
+            Payload::Paths(vec!["/epainting/ename/wlion".into()])
+        );
     }
 
     #[test]
@@ -330,11 +341,10 @@ mod tests {
             .iter()
             .map(IndexEntry::raw_bytes)
             .sum();
-        let without: usize =
-            extract(&doc(), Strategy::Lup, ExtractOptions { index_words: false })
-                .iter()
-                .map(IndexEntry::raw_bytes)
-                .sum();
+        let without: usize = extract(&doc(), Strategy::Lup, ExtractOptions { index_words: false })
+            .iter()
+            .map(IndexEntry::raw_bytes)
+            .sum();
         assert!(with > without);
     }
 

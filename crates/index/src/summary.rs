@@ -69,7 +69,10 @@ pub struct PathSummary {
 impl PathSummary {
     /// An empty summary.
     pub fn new() -> PathSummary {
-        PathSummary { nodes: vec![SummaryNode::default()], ..Default::default() }
+        PathSummary {
+            nodes: vec![SummaryNode::default()],
+            ..Default::default()
+        }
     }
 
     /// Builds a summary over a document collection.
@@ -91,8 +94,7 @@ impl PathSummary {
         // (document order guarantees parents precede children).
         let mut trie_of: Vec<usize> = vec![0; doc.node_count()];
         for n in doc.all_nodes() {
-            let parent_trie =
-                doc.parent(n).map_or(0, |p| trie_of[p.index()]);
+            let parent_trie = doc.parent(n).map_or(0, |p| trie_of[p.index()]);
             match doc.kind(n) {
                 NodeKind::Element | NodeKind::Attribute => {
                     let k = key::node_key(doc, n).expect("named node");
@@ -149,12 +151,8 @@ impl PathSummary {
     pub fn path_doc_frequency(&self, qp: &QueryPath) -> u64 {
         // Split a terminal word / attribute-value step off the path.
         let (structural, terminal): (&[(Axis, String)], Option<&String>) = match qp.last() {
-            Some((_, k)) if k.starts_with(key::WORD_PREFIX) => {
-                (&qp[..qp.len() - 1], Some(k))
-            }
-            Some((_, k))
-                if k.starts_with(key::ATTRIBUTE_PREFIX) && k.contains(' ') =>
-            {
+            Some((_, k)) if k.starts_with(key::WORD_PREFIX) => (&qp[..qp.len() - 1], Some(k)),
+            Some((_, k)) if k.starts_with(key::ATTRIBUTE_PREFIX) && k.contains(' ') => {
                 (&qp[..qp.len() - 1], Some(k))
             }
             _ => (qp.as_slice(), None),
@@ -173,8 +171,7 @@ impl PathSummary {
                 if self.documents == 0 {
                     0
                 } else {
-                    ((structural_df as f64 / self.documents as f64) * value_df as f64).ceil()
-                        as u64
+                    ((structural_df as f64 / self.documents as f64) * value_df as f64).ceil() as u64
                 }
             }
         }
@@ -266,7 +263,11 @@ impl PathSummary {
         // Co-occurrence gap: how much smaller the independence estimate is
         // than the most selective single path — a proxy for how much twig
         // filtering (LUI) can remove beyond path filtering (LUP).
-        let gap = if min_path_df > 0.0 { 1.0 - est / min_path_df } else { 0.0 };
+        let gap = if min_path_df > 0.0 {
+            1.0 - est / min_path_df
+        } else {
+            0.0
+        };
         let fine = branches > 1 && est / n <= 0.3 && gap > 0.3;
         StrategyHint {
             branches,
@@ -384,13 +385,11 @@ mod tests {
                 "<item><name>plain</name></item>".to_string()
             };
             xml_docs.push(
-                Document::parse_str(format!("d{i}.xml"), &format!("<site>{body}</site>"))
-                    .unwrap(),
+                Document::parse_str(format!("d{i}.xml"), &format!("<site>{body}</site>")).unwrap(),
             );
         }
         let s = PathSummary::build(xml_docs.iter());
-        let branched =
-            parse_pattern("//item[/name{contains(gold)}, /mailbox[/mail]]").unwrap();
+        let branched = parse_pattern("//item[/name{contains(gold)}, /mailbox[/mail]]").unwrap();
         let hint = s.recommend(&branched, ExtractOptions::default());
         assert!(hint.branches >= 2);
         assert!(hint.use_fine_granularity, "{hint:?}");

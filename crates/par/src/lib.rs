@@ -1,0 +1,169 @@
+//! # amada-par
+//!
+//! Host-side data parallelism over `std::thread::scope` — the build
+//! environment cannot fetch rayon, and the workspace's needs are narrow:
+//! a deterministic parallel map over an indexed work list.
+//!
+//! Work is distributed by an atomic cursor (dynamic load balancing, which
+//! matters because XML documents vary in size), and results are returned
+//! **in input order** regardless of which thread computed what. Every
+//! function here is a pure reordering of the sequential computation:
+//! callers that need bit-for-bit reproducibility get it as long as their
+//! per-item closures are pure functions of the item.
+//!
+//! Thread count resolution: explicit argument > `AMADA_THREADS` env var >
+//! `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: `AMADA_THREADS` if set and positive,
+/// otherwise the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("AMADA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`num_threads`] workers; results are in input
+/// order. Falls back to a plain sequential map for one worker or tiny
+/// inputs (avoids thread spawn overhead).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with(num_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count.
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    // Each worker appends (index, result) locally; slots are merged and
+    // restored to input order afterwards. A worker panic propagates out of
+    // the scope, so partially-filled output is never observed.
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                collected.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().unwrap();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs the thunks on up to [`num_threads`] workers (an atomic cursor
+/// hands out tasks in order, so load balances dynamically) and returns
+/// their results in input order. For coarse task parallelism — e.g.
+/// running independent benchmark suites or warehouse builds concurrently.
+/// `AMADA_THREADS=1` degrades this to a plain sequential loop.
+pub fn par_run<R, F>(tasks: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    let n = tasks.len();
+    let workers = num_threads().min(n);
+    if workers <= 1 || n <= 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+    // FnOnce tasks live in take-once slots; each index is claimed by
+    // exactly one worker through the cursor, so the lock is uncontended.
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each slot taken once");
+                *out[i].lock().unwrap() = Some(task());
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.into_inner().unwrap().expect("scope joined every task"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * 3 + i as u64)
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            let par = par_map_with(threads, &items, |i, v| v * 3 + i as u64);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(4, &empty, |_, v| *v).is_empty());
+        assert_eq!(par_map_with(4, &[9], |_, v| v + 1), vec![10]);
+    }
+
+    #[test]
+    fn par_run_returns_in_task_order() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                    // Finish out of order on purpose.
+                    std::thread::sleep(std::time::Duration::from_millis((8 - i) as u64));
+                    i
+                });
+                f
+            })
+            .collect();
+        assert_eq!(par_run(tasks), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

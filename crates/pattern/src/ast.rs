@@ -81,7 +81,10 @@ pub enum Predicate {
     Contains(String),
     /// `a < val <= b` — the value lies in the range. Either bound may be
     /// absent (half-open ranges are a convenience extension).
-    Range { lo: Option<Bound>, hi: Option<Bound> },
+    Range {
+        lo: Option<Bound>,
+        hi: Option<Bound>,
+    },
 }
 
 impl Predicate {
@@ -91,20 +94,20 @@ impl Predicate {
             Predicate::Eq(c) => value == c,
             Predicate::Contains(w) => amada_xml::words::contains_word(value, w),
             Predicate::Range { lo, hi } => {
-                let above = lo.as_ref().is_none_or(|b| {
-                    match compare_values(value, &b.value) {
+                let above = lo
+                    .as_ref()
+                    .is_none_or(|b| match compare_values(value, &b.value) {
                         std::cmp::Ordering::Greater => true,
                         std::cmp::Ordering::Equal => b.inclusive,
                         std::cmp::Ordering::Less => false,
-                    }
-                });
-                let below = hi.as_ref().is_none_or(|b| {
-                    match compare_values(value, &b.value) {
+                    });
+                let below = hi
+                    .as_ref()
+                    .is_none_or(|b| match compare_values(value, &b.value) {
                         std::cmp::Ordering::Less => true,
                         std::cmp::Ordering::Equal => b.inclusive,
                         std::cmp::Ordering::Greater => false,
-                    }
-                });
+                    });
                 above && below
             }
         }
@@ -237,7 +240,10 @@ pub struct JoinGroup {
 impl Query {
     /// A query consisting of a single pattern.
     pub fn single(pattern: TreePattern) -> Query {
-        Query { patterns: vec![pattern], name: None }
+        Query {
+            patterns: vec![pattern],
+            name: None,
+        }
     }
 
     /// Collects the join variable groups, in first-appearance order.
@@ -249,8 +255,10 @@ impl Query {
                     if let Output::Val { join_var: Some(v) } = o {
                         match groups.iter_mut().find(|g| g.var == *v) {
                             Some(g) => g.sites.push((pi, ni)),
-                            None => groups
-                                .push(JoinGroup { var: v.clone(), sites: vec![(pi, ni)] }),
+                            None => groups.push(JoinGroup {
+                                var: v.clone(),
+                                sites: vec![(pi, ni)],
+                            }),
                         }
                     }
                 }
@@ -291,8 +299,14 @@ mod tests {
     fn predicate_range_numeric() {
         // The paper's q4: 1854 < val <= 1865.
         let p = Predicate::Range {
-            lo: Some(Bound { value: "1854".into(), inclusive: false }),
-            hi: Some(Bound { value: "1865".into(), inclusive: true }),
+            lo: Some(Bound {
+                value: "1854".into(),
+                inclusive: false,
+            }),
+            hi: Some(Bound {
+                value: "1865".into(),
+                inclusive: true,
+            }),
         };
         assert!(!p.matches("1854"));
         assert!(p.matches("1855"));
@@ -305,8 +319,14 @@ mod tests {
     #[test]
     fn predicate_range_lexicographic_fallback() {
         let p = Predicate::Range {
-            lo: Some(Bound { value: "b".into(), inclusive: true }),
-            hi: Some(Bound { value: "d".into(), inclusive: false }),
+            lo: Some(Bound {
+                value: "b".into(),
+                inclusive: true,
+            }),
+            hi: Some(Bound {
+                value: "d".into(),
+                inclusive: false,
+            }),
         };
         assert!(p.matches("b"));
         assert!(p.matches("c"));
@@ -317,7 +337,10 @@ mod tests {
     fn half_open_ranges() {
         let p = Predicate::Range {
             lo: None,
-            hi: Some(Bound { value: "10".into(), inclusive: false }),
+            hi: Some(Bound {
+                value: "10".into(),
+                inclusive: false,
+            }),
         };
         assert!(p.matches("9"));
         assert!(!p.matches("10"));

@@ -167,7 +167,11 @@ pub fn materialize(
                 }
             }
         }
-        let t = Tuple { uri: uri.clone(), columns, joins };
+        let t = Tuple {
+            uri: uri.clone(),
+            columns,
+            joins,
+        };
         if seen.insert((t.columns.clone(), t.joins.clone())) {
             out.push(t);
         }
@@ -251,9 +255,8 @@ mod tests {
     #[test]
     fn predicates_filter() {
         let d = doc();
-        let hit =
-            parse_pattern("//painting[/name{contains(Lion)}, //painter[/name[/last{val}]]]")
-                .unwrap();
+        let hit = parse_pattern("//painting[/name{contains(Lion)}, //painter[/name[/last{val}]]]")
+            .unwrap();
         let (t, _) = naive_matches(&d, &hit);
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].columns, ["Delacroix"]);
@@ -275,10 +278,9 @@ mod tests {
     #[test]
     fn join_vars_are_captured() {
         let d = doc();
-        let q = crate::parser::parse_query(
-            "//painting[/@id{val as $x}]; //painting[/@id{val as $x}]",
-        )
-        .unwrap();
+        let q =
+            crate::parser::parse_query("//painting[/@id{val as $x}]; //painting[/@id{val as $x}]")
+                .unwrap();
         let (t, _) = naive_matches(&d, &q.patterns[0]);
         assert_eq!(t[0].joins, [("x".to_string(), "1854-1".to_string())]);
     }

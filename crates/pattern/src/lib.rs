@@ -101,8 +101,7 @@ mod tests {
     fn end_to_end_value_join() {
         let a = Document::parse_str("a.xml", "<a><k>1</k><v>left</v></a>").unwrap();
         let b = Document::parse_str("b.xml", "<b><k>1</k><v>right</v></b>").unwrap();
-        let q = parse_query("//a[/k{val as $k}, /v{val}]; //b[/k{val as $k}, /v{val}]")
-            .unwrap();
+        let q = parse_query("//a[/k{val as $k}, /v{val}]; //b[/k{val as $k}, /v{val}]").unwrap();
         let (res, _) = evaluate_query_on_documents(&q, [&a, &b]);
         assert_eq!(res.len(), 1);
         assert_eq!(res[0].columns, ["1", "left", "1", "right"]);

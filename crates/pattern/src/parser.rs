@@ -57,7 +57,10 @@ impl std::error::Error for ParseError {}
 
 /// Parses a full (possibly multi-pattern) query.
 pub fn parse_query(text: &str) -> Result<Query, ParseError> {
-    let mut p = P { s: text.as_bytes(), pos: 0 };
+    let mut p = P {
+        s: text.as_bytes(),
+        pos: 0,
+    };
     let mut patterns = Vec::new();
     loop {
         p.ws();
@@ -74,9 +77,15 @@ pub fn parse_query(text: &str) -> Result<Query, ParseError> {
         }
     }
     if patterns.is_empty() {
-        return Err(ParseError { msg: "empty query".into(), offset: 0 });
+        return Err(ParseError {
+            msg: "empty query".into(),
+            offset: 0,
+        });
     }
-    let q = Query { patterns, name: None };
+    let q = Query {
+        patterns,
+        name: None,
+    };
     validate(&q)?;
     Ok(q)
 }
@@ -85,7 +94,10 @@ pub fn parse_query(text: &str) -> Result<Query, ParseError> {
 pub fn parse_pattern(text: &str) -> Result<TreePattern, ParseError> {
     let q = parse_query(text)?;
     if q.patterns.len() != 1 {
-        return Err(ParseError { msg: "expected a single pattern".into(), offset: 0 });
+        return Err(ParseError {
+            msg: "expected a single pattern".into(),
+            offset: 0,
+        });
     }
     Ok(q.patterns.into_iter().next().expect("checked length"))
 }
@@ -153,7 +165,10 @@ impl<'a> P<'a> {
     }
 
     fn error(&self, msg: &str) -> ParseError {
-        ParseError { msg: msg.to_string(), offset: self.pos }
+        ParseError {
+            msg: msg.to_string(),
+            offset: self.pos,
+        }
     }
 
     fn pattern(&mut self) -> Result<TreePattern, ParseError> {
@@ -178,8 +193,11 @@ impl<'a> P<'a> {
         self.ws();
         let is_attr = self.eat(b'@');
         let name = self.name()?;
-        let test =
-            if is_attr { NodeTest::Attribute(name) } else { NodeTest::Element(name) };
+        let test = if is_attr {
+            NodeTest::Attribute(name)
+        } else {
+            NodeTest::Element(name)
+        };
         let idx = nodes.len();
         nodes.push(PatternNode {
             test,
@@ -286,11 +304,7 @@ impl<'a> P<'a> {
         Ok(())
     }
 
-    fn annotation(
-        &mut self,
-        idx: usize,
-        nodes: &mut [PatternNode],
-    ) -> Result<(), ParseError> {
+    fn annotation(&mut self, idx: usize, nodes: &mut [PatternNode]) -> Result<(), ParseError> {
         self.ws();
         // Keyword-led annotations.
         if self.keyword("cont") {
@@ -318,7 +332,9 @@ impl<'a> P<'a> {
                     return Err(self.error("expected '$' before join variable"));
                 }
                 let var = self.name()?;
-                nodes[idx].outputs.push(Output::Val { join_var: Some(var) });
+                nodes[idx].outputs.push(Output::Val {
+                    join_var: Some(var),
+                });
                 return Ok(());
             }
             if matches!(self.peek(), Some(b'<')) {
@@ -327,7 +343,13 @@ impl<'a> P<'a> {
                 return self.set_predicate(
                     idx,
                     nodes,
-                    Predicate::Range { lo: None, hi: Some(Bound { value: hi, inclusive }) },
+                    Predicate::Range {
+                        lo: None,
+                        hi: Some(Bound {
+                            value: hi,
+                            inclusive,
+                        }),
+                    },
                 );
             }
             nodes[idx].outputs.push(Output::Val { join_var: None });
@@ -348,7 +370,10 @@ impl<'a> P<'a> {
         let hi = if matches!(self.peek(), Some(b'<')) {
             let inclusive = self.rel()?;
             let v = self.value()?;
-            Some(Bound { value: v, inclusive })
+            Some(Bound {
+                value: v,
+                inclusive,
+            })
         } else {
             None
         };
@@ -356,7 +381,10 @@ impl<'a> P<'a> {
             idx,
             nodes,
             Predicate::Range {
-                lo: Some(Bound { value: lo, inclusive: lo_inclusive }),
+                lo: Some(Bound {
+                    value: lo,
+                    inclusive: lo_inclusive,
+                }),
                 hi,
             },
         )
@@ -405,11 +433,19 @@ fn write_step(p: &TreePattern, idx: usize, f: &mut fmt::Formatter<'_>) -> fmt::R
         Some(Predicate::Range { lo, hi }) => {
             let mut s = String::new();
             if let Some(b) = lo {
-                s.push_str(&format!("\"{}\"{}", b.value, if b.inclusive { "<=" } else { "<" }));
+                s.push_str(&format!(
+                    "\"{}\"{}",
+                    b.value,
+                    if b.inclusive { "<=" } else { "<" }
+                ));
             }
             s.push_str("val");
             if let Some(b) = hi {
-                s.push_str(&format!("{}\"{}\"", if b.inclusive { "<=" } else { "<" }, b.value));
+                s.push_str(&format!(
+                    "{}\"{}\"",
+                    if b.inclusive { "<=" } else { "<" },
+                    b.value
+                ));
             }
             anns.push(s);
         }
@@ -478,8 +514,14 @@ mod tests {
         assert_eq!(
             year.predicate,
             Some(Predicate::Range {
-                lo: Some(Bound { value: "1854".into(), inclusive: false }),
-                hi: Some(Bound { value: "1865".into(), inclusive: true }),
+                lo: Some(Bound {
+                    value: "1854".into(),
+                    inclusive: false
+                }),
+                hi: Some(Bound {
+                    value: "1865".into(),
+                    inclusive: true
+                }),
             })
         );
     }
@@ -503,8 +545,8 @@ mod tests {
 
     #[test]
     fn parse_contains() {
-        let q = parse_query("//painting[/name{contains(Lion)}, //painter[/name[/last{val}]]]")
-            .unwrap();
+        let q =
+            parse_query("//painting[/name{contains(Lion)}, //painter[/name[/last{val}]]]").unwrap();
         let name = &q.patterns[0].nodes[1];
         assert_eq!(name.predicate, Some(Predicate::Contains("Lion".into())));
     }
@@ -532,7 +574,10 @@ mod tests {
             q.patterns[0].nodes[0].predicate,
             Some(Predicate::Range {
                 lo: None,
-                hi: Some(Bound { value: "1865".into(), inclusive: true })
+                hi: Some(Bound {
+                    value: "1865".into(),
+                    inclusive: true
+                })
             })
         );
     }

@@ -43,7 +43,10 @@ pub fn structural_join<A, D>(
             ai += 1;
         }
         // Pop ancestors that end before `d` starts.
-        while stack.last().is_some_and(|&top| ancestors[top].0.precedes(d)) {
+        while stack
+            .last()
+            .is_some_and(|&top| ancestors[top].0.precedes(d))
+        {
             stack.pop();
         }
         // Every remaining stack entry that contains `d` joins with it.
@@ -85,9 +88,19 @@ mod tests {
     use super::*;
     use amada_xml::Document;
 
-    fn streams(doc: &Document, anc: &str, desc: &str) -> (Vec<(StructuralId, ())>, Vec<(StructuralId, ())>) {
-        let a = doc.elements_named(anc).iter().map(|&n| (doc.sid(n), ())).collect();
-        let d = doc.elements_named(desc).iter().map(|&n| (doc.sid(n), ())).collect();
+    type Stream = Vec<(StructuralId, ())>;
+
+    fn streams(doc: &Document, anc: &str, desc: &str) -> (Stream, Stream) {
+        let a = doc
+            .elements_named(anc)
+            .iter()
+            .map(|&n| (doc.sid(n), ()))
+            .collect();
+        let d = doc
+            .elements_named(desc)
+            .iter()
+            .map(|&n| (doc.sid(n), ()))
+            .collect();
         (a, d)
     }
 
@@ -153,32 +166,40 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::ast::Axis;
+    use amada_rng::StdRng;
     use amada_xml::Document;
-    use proptest::prelude::*;
 
-    fn random_doc() -> impl Strategy<Value = String> {
-        // Random nesting of two labels.
-        fn node(depth: u32) -> BoxedStrategy<String> {
-            let label = prop::sample::select(vec!["a", "b"]);
+    /// Random nesting of two labels, seeded per case.
+    fn random_doc(rng: &mut StdRng) -> String {
+        fn node(rng: &mut StdRng, depth: u32) -> String {
+            let label = if rng.gen_bool(0.5) { "a" } else { "b" };
             if depth == 0 {
-                label.prop_map(|l| format!("<{l}/>")).boxed()
-            } else {
-                (label, prop::collection::vec(node(depth - 1), 0..4))
-                    .prop_map(|(l, kids)| format!("<{l}>{}</{l}>", kids.join("")))
-                    .boxed()
+                return format!("<{label}/>");
             }
+            let kids: String = (0..rng.gen_range(0..4usize))
+                .map(|_| node(rng, depth - 1))
+                .collect();
+            format!("<{label}>{kids}</{label}>")
         }
-        node(4).prop_map(|inner| format!("<root>{inner}</root>"))
+        format!("<root>{}</root>", node(rng, 4))
     }
 
-    proptest! {
-        #[test]
-        fn structural_join_equals_nested_loop(xml in random_doc()) {
+    #[test]
+    fn structural_join_equals_nested_loop() {
+        for case in 0..256u64 {
+            let mut rng = StdRng::seed_from_u64(0x5707_0000 + case);
+            let xml = random_doc(&mut rng);
             let doc = Document::parse_str("p.xml", &xml).unwrap();
-            let a: Vec<(amada_xml::StructuralId, ())> =
-                doc.elements_named("a").iter().map(|&n| (doc.sid(n), ())).collect();
-            let b: Vec<(amada_xml::StructuralId, ())> =
-                doc.elements_named("b").iter().map(|&n| (doc.sid(n), ())).collect();
+            let a: Vec<(amada_xml::StructuralId, ())> = doc
+                .elements_named("a")
+                .iter()
+                .map(|&n| (doc.sid(n), ()))
+                .collect();
+            let b: Vec<(amada_xml::StructuralId, ())> = doc
+                .elements_named("b")
+                .iter()
+                .map(|&n| (doc.sid(n), ()))
+                .collect();
             for axis in [Axis::Descendant, Axis::Child] {
                 let mut fast = structural_join(&a, &b, axis);
                 fast.sort();
@@ -189,11 +210,13 @@ mod proptests {
                             Axis::Descendant => asid.is_ancestor_of(d),
                             Axis::Child => asid.is_parent_of(d),
                         };
-                        if ok { slow.push((ai, dj)); }
+                        if ok {
+                            slow.push((ai, dj));
+                        }
                     }
                 }
                 slow.sort();
-                prop_assert_eq!(&fast, &slow, "{:?} on {}", axis, xml);
+                assert_eq!(fast, slow, "{axis:?} on {xml}");
             }
         }
     }

@@ -103,10 +103,7 @@ pub fn holistic_twig_join<T: Copy>(
 
 /// Like [`holistic_twig_join`] but stops as soon as one match is found.
 /// Used for index-side document selection, where only existence matters.
-pub fn twig_has_match<T: Copy>(
-    shape: &TwigShape,
-    streams: &[Vec<(StructuralId, T)>],
-) -> bool {
+pub fn twig_has_match<T: Copy>(shape: &TwigShape, streams: &[Vec<(StructuralId, T)>]) -> bool {
     !join_inner(shape, streams, true).is_empty()
 }
 
@@ -152,7 +149,11 @@ fn join_inner<T: Copy>(
     let mut out: Vec<Assignment<T>> = acc
         .unwrap_or_default()
         .into_iter()
-        .map(|a| a.into_iter().map(|x| x.expect("all nodes assigned")).collect())
+        .map(|a| {
+            a.into_iter()
+                .map(|x| x.expect("all nodes assigned"))
+                .collect()
+        })
         .collect();
     if early_exit {
         out.truncate(1);
@@ -205,10 +206,21 @@ fn path_stack<T: Copy>(
 
         // Push only when the parent chain is alive.
         if level == 0 || !stacks[level - 1].is_empty() {
-            let ptr = if level == 0 { -1 } else { stacks[level - 1].len() as isize - 1 };
+            let ptr = if level == 0 {
+                -1
+            } else {
+                stacks[level - 1].len() as isize - 1
+            };
             if level == k - 1 {
                 // Leaf: expand solutions immediately; no need to push.
-                expand(shape, path, &stacks, (next, payload, ptr), level, &mut solutions);
+                expand(
+                    shape,
+                    path,
+                    &stacks,
+                    (next, payload, ptr),
+                    level,
+                    &mut solutions,
+                );
             } else {
                 stacks[level].push((next, payload, ptr));
             }
@@ -276,7 +288,10 @@ fn merge_assignments<T: Copy>(
         .filter(|&i| left[0][i].is_some() && right[0][i].is_some())
         .collect();
     let key = |a: &Sparse<T>| -> Vec<u32> {
-        shared.iter().map(|&i| a[i].expect("shared node assigned").0.pre).collect()
+        shared
+            .iter()
+            .map(|&i| a[i].expect("shared node assigned").0.pre)
+            .collect()
     };
     let mut table: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
     for (i, l) in left.iter().enumerate() {

@@ -40,12 +40,19 @@ impl JoinedTuple {
 /// without shared variables combine by cartesian product (not used by the
 /// paper's workload, but well-defined).
 pub fn join_pattern_results(query: &Query, per_pattern: &[Vec<Tuple>]) -> Vec<JoinedTuple> {
-    assert_eq!(query.patterns.len(), per_pattern.len(), "one tuple set per pattern");
+    assert_eq!(
+        query.patterns.len(),
+        per_pattern.len(),
+        "one tuple set per pattern"
+    );
     // A variable bound at two sites *within one pattern* is itself an
     // equality constraint; tuples whose sites disagree are not results.
     let consistent = |t: &&Tuple| {
         t.joins.iter().all(|(var, val)| {
-            t.joins.iter().filter(|(v2, _)| v2 == var).all(|(_, v)| v == val)
+            t.joins
+                .iter()
+                .filter(|(v2, _)| v2 == var)
+                .all(|(_, v)| v == val)
         })
     };
     // Accumulated: (uris so far, columns so far, var -> value bindings).
@@ -72,16 +79,13 @@ pub fn join_pattern_results(query: &Query, per_pattern: &[Vec<Tuple>]) -> Vec<Jo
                     // Accumulated rows all bind the same variable set
                     // (pattern annotations are fixed), so the first row is
                     // representative.
-                    .filter(|var| {
-                        acc.first().is_some_and(|a| a.bindings.contains_key(*var))
-                    })
+                    .filter(|var| acc.first().is_some_and(|a| a.bindings.contains_key(*var)))
                     .collect()
             })
             .unwrap_or_default();
         // Hash join on the shared variables (cartesian when none shared).
-        let key_of_acc = |a: &Acc| -> Vec<String> {
-            shared.iter().map(|v| a.bindings[*v].clone()).collect()
-        };
+        let key_of_acc =
+            |a: &Acc| -> Vec<String> { shared.iter().map(|v| a.bindings[*v].clone()).collect() };
         let key_of_tuple = |t: &Tuple| -> Vec<String> {
             shared
                 .iter()
@@ -100,7 +104,9 @@ pub fn join_pattern_results(query: &Query, per_pattern: &[Vec<Tuple>]) -> Vec<Jo
         }
         let mut next: Vec<Acc> = Vec::new();
         for t in tuples.iter().filter(consistent) {
-            let Some(matches) = table.get(&key_of_tuple(t)) else { continue };
+            let Some(matches) = table.get(&key_of_tuple(t)) else {
+                continue;
+            };
             for &ai in matches {
                 let a = &acc[ai];
                 // Shared variables already agree; merge the rest.
@@ -112,7 +118,11 @@ pub fn join_pattern_results(query: &Query, per_pattern: &[Vec<Tuple>]) -> Vec<Jo
                 uris.push(t.uri.clone());
                 let mut columns = a.columns.clone();
                 columns.extend(t.columns.iter().cloned());
-                next.push(Acc { uris, columns, bindings });
+                next.push(Acc {
+                    uris,
+                    columns,
+                    bindings,
+                });
             }
         }
         acc = next;
@@ -122,7 +132,10 @@ pub fn join_pattern_results(query: &Query, per_pattern: &[Vec<Tuple>]) -> Vec<Jo
     }
     let mut seen = std::collections::HashSet::new();
     acc.into_iter()
-        .map(|a| JoinedTuple { uris: a.uris, columns: a.columns })
+        .map(|a| JoinedTuple {
+            uris: a.uris,
+            columns: a.columns,
+        })
         .filter(|t| seen.insert(t.clone()))
         .collect()
 }
@@ -222,9 +235,7 @@ mod tests {
             "<r><p><x>1</x><y>1</y></p><p><x>2</x><y>3</y></p></r>",
         )
         .unwrap();
-        let q = parse_query(
-            "//p[/x{val as $v}, /y{val as $v}]",
-        );
+        let q = parse_query("//p[/x{val as $v}, /y{val as $v}]");
         // The parser requires ≥2 uses, which this satisfies within one
         // pattern.
         let q = q.unwrap();

@@ -80,7 +80,11 @@ fn tighter(a: Option<Bound>, b: Option<Bound>, lower: bool) -> Option<Bound> {
 
 /// Parses an XQuery FLWR expression into a [`Query`].
 pub fn parse_xquery(text: &str) -> Result<Query, ParseError> {
-    let mut p = Xq { s: text.as_bytes(), pos: 0, builder: Builder::default() };
+    let mut p = Xq {
+        s: text.as_bytes(),
+        pos: 0,
+        builder: Builder::default(),
+    };
     p.query()?;
     p.builder.finish()
 }
@@ -183,13 +187,20 @@ impl Builder {
     fn join(&mut self, a: Addr, b: Addr) {
         let var = format!("xq{}", self.next_join);
         self.next_join += 1;
-        self.node_mut(a).outputs.push(Output::Val { join_var: Some(var.clone()) });
-        self.node_mut(b).outputs.push(Output::Val { join_var: Some(var) });
+        self.node_mut(a).outputs.push(Output::Val {
+            join_var: Some(var.clone()),
+        });
+        self.node_mut(b).outputs.push(Output::Val {
+            join_var: Some(var),
+        });
     }
 
     fn finish(self) -> Result<Query, ParseError> {
         if self.patterns.is_empty() {
-            return Err(ParseError { msg: "query binds no documents".into(), offset: 0 });
+            return Err(ParseError {
+                msg: "query binds no documents".into(),
+                offset: 0,
+            });
         }
         // A query must return something.
         let any_output = self
@@ -197,9 +208,15 @@ impl Builder {
             .iter()
             .any(|p| p.nodes.iter().any(|n| !n.outputs.is_empty()));
         if !any_output {
-            return Err(ParseError { msg: "return clause produced no outputs".into(), offset: 0 });
+            return Err(ParseError {
+                msg: "return clause produced no outputs".into(),
+                offset: 0,
+            });
         }
-        Ok(Query { patterns: self.patterns, name: None })
+        Ok(Query {
+            patterns: self.patterns,
+            name: None,
+        })
     }
 }
 
@@ -215,13 +232,19 @@ struct Xq<'a> {
 
 #[derive(Debug, Clone)]
 enum Operand {
-    Path { var: String, path: Vec<(Axis, NodeTest)> },
+    Path {
+        var: String,
+        path: Vec<(Axis, NodeTest)>,
+    },
     Literal(String),
 }
 
 impl<'a> Xq<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { msg: msg.into(), offset: self.pos }
+        ParseError {
+            msg: msg.into(),
+            offset: self.pos,
+        }
     }
 
     fn ws(&mut self) {
@@ -247,8 +270,7 @@ impl<'a> Xq<'a> {
             return false;
         }
         let after = self.s.get(self.pos + kw.len()).copied();
-        let boundary =
-            !matches!(after, Some(b) if b.is_ascii_alphanumeric() || b == b'_');
+        let boundary = !matches!(after, Some(b) if b.is_ascii_alphanumeric() || b == b'_');
         if boundary {
             self.pos += kw.len();
         }
@@ -300,11 +322,12 @@ impl<'a> Xq<'a> {
             }
             Some(b) if b.is_ascii_digit() => {
                 let start = self.pos;
-                while matches!(self.s.get(self.pos), Some(b) if b.is_ascii_digit() || *b == b'.')
-                {
+                while matches!(self.s.get(self.pos), Some(b) if b.is_ascii_digit() || *b == b'.') {
                     self.pos += 1;
                 }
-                Ok(Some(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned()))
+                Ok(Some(
+                    String::from_utf8_lossy(&self.s[start..self.pos]).into_owned(),
+                ))
             }
             _ => Ok(None),
         }
@@ -486,10 +509,7 @@ impl<'a> Xq<'a> {
                 };
                 self.apply_cmp(addr, mirrored, lit)
             }
-            (
-                Operand::Path { var: v1, path: p1 },
-                Operand::Path { var: v2, path: p2 },
-            ) => {
+            (Operand::Path { var: v1, path: p1 }, Operand::Path { var: v2, path: p2 }) => {
                 if op != "=" {
                     return Err(self.err("only equality joins are supported"));
                 }
@@ -507,18 +527,30 @@ impl<'a> Xq<'a> {
             "=" => Predicate::Eq(lit),
             "<" => Predicate::Range {
                 lo: None,
-                hi: Some(Bound { value: lit, inclusive: false }),
+                hi: Some(Bound {
+                    value: lit,
+                    inclusive: false,
+                }),
             },
             "<=" => Predicate::Range {
                 lo: None,
-                hi: Some(Bound { value: lit, inclusive: true }),
+                hi: Some(Bound {
+                    value: lit,
+                    inclusive: true,
+                }),
             },
             ">" => Predicate::Range {
-                lo: Some(Bound { value: lit, inclusive: false }),
+                lo: Some(Bound {
+                    value: lit,
+                    inclusive: false,
+                }),
                 hi: None,
             },
             ">=" => Predicate::Range {
-                lo: Some(Bound { value: lit, inclusive: true }),
+                lo: Some(Bound {
+                    value: lit,
+                    inclusive: true,
+                }),
                 hi: None,
             },
             _ => unreachable!("operators matched above"),
@@ -569,7 +601,9 @@ impl<'a> Xq<'a> {
         // tolerantly: whitespace may surround the slash and parentheses.
         let val = self.eat_postfix()?;
         let addr = self.resolve(&var, &path)?;
-        let is_attr = self.builder.patterns[addr.0].nodes[addr.1].test.is_attribute();
+        let is_attr = self.builder.patterns[addr.0].nodes[addr.1]
+            .test
+            .is_attribute();
         let output = if val || is_attr {
             Output::Val { join_var: None }
         } else {
@@ -614,8 +648,10 @@ mod tests {
             .iter()
             .map(|p| ds.iter().flat_map(|d| naive_matches(d, p).0).collect())
             .collect();
-        let mut rows: Vec<Vec<String>> =
-            join_pattern_results(q, &per_pattern).into_iter().map(|t| t.columns).collect();
+        let mut rows: Vec<Vec<String>> = join_pattern_results(q, &per_pattern)
+            .into_iter()
+            .map(|t| t.columns)
+            .collect();
         rows.sort();
         rows
     }
@@ -680,8 +716,14 @@ mod tests {
         assert_eq!(
             year.predicate,
             Some(Predicate::Range {
-                lo: Some(Bound { value: "1854".into(), inclusive: false }),
-                hi: Some(Bound { value: "1865".into(), inclusive: true }),
+                lo: Some(Bound {
+                    value: "1854".into(),
+                    inclusive: false
+                }),
+                hi: Some(Bound {
+                    value: "1865".into(),
+                    inclusive: true
+                }),
             })
         );
         assert_equivalent(
@@ -751,12 +793,22 @@ mod tests {
              return $p/y/string()",
         )
         .unwrap();
-        let y = q.patterns[0].nodes.iter().find(|n| n.test.label() == "y").unwrap();
+        let y = q.patterns[0]
+            .nodes
+            .iter()
+            .find(|n| n.test.label() == "y")
+            .unwrap();
         assert_eq!(
             y.predicate,
             Some(Predicate::Range {
-                lo: Some(Bound { value: "5".into(), inclusive: false }),
-                hi: Some(Bound { value: "10".into(), inclusive: true }),
+                lo: Some(Bound {
+                    value: "5".into(),
+                    inclusive: false
+                }),
+                hi: Some(Bound {
+                    value: "10".into(),
+                    inclusive: true
+                }),
             })
         );
     }
@@ -768,10 +820,10 @@ mod tests {
         // Missing return.
         assert!(parse_xquery("for $p in doc()//a").is_err());
         // Conflicting equality predicates.
-        assert!(parse_xquery(
-            "for $p in doc()//a where $p/b = \"x\" and $p/b = \"y\" return $p/b"
-        )
-        .is_err());
+        assert!(
+            parse_xquery("for $p in doc()//a where $p/b = \"x\" and $p/b = \"y\" return $p/b")
+                .is_err()
+        );
         // Non-equality join.
         assert!(parse_xquery(
             "for $a in doc()//x, $b in doc()//y where $a/k < $b/k return $a/k/string()"

@@ -1,71 +1,71 @@
 //! Property test: the holistic twig join evaluator and the naive
 //! backtracking evaluator return identical tuple sets on random documents
 //! and random patterns over the same small vocabulary.
+//!
+//! Cases derive deterministically from `(fixed master seed, case index)`
+//! via `amada-rng`, so failures reproduce exactly.
 
 use amada_pattern::ast::{Axis, NodeTest, Output, PatternNode, Predicate, TreePattern};
 use amada_pattern::eval::naive_matches;
 use amada_pattern::twig::evaluate_pattern_twig;
+use amada_rng::StdRng;
 use amada_xml::Document;
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 const LABELS: &[&str] = &["a", "b", "c", "d"];
 const WORDS: &[&str] = &["lion", "hunt", "olympia", "sun"];
 
 /// Random document over the small vocabulary, rendered directly to XML.
-fn doc_strategy() -> impl Strategy<Value = String> {
-    fn elem(depth: u32) -> BoxedStrategy<String> {
-        let label = prop::sample::select(LABELS.to_vec());
-        let attr = prop_oneof![
-            Just(String::new()),
-            prop::sample::select(WORDS.to_vec()).prop_map(|w| format!(" k=\"{w}\"")),
-        ];
-        if depth == 0 {
-            (label, attr, prop::sample::select(WORDS.to_vec()))
-                .prop_map(|(l, a, w)| format!("<{l}{a}>{w}</{l}>"))
-                .boxed()
+fn gen_doc(rng: &mut StdRng) -> String {
+    fn elem(rng: &mut StdRng, depth: u32) -> String {
+        let label = *rng.choose(LABELS);
+        let attr = if rng.gen_bool(0.5) {
+            format!(" k=\"{}\"", rng.choose(WORDS))
         } else {
-            (
-                label,
-                attr,
-                prop::collection::vec(
-                    prop_oneof![
-                        elem(depth - 1),
-                        prop::sample::select(WORDS.to_vec()).prop_map(|w| w.to_string())
-                    ],
-                    0..4,
-                ),
-            )
-                .prop_map(|(l, a, kids)| format!("<{l}{a}>{}</{l}>", kids.join("")))
-                .boxed()
+            String::new()
+        };
+        if depth == 0 {
+            return format!("<{label}{attr}>{}</{label}>", rng.choose(WORDS));
         }
+        let kids: String = (0..rng.gen_range(0..4usize))
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    elem(rng, depth - 1)
+                } else {
+                    rng.choose(WORDS).to_string()
+                }
+            })
+            .collect();
+        format!("<{label}{attr}>{kids}</{label}>")
     }
-    elem(3)
+    elem(rng, 3)
 }
 
-/// Random pattern over the same vocabulary.
-fn pattern_strategy() -> impl Strategy<Value = TreePattern> {
-    // A flat spec: per node (label, axis, parent_choice, predicate?, output?).
-    prop::collection::vec(
-        (
-            prop::sample::select(LABELS.to_vec()),
-            prop::bool::ANY,
-            prop::num::u8::ANY,
-            prop::option::of(prop_oneof![
-                prop::sample::select(WORDS.to_vec()).prop_map(|w| Predicate::Contains(w.into())),
-                prop::sample::select(WORDS.to_vec()).prop_map(|w| Predicate::Eq(w.into())),
-            ]),
-            prop::bool::ANY,
-            prop::bool::ANY, // attribute test for @k nodes
-        ),
-        1..5,
-    )
-    .prop_map(|spec| {
+/// Random pattern over the same vocabulary: a flat spec per node
+/// (label, axis, parent choice, predicate?, output?, attribute?),
+/// retried until no attribute node has children.
+fn gen_pattern(rng: &mut StdRng) -> TreePattern {
+    loop {
+        let n = rng.gen_range(1..5usize);
         let mut nodes: Vec<PatternNode> = Vec::new();
-        for (i, (label, desc, pchoice, pred, out, attr)) in spec.into_iter().enumerate() {
-            let parent = if i == 0 { None } else { Some(pchoice as usize % i) };
+        for i in 0..n {
+            let label = *rng.choose(LABELS);
+            let desc = rng.gen_bool(0.5);
+            let pchoice = rng.gen_range(0..=255u8) as usize;
+            let pred = if rng.gen_bool(0.5) {
+                let w = *rng.choose(WORDS);
+                Some(if rng.gen_bool(0.5) {
+                    Predicate::Contains(w.into())
+                } else {
+                    Predicate::Eq(w.into())
+                })
+            } else {
+                None
+            };
+            let out = rng.gen_bool(0.5);
+            let parent = if i == 0 { None } else { Some(pchoice % i) };
             // Attribute leaf nodes use name "k"; elements use the label.
-            let is_attr = attr && i > 0;
+            let is_attr = rng.gen_bool(0.5) && i > 0;
             let test = if is_attr {
                 NodeTest::Attribute("k".into())
             } else {
@@ -89,23 +89,29 @@ fn pattern_strategy() -> impl Strategy<Value = TreePattern> {
                 predicate: pred,
             });
         }
-        TreePattern { nodes }
-    })
-    .prop_filter("attributes cannot have children", |p| {
-        p.nodes.iter().all(|n| !n.test.is_attribute() || n.children.is_empty())
-    })
+        let pattern = TreePattern { nodes };
+        // Attributes cannot have children.
+        if pattern
+            .nodes
+            .iter()
+            .all(|n| !n.test.is_attribute() || n.children.is_empty())
+        {
+            return pattern;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn twig_equals_naive(xml in doc_strategy(), pattern in pattern_strategy()) {
+#[test]
+fn twig_equals_naive() {
+    for case in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(0x7716_0000 + case);
+        let xml = gen_doc(&mut rng);
+        let pattern = gen_pattern(&mut rng);
         let doc = Document::parse_str("prop.xml", &xml).unwrap();
         let (naive, _) = naive_matches(&doc, &pattern);
         let (twig, _) = evaluate_pattern_twig(&doc, &pattern);
         let a: HashSet<_> = naive.into_iter().collect();
         let b: HashSet<_> = twig.into_iter().collect();
-        prop_assert_eq!(a, b, "pattern {:?} on {}", pattern, xml);
+        assert_eq!(a, b, "case {case}: pattern {pattern:?} on {xml}");
     }
 }

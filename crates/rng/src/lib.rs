@@ -1,0 +1,197 @@
+//! # amada-rng
+//!
+//! A small, dependency-free, deterministic pseudo-random number generator
+//! with the subset of the `rand` crate's API that the workspace uses
+//! (`seed_from_u64`, `gen_range`, `gen_bool`).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors nothing and depends on nothing external; this crate
+//! replaces `rand`. Determinism is part of the contract: the corpus
+//! generator derives one seed per document from `(master seed, doc
+//! index)`, and the parallel generation path is byte-identical to the
+//! sequential one precisely because every stream is a pure function of
+//! its seed.
+//!
+//! The core generator is xoshiro256** (public domain, Blackman &
+//! Vigna), seeded through SplitMix64 — the same construction `rand`'s
+//! `StdRng::seed_from_u64` documents, though the streams differ, which is
+//! fine: nothing in the repository depends on `rand`'s exact streams.
+
+/// Expands a 64-bit seed into independent state words (SplitMix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+///
+/// Named `StdRng` so call sites read exactly as they did under `rand`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Creates a generator whose entire stream is a function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // xoshiro256** breaks on the all-zero state; SplitMix64 cannot
+        // produce four zero words from one seed, but keep the guard local
+        // and explicit.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15; 4];
+        }
+        StdRng { s }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)` (53 bits of precision).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniform value in `range`. Supports the half-open and inclusive
+    /// integer ranges and the half-open `f64` ranges the workspace uses.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Picks a uniformly random element of `slice`.
+    ///
+    /// # Panics
+    /// Panics if `slice` is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.gen_range(0..slice.len())]
+    }
+}
+
+/// A range that [`StdRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+/// Maps 64 uniform bits onto `[0, span)` without modulo bias
+/// (fixed-point multiply: Lemire's method's first step; the tiny residual
+/// bias at 64-bit spans is irrelevant for test-data generation).
+fn sample_span(rng: &mut StdRng, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + sample_span(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + sample_span(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(1..=6);
+            assert!((1..=6).contains(&w));
+            let f = rng.gen_range(5.0..100.0);
+            assert!((5.0..100.0).contains(&f));
+            let u = rng.gen_range(0..7usize);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.2)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((0.19..0.21).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn float_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((0.49..0.51).contains(&mean), "mean {mean}");
+    }
+}

@@ -42,8 +42,7 @@
 //! `(config.seed, i)`, so corpus prefixes are stable (used by Figure 7).
 
 use crate::words::{gen_name_plain, gen_text, push_words};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use amada_rng::StdRng;
 
 /// Corpus generation parameters.
 #[derive(Debug, Clone)]
@@ -139,10 +138,26 @@ pub const MIN_ITEMS: usize = 2;
 /// See [`MIN_PERSONS`].
 pub const MIN_AUCTIONS: usize = 1;
 
-const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
-const COUNTRIES: &[&str] =
-    &["United-States", "France", "Germany", "Japan", "Brazil", "Kenya", "Australia"];
-const CITIES: &[&str] = &["Paris", "Lyon", "Boston", "Tokyo", "Nairobi", "Sydney", "Recife"];
+const REGIONS: &[&str] = &[
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
+const COUNTRIES: &[&str] = &[
+    "United-States",
+    "France",
+    "Germany",
+    "Japan",
+    "Brazil",
+    "Kenya",
+    "Australia",
+];
+const CITIES: &[&str] = &[
+    "Paris", "Lyon", "Boston", "Tokyo", "Nairobi", "Sydney", "Recife",
+];
 const PAYMENTS: &[&str] = &["Cash", "Money-order", "Personal-check"];
 
 /// The 20-slot kind rotation: 35 % items, 25 % people, 20 % open auctions,
@@ -244,7 +259,12 @@ pub fn generate_document(cfg: &CorpusConfig, idx: usize) -> GeneratedDoc {
     let mut rng =
         StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(idx as u64));
     let themes = Themes::draw(&mut rng);
-    let g = Gen { cfg: cfg.clone(), doc: idx, variant, themes };
+    let g = Gen {
+        cfg: cfg.clone(),
+        doc: idx,
+        variant,
+        themes,
+    };
     let target = cfg.target_doc_bytes;
 
     let mut x = String::with_capacity(target + 1024);
@@ -276,12 +296,31 @@ pub fn generate_document(cfg: &CorpusConfig, idx: usize) -> GeneratedDoc {
         }
     }
     x.push_str("</site>");
-    GeneratedDoc { uri: doc_uri(idx), xml: x, variant, kind }
+    GeneratedDoc {
+        uri: doc_uri(idx),
+        xml: x,
+        variant,
+        kind,
+    }
 }
 
-/// Generates the whole corpus.
+/// Generates the whole corpus, using all host cores.
+///
+/// Document `i` is a pure function of `(cfg.seed, i)` (its generator is
+/// seeded per document), so the parallel result is byte-identical to
+/// [`generate_corpus_seq`] — asserted by the `parallel_generation_*`
+/// tests.
 pub fn generate_corpus(cfg: &CorpusConfig) -> Vec<GeneratedDoc> {
-    (0..cfg.num_documents).map(|i| generate_document(cfg, i)).collect()
+    let indices: Vec<usize> = (0..cfg.num_documents).collect();
+    amada_par::par_map(&indices, |_, &i| generate_document(cfg, i))
+}
+
+/// Single-threaded corpus generation; the reference the parallel path is
+/// checked against.
+pub fn generate_corpus_seq(cfg: &CorpusConfig) -> Vec<GeneratedDoc> {
+    (0..cfg.num_documents)
+        .map(|i| generate_document(cfg, i))
+        .collect()
 }
 
 struct Gen {
@@ -468,7 +507,10 @@ impl Gen {
             ));
         }
         x.push_str("<shipping>Will ship internationally</shipping>");
-        x.push_str(&format!("<incategory category=\"cat-{}\"/>", rng.gen_range(0..10)));
+        x.push_str(&format!(
+            "<incategory category=\"cat-{}\"/>",
+            rng.gen_range(0..10)
+        ));
         if emit_mailbox {
             x.push_str("<mailbox><mail>");
             x.push_str(&format!("<from>{}</from>", self.full_name(rng)));
@@ -501,7 +543,11 @@ impl Gen {
                 rng.gen_range(1000000..9999999)
             ));
         }
-        let emit_address = if self.sparse() { rng.gen_bool(0.25) } else { rng.gen_bool(0.7) };
+        let emit_address = if self.sparse() {
+            rng.gen_bool(0.25)
+        } else {
+            rng.gen_bool(0.7)
+        };
         if emit_address {
             let country = if rng.gen_bool(0.9) {
                 self.themes.home_country
@@ -531,16 +577,30 @@ impl Gen {
                 rng.gen_range(1000..9999)
             ));
         }
-        let emit_profile = if self.sparse() { rng.gen_bool(0.3) } else { rng.gen_bool(0.75) };
+        let emit_profile = if self.sparse() {
+            rng.gen_bool(0.3)
+        } else {
+            rng.gen_bool(0.75)
+        };
         if emit_profile {
-            x.push_str(&format!("<profile income=\"{}\">", rng.gen_range(20000..100000)));
-            x.push_str(&format!("<interest category=\"cat-{}\"/>", rng.gen_range(0..10)));
+            x.push_str(&format!(
+                "<profile income=\"{}\">",
+                rng.gen_range(20000..100000)
+            ));
+            x.push_str(&format!(
+                "<interest category=\"cat-{}\"/>",
+                rng.gen_range(0..10)
+            ));
             if rng.gen_bool(0.5) {
                 x.push_str("<education>Graduate School</education>");
             }
             x.push_str(&format!(
                 "<business>{}</business>",
-                if rng.gen_bool(self.themes.business_bias) { "Yes" } else { "No" }
+                if rng.gen_bool(self.themes.business_bias) {
+                    "Yes"
+                } else {
+                    "No"
+                }
             ));
             if rng.gen_bool(0.7) {
                 x.push_str(&format!("<age>{}</age>", rng.gen_range(18..80)));
@@ -550,7 +610,10 @@ impl Gen {
         if rng.gen_bool(0.5) {
             x.push_str("<watches>");
             for _ in 0..rng.gen_range(1..=2) {
-                x.push_str(&format!("<watch open_auction=\"{}\"/>", self.auction_ref(rng)));
+                x.push_str(&format!(
+                    "<watch open_auction=\"{}\"/>",
+                    self.auction_ref(rng)
+                ));
             }
             x.push_str("</watches>");
         }
@@ -576,8 +639,11 @@ impl Gen {
         } else {
             x.push_str(&terms);
         }
-        let n_bidders =
-            if self.sparse() && rng.gen_bool(0.6) { 0 } else { rng.gen_range(0..=3) };
+        let n_bidders = if self.sparse() && rng.gen_bool(0.6) {
+            0
+        } else {
+            rng.gen_range(0..=3)
+        };
         let mut bidders = String::new();
         for _ in 0..n_bidders {
             bidders.push_str(&format!(
@@ -607,7 +673,11 @@ impl Gen {
         x.push_str("<quantity>1</quantity>");
         x.push_str(&format!(
             "<type>{}</type>",
-            if rng.gen_bool(self.themes.regular_bias) { "Regular" } else { "Featured" }
+            if rng.gen_bool(self.themes.regular_bias) {
+                "Regular"
+            } else {
+                "Featured"
+            }
         ));
         x.push_str(&format!(
             "<interval><start>{}</start><end>{}</end></interval>",
@@ -627,7 +697,11 @@ impl Gen {
         x.push_str("<quantity>1</quantity>");
         x.push_str(&format!(
             "<type>{}</type>",
-            if rng.gen_bool(self.themes.regular_bias) { "Regular" } else { "Featured" }
+            if rng.gen_bool(self.themes.regular_bias) {
+                "Regular"
+            } else {
+                "Featured"
+            }
         ));
         if !self.sparse() || rng.gen_bool(0.3) {
             x.push_str(&format!(
@@ -647,7 +721,11 @@ mod tests {
     use std::collections::HashMap;
 
     fn small_cfg() -> CorpusConfig {
-        CorpusConfig { num_documents: 40, target_doc_bytes: 1500, ..Default::default() }
+        CorpusConfig {
+            num_documents: 40,
+            target_doc_bytes: 1500,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -670,6 +748,23 @@ mod tests {
     }
 
     #[test]
+    fn parallel_generation_is_byte_identical_to_sequential() {
+        let cfg = CorpusConfig {
+            num_documents: 120,
+            ..small_cfg()
+        };
+        let seq = generate_corpus_seq(&cfg);
+        let par = generate_corpus(&cfg);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.uri, p.uri);
+            assert_eq!(s.xml, p.xml, "{} diverged under parallel generation", s.uri);
+            assert_eq!(s.variant, p.variant);
+            assert_eq!(s.kind, p.kind);
+        }
+    }
+
+    #[test]
     fn prefixes_are_stable_under_corpus_growth() {
         let cfg = small_cfg();
         let all = generate_corpus(&cfg);
@@ -679,7 +774,10 @@ mod tests {
 
     #[test]
     fn variants_appear_in_expected_proportions() {
-        let cfg = CorpusConfig { num_documents: 200, ..small_cfg() };
+        let cfg = CorpusConfig {
+            num_documents: 200,
+            ..small_cfg()
+        };
         let mut counts = [0usize; 3];
         for i in 0..cfg.num_documents {
             match variant_for(&cfg, i) {
@@ -702,8 +800,14 @@ mod tests {
         // 35 / 25 / 20 / 15 / 5 % (±1 slot for the pinned document 6).
         assert!((135..=145).contains(&counts[&DocKind::Items]), "{counts:?}");
         assert!((95..=105).contains(&counts[&DocKind::People]), "{counts:?}");
-        assert!((75..=85).contains(&counts[&DocKind::OpenAuctions]), "{counts:?}");
-        assert!((55..=65).contains(&counts[&DocKind::ClosedAuctions]), "{counts:?}");
+        assert!(
+            (75..=85).contains(&counts[&DocKind::OpenAuctions]),
+            "{counts:?}"
+        );
+        assert!(
+            (55..=65).contains(&counts[&DocKind::ClosedAuctions]),
+            "{counts:?}"
+        );
         assert!((15..=25).contains(&counts[&DocKind::Mixed]), "{counts:?}");
         // Document 6 is pinned for q1.
         assert_eq!(kind_for(6), DocKind::Items);
@@ -719,7 +823,10 @@ mod tests {
             let has = |l: &str| !doc.elements_named(l).is_empty();
             match d.kind {
                 DocKind::Items => {
-                    assert!(has("item") && !has("person") && !has("open_auction"), "doc {i}");
+                    assert!(
+                        has("item") && !has("person") && !has("open_auction"),
+                        "doc {i}"
+                    );
                 }
                 DocKind::People => {
                     assert!(has("person") && !has("item"), "doc {i}");
@@ -731,7 +838,10 @@ mod tests {
                     assert!(has("closed_auction") && !has("open_auction"), "doc {i}");
                 }
                 DocKind::Mixed => {
-                    assert!(has("item") && has("person") && has("open_auction"), "doc {i}");
+                    assert!(
+                        has("item") && has("person") && has("open_auction"),
+                        "doc {i}"
+                    );
                 }
             }
         }
@@ -739,7 +849,10 @@ mod tests {
 
     #[test]
     fn sizes_are_near_target() {
-        let cfg = CorpusConfig { target_doc_bytes: 4096, ..small_cfg() };
+        let cfg = CorpusConfig {
+            target_doc_bytes: 4096,
+            ..small_cfg()
+        };
         for i in 0..10 {
             let d = generate_document(&cfg, i);
             assert!(d.xml.len() > 1500, "doc {i} too small: {}", d.xml.len());
@@ -760,7 +873,11 @@ mod tests {
             let doc = Document::parse_str(&d.uri, &d.xml).unwrap();
             for &item in doc.elements_named("item") {
                 for c in doc.element_children(item) {
-                    assert_ne!(doc.name(c), Some("name"), "restructured item has child name");
+                    assert_ne!(
+                        doc.name(c),
+                        Some("name"),
+                        "restructured item has child name"
+                    );
                 }
             }
         }
@@ -774,7 +891,11 @@ mod tests {
             let d = generate_document(&cfg, i);
             let doc = Document::parse_str(&d.uri, &d.xml).unwrap();
             for (label, attr, accepts) in [
-                ("buyer", "person", DocKind::has_persons as fn(DocKind) -> bool),
+                (
+                    "buyer",
+                    "person",
+                    DocKind::has_persons as fn(DocKind) -> bool,
+                ),
                 ("seller", "person", DocKind::has_persons),
                 ("itemref", "item", DocKind::has_items),
                 ("watch", "open_auction", DocKind::has_auctions),
@@ -784,7 +905,10 @@ mod tests {
                     let parts: Vec<&str> = r.rsplitn(3, '-').collect();
                     let doc_idx: usize = parts[1].parse().unwrap();
                     assert!(doc_idx < cfg.num_documents, "{r}");
-                    assert!(accepts(kind_for(doc_idx)), "{label} ref {r} to non-defining doc");
+                    assert!(
+                        accepts(kind_for(doc_idx)),
+                        "{label} ref {r} to non-defining doc"
+                    );
                 }
             }
         }
@@ -792,7 +916,11 @@ mod tests {
 
     #[test]
     fn gold_topic_is_document_clustered() {
-        let cfg = CorpusConfig { num_documents: 300, target_doc_bytes: 2048, ..Default::default() };
+        let cfg = CorpusConfig {
+            num_documents: 300,
+            target_doc_bytes: 2048,
+            ..Default::default()
+        };
         let mut gold_docs = 0usize;
         let mut item_docs = 0usize;
         for i in 0..cfg.num_documents {

@@ -5,8 +5,7 @@
 //! small corpus of painting and museum documents suitable for the example
 //! binaries and for tests of the paper's five sample queries (Figure 2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use amada_rng::StdRng;
 
 /// `delacroix.xml` from the paper's Figure 3.
 pub fn delacroix_xml() -> &'static str {
@@ -29,8 +28,16 @@ const PAINTERS: &[(&str, &str)] = &[
     ("Camille", "Pissarro"),
 ];
 
-const SUBJECTS: &[&str] =
-    &["Lion", "Hunt", "Olympia", "Garden", "Harbor", "Cathedral", "Storm", "Dancer"];
+const SUBJECTS: &[&str] = &[
+    "Lion",
+    "Hunt",
+    "Olympia",
+    "Garden",
+    "Harbor",
+    "Cathedral",
+    "Storm",
+    "Dancer",
+];
 
 const MUSEUMS: &[&str] = &["Louvre", "Orsay", "Prado", "Uffizi", "Hermitage"];
 
@@ -63,18 +70,24 @@ pub fn generate_gallery(seed: u64, n_paintings: usize, n_museums: usize) -> Vec<
              <painter><name><first>{first}</first><last>{last}</last></name></painter></painting>"
         );
         ids.push(id.clone());
-        docs.push(GalleryDoc { uri: format!("painting-{i:04}.xml"), xml });
+        docs.push(GalleryDoc {
+            uri: format!("painting-{i:04}.xml"),
+            xml,
+        });
     }
     for m in 0..n_museums {
         let name = MUSEUMS[m % MUSEUMS.len()];
         let mut xml = format!("<museum><name>{name}</name>");
-        let count = rng.gen_range(2..=5).min(ids.len());
+        let count = rng.gen_range(2..=5usize).min(ids.len());
         for _ in 0..count {
             let id = &ids[rng.gen_range(0..ids.len())];
             xml.push_str(&format!("<painting id=\"{id}\"/>"));
         }
         xml.push_str("</museum>");
-        docs.push(GalleryDoc { uri: format!("museum-{m:02}.xml"), xml });
+        docs.push(GalleryDoc {
+            uri: format!("museum-{m:02}.xml"),
+            xml,
+        });
     }
     docs
 }
@@ -88,7 +101,10 @@ pub fn figure2_queries() -> Vec<(&'static str, &'static str)> {
         // q2: descriptions of paintings from 1854.
         ("q2", "//painting[//description{cont}, /year{=1854}]"),
         // q3: last name of painters of paintings whose name contains "Lion".
-        ("q3", "//painting[/name{contains(Lion)}, //painter[/name[/last{val}]]]"),
+        (
+            "q3",
+            "//painting[/name{contains(Lion)}, //painter[/name[/last{val}]]]",
+        ),
         // q4: names of paintings by Manet created in (1854, 1865].
         (
             "q4",

@@ -5,27 +5,25 @@
 //! whose document frequency the generator controls precisely, so that
 //! `contains(...)` queries have known, reproducible selectivities.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use amada_rng::StdRng;
 
 /// The base vocabulary (uniformly sampled filler words).
 pub const VOCABULARY: &[&str] = &[
     "against", "alarum", "ancient", "appear", "arms", "attend", "banish", "battle", "bear",
-    "beauty", "bed", "blood", "bosom", "breath", "brother", "business", "call", "cause",
-    "charge", "cheek", "command", "content", "crown", "daughter", "dead", "death", "deed",
-    "desire", "devil", "door", "doubt", "dream", "duke", "earth", "enemy", "england", "eye",
-    "face", "fair", "faith", "father", "fear", "field", "fire", "flesh", "follow", "fool",
-    "fortune", "france", "friend", "gentle", "give", "grace", "grave", "great", "grief",
-    "hand", "happy", "hard", "hast", "hath", "head", "hear", "heart", "heaven", "hold",
-    "honour", "hope", "horse", "hour", "house", "husband", "keep", "king", "kiss", "knight",
-    "lady", "land", "leave", "letter", "light", "live", "london", "look", "lord", "love",
-    "madam", "majesty", "marry", "master", "mean", "mind", "mother", "mouth", "music",
-    "name", "nature", "night", "noble", "nothing", "offer", "part", "peace", "person",
-    "play", "pleasure", "poor", "power", "praise", "pray", "prince", "promise", "proud",
-    "queen", "quick", "reason", "rest", "rich", "right", "royal", "sea", "send", "service",
-    "shame", "sleep", "son", "soul", "speak", "spirit", "stand", "state", "stay", "strange",
-    "strong", "sweet", "sword", "tear", "tell", "thank", "thought", "time", "tongue",
-    "touch", "town", "true", "truth", "turn", "virtue", "voice", "war", "watch", "water",
+    "beauty", "bed", "blood", "bosom", "breath", "brother", "business", "call", "cause", "charge",
+    "cheek", "command", "content", "crown", "daughter", "dead", "death", "deed", "desire", "devil",
+    "door", "doubt", "dream", "duke", "earth", "enemy", "england", "eye", "face", "fair", "faith",
+    "father", "fear", "field", "fire", "flesh", "follow", "fool", "fortune", "france", "friend",
+    "gentle", "give", "grace", "grave", "great", "grief", "hand", "happy", "hard", "hast", "hath",
+    "head", "hear", "heart", "heaven", "hold", "honour", "hope", "horse", "hour", "house",
+    "husband", "keep", "king", "kiss", "knight", "lady", "land", "leave", "letter", "light",
+    "live", "london", "look", "lord", "love", "madam", "majesty", "marry", "master", "mean",
+    "mind", "mother", "mouth", "music", "name", "nature", "night", "noble", "nothing", "offer",
+    "part", "peace", "person", "play", "pleasure", "poor", "power", "praise", "pray", "prince",
+    "promise", "proud", "queen", "quick", "reason", "rest", "rich", "right", "royal", "sea",
+    "send", "service", "shame", "sleep", "son", "soul", "speak", "spirit", "stand", "state",
+    "stay", "strange", "strong", "sweet", "sword", "tear", "tell", "thank", "thought", "time",
+    "tongue", "touch", "town", "true", "truth", "turn", "virtue", "voice", "war", "watch", "water",
     "wife", "wind", "wisdom", "wish", "word", "world", "worth", "youth",
 ];
 
@@ -53,7 +51,7 @@ pub fn push_words(rng: &mut StdRng, n: usize, out: &mut String) {
 /// `contains` predicates stay selective at document granularity).
 pub fn gen_name_plain(rng: &mut StdRng) -> String {
     let mut s = String::new();
-    let n = rng.gen_range(2..5);
+    let n = rng.gen_range(2..5usize);
     push_words(rng, n, &mut s);
     s
 }
@@ -64,7 +62,7 @@ pub fn gen_name_plain(rng: &mut StdRng) -> String {
 pub fn gen_name(rng: &mut StdRng) -> String {
     let mut s = gen_name_plain(rng);
     for &(word, permille) in MARKERS {
-        if rng.gen_range(0..1000) < permille {
+        if rng.gen_range(0..1000u32) < permille {
             s.push(' ');
             s.push_str(word);
         }
@@ -87,7 +85,6 @@ pub fn gen_text(rng: &mut StdRng, target_len: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn gen_text_reaches_target_length() {

@@ -85,7 +85,9 @@ pub fn workload() -> Vec<Query> {
 
 /// Looks a workload query up by name (`"q1"` … `"q10"`).
 pub fn workload_query(name: &str) -> Option<Query> {
-    workload().into_iter().find(|q| q.name.as_deref() == Some(name))
+    workload()
+        .into_iter()
+        .find(|q| q.name.as_deref() == Some(name))
 }
 
 #[cfg(test)]
@@ -111,7 +113,11 @@ mod tests {
 
     #[test]
     fn workload_has_nontrivial_results_on_default_corpus() {
-        let cfg = CorpusConfig { num_documents: 60, target_doc_bytes: 2048, ..Default::default() };
+        let cfg = CorpusConfig {
+            num_documents: 60,
+            target_doc_bytes: 2048,
+            ..Default::default()
+        };
         let docs: Vec<Document> = generate_corpus(&cfg)
             .iter()
             .map(|d| Document::parse_str(&d.uri, &d.xml).unwrap())

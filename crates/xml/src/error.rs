@@ -81,13 +81,22 @@ impl XmlError {
                 col += 1;
             }
         }
-        XmlError { kind, offset, line, column: col }
+        XmlError {
+            kind,
+            offset,
+            line,
+            column: col,
+        }
     }
 }
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at line {}, column {}: {}", self.line, self.column, self.kind)
+        write!(
+            f,
+            "XML parse error at line {}, column {}: {}",
+            self.line, self.column, self.kind
+        )
     }
 }
 
@@ -115,7 +124,11 @@ mod tests {
 
     #[test]
     fn unexpected_byte_displays_printable_and_hex() {
-        assert!(XmlErrorKind::UnexpectedByte(b'<').to_string().contains("'<'"));
-        assert!(XmlErrorKind::UnexpectedByte(0x01).to_string().contains("0x01"));
+        assert!(XmlErrorKind::UnexpectedByte(b'<')
+            .to_string()
+            .contains("'<'"));
+        assert!(XmlErrorKind::UnexpectedByte(0x01)
+            .to_string()
+            .contains("0x01"));
     }
 }

@@ -60,7 +60,10 @@ impl Interner {
 
     /// Iterates over `(Sym, name)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (Sym(i as u32), n.as_ref()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_ref()))
     }
 }
 

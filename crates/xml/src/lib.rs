@@ -44,3 +44,11 @@ pub use node::{NodeData, NodeId, NodeKind};
 pub use sid::StructuralId;
 pub use tree::Document;
 pub use words::tokenize;
+
+// Parsed documents are shared across host threads (the warehouse's
+// parallel cache-prewarm stage); keep that guaranteed at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Document>();
+    assert_send_sync::<Interner>();
+};

@@ -60,7 +60,11 @@ impl NodeData {
     /// The structural identifier of the node sitting at arena index `index`.
     #[inline]
     pub(crate) fn sid(&self, index: usize) -> StructuralId {
-        StructuralId { pre: index as u32 + 1, post: self.post, depth: self.depth }
+        StructuralId {
+            pre: index as u32 + 1,
+            post: self.post,
+            depth: self.depth,
+        }
     }
 }
 

@@ -215,7 +215,9 @@ impl<'a> Parser<'a> {
             self.pos += 2;
             self.consume_until(b"?>")
         } else {
-            Err(self.err(XmlErrorKind::UnexpectedByte(rest.get(1).copied().unwrap_or(b'!'))))
+            Err(self.err(XmlErrorKind::UnexpectedByte(
+                rest.get(1).copied().unwrap_or(b'!'),
+            )))
         }
     }
 
@@ -412,7 +414,10 @@ impl<'a> Parser<'a> {
             depth,
         });
         if let Some(p) = parent {
-            let slot = self.last_child.last_mut().expect("stack and last_child in sync");
+            let slot = self
+                .last_child
+                .last_mut()
+                .expect("stack and last_child in sync");
             if *slot == NodeId::NONE {
                 self.nodes[p].first_child = idx as u32;
             } else {
@@ -591,11 +596,8 @@ mod tests {
 
     #[test]
     fn post_order_is_a_permutation() {
-        let doc = Document::parse_str(
-            "t.xml",
-            "<a p=\"1\"><b><c>t</c></b><d>u<e/>v</d></a>",
-        )
-        .unwrap();
+        let doc =
+            Document::parse_str("t.xml", "<a p=\"1\"><b><c>t</c></b><d>u<e/>v</d></a>").unwrap();
         let mut posts: Vec<u32> = doc.all_nodes().map(|n| doc.sid(n).post).collect();
         posts.sort_unstable();
         let expect: Vec<u32> = (1..=doc.node_count() as u32).collect();

@@ -124,8 +124,7 @@ mod tests {
 
     #[test]
     fn subtree_serialization() {
-        let doc =
-            Document::parse_str("d.xml", "<a><b k=\"v\"><c>x</c></b><d/></a>").unwrap();
+        let doc = Document::parse_str("d.xml", "<a><b k=\"v\"><c>x</c></b><d/></a>").unwrap();
         let b = doc.elements_named("b")[0];
         assert_eq!(doc.serialize_subtree(b), "<b k=\"v\"><c>x</c></b>");
         let k = doc.attributes_named("k")[0];

@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn ordering_is_by_pre() {
-        let mut v = vec![NAME2, AT_ID, TEXT1, NAME1, PAINTING];
+        let mut v = [NAME2, AT_ID, TEXT1, NAME1, PAINTING];
         v.sort();
         let pres: Vec<u32> = v.iter().map(|s| s.pre).collect();
         assert_eq!(pres, [1, 2, 3, 4, 6]);

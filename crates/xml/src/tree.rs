@@ -58,7 +58,14 @@ impl Document {
                 map.entry(sym).or_default().push(NodeId(i as u32));
             }
         }
-        Document { uri, nodes, interner, element_postings, attribute_postings, source_bytes }
+        Document {
+            uri,
+            nodes,
+            interner,
+            element_postings,
+            attribute_postings,
+            source_bytes,
+        }
     }
 
     /// The document's URI (its object name in the cloud file store).
@@ -139,28 +146,38 @@ impl Document {
     /// Iterates the node's children (attributes first, then content) in
     /// document order.
     pub fn children(&self, id: NodeId) -> Children<'_> {
-        Children { doc: self, next: self.data(id).first_child }
+        Children {
+            doc: self,
+            next: self.data(id).first_child,
+        }
     }
 
     /// Iterates only the element children.
     pub fn element_children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.children(id).filter(|&c| self.kind(c) == NodeKind::Element)
+        self.children(id)
+            .filter(|&c| self.kind(c) == NodeKind::Element)
     }
 
     /// Iterates only the attribute nodes of an element.
     pub fn attributes(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.children(id).take_while(|&c| self.kind(c) == NodeKind::Attribute)
+        self.children(id)
+            .take_while(|&c| self.kind(c) == NodeKind::Attribute)
     }
 
     /// Looks up an attribute by name.
     pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
         let sym = self.interner.lookup(name)?;
-        self.attributes(id).find(|&a| self.sym(a) == Some(sym)).and_then(|a| self.value(a))
+        self.attributes(id)
+            .find(|&a| self.sym(a) == Some(sym))
+            .and_then(|a| self.value(a))
     }
 
     /// Iterates the strict ancestors of `id`, nearest first.
     pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
-        Ancestors { doc: self, next: self.data(id).parent }
+        Ancestors {
+            doc: self,
+            next: self.data(id).parent,
+        }
     }
 
     /// All descendants of `id` (excluding `id`), in document order.
@@ -193,12 +210,16 @@ impl Document {
 
     /// Iterates `(name, nodes)` for every distinct element label.
     pub fn element_labels(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
-        self.element_postings.iter().map(|(s, v)| (self.interner.resolve(*s), v.as_slice()))
+        self.element_postings
+            .iter()
+            .map(|(s, v)| (self.interner.resolve(*s), v.as_slice()))
     }
 
     /// Iterates `(name, nodes)` for every distinct attribute name.
     pub fn attribute_labels(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
-        self.attribute_postings.iter().map(|(s, v)| (self.interner.resolve(*s), v.as_slice()))
+        self.attribute_postings
+            .iter()
+            .map(|(s, v)| (self.interner.resolve(*s), v.as_slice()))
     }
 
     /// The *string value* of a node (XQuery data model): for text and
@@ -207,9 +228,7 @@ impl Document {
     /// pattern node returns (Section 4).
     pub fn string_value(&self, id: NodeId) -> String {
         match self.kind(id) {
-            NodeKind::Text | NodeKind::Attribute => {
-                self.value(id).unwrap_or_default().to_string()
-            }
+            NodeKind::Text | NodeKind::Attribute => self.value(id).unwrap_or_default().to_string(),
             NodeKind::Element => {
                 let mut out = String::new();
                 self.collect_text(id, &mut out);
@@ -310,11 +329,12 @@ mod tests {
     fn figure3_structural_ids_match_paper() {
         let d = doc();
         // Paper Section 5.3: ename -> (3,3,2)(6,8,3); aid -> (2,1,2).
-        let names: Vec<StructuralId> =
-            d.elements_named("name").iter().map(|&n| d.sid(n)).collect();
-        assert_eq!(names, [StructuralId::new(3, 3, 2), StructuralId::new(6, 8, 3)]);
-        let ids: Vec<StructuralId> =
-            d.attributes_named("id").iter().map(|&n| d.sid(n)).collect();
+        let names: Vec<StructuralId> = d.elements_named("name").iter().map(|&n| d.sid(n)).collect();
+        assert_eq!(
+            names,
+            [StructuralId::new(3, 3, 2), StructuralId::new(6, 8, 3)]
+        );
+        let ids: Vec<StructuralId> = d.attributes_named("id").iter().map(|&n| d.sid(n)).collect();
         assert_eq!(ids, [StructuralId::new(2, 1, 2)]);
     }
 
@@ -325,7 +345,10 @@ mod tests {
         assert_eq!(d.name(root), Some("painting"));
         assert_eq!(d.parent(root), None);
         assert_eq!(d.attribute(root, "id"), Some("1854-1"));
-        let kids: Vec<_> = d.element_children(root).map(|c| d.name(c).unwrap()).collect();
+        let kids: Vec<_> = d
+            .element_children(root)
+            .map(|c| d.name(c).unwrap())
+            .collect();
         assert_eq!(kids, ["name", "painter"]);
     }
 
@@ -351,8 +374,7 @@ mod tests {
     fn descendants_are_contiguous_preorder_range() {
         let d = doc();
         let painter = d.elements_named("painter")[0];
-        let descendant_names: Vec<_> =
-            d.descendants(painter).filter_map(|n| d.name(n)).collect();
+        let descendant_names: Vec<_> = d.descendants(painter).filter_map(|n| d.name(n)).collect();
         assert_eq!(descendant_names, ["name", "first", "last"]);
         // descendants of the root = everything else
         assert_eq!(d.descendants(d.root()).count(), d.node_count() - 1);

@@ -1,8 +1,12 @@
 //! Property-based tests for the XML substrate: serialization round-trips
 //! and the (pre, post, depth) structural-identifier invariants.
+//!
+//! Inputs are generated with the workspace's own deterministic RNG
+//! (`amada-rng`): each case derives from `(fixed master seed, case
+//! index)`, so failures reproduce exactly and report the case index.
 
+use amada_rng::StdRng;
 use amada_xml::{Document, NodeKind};
-use proptest::prelude::*;
 
 /// A recursively generated XML element as a value tree.
 #[derive(Debug, Clone)]
@@ -18,36 +22,60 @@ enum GenContent {
     Text(String),
 }
 
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}"
+/// `[a-z][a-z0-9_]{0,6}`.
+fn gen_name(rng: &mut StdRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut s = String::new();
+    s.push(*rng.choose(FIRST) as char);
+    for _ in 0..rng.gen_range(0..=6usize) {
+        s.push(*rng.choose(REST) as char);
+    }
+    s
 }
 
-fn text_strategy() -> impl Strategy<Value = String> {
-    // Includes XML-special characters to exercise escaping.
-    "[ a-zA-Z0-9<>&\"']{1,20}".prop_filter("non-whitespace", |s| !s.trim().is_empty())
+/// Non-whitespace-only text over `[ a-zA-Z0-9<>&"']{1,20}` — includes the
+/// XML-special characters to exercise escaping.
+fn gen_text(rng: &mut StdRng) -> String {
+    const CHARS: &[u8] = b" abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789<>&\"'";
+    loop {
+        let n = rng.gen_range(1..=20usize);
+        let s: String = (0..n).map(|_| *rng.choose(CHARS) as char).collect();
+        if !s.trim().is_empty() {
+            return s;
+        }
+    }
 }
 
-fn elem_strategy() -> impl Strategy<Value = GenElem> {
-    let leaf = (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3))
-        .prop_map(|(name, attrs)| GenElem { name, attrs: dedup_attrs(attrs), children: vec![] });
-    leaf.prop_recursive(4, 64, 5, |inner| {
-        (
-            name_strategy(),
-            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
-            prop::collection::vec(
-                prop_oneof![
-                    inner.prop_map(GenContent::Elem),
-                    text_strategy().prop_map(GenContent::Text)
-                ],
-                0..5,
-            ),
-        )
-            .prop_map(|(name, attrs, children)| GenElem {
-                name,
-                attrs: dedup_attrs(attrs),
-                children,
+fn gen_attrs(rng: &mut StdRng) -> Vec<(String, String)> {
+    let attrs: Vec<(String, String)> = (0..rng.gen_range(0..3usize))
+        .map(|_| (gen_name(rng), gen_text(rng)))
+        .collect();
+    dedup_attrs(attrs)
+}
+
+/// A random element with at most `depth` further levels below it.
+fn gen_elem(rng: &mut StdRng, depth: u32) -> GenElem {
+    let name = gen_name(rng);
+    let attrs = gen_attrs(rng);
+    let children = if depth == 0 {
+        Vec::new()
+    } else {
+        (0..rng.gen_range(0..5usize))
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    GenContent::Elem(gen_elem(rng, depth - 1))
+                } else {
+                    GenContent::Text(gen_text(rng))
+                }
             })
-    })
+            .collect()
+    };
+    GenElem {
+        name,
+        attrs,
+        children,
+    }
 }
 
 fn dedup_attrs(mut attrs: Vec<(String, String)>) -> Vec<(String, String)> {
@@ -82,72 +110,80 @@ fn render(e: &GenElem, out: &mut String) {
     out.push('>');
 }
 
-proptest! {
-    /// parse ∘ serialize ∘ parse is the identity on document structure.
-    #[test]
-    fn round_trip_preserves_structure(e in elem_strategy()) {
+/// Runs `check` on `cases` generated documents, reporting the failing
+/// case's index and source on panic.
+fn for_random_docs(cases: u64, check: impl Fn(&Document, &str)) {
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0xD0C5_0000 + case);
+        let e = gen_elem(&mut rng, 4);
         let mut src = String::new();
         render(&e, &mut src);
-        let doc = Document::parse_str("p.xml", &src).unwrap();
+        let doc = Document::parse_str("p.xml", &src)
+            .unwrap_or_else(|err| panic!("case {case}: parse failed: {err}\n{src}"));
+        check(&doc, &src);
+    }
+}
+
+/// parse ∘ serialize ∘ parse is the identity on document structure.
+#[test]
+fn round_trip_preserves_structure() {
+    for_random_docs(256, |doc, _| {
         let out = doc.to_xml();
         let doc2 = Document::parse_str("p.xml", &out).unwrap();
-        prop_assert_eq!(doc.node_count(), doc2.node_count());
+        assert_eq!(doc.node_count(), doc2.node_count(), "{out}");
         for (a, b) in doc.all_nodes().zip(doc2.all_nodes()) {
-            prop_assert_eq!(doc.kind(a), doc2.kind(b));
-            prop_assert_eq!(doc.sid(a), doc2.sid(b));
-            prop_assert_eq!(doc.name(a), doc2.name(b));
-            prop_assert_eq!(doc.value(a), doc2.value(b));
+            assert_eq!(doc.kind(a), doc2.kind(b), "{out}");
+            assert_eq!(doc.sid(a), doc2.sid(b), "{out}");
+            assert_eq!(doc.name(a), doc2.name(b), "{out}");
+            assert_eq!(doc.value(a), doc2.value(b), "{out}");
         }
         // Serialization is a fixpoint after one round.
-        prop_assert_eq!(doc2.to_xml(), out);
-    }
+        assert_eq!(doc2.to_xml(), out);
+    });
+}
 
-    /// pre and post are permutations of 1..=n; depth of root is 1.
-    #[test]
-    fn pre_post_are_permutations(e in elem_strategy()) {
-        let mut src = String::new();
-        render(&e, &mut src);
-        let doc = Document::parse_str("p.xml", &src).unwrap();
+/// pre and post are permutations of 1..=n; depth of root is 1.
+#[test]
+fn pre_post_are_permutations() {
+    for_random_docs(256, |doc, src| {
         let n = doc.node_count() as u32;
         let mut pres: Vec<u32> = doc.all_nodes().map(|i| doc.sid(i).pre).collect();
         let mut posts: Vec<u32> = doc.all_nodes().map(|i| doc.sid(i).post).collect();
         pres.sort_unstable();
         posts.sort_unstable();
         let expect: Vec<u32> = (1..=n).collect();
-        prop_assert_eq!(&pres, &expect);
-        prop_assert_eq!(&posts, &expect);
-        prop_assert_eq!(doc.sid(doc.root()).depth, 1);
-    }
+        assert_eq!(pres, expect, "{src}");
+        assert_eq!(posts, expect, "{src}");
+        assert_eq!(doc.sid(doc.root()).depth, 1, "{src}");
+    });
+}
 
-    /// The ID algebra agrees with actual tree navigation: for every pair of
-    /// nodes, `is_ancestor_of` iff walking parents reaches the other node,
-    /// and `is_parent_of` iff it is the direct parent.
-    #[test]
-    fn id_algebra_matches_tree(e in elem_strategy()) {
-        let mut src = String::new();
-        render(&e, &mut src);
-        let doc = Document::parse_str("p.xml", &src).unwrap();
+/// The ID algebra agrees with actual tree navigation: for every pair of
+/// nodes, `is_ancestor_of` iff walking parents reaches the other node,
+/// and `is_parent_of` iff it is the direct parent.
+#[test]
+fn id_algebra_matches_tree() {
+    for_random_docs(128, |doc, src| {
         let nodes: Vec<_> = doc.all_nodes().collect();
         for &a in nodes.iter().take(30) {
             for &d in nodes.iter().take(30) {
                 let really_ancestor = doc.ancestors(d).any(|x| x == a);
-                prop_assert_eq!(
+                assert_eq!(
                     doc.sid(a).is_ancestor_of(&doc.sid(d)),
                     really_ancestor,
-                    "ancestor mismatch for {:?} vs {:?}", a, d
+                    "ancestor mismatch for {a:?} vs {d:?} in {src}"
                 );
                 let really_parent = doc.parent(d) == Some(a);
-                prop_assert_eq!(doc.sid(a).is_parent_of(&doc.sid(d)), really_parent);
+                assert_eq!(doc.sid(a).is_parent_of(&doc.sid(d)), really_parent, "{src}");
             }
         }
-    }
+    });
+}
 
-    /// string_value equals the concatenation of descendant text nodes.
-    #[test]
-    fn string_value_is_descendant_text(e in elem_strategy()) {
-        let mut src = String::new();
-        render(&e, &mut src);
-        let doc = Document::parse_str("p.xml", &src).unwrap();
+/// string_value equals the concatenation of descendant text nodes.
+#[test]
+fn string_value_is_descendant_text() {
+    for_random_docs(256, |doc, src| {
         let root = doc.root();
         let mut expected = String::new();
         for d in doc.descendants(root) {
@@ -155,6 +191,6 @@ proptest! {
                 expected.push_str(doc.value(d).unwrap());
             }
         }
-        prop_assert_eq!(doc.string_value(root), expected);
-    }
+        assert_eq!(doc.string_value(root), expected, "{src}");
+    });
 }

@@ -17,7 +17,10 @@ fn main() {
     // 20 000 documents, 40 GB, LUP index ≈ 55 GB with full text.
     let model = CostModel::default();
     println!("== Section 7 cost model, paper-scale inputs ==");
-    println!("upload 20 000 documents:        {}", model.upload_documents(20_000));
+    println!(
+        "upload 20 000 documents:        {}",
+        model.upload_documents(20_000)
+    );
     let ci = model.index_building(
         20_000,
         140_000_000, // billed write units for a ~55 GB index
@@ -62,7 +65,13 @@ fn main() {
             "{:<28} storage {} / month, indexed query {}",
             m.prices.provider,
             m.monthly_storage(40_000_000_000, 55_000_000_000),
-            m.query_indexed(500_000, 100, 350, SimDuration::from_secs(12), InstanceType::Large),
+            m.query_indexed(
+                500_000,
+                100,
+                350,
+                SimDuration::from_secs(12),
+                InstanceType::Large
+            ),
         );
     }
 
@@ -75,12 +84,23 @@ fn main() {
 
     // ----- 4. The index advisor on a live sample.
     println!("\n== Index advisor (paper Section 9 future work) ==");
-    let sample_cfg = CorpusConfig { num_documents: 120, ..Default::default() };
-    let sample: Vec<(String, String)> =
-        generate_corpus(&sample_cfg).into_iter().map(|d| (d.uri, d.xml)).collect();
+    let sample_cfg = CorpusConfig {
+        num_documents: 120,
+        ..Default::default()
+    };
+    let sample: Vec<(String, String)> = generate_corpus(&sample_cfg)
+        .into_iter()
+        .map(|d| (d.uri, d.xml))
+        .collect();
     let queries = workload();
     for expected_runs in [5u32, 500] {
-        let advice = advise(&sample, &queries, expected_runs, 1.0, &WarehouseConfig::default());
+        let advice = advise(
+            &sample,
+            &queries,
+            expected_runs,
+            1.0,
+            &WarehouseConfig::default(),
+        );
         println!("\nexpected workload runs: {expected_runs}");
         println!(
             "  {:<8} {:>14} {:>14} {:>14} {:>14}",
@@ -99,7 +119,11 @@ fn main() {
         println!(
             "  no-index baseline projected: {} -> indexing {}",
             advice.no_index_total,
-            if advice.indexing_pays_off() { "pays off" } else { "does not pay off yet" }
+            if advice.indexing_pays_off() {
+                "pays off"
+            } else {
+                "does not pay off yet"
+            }
         );
     }
 
@@ -115,7 +139,11 @@ fn main() {
                 h.branches,
                 h.estimated_selectivity,
                 h.cooccurrence_gap,
-                if h.use_fine_granularity { "LUI/2LUPI" } else { "LU/LUP" }
+                if h.use_fine_granularity {
+                    "LUI/2LUPI"
+                } else {
+                    "LU/LUP"
+                }
             );
         }
     }

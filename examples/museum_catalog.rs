@@ -63,9 +63,16 @@ fn main() {
     let mut q5 = parse_query(text).unwrap();
     q5.name = Some(name.into());
     let run = w.run_query(&q5);
-    println!("museums exposing paintings by Delacroix ({} joined tuples):", run.exec.results.len());
-    let mut museums: Vec<&str> =
-        run.exec.results.iter().map(|t| t.columns[0].as_str()).collect();
+    println!(
+        "museums exposing paintings by Delacroix ({} joined tuples):",
+        run.exec.results.len()
+    );
+    let mut museums: Vec<&str> = run
+        .exec
+        .results
+        .iter()
+        .map(|t| t.columns[0].as_str())
+        .collect();
     museums.sort();
     museums.dedup();
     for m in museums {

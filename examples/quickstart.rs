@@ -23,7 +23,10 @@ fn main() {
         ("delacroix.xml", delacroix_xml()),
         ("manet.xml", manet_xml()),
     ]);
-    println!("uploaded {} documents ({} bytes) for {}", upload.documents, upload.bytes, upload.cost);
+    println!(
+        "uploaded {} documents ({} bytes) for {}",
+        upload.documents, upload.bytes, upload.cost
+    );
 
     // 3. Build the index: 8 large EC2 instances drain the loader queue,
     //    extract `key(n) -> (URI, paths)` entries and batch-write them to
@@ -39,10 +42,8 @@ fn main() {
     // 4. Ask for painters of paintings whose name contains "Lion"
     //    (the paper's q3).
     let q3 = {
-        let mut q = parse_query(
-            "//painting[/name{contains(Lion)}, //painter[/name[/last{val}]]]",
-        )
-        .unwrap();
+        let mut q =
+            parse_query("//painting[/name{contains(Lion)}, //painter[/name[/last{val}]]]").unwrap();
         q.name = Some("q3".into());
         q
     };

@@ -21,7 +21,10 @@ fn main() {
         .and_then(|a| Strategy::parse(&a))
         .unwrap_or(Strategy::Lup);
 
-    let corpus_cfg = CorpusConfig { num_documents: docs, ..Default::default() };
+    let corpus_cfg = CorpusConfig {
+        num_documents: docs,
+        ..Default::default()
+    };
     let corpus = generate_corpus(&corpus_cfg);
     let bytes: usize = corpus.iter().map(|d| d.xml.len()).sum();
     println!(

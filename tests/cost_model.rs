@@ -8,14 +8,24 @@ use amada::warehouse::{CostModel, Warehouse, WarehouseConfig};
 use amada::xmark::{generate_corpus, workload_query, CorpusConfig};
 
 fn corpus(n: usize) -> Vec<(String, String)> {
-    let cfg = CorpusConfig { num_documents: n, target_doc_bytes: 1500, ..Default::default() };
-    generate_corpus(&cfg).into_iter().map(|d| (d.uri, d.xml)).collect()
+    let cfg = CorpusConfig {
+        num_documents: n,
+        target_doc_bytes: 1500,
+        ..Default::default()
+    };
+    generate_corpus(&cfg)
+        .into_iter()
+        .map(|d| (d.uri, d.xml))
+        .collect()
 }
 
 fn close(a: Money, b: Money, tolerance: f64, what: &str) {
     let (a, b) = (a.dollars(), b.dollars());
     let rel = (a - b).abs() / b.max(1e-15);
-    assert!(rel < tolerance, "{what}: formula {a} vs metered {b} (rel {rel:.4})");
+    assert!(
+        rel < tolerance,
+        "{what}: formula {a} vs metered {b} (rel {rel:.4})"
+    );
 }
 
 #[test]
@@ -48,7 +58,12 @@ fn indexing_cost_matches_formula() {
         // instance for the exact wall window; the metered run includes
         // polls and per-instance drain jitter. They must agree within a
         // few percent.
-        close(formula, report.cost.total() + up.cost, 0.05, &format!("ci$ {strategy}"));
+        close(
+            formula,
+            report.cost.total() + up.cost,
+            0.05,
+            &format!("ci$ {strategy}"),
+        );
         // The index-store component is exact by construction.
         assert_eq!(report.cost.kv, model.prices.idx_put * put_ops);
     }
@@ -99,7 +114,11 @@ fn scan_query_cost_matches_formula() {
         amada::cloud::InstanceType::Large,
     );
     close(formula, run.cost.total(), 0.10, "cq$ no-index");
-    assert_eq!(run.cost.kv, Money::ZERO, "a scan never touches the index store");
+    assert_eq!(
+        run.cost.kv,
+        Money::ZERO,
+        "a scan never touches the index store"
+    );
 }
 
 #[test]
@@ -110,7 +129,6 @@ fn storage_cost_matches_formula_exactly() {
     w.build_index();
     let model = CostModel::default();
     let kv = w.world().kv.stats();
-    let expected =
-        model.monthly_storage(w.world().s3.stats().stored_bytes, kv.stored_bytes());
+    let expected = model.monthly_storage(w.world().s3.stats().stored_bytes, kv.stored_bytes());
     assert_eq!(w.storage_cost().total(), expected);
 }

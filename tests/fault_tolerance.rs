@@ -12,8 +12,15 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 fn corpus(n: usize) -> Vec<(String, String)> {
-    let cfg = CorpusConfig { num_documents: n, target_doc_bytes: 1200, ..Default::default() };
-    generate_corpus(&cfg).into_iter().map(|d| (d.uri, d.xml)).collect()
+    let cfg = CorpusConfig {
+        num_documents: n,
+        target_doc_bytes: 1200,
+        ..Default::default()
+    };
+    generate_corpus(&cfg)
+        .into_iter()
+        .map(|d| (d.uri, d.xml))
+        .collect()
 }
 
 /// A loader core that crashes after two documents does not lose work: its
@@ -29,7 +36,7 @@ fn loader_crash_is_recovered_through_lease_expiry() {
 
     // Hand-build the loader pool: one crashing core, one healthy core.
     let totals = Rc::new(RefCell::new(LoaderTotals::default()));
-    let cache: DocCache = Rc::new(RefCell::new(Default::default()));
+    let cache: DocCache = amada_index::ExtractCache::shared();
     let start = w.now();
     let engine = w.engine_mut();
     engine.world.sqs.close(LOADER_QUEUE);
@@ -86,9 +93,12 @@ fn query_processor_crash_is_recovered() {
     let q = workload_query("q1").unwrap();
     let start = w.now();
     let executions = Rc::new(RefCell::new(Vec::new()));
-    let cache: DocCache = Rc::new(RefCell::new(Default::default()));
+    let cache: DocCache = amada_index::ExtractCache::shared();
     let engine = w.engine_mut();
-    let t = engine.world.sqs.send(start, QUERY_QUEUE, format!("q1\n{q}"));
+    let t = engine
+        .world
+        .sqs
+        .send(start, QUERY_QUEUE, format!("q1\n{q}"));
     engine.world.sqs.close(QUERY_QUEUE);
     let mk = |engine: &mut amada::cloud::Engine, crash: Option<u32>| QueryCore {
         instance: engine.world.ec2.launch(InstanceType::Large, t),

@@ -9,8 +9,14 @@ use amada_pattern::parse_query;
 fn replacing_a_document_updates_answers_and_accounting() {
     let mut w = Warehouse::new(WarehouseConfig::with_strategy(Strategy::Lup));
     w.upload_documents([
-        ("p.xml", "<painting><name>Olympia</name><year>1863</year></painting>"),
-        ("q.xml", "<painting><name>The Lion Hunt</name><year>1854</year></painting>"),
+        (
+            "p.xml",
+            "<painting><name>Olympia</name><year>1863</year></painting>",
+        ),
+        (
+            "q.xml",
+            "<painting><name>The Lion Hunt</name><year>1854</year></painting>",
+        ),
     ]);
     w.build_index();
     let by_year = |w: &mut Warehouse, year: &str| {
@@ -32,8 +38,14 @@ fn replacing_a_document_updates_answers_and_accounting() {
     assert_eq!(w.documents().len(), docs_before, "no duplicate URI listing");
     assert_eq!(
         w.corpus_bytes(),
-        w.world().s3.object_size(amada_core::DOC_BUCKET, "p.xml").unwrap()
-            + w.world().s3.object_size(amada_core::DOC_BUCKET, "q.xml").unwrap(),
+        w.world()
+            .s3
+            .object_size(amada_core::DOC_BUCKET, "p.xml")
+            .unwrap()
+            + w.world()
+                .s3
+                .object_size(amada_core::DOC_BUCKET, "q.xml")
+                .unwrap(),
         "corpus bytes equal the stored bytes after replacement"
     );
     // The new content answers; evaluation filters the stale 1863 entry

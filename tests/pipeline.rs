@@ -10,15 +10,19 @@ use amada::xmark::{generate_corpus, workload, CorpusConfig};
 use amada::xml::Document;
 
 fn corpus(n: usize) -> Vec<(String, String)> {
-    let cfg = CorpusConfig { num_documents: n, target_doc_bytes: 1500, ..Default::default() };
-    generate_corpus(&cfg).into_iter().map(|d| (d.uri, d.xml)).collect()
+    let cfg = CorpusConfig {
+        num_documents: n,
+        target_doc_bytes: 1500,
+        ..Default::default()
+    };
+    generate_corpus(&cfg)
+        .into_iter()
+        .map(|d| (d.uri, d.xml))
+        .collect()
 }
 
 /// Ground truth: evaluate a query directly on the parsed corpus.
-fn direct_results(
-    docs: &[(String, String)],
-    q: &amada::pattern::Query,
-) -> Vec<Vec<String>> {
+fn direct_results(docs: &[(String, String)], q: &amada::pattern::Query) -> Vec<Vec<String>> {
     let parsed: Vec<Document> = docs
         .iter()
         .map(|(u, x)| Document::parse_str(u.clone(), x).unwrap())
@@ -96,8 +100,7 @@ fn no_index_baseline_matches_direct_evaluation() {
     for q in workload().into_iter().take(5) {
         let expected = direct_results(&docs, &q);
         let run = w.run_query_no_index(&q);
-        let mut got: Vec<Vec<String>> =
-            run.exec.results.into_iter().map(|t| t.columns).collect();
+        let mut got: Vec<Vec<String>> = run.exec.results.into_iter().map(|t| t.columns).collect();
         got.sort();
         assert_eq!(got, expected, "query {:?} without index", q.name);
     }

@@ -8,8 +8,15 @@ use amada::warehouse::{Warehouse, WarehouseConfig};
 use amada::xmark::{generate_corpus, workload_query, CorpusConfig};
 
 fn corpus() -> Vec<(String, String)> {
-    let cfg = CorpusConfig { num_documents: 20, target_doc_bytes: 1200, ..Default::default() };
-    generate_corpus(&cfg).into_iter().map(|d| (d.uri, d.xml)).collect()
+    let cfg = CorpusConfig {
+        num_documents: 20,
+        target_doc_bytes: 1200,
+        ..Default::default()
+    };
+    generate_corpus(&cfg)
+        .into_iter()
+        .map(|d| (d.uri, d.xml))
+        .collect()
 }
 
 fn run_on(prices: PriceTable) -> (f64, f64, Vec<Vec<String>>) {
@@ -20,10 +27,13 @@ fn run_on(prices: PriceTable) -> (f64, f64, Vec<Vec<String>>) {
     let build = w.build_index();
     let q = workload_query("q6").unwrap();
     let run = w.run_query(&q);
-    let mut rows: Vec<Vec<String>> =
-        run.exec.results.into_iter().map(|t| t.columns).collect();
+    let mut rows: Vec<Vec<String>> = run.exec.results.into_iter().map(|t| t.columns).collect();
     rows.sort();
-    (build.cost.total().dollars(), run.cost.total().dollars(), rows)
+    (
+        build.cost.total().dollars(),
+        run.cost.total().dollars(),
+        rows,
+    )
 }
 
 #[test]

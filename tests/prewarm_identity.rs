@@ -1,0 +1,62 @@
+//! Host parallelism must be invisible in virtual time: the parallel
+//! cache-prewarm stage only moves host work earlier, so every simulated
+//! outcome — index-build reports, virtual times, costs, query results —
+//! must be identical with prewarming on, off, and under any host thread
+//! count.
+//!
+//! Reports don't implement `PartialEq` (they carry many float-valued cost
+//! fields that should be *bit*-identical here, not approximately equal),
+//! so the comparison goes through their exhaustive `Debug` rendering.
+
+use amada_core::{Warehouse, WarehouseConfig};
+use amada_index::Strategy;
+use amada_xmark::{generate_corpus, CorpusConfig};
+
+fn corpus() -> Vec<(String, String)> {
+    let cfg = CorpusConfig {
+        seed: 0x00AB_1DE5,
+        num_documents: 16,
+        target_doc_bytes: 1000,
+        ..Default::default()
+    };
+    generate_corpus(&cfg)
+        .into_iter()
+        .map(|d| (d.uri, d.xml))
+        .collect()
+}
+
+/// Builds the index and runs part of the workload, returning the Debug
+/// renderings of every report produced along the way.
+fn run(strategy: Strategy, prewarm: bool) -> Vec<String> {
+    let mut cfg = WarehouseConfig::with_strategy(strategy);
+    cfg.host.prewarm = prewarm;
+    let mut w = Warehouse::new(cfg);
+    w.upload_documents(corpus());
+    let mut out = vec![format!("{:?}", w.build_index())];
+    for q in amada_xmark::workload().iter().take(4) {
+        out.push(format!("{:?}", w.run_query(q)));
+    }
+    out
+}
+
+#[test]
+fn prewarm_and_thread_count_do_not_change_virtual_outcomes() {
+    // One test function on purpose: it manipulates the process-wide
+    // AMADA_THREADS variable, which concurrent tests would race on.
+    for strategy in [Strategy::Lu, Strategy::TwoLupi] {
+        let baseline = run(strategy, false);
+        assert_eq!(
+            run(strategy, true),
+            baseline,
+            "{strategy:?}: prewarm on vs off"
+        );
+
+        std::env::set_var("AMADA_THREADS", "1");
+        let one_thread = run(strategy, true);
+        std::env::set_var("AMADA_THREADS", "7");
+        let seven_threads = run(strategy, true);
+        std::env::remove_var("AMADA_THREADS");
+        assert_eq!(one_thread, baseline, "{strategy:?}: 1 host thread");
+        assert_eq!(seven_threads, baseline, "{strategy:?}: 7 host threads");
+    }
+}
