@@ -20,6 +20,7 @@
 //!   more.
 
 use crate::clock::{SimDuration, SimTime};
+use crate::fault::FaultInjector;
 #[cfg(test)]
 use crate::kv::KvValue;
 use crate::kv::{KvError, KvItem, KvProfile, KvStats, KvStore};
@@ -69,6 +70,7 @@ pub struct DynamoDb {
     stats: KvStats,
     writes: ServiceQueue,
     reads: ServiceQueue,
+    faults: FaultInjector,
 }
 
 impl DynamoDb {
@@ -87,7 +89,28 @@ impl DynamoDb {
                 config.read_units_per_sec,
                 config.latency,
             ),
+            faults: FaultInjector::off(),
         }
+    }
+
+    /// Rolls the fault injector for a request that reached the service; a
+    /// throttled attempt bills one capacity unit (the minimum charge for a
+    /// rejected request) and one API round trip, and its failure response
+    /// arrives after the request latency.
+    fn maybe_throttle(&mut self, now: SimTime, is_write: bool) -> Result<(), KvError> {
+        if self.faults.roll() {
+            self.stats.throttled += 1;
+            self.stats.api_requests += 1;
+            let queue = if is_write { &self.writes } else { &self.reads };
+            let available_at = now + queue.latency;
+            if is_write {
+                self.stats.put_ops += 1;
+            } else {
+                self.stats.get_ops += 1;
+            }
+            return Err(KvError::Throttled { available_at });
+        }
+        Ok(())
     }
 
     /// Write capacity consumed by one item: a fixed per-item processing
@@ -177,6 +200,7 @@ impl KvStore for DynamoDb {
             self.validate(item)?;
             units += Self::write_units(item.byte_size());
         }
+        self.maybe_throttle(now, true)?;
         let n = items.len() as u64;
         let t = self.table_mut(table)?;
         let mut raw_delta: i64 = 0;
@@ -209,10 +233,11 @@ impl KvStore for DynamoDb {
         table: &str,
         hash_key: &str,
     ) -> Result<(Vec<KvItem>, SimTime), KvError> {
-        let t = self
-            .tables
-            .get(table)
-            .ok_or_else(|| KvError::NoSuchTable(table.to_string()))?;
+        if !self.tables.contains_key(table) {
+            return Err(KvError::NoSuchTable(table.to_string()));
+        }
+        self.maybe_throttle(now, false)?;
+        let t = self.tables.get(table).expect("checked above");
         let items: Vec<KvItem> = t
             .get(hash_key)
             .map(|rows| rows.values().cloned().collect())
@@ -238,10 +263,11 @@ impl KvStore for DynamoDb {
                 got: hash_keys.len(),
             });
         }
-        let t = self
-            .tables
-            .get(table)
-            .ok_or_else(|| KvError::NoSuchTable(table.to_string()))?;
+        if !self.tables.contains_key(table) {
+            return Err(KvError::NoSuchTable(table.to_string()));
+        }
+        self.maybe_throttle(now, false)?;
+        let t = self.tables.get(table).expect("checked above");
         let mut items = Vec::new();
         for k in hash_keys {
             if let Some(rows) = t.get(k) {
@@ -260,6 +286,30 @@ impl KvStore for DynamoDb {
 
     fn stats(&self) -> KvStats {
         self.stats
+    }
+
+    fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    fn faults_active(&self) -> bool {
+        self.faults.is_active()
+    }
+
+    fn peek_all(&self) -> Vec<(String, KvItem)> {
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        let mut out = Vec::new();
+        for name in names {
+            let mut hashes: Vec<&String> = self.tables[name].keys().collect();
+            hashes.sort();
+            for h in hashes {
+                for item in self.tables[name][h].values() {
+                    out.push((name.clone(), item.clone()));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -426,6 +476,65 @@ mod tests {
                 .unwrap();
         }
         assert!(last2.micros() > 5 * last.micros());
+    }
+
+    #[test]
+    fn throttled_requests_bill_a_unit_and_leave_data_untouched() {
+        let mut db = DynamoDb::default();
+        db.ensure_table("t");
+        db.set_faults(FaultInjector::new(1.0, 11)); // clamped to 0.95
+        let mut throttles = 0;
+        for i in 0..50 {
+            match db.batch_put(
+                SimTime(55),
+                "t",
+                vec![item("k", &format!("r{i}"), "d", KvValue::S(String::new()))],
+            ) {
+                Ok(_) => {}
+                Err(KvError::Throttled { available_at }) => {
+                    assert!(available_at > SimTime(55));
+                    throttles += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(throttles > 0, "a 95% rate throttles within 50 calls");
+        let st = db.stats();
+        assert_eq!(st.throttled, throttles);
+        assert_eq!(st.api_requests, 50);
+        // Only the successful puts landed.
+        assert_eq!(db.peek_all().len(), 50 - throttles as usize);
+    }
+
+    #[test]
+    fn peek_all_is_sorted_and_free() {
+        let mut db = DynamoDb::default();
+        db.ensure_table("t");
+        db.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![
+                item("b", "r", "d", KvValue::S(String::new())),
+                item("a", "r2", "d", KvValue::S(String::new())),
+                item("a", "r1", "d", KvValue::S(String::new())),
+            ],
+        )
+        .unwrap();
+        let before = db.stats();
+        let all = db.peek_all();
+        assert_eq!(db.stats(), before, "peek_all must not bill anything");
+        let keys: Vec<(String, String)> = all
+            .iter()
+            .map(|(_, i)| (i.hash_key.clone(), i.range_key.clone()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a".into(), "r1".into()),
+                ("a".into(), "r2".into()),
+                ("b".into(), "r".into()),
+            ]
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! speedup over \[8\]).
 
 use crate::clock::SimTime;
+use crate::fault::FaultInjector;
 use std::fmt;
 
 /// A value stored under an attribute name.
@@ -123,6 +124,10 @@ pub struct KvStats {
     pub overhead_bytes: u64,
     /// Bytes returned by gets.
     pub bytes_read: u64,
+    /// Requests rejected by the fault injector
+    /// (ProvisionedThroughputExceeded); each one bills a capacity unit
+    /// and an API request but moves no data.
+    pub throttled: u64,
 }
 
 impl KvStats {
@@ -149,6 +154,13 @@ pub enum KvError {
     KeyTooLarge { limit: usize, got: usize },
     /// Operation against a table that was never created.
     NoSuchTable(String),
+    /// Provisioned throughput exceeded — the request was throttled
+    /// (retryable); the failure response arrives at `available_at`. The
+    /// request was still billed.
+    Throttled {
+        /// When the caller learns about the failure.
+        available_at: SimTime,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -173,6 +185,13 @@ impl fmt::Display for KvError {
                 write!(f, "key of {got} bytes exceeds the {limit}-byte limit")
             }
             KvError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            KvError::Throttled { available_at } => {
+                write!(
+                    f,
+                    "provisioned throughput exceeded (response at {:?})",
+                    available_at
+                )
+            }
         }
     }
 }
@@ -217,6 +236,24 @@ pub trait KvStore: Send {
 
     /// Usage counters.
     fn stats(&self) -> KvStats;
+
+    /// Installs a fault injector: subsequent operations may fail with
+    /// [`KvError::Throttled`]. The default implementation ignores it (a
+    /// backend that opts out of fault injection simply never throttles).
+    fn set_faults(&mut self, _faults: FaultInjector) {}
+
+    /// True when a fault injector is installed and active — callers that
+    /// must hand over owned data (e.g. `batch_put` payloads) use this to
+    /// decide whether to keep a retry copy.
+    fn faults_active(&self) -> bool {
+        false
+    }
+
+    /// Host-side snapshot of every item in every table, sorted by
+    /// `(table, hash_key, range_key)`. No request is billed and no
+    /// virtual time passes — this exists for tests that compare whole
+    /// index contents byte-for-byte.
+    fn peek_all(&self) -> Vec<(String, KvItem)>;
 }
 
 /// Convenience: a single-item put.

@@ -26,6 +26,7 @@
 pub mod clock;
 pub mod dynamodb;
 pub mod ec2;
+pub mod fault;
 pub mod kv;
 pub mod money;
 pub mod pricing;
@@ -40,12 +41,13 @@ pub mod workmodel;
 pub use clock::{SimDuration, SimTime};
 pub use dynamodb::{DynamoConfig, DynamoDb};
 pub use ec2::{Ec2, InstanceId, InstanceRecord};
+pub use fault::{FaultConfig, FaultInjector};
 pub use kv::{KvError, KvItem, KvProfile, KvStats, KvStore, KvValue};
 pub use money::Money;
 pub use pricing::{InstanceType, PriceTable};
 pub use s3::{S3Error, S3Stats, S3};
 pub use sim::{Actor, CostReport, CostSnapshot, Engine, KvBackend, StepResult, StorageCost, World};
 pub use simpledb::{SimpleDb, SimpleDbConfig};
-pub use sqs::{Message, Sqs, SqsStats};
+pub use sqs::{Message, Sqs, SqsError, SqsStats};
 pub use tuning::{KvTuning, TunedKvStore};
 pub use workmodel::WorkModel;

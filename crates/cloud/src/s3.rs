@@ -8,6 +8,7 @@
 //! performance, so one namespace is as good as many).
 
 use crate::clock::{SimDuration, SimTime};
+use crate::fault::FaultInjector;
 use crate::service::ServiceQueue;
 use std::collections::HashMap;
 use std::fmt;
@@ -20,6 +21,12 @@ pub enum S3Error {
     NoSuchKey { bucket: String, key: String },
     /// Operation on a bucket that was never created.
     NoSuchBucket(String),
+    /// `503 SlowDown` — the request was throttled (retryable); the failure
+    /// response arrives at `available_at`. The request was still billed.
+    SlowDown {
+        /// When the caller learns about the failure.
+        available_at: SimTime,
+    },
 }
 
 impl fmt::Display for S3Error {
@@ -27,6 +34,9 @@ impl fmt::Display for S3Error {
         match self {
             S3Error::NoSuchKey { bucket, key } => write!(f, "no such key: {bucket}/{key}"),
             S3Error::NoSuchBucket(b) => write!(f, "no such bucket: {b}"),
+            S3Error::SlowDown { available_at } => {
+                write!(f, "503 SlowDown (response at {:?})", available_at)
+            }
         }
     }
 }
@@ -46,6 +56,9 @@ pub struct S3Stats {
     pub bytes_out: u64,
     /// Bytes currently stored (the `s(D)` of the storage cost).
     pub stored_bytes: u64,
+    /// Requests rejected with `SlowDown` by the fault injector (each one
+    /// billed as a request but moving no data).
+    pub throttled: u64,
 }
 
 /// The simulated file store.
@@ -53,6 +66,7 @@ pub struct S3 {
     buckets: HashMap<String, HashMap<String, Arc<Vec<u8>>>>,
     stats: S3Stats,
     transfer: ServiceQueue,
+    faults: FaultInjector,
 }
 
 impl S3 {
@@ -67,7 +81,32 @@ impl S3 {
                 25.0 * 1024.0 * 1024.0,
                 SimDuration::from_millis(12),
             ),
+            faults: FaultInjector::off(),
         }
+    }
+
+    /// Installs a fault injector (replacing any previous one).
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// True when a fault injector with a non-zero rate is installed
+    /// (lets callers skip keeping retry copies of payloads otherwise).
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_active()
+    }
+
+    /// Rolls the fault injector for a data-plane request; on a throttle the
+    /// error response arrives after the request-latency floor (no payload
+    /// was transferred).
+    fn maybe_throttle(&mut self, now: SimTime) -> Result<(), S3Error> {
+        if self.faults.roll() {
+            self.stats.throttled += 1;
+            return Err(S3Error::SlowDown {
+                available_at: now + self.transfer.latency,
+            });
+        }
+        Ok(())
     }
 
     /// Creates a bucket (idempotent).
@@ -83,12 +122,13 @@ impl S3 {
         key: &str,
         data: Vec<u8>,
     ) -> Result<SimTime, S3Error> {
-        let b = self
-            .buckets
-            .get_mut(bucket)
-            .ok_or_else(|| S3Error::NoSuchBucket(bucket.to_string()))?;
-        let len = data.len() as u64;
+        if !self.buckets.contains_key(bucket) {
+            return Err(S3Error::NoSuchBucket(bucket.to_string()));
+        }
         self.stats.put_requests += 1;
+        self.maybe_throttle(now)?;
+        let b = self.buckets.get_mut(bucket).expect("checked above");
+        let len = data.len() as u64;
         self.stats.bytes_in += len;
         if let Some(old) = b.insert(key.to_string(), Arc::new(data)) {
             self.stats.stored_bytes -= old.len() as u64;
@@ -113,6 +153,7 @@ impl S3 {
             key: key.into(),
         })?;
         self.stats.get_requests += 1;
+        self.maybe_throttle(now)?;
         self.stats.bytes_out += data.len() as u64;
         let ready = self.transfer.serve_unqueued(now, data.len() as f64);
         Ok((data, ready))
@@ -218,6 +259,33 @@ mod tests {
         s3.put(SimTime::ZERO, "b", "z", vec![]).unwrap();
         s3.put(SimTime::ZERO, "b", "a", vec![]).unwrap();
         assert_eq!(s3.list("b").unwrap(), ["a", "z"]);
+    }
+
+    #[test]
+    fn throttled_requests_are_billed_but_move_no_data() {
+        use crate::fault::FaultInjector;
+        let mut s3 = S3::new();
+        s3.create_bucket("b");
+        s3.put(SimTime::ZERO, "b", "k", vec![0; 1024]).unwrap();
+        let clean = s3.stats();
+        s3.set_faults(FaultInjector::new(1.0, 9)); // clamped to 0.95
+        let mut throttles = 0;
+        for _ in 0..50 {
+            match s3.get(SimTime(777), "b", "k") {
+                Ok(_) => {}
+                Err(S3Error::SlowDown { available_at }) => {
+                    assert!(available_at > SimTime(777));
+                    throttles += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(throttles > 0, "a 95% rate throttles within 50 calls");
+        let st = s3.stats();
+        assert_eq!(st.get_requests, clean.get_requests + 50);
+        assert_eq!(st.throttled, throttles);
+        // Only the successful gets transferred bytes.
+        assert_eq!(st.bytes_out, (50 - throttles) * 1024);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::clock::SimTime;
 use crate::dynamodb::{DynamoConfig, DynamoDb};
 use crate::ec2::Ec2;
+use crate::fault::FaultConfig;
 use crate::kv::{KvStats, KvStore};
 use crate::money::Money;
 use crate::pricing::PriceTable;
@@ -85,6 +86,16 @@ impl World {
     /// user — the paper's `egress$_GB × |r(q)|` term).
     pub fn egress(&mut self, bytes: u64) {
         self.egress_bytes += bytes;
+    }
+
+    /// Installs the per-service fault injectors derived from `cfg`. With
+    /// the default (all-off) config this leaves the world bit-identical to
+    /// one that never heard of fault injection: inactive injectors draw no
+    /// randomness and fail no requests.
+    pub fn install_faults(&mut self, cfg: &FaultConfig) {
+        self.s3.set_faults(cfg.s3_injector());
+        self.kv.set_faults(cfg.kv_injector());
+        self.sqs.set_faults(cfg.sqs_injector());
     }
 
     /// Captures the current billing counters (for per-phase cost deltas).
@@ -366,7 +377,7 @@ mod tests {
             .put(SimTime::ZERO, "b", "k", vec![0; 1000])
             .unwrap();
         world.sqs.create_queue("q");
-        world.sqs.send(SimTime::ZERO, "q", "m");
+        world.sqs.send(SimTime::ZERO, "q", "m").unwrap();
         world.egress(1_000_000_000);
         let report = world.cost_report();
         assert_eq!(report.s3, world.prices.st_put);

@@ -16,6 +16,7 @@
 //!   concurrent requests than SimpleDB").
 
 use crate::clock::{SimDuration, SimTime};
+use crate::fault::FaultInjector;
 use crate::kv::{KvError, KvItem, KvProfile, KvStats, KvStore};
 use crate::service::ServiceQueue;
 use std::collections::{BTreeMap, HashMap};
@@ -64,6 +65,7 @@ pub struct SimpleDb {
     stats: KvStats,
     writes: ServiceQueue,
     reads: ServiceQueue,
+    faults: FaultInjector,
 }
 
 impl SimpleDb {
@@ -82,7 +84,28 @@ impl SimpleDb {
                 config.read_bytes_per_sec,
                 config.latency,
             ),
+            faults: FaultInjector::off(),
         }
+    }
+
+    /// Rolls the fault injector; a throttled attempt (SimpleDB's
+    /// `ServiceUnavailable`) still bills one box-usage operation and one
+    /// API round trip, and its failure response arrives after the request
+    /// latency.
+    fn maybe_throttle(&mut self, now: SimTime, is_write: bool) -> Result<(), KvError> {
+        if self.faults.roll() {
+            self.stats.throttled += 1;
+            self.stats.api_requests += 1;
+            let queue = if is_write { &self.writes } else { &self.reads };
+            let available_at = now + queue.latency;
+            if is_write {
+                self.stats.put_ops += 1;
+            } else {
+                self.stats.get_ops += 1;
+            }
+            return Err(KvError::Throttled { available_at });
+        }
+        Ok(())
     }
 
     fn validate(&self, item: &KvItem) -> Result<(), KvError> {
@@ -154,10 +177,11 @@ impl KvStore for SimpleDb {
         for item in &items {
             self.validate(item)?;
         }
-        let d = self
-            .domains
-            .get_mut(table)
-            .ok_or_else(|| KvError::NoSuchTable(table.to_string()))?;
+        if !self.domains.contains_key(table) {
+            return Err(KvError::NoSuchTable(table.to_string()));
+        }
+        self.maybe_throttle(now, true)?;
+        let d = self.domains.get_mut(table).expect("checked above");
         let mut bytes = 0usize;
         let n = items.len() as u64;
         let mut total_attr_values = 0u64;
@@ -198,10 +222,11 @@ impl KvStore for SimpleDb {
         table: &str,
         hash_key: &str,
     ) -> Result<(Vec<KvItem>, SimTime), KvError> {
-        let d = self
-            .domains
-            .get(table)
-            .ok_or_else(|| KvError::NoSuchTable(table.to_string()))?;
+        if !self.domains.contains_key(table) {
+            return Err(KvError::NoSuchTable(table.to_string()));
+        }
+        self.maybe_throttle(now, false)?;
+        let d = self.domains.get(table).expect("checked above");
         let items: Vec<KvItem> = d
             .get(hash_key)
             .map(|rows| rows.values().cloned().collect())
@@ -233,6 +258,30 @@ impl KvStore for SimpleDb {
 
     fn stats(&self) -> KvStats {
         self.stats
+    }
+
+    fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    fn faults_active(&self) -> bool {
+        self.faults.is_active()
+    }
+
+    fn peek_all(&self) -> Vec<(String, KvItem)> {
+        let mut names: Vec<&String> = self.domains.keys().collect();
+        names.sort();
+        let mut out = Vec::new();
+        for name in names {
+            let mut hashes: Vec<&String> = self.domains[name].keys().collect();
+            hashes.sort();
+            for h in hashes {
+                for item in self.domains[name][h].values() {
+                    out.push((name.clone(), item.clone()));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -355,6 +404,33 @@ mod tests {
             .batch_get(SimTime::ZERO, "t", &["a".to_string(), "b".to_string()])
             .unwrap();
         assert_eq!(db.stats().api_requests, before + 2);
+    }
+
+    #[test]
+    fn throttled_requests_are_billed_but_store_nothing() {
+        let mut db = SimpleDb::default();
+        db.ensure_table("t");
+        db.set_faults(FaultInjector::new(1.0, 13)); // clamped to 0.95
+        let mut throttles = 0;
+        for i in 0..50 {
+            match db.batch_put(
+                SimTime(99),
+                "t",
+                vec![item("k", &format!("r{i}"), KvValue::S(String::new()))],
+            ) {
+                Ok(_) => {}
+                Err(KvError::Throttled { available_at }) => {
+                    assert!(available_at > SimTime(99));
+                    throttles += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(throttles > 0, "a 95% rate throttles within 50 calls");
+        let st = db.stats();
+        assert_eq!(st.throttled, throttles);
+        assert_eq!(st.api_requests, 50);
+        assert_eq!(db.peek_all().len(), 50 - throttles as usize);
     }
 
     #[test]

@@ -8,9 +8,19 @@
 //! `receive` hides a message for a lease period rather than removing it;
 //! only an explicit `delete` removes it; an expired lease makes the
 //! message deliverable again (at-least-once semantics).
+//!
+//! Every billable operation returns `Result<_, SqsError>`: an unknown
+//! queue is a typed [`SqsError::NoSuchQueue`] (uniformly — including the
+//! read-only `drained`/`len` probes, which used to report `false`/`0`
+//! silently), and an installed [`FaultInjector`] may throttle any billed
+//! request with [`SqsError::Throttled`]. Throttled requests are still
+//! billed — retries show up in the cost ledger, as the paper's
+//! per-request pricing implies.
 
 use crate::clock::{SimDuration, SimTime};
+use crate::fault::FaultInjector;
 use std::collections::HashMap;
+use std::fmt;
 
 /// A queued message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +32,32 @@ pub struct Message {
     /// How many times the message has been received (1 on first delivery).
     pub receive_count: u32,
 }
+
+/// Errors from the queue service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqsError {
+    /// Operation on a queue that was never created.
+    NoSuchQueue(String),
+    /// The request was throttled (retryable); the failure response
+    /// arrives at `available_at`. The request was still billed.
+    Throttled {
+        /// When the caller learns about the failure.
+        available_at: SimTime,
+    },
+}
+
+impl fmt::Display for SqsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqsError::NoSuchQueue(q) => write!(f, "no such queue: {q}"),
+            SqsError::Throttled { available_at } => {
+                write!(f, "request throttled (response at {:?})", available_at)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SqsError {}
 
 #[derive(Debug, Clone)]
 struct Stored {
@@ -36,7 +72,8 @@ struct Stored {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SqsStats {
     /// Total API requests: send, receive (including empty receives),
-    /// delete and lease renewals.
+    /// delete, lease renewals — and throttled attempts, which are billed
+    /// like any other request.
     pub requests: u64,
     /// Messages sent.
     pub sent: u64,
@@ -44,6 +81,10 @@ pub struct SqsStats {
     pub delivered: u64,
     /// Messages redelivered after a lease expiry.
     pub redelivered: u64,
+    /// Lease renewals issued.
+    pub renewals: u64,
+    /// Requests rejected by the fault injector (each one billed).
+    pub throttled: u64,
 }
 
 /// The simulated queue service.
@@ -51,6 +92,7 @@ pub struct Sqs {
     queues: HashMap<String, Queue>,
     stats: SqsStats,
     latency: SimDuration,
+    faults: FaultInjector,
 }
 
 #[derive(Default)]
@@ -77,13 +119,20 @@ impl Queue {
 }
 
 impl Sqs {
-    /// Creates the service with a default 4 ms request latency.
+    /// Creates the service with a default 4 ms request latency and no
+    /// fault injection.
     pub fn new() -> Sqs {
         Sqs {
             queues: HashMap::new(),
             stats: SqsStats::default(),
             latency: SimDuration::from_millis(4),
+            faults: FaultInjector::off(),
         }
+    }
+
+    /// Installs a fault injector (replacing any previous one).
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     /// Creates a queue (idempotent).
@@ -91,18 +140,43 @@ impl Sqs {
         self.queues.entry(name.to_string()).or_default();
     }
 
-    fn queue_mut(&mut self, name: &str) -> &mut Queue {
+    fn queue_mut(&mut self, name: &str) -> Result<&mut Queue, SqsError> {
         self.queues
             .get_mut(name)
-            .unwrap_or_else(|| panic!("no such queue: {name}"))
+            .ok_or_else(|| SqsError::NoSuchQueue(name.to_string()))
+    }
+
+    fn queue(&self, name: &str) -> Result<&Queue, SqsError> {
+        self.queues
+            .get(name)
+            .ok_or_else(|| SqsError::NoSuchQueue(name.to_string()))
+    }
+
+    /// Bills one request and rolls the fault injector; on a throttle the
+    /// error response arrives after the usual request latency.
+    fn billed_request(&mut self, now: SimTime) -> Result<(), SqsError> {
+        self.stats.requests += 1;
+        if self.faults.roll() {
+            self.stats.throttled += 1;
+            return Err(SqsError::Throttled {
+                available_at: now + self.latency,
+            });
+        }
+        Ok(())
     }
 
     /// Sends a message; returns the virtual completion time.
-    pub fn send(&mut self, now: SimTime, queue: &str, body: impl Into<String>) -> SimTime {
-        self.stats.requests += 1;
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        queue: &str,
+        body: impl Into<String>,
+    ) -> Result<SimTime, SqsError> {
+        self.queue(queue)?;
+        self.billed_request(now)?;
         self.stats.sent += 1;
         let latency = self.latency;
-        let q = self.queue_mut(queue);
+        let q = self.queue_mut(queue)?;
         assert!(!q.closed, "send on closed queue {queue}");
         let id = q.next_id;
         q.next_id += 1;
@@ -112,20 +186,22 @@ impl Sqs {
             invisible_until: None,
             receive_count: 0,
         });
-        now + latency
+        Ok(now + latency)
     }
 
     /// Receives one message, leasing it for `visibility`. Returns `None`
     /// when no message is currently visible (still a billed request).
+    #[allow(clippy::type_complexity)]
     pub fn receive(
         &mut self,
         now: SimTime,
         queue: &str,
         visibility: SimDuration,
-    ) -> (Option<Message>, SimTime) {
-        self.stats.requests += 1;
+    ) -> Result<(Option<Message>, SimTime), SqsError> {
+        self.queue(queue)?;
+        self.billed_request(now)?;
         let latency = self.latency;
-        let q = self.queue_mut(queue);
+        let q = self.queue_mut(queue)?;
         // Expiry is exclusive: a lease set (or renewed) to expire at `t`
         // still protects the message to an observer at exactly `t`, so a
         // renewal and a concurrent poll at the same instant cannot race the
@@ -150,7 +226,7 @@ impl Sqs {
                 self.stats.redelivered += 1;
             }
         }
-        (msg, now + latency)
+        Ok((msg, now + latency))
     }
 
     /// Deletes a received message by id (completes its processing).
@@ -161,13 +237,14 @@ impl Sqs {
     /// holder. The warehouse's crashed actors never act again, so the
     /// pipeline cannot trigger this; callers building other topologies
     /// should not rely on delete-after-expiry being rejected.
-    pub fn delete(&mut self, now: SimTime, queue: &str, id: u64) -> SimTime {
-        self.stats.requests += 1;
+    pub fn delete(&mut self, now: SimTime, queue: &str, id: u64) -> Result<SimTime, SqsError> {
+        self.queue(queue)?;
+        self.billed_request(now)?;
         let latency = self.latency;
-        let q = self.queue_mut(queue);
+        let q = self.queue_mut(queue)?;
         q.deleted.insert(id);
         q.compact_if_needed();
-        now + latency
+        Ok(now + latency)
     }
 
     /// Renews the lease on a message (the paper's crash-detection
@@ -178,46 +255,54 @@ impl Sqs {
         queue: &str,
         id: u64,
         visibility: SimDuration,
-    ) -> SimTime {
-        self.stats.requests += 1;
+    ) -> Result<SimTime, SqsError> {
+        self.queue(queue)?;
+        self.billed_request(now)?;
+        self.stats.renewals += 1;
         let latency = self.latency;
-        let q = self.queue_mut(queue);
+        let q = self.queue_mut(queue)?;
         if !q.deleted.contains(&id) {
             if let Some(m) = q.messages.iter_mut().find(|m| m.id == id) {
                 m.invisible_until = Some(now + visibility);
             }
         }
-        now + latency
+        Ok(now + latency)
     }
 
     /// Marks the queue as complete: consumers seeing it empty may stop.
-    /// (An orchestration convenience, not an SQS API call; not billed.)
+    /// (An orchestration convenience, not an SQS API call; not billed and
+    /// never throttled.)
     pub fn close(&mut self, queue: &str) {
-        self.queue_mut(queue).closed = true;
+        self.queues
+            .get_mut(queue)
+            .unwrap_or_else(|| panic!("no such queue: {queue}"))
+            .closed = true;
     }
 
     /// Reopens a closed queue for a new work phase.
     pub fn open(&mut self, queue: &str) {
-        self.queue_mut(queue).closed = false;
+        self.queues
+            .get_mut(queue)
+            .unwrap_or_else(|| panic!("no such queue: {queue}"))
+            .closed = false;
     }
 
     /// True when the queue is closed and has no messages left (visible or
-    /// leased).
-    pub fn drained(&self, queue: &str) -> bool {
-        self.queues
-            .get(queue)
-            .map(|q| q.closed && q.live_len() == 0)
-            .unwrap_or(false)
+    /// leased). Unbilled host-side probe; errors on an unknown queue like
+    /// every other operation.
+    pub fn drained(&self, queue: &str) -> Result<bool, SqsError> {
+        let q = self.queue(queue)?;
+        Ok(q.closed && q.live_len() == 0)
     }
 
     /// Number of messages currently in the queue (visible or leased).
-    pub fn len(&self, queue: &str) -> usize {
-        self.queues.get(queue).map(|q| q.live_len()).unwrap_or(0)
+    pub fn len(&self, queue: &str) -> Result<usize, SqsError> {
+        Ok(self.queue(queue)?.live_len())
     }
 
     /// True if the queue holds no messages.
-    pub fn is_empty(&self, queue: &str) -> bool {
-        self.len(queue) == 0
+    pub fn is_empty(&self, queue: &str) -> Result<bool, SqsError> {
+        Ok(self.len(queue)? == 0)
     }
 
     /// Usage counters.
@@ -235,6 +320,7 @@ impl Default for Sqs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultInjector;
 
     const VIS: SimDuration = SimDuration::from_secs(30);
 
@@ -242,30 +328,73 @@ mod tests {
     fn send_receive_delete_lifecycle() {
         let mut sqs = Sqs::new();
         sqs.create_queue("loader");
-        let t = sqs.send(SimTime::ZERO, "loader", "doc1.xml");
-        let (msg, t) = sqs.receive(t, "loader", VIS);
+        let t = sqs.send(SimTime::ZERO, "loader", "doc1.xml").unwrap();
+        let (msg, t) = sqs.receive(t, "loader", VIS).unwrap();
         let msg = msg.unwrap();
         assert_eq!(msg.body, "doc1.xml");
         assert_eq!(msg.receive_count, 1);
-        sqs.delete(t, "loader", msg.id);
-        assert!(sqs.is_empty("loader"));
+        sqs.delete(t, "loader", msg.id).unwrap();
+        assert!(sqs.is_empty("loader").unwrap());
         assert_eq!(sqs.stats().requests, 3);
+    }
+
+    #[test]
+    fn unknown_queue_is_a_typed_error_everywhere() {
+        let mut sqs = Sqs::new();
+        let missing = |e: SqsError| matches!(e, SqsError::NoSuchQueue(ref q) if q == "nope");
+        assert!(missing(sqs.send(SimTime::ZERO, "nope", "m").unwrap_err()));
+        assert!(missing(
+            sqs.receive(SimTime::ZERO, "nope", VIS).unwrap_err()
+        ));
+        assert!(missing(sqs.delete(SimTime::ZERO, "nope", 0).unwrap_err()));
+        assert!(missing(
+            sqs.renew_lease(SimTime::ZERO, "nope", 0, VIS).unwrap_err()
+        ));
+        assert!(missing(sqs.drained("nope").unwrap_err()));
+        assert!(missing(sqs.len("nope").unwrap_err()));
+        assert!(missing(sqs.is_empty("nope").unwrap_err()));
+        // Nothing was billed for requests that never reached a queue.
+        assert_eq!(sqs.stats().requests, 0);
+    }
+
+    #[test]
+    fn throttled_requests_are_billed_and_carry_response_time() {
+        let mut sqs = Sqs::new();
+        sqs.create_queue("q");
+        sqs.set_faults(FaultInjector::new(1.0, 3)); // clamped to 0.95
+        let mut throttles = 0;
+        let mut sends = 0;
+        for _ in 0..50 {
+            match sqs.send(SimTime(1000), "q", "m") {
+                Ok(_) => sends += 1,
+                Err(SqsError::Throttled { available_at }) => {
+                    assert_eq!(available_at, SimTime(1000) + SimDuration::from_millis(4));
+                    throttles += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(throttles > 0, "a 95% rate throttles within 50 calls");
+        let st = sqs.stats();
+        assert_eq!(st.requests, 50, "throttled attempts are billed");
+        assert_eq!(st.throttled, throttles);
+        assert_eq!(st.sent, sends);
     }
 
     #[test]
     fn leased_message_is_invisible_until_timeout() {
         let mut sqs = Sqs::new();
         sqs.create_queue("q");
-        sqs.send(SimTime::ZERO, "q", "m");
-        let (m1, _) = sqs.receive(SimTime(10), "q", VIS);
+        sqs.send(SimTime::ZERO, "q", "m").unwrap();
+        let (m1, _) = sqs.receive(SimTime(10), "q", VIS).unwrap();
         assert!(m1.is_some());
         // Within the lease: invisible.
-        let (m2, _) = sqs.receive(SimTime(20), "q", VIS);
+        let (m2, _) = sqs.receive(SimTime(20), "q", VIS).unwrap();
         assert!(m2.is_none());
         // After the lease expires (no delete — simulated crash):
         // redelivered. Expiry is exclusive, so strictly after the deadline.
         let after = SimTime(11) + VIS;
-        let (m3, _) = sqs.receive(after, "q", VIS);
+        let (m3, _) = sqs.receive(after, "q", VIS).unwrap();
         let m3 = m3.unwrap();
         assert_eq!(m3.receive_count, 2);
         assert_eq!(sqs.stats().redelivered, 1);
@@ -275,15 +404,16 @@ mod tests {
     fn renew_extends_lease() {
         let mut sqs = Sqs::new();
         sqs.create_queue("q");
-        sqs.send(SimTime::ZERO, "q", "m");
-        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS);
+        sqs.send(SimTime::ZERO, "q", "m").unwrap();
+        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS).unwrap();
         let id = m.unwrap().id;
-        sqs.renew_lease(SimTime(29_000_000), "q", id, VIS);
+        sqs.renew_lease(SimTime(29_000_000), "q", id, VIS).unwrap();
+        assert_eq!(sqs.stats().renewals, 1);
         // The original lease would have expired at t=30 s; renewal pushed
         // it to t=59 s.
-        let (m2, _) = sqs.receive(SimTime(31_000_000), "q", VIS);
+        let (m2, _) = sqs.receive(SimTime(31_000_000), "q", VIS).unwrap();
         assert!(m2.is_none());
-        let (m3, _) = sqs.receive(SimTime(60_000_000), "q", VIS);
+        let (m3, _) = sqs.receive(SimTime(60_000_000), "q", VIS).unwrap();
         assert!(m3.is_some());
     }
 
@@ -293,17 +423,19 @@ mod tests {
         // same-instant renewal cannot lose a race with another consumer.
         let mut sqs = Sqs::new();
         sqs.create_queue("q");
-        sqs.send(SimTime::ZERO, "q", "m");
-        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS);
+        sqs.send(SimTime::ZERO, "q", "m").unwrap();
+        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS).unwrap();
         let id = m.unwrap().id;
         let deadline = SimTime::ZERO + VIS;
-        let (race, _) = sqs.receive(deadline, "q", VIS);
+        let (race, _) = sqs.receive(deadline, "q", VIS).unwrap();
         assert!(
             race.is_none(),
             "message must stay protected at the deadline"
         );
-        sqs.renew_lease(deadline, "q", id, VIS);
-        let (race, _) = sqs.receive(deadline + SimDuration::from_micros(1), "q", VIS);
+        sqs.renew_lease(deadline, "q", id, VIS).unwrap();
+        let (race, _) = sqs
+            .receive(deadline + SimDuration::from_micros(1), "q", VIS)
+            .unwrap();
         assert!(race.is_none(), "renewal at the deadline holds the lease");
     }
 
@@ -311,19 +443,19 @@ mod tests {
     fn close_and_drained() {
         let mut sqs = Sqs::new();
         sqs.create_queue("q");
-        sqs.send(SimTime::ZERO, "q", "m");
+        sqs.send(SimTime::ZERO, "q", "m").unwrap();
         sqs.close("q");
-        assert!(!sqs.drained("q"));
-        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS);
-        sqs.delete(SimTime::ZERO, "q", m.unwrap().id);
-        assert!(sqs.drained("q"));
+        assert!(!sqs.drained("q").unwrap());
+        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS).unwrap();
+        sqs.delete(SimTime::ZERO, "q", m.unwrap().id).unwrap();
+        assert!(sqs.drained("q").unwrap());
     }
 
     #[test]
     fn empty_receive_is_still_billed() {
         let mut sqs = Sqs::new();
         sqs.create_queue("q");
-        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS);
+        let (m, _) = sqs.receive(SimTime::ZERO, "q", VIS).unwrap();
         assert!(m.is_none());
         assert_eq!(sqs.stats().requests, 1);
     }
@@ -332,10 +464,10 @@ mod tests {
     fn fifo_order_for_visible_messages() {
         let mut sqs = Sqs::new();
         sqs.create_queue("q");
-        sqs.send(SimTime::ZERO, "q", "first");
-        sqs.send(SimTime::ZERO, "q", "second");
-        let (a, _) = sqs.receive(SimTime::ZERO, "q", VIS);
-        let (b, _) = sqs.receive(SimTime::ZERO, "q", VIS);
+        sqs.send(SimTime::ZERO, "q", "first").unwrap();
+        sqs.send(SimTime::ZERO, "q", "second").unwrap();
+        let (a, _) = sqs.receive(SimTime::ZERO, "q", VIS).unwrap();
+        let (b, _) = sqs.receive(SimTime::ZERO, "q", VIS).unwrap();
         assert_eq!(a.unwrap().body, "first");
         assert_eq!(b.unwrap().body, "second");
     }

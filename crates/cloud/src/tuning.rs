@@ -128,6 +128,18 @@ impl KvStore for TunedKvStore {
     fn stats(&self) -> KvStats {
         self.inner.stats()
     }
+
+    fn set_faults(&mut self, faults: crate::fault::FaultInjector) {
+        self.inner.set_faults(faults);
+    }
+
+    fn faults_active(&self) -> bool {
+        self.inner.faults_active()
+    }
+
+    fn peek_all(&self) -> Vec<(String, KvItem)> {
+        self.inner.peek_all()
+    }
 }
 
 #[cfg(test)]

@@ -19,18 +19,31 @@
 //!   executes in a single step; the residual arrival-order skew across
 //!   concurrent query instances is bounded by those few calls.
 //!
-//! Fault tolerance comes for free from the queue semantics: a core
-//! configured to "crash" (`crash_after`) simply stops deleting its leased
-//! message; after the visibility timeout the message reappears and another
-//! core takes the job over (paper Section 3).
+//! Fault tolerance follows the paper's Section 3 contract. A working core
+//! renews the visibility lease on the message that started its task
+//! ([`Lease`], at the lease half-life); a core configured to "crash"
+//! (`crash_after`, or mid-upload via `crash_after_batches`) simply stops
+//! stepping, its renewals stop, and after the visibility timeout the
+//! message reappears for another core. Transient service throttles
+//! (`amada_cloud::fault`) are retried with capped exponential backoff and
+//! deterministic jitter; a *pre-commit* operation that exhausts its retry
+//! budget abandons the task to redelivery, while commit operations retry
+//! without bound so each task completes exactly once. A message delivered
+//! more than `RetryPolicy::max_receives` times is dead-lettered. Every
+//! retry is a billed request.
 
 use crate::config::{
-    WarehouseConfig, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE, RESULT_BUCKET,
+    WarehouseConfig, DEAD_LETTER_QUEUE, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE,
+    RESULT_BUCKET,
 };
 use crate::metrics::{QueryExecution, QueryPhases};
-use amada_cloud::{Actor, InstanceId, KvItem, SimDuration, SimTime, StepResult, World};
+use crate::retry::{delete_with_retry, send_with_retry, Lease, RetryPolicy};
+use amada_cloud::{
+    Actor, InstanceId, KvError, KvItem, S3Error, SimDuration, SimTime, SqsError, StepResult, World,
+};
 use amada_index::{lookup_query, store::UuidGen, ExtractCache, ExtractOptions, Strategy};
 use amada_pattern::{evaluate_pattern_twig, join_pattern_results, parse_query, Query, Tuple};
+use amada_rng::StdRng;
 use amada_xml::Document;
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -45,6 +58,11 @@ use std::sync::Arc;
 /// simulation host). Sharded and `Send + Sync`: the warehouse prewarms it
 /// across all host cores before the single-threaded engine runs.
 pub type DocCache = Arc<ExtractCache>;
+
+/// Stream-derivation tags for the per-core jitter RNGs, so loader and
+/// query cores draw from independent streams under one master seed.
+const LOADER_RNG_TAG: u64 = 0x10AD_0000;
+const QUERY_RNG_TAG: u64 = 0x9E4F_0000;
 
 /// Aggregated loader-side totals (shared across all loader cores).
 #[derive(Debug, Default)]
@@ -67,16 +85,19 @@ pub struct LoaderTotals {
 enum LoaderState {
     /// About to poll the task queue.
     Idle,
-    /// Writing the current document's item batches, one per step.
+    /// Fetching the leased document from the file store (separated from
+    /// `Idle` so a throttled fetch can retry without re-receiving).
+    Fetching { lease: Lease, uri: String },
+    /// Writing the current document's item batches.
     Uploading {
-        msg_id: u64,
+        lease: Lease,
         batches: VecDeque<(&'static str, Vec<KvItem>)>,
         entries: u64,
         items: u64,
         entry_bytes: u64,
     },
     /// All batches written; deleting the task message.
-    Finishing { msg_id: u64 },
+    Finishing { lease: Lease },
 }
 
 /// One core of an indexing-module instance.
@@ -97,16 +118,31 @@ pub struct LoaderCore {
     pub visibility: SimDuration,
     /// Idle poll interval.
     pub poll: SimDuration,
+    /// Retry/backoff/dead-letter policy.
+    pub policy: RetryPolicy,
     /// Fault injection: crash (stop deleting leases) after this many
     /// messages.
     pub crash_after: Option<u32>,
+    /// Fault injection: crash *mid-upload*, after writing this many index
+    /// batches (across all documents) — the already-written batches stay
+    /// in the store, the message lease expires, and the document is
+    /// redelivered to another core.
+    pub crash_after_batches: Option<u64>,
+    /// Index batches written so far by this core.
+    pub batches_written: u64,
     /// Messages fully processed so far.
     pub processed: u32,
     state: LoaderState,
+    /// Backoff-jitter stream (only drawn from when a retry happens, so
+    /// fault-free runs consume no randomness).
+    rng: StdRng,
+    /// Consecutive throttles of the current operation.
+    attempt: u32,
 }
 
 impl LoaderCore {
-    /// Creates an idle core.
+    /// Creates an idle core. `rng_seed` seeds the backoff-jitter stream;
+    /// give each core its own seed so concurrent retries decorrelate.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         instance: InstanceId,
@@ -117,6 +153,8 @@ impl LoaderCore {
         cache: DocCache,
         visibility: SimDuration,
         poll: SimDuration,
+        policy: RetryPolicy,
+        rng_seed: u64,
     ) -> LoaderCore {
         LoaderCore {
             instance,
@@ -127,9 +165,14 @@ impl LoaderCore {
             cache,
             visibility,
             poll,
+            policy,
             crash_after: None,
+            crash_after_batches: None,
+            batches_written: 0,
             processed: 0,
             state: LoaderState::Idle,
+            rng: StdRng::seed_from_u64(rng_seed),
+            attempt: 0,
         }
     }
 
@@ -145,6 +188,7 @@ impl LoaderCore {
         for _ in 0..cfg.loader_pool.count {
             let instance = world.ec2.launch(cfg.loader_pool.itype, now);
             for _ in 0..cfg.loader_pool.itype.cores() {
+                let idx = cores.len() as u64;
                 cores.push(LoaderCore::new(
                     instance,
                     cfg.loader_pool.itype.ecu_per_core(),
@@ -154,20 +198,35 @@ impl LoaderCore {
                     cache.clone(),
                     cfg.visibility,
                     cfg.poll_interval,
+                    cfg.retry,
+                    cfg.faults.seed ^ (LOADER_RNG_TAG + idx),
                 ));
             }
         }
         cores
     }
 
-    /// Steps 4–5 plus extraction: lease a message, fetch and parse the
-    /// document, extract and encode the entries. Returns the next state
-    /// and the time all of that completed.
-    fn start_document(&mut self, now: SimTime, world: &mut World) -> StepResult {
-        let (msg, t) = world.sqs.receive(now, LOADER_QUEUE, self.visibility);
+    /// Step 4: poll the task queue; on a message, lease it and move to
+    /// [`LoaderState::Fetching`].
+    fn step_idle(&mut self, now: SimTime, world: &mut World) -> StepResult {
+        let (msg, t) = match world.sqs.receive(now, LOADER_QUEUE, self.visibility) {
+            Ok(out) => out,
+            Err(SqsError::Throttled { available_at }) => {
+                self.attempt = (self.attempt + 1).min(self.policy.max_attempts);
+                return StepResult::NextAt(
+                    available_at + self.policy.backoff(self.attempt, &mut self.rng),
+                );
+            }
+            Err(e) => panic!("loader queue exists: {e}"),
+        };
+        self.attempt = 0;
         let Some(msg) = msg else {
             world.ec2.extend(self.instance, t);
-            return if world.sqs.drained(LOADER_QUEUE) {
+            return if world
+                .sqs
+                .drained(LOADER_QUEUE)
+                .expect("loader queue exists")
+            {
                 StepResult::Done
             } else {
                 StepResult::NextAt(t + self.poll)
@@ -175,16 +234,69 @@ impl LoaderCore {
         };
         if self.crash_after.is_some_and(|n| self.processed >= n) {
             // Simulated crash after lease acquisition: the message is
-            // neither processed nor deleted; SQS will redeliver it.
+            // neither processed nor deleted; SQS will redeliver it. The
+            // instance was up for the receive — bill it.
+            world.ec2.extend(self.instance, t);
             return StepResult::Done;
         }
+        if msg.receive_count > self.policy.max_receives {
+            // Poison message: every previous holder died or abandoned it.
+            // Park it on the dead-letter queue instead of recirculating.
+            let t = send_with_retry(
+                &mut world.sqs,
+                &self.policy,
+                &mut self.rng,
+                t,
+                DEAD_LETTER_QUEUE,
+                msg.body,
+            );
+            let t = delete_with_retry(
+                &mut world.sqs,
+                &self.policy,
+                &mut self.rng,
+                t,
+                LOADER_QUEUE,
+                msg.id,
+            );
+            return StepResult::NextAt(t);
+        }
         self.processed += 1;
-        let uri = msg.body.clone();
-        // Step 5: load the document from the file store.
-        let (bytes, t) = world
-            .s3
-            .get(t, DOC_BUCKET, &uri)
-            .expect("loader messages reference stored documents");
+        self.state = LoaderState::Fetching {
+            lease: Lease::new(LOADER_QUEUE, msg.id, self.visibility, now),
+            uri: msg.body,
+        };
+        StepResult::NextAt(t)
+    }
+
+    /// Step 5 plus extraction: fetch and parse the document, extract and
+    /// encode the entries, batch them for upload.
+    fn step_fetching(
+        &mut self,
+        now: SimTime,
+        world: &mut World,
+        mut lease: Lease,
+        uri: String,
+    ) -> StepResult {
+        lease.keep_alive(&mut world.sqs, now);
+        let (bytes, t) = match world.s3.get(now, DOC_BUCKET, &uri) {
+            Ok(out) => out,
+            Err(S3Error::SlowDown { available_at }) => {
+                self.attempt += 1;
+                if self.attempt > self.policy.max_attempts {
+                    // Abandon: drop the lease; the message expires and is
+                    // redelivered to (possibly) another core.
+                    self.attempt = 0;
+                    self.state = LoaderState::Idle;
+                    return StepResult::NextAt(available_at + self.poll);
+                }
+                let resume = available_at + self.policy.backoff(self.attempt, &mut self.rng);
+                lease.keep_alive(&mut world.sqs, resume);
+                self.state = LoaderState::Fetching { lease, uri };
+                return StepResult::NextAt(resume);
+            }
+            Err(e) => panic!("loader messages reference stored documents: {e}"),
+        };
+        self.attempt = 0;
         // Parse, extract, encode (memoized on the host after the prewarm
         // stage; virtually charged in full either way).
         let (_doc, entries) = self.cache.extracted(&uri, &bytes, self.strategy, self.opts);
@@ -212,8 +324,9 @@ impl LoaderCore {
                 }
             }
         }
+        lease.keep_alive(&mut world.sqs, t);
         self.state = LoaderState::Uploading {
-            msg_id: msg.id,
+            lease,
             batches,
             entries: entries.len() as u64,
             items,
@@ -221,50 +334,124 @@ impl LoaderCore {
         };
         StepResult::NextAt(t)
     }
-}
 
-impl Actor for LoaderCore {
-    fn step(&mut self, now: SimTime, world: &mut World) -> StepResult {
-        let result = match &mut self.state {
-            LoaderState::Idle => self.start_document(now, world),
-            LoaderState::Uploading {
-                msg_id,
+    /// Step 6: submit the document's remaining batches *at once* (the
+    /// paper's uploader is multi-threaded per instance, so batch writes
+    /// are in flight concurrently); the store's capacity queue serializes
+    /// them, and the core proceeds when the last acknowledgement arrives.
+    /// Submitting at one arrival time also keeps concurrent cores' writes
+    /// interleaved at their true virtual times. A throttled batch pauses
+    /// the burst; the remaining batches are resubmitted after backoff.
+    #[allow(clippy::too_many_arguments)]
+    fn step_uploading(
+        &mut self,
+        now: SimTime,
+        world: &mut World,
+        mut lease: Lease,
+        mut batches: VecDeque<(&'static str, Vec<KvItem>)>,
+        entries: u64,
+        items: u64,
+        entry_bytes: u64,
+    ) -> StepResult {
+        lease.keep_alive(&mut world.sqs, now);
+        let retryable = world.kv.faults_active();
+        let mut last = now;
+        let mut throttled_at: Option<SimTime> = None;
+        while let Some((table, batch)) = batches.pop_front() {
+            if self
+                .crash_after_batches
+                .is_some_and(|n| self.batches_written >= n)
+            {
+                // Mid-upload crash: the batches already written stay in
+                // the store; the lease expires and the document is
+                // redelivered. Bill the uptime this step consumed.
+                world.ec2.extend(self.instance, last);
+                return StepResult::Done;
+            }
+            let res = if retryable {
+                // Keep a retry copy only when the store can actually
+                // throttle; fault-free runs move the batch without copying.
+                match world.kv.batch_put(now, table, batch.clone()) {
+                    Err(KvError::Throttled { available_at }) => {
+                        batches.push_front((table, batch));
+                        throttled_at = Some(available_at);
+                        break;
+                    }
+                    other => other,
+                }
+            } else {
+                world.kv.batch_put(now, table, batch)
+            };
+            let done = res.expect("index entries fit the store limits");
+            self.batches_written += 1;
+            last = last.max(done);
+        }
+        if let Some(available_at) = throttled_at {
+            self.attempt += 1;
+            if self.attempt > self.policy.max_attempts {
+                // Abandon the document; redelivery will rewrite it
+                // idempotently (deterministic range keys).
+                self.attempt = 0;
+                self.totals.borrow_mut().upload_micros += (last.max(available_at) - now).micros();
+                self.state = LoaderState::Idle;
+                return StepResult::NextAt(available_at + self.poll);
+            }
+            let resume = available_at + self.policy.backoff(self.attempt, &mut self.rng);
+            self.totals.borrow_mut().upload_micros += (resume - now).micros();
+            lease.keep_alive(&mut world.sqs, resume);
+            self.state = LoaderState::Uploading {
+                lease,
                 batches,
                 entries,
                 items,
                 entry_bytes,
-            } => {
-                // Step 6: submit all of the document's batches *at once*
-                // (the paper's uploader is multi-threaded per instance, so
-                // batch writes are in flight concurrently); the store's
-                // capacity queue serializes them, and the core proceeds
-                // when the last acknowledgement arrives. Submitting at one
-                // arrival time also keeps concurrent cores' writes
-                // interleaved at their true virtual times.
-                let mut last = now;
-                while let Some((table, batch)) = batches.pop_front() {
-                    let done = world
-                        .kv
-                        .batch_put(now, table, batch)
-                        .expect("index entries fit the store limits");
-                    last = last.max(done);
-                }
-                self.totals.borrow_mut().upload_micros += (last - now).micros();
-                let mut tot = self.totals.borrow_mut();
-                tot.docs += 1;
-                tot.entries += *entries;
-                tot.items += *items;
-                tot.entry_bytes += *entry_bytes;
-                let msg_id = *msg_id;
-                drop(tot);
-                self.state = LoaderState::Finishing { msg_id };
-                StepResult::NextAt(last)
-            }
-            LoaderState::Finishing { msg_id } => {
-                let t = world.sqs.delete(now, LOADER_QUEUE, *msg_id);
-                self.state = LoaderState::Idle;
-                StepResult::NextAt(t)
-            }
+            };
+            return StepResult::NextAt(resume);
+        }
+        self.attempt = 0;
+        let mut tot = self.totals.borrow_mut();
+        tot.upload_micros += (last - now).micros();
+        tot.docs += 1;
+        tot.entries += entries;
+        tot.items += items;
+        tot.entry_bytes += entry_bytes;
+        drop(tot);
+        lease.keep_alive(&mut world.sqs, last);
+        self.state = LoaderState::Finishing { lease };
+        StepResult::NextAt(last)
+    }
+
+    /// Commit: delete the task message (unbounded retry — the document is
+    /// fully indexed; losing the delete would cause a duplicate rewrite).
+    fn step_finishing(&mut self, now: SimTime, world: &mut World, mut lease: Lease) -> StepResult {
+        lease.keep_alive(&mut world.sqs, now);
+        let t = delete_with_retry(
+            &mut world.sqs,
+            &self.policy,
+            &mut self.rng,
+            now,
+            LOADER_QUEUE,
+            lease.msg_id,
+        );
+        self.state = LoaderState::Idle;
+        StepResult::NextAt(t)
+    }
+}
+
+impl Actor for LoaderCore {
+    fn step(&mut self, now: SimTime, world: &mut World) -> StepResult {
+        let state = std::mem::replace(&mut self.state, LoaderState::Idle);
+        let result = match state {
+            LoaderState::Idle => self.step_idle(now, world),
+            LoaderState::Fetching { lease, uri } => self.step_fetching(now, world, lease, uri),
+            LoaderState::Uploading {
+                lease,
+                batches,
+                entries,
+                items,
+                entry_bytes,
+            } => self.step_uploading(now, world, lease, batches, entries, items, entry_bytes),
+            LoaderState::Finishing { lease } => self.step_finishing(now, world, lease),
         };
         if let StepResult::NextAt(t) = result {
             world.ec2.extend(self.instance, t);
@@ -296,10 +483,16 @@ pub struct QueryCore {
     pub poll: SimDuration,
     /// Completed executions (shared with the warehouse).
     pub executions: Rc<RefCell<Vec<QueryExecution>>>,
+    /// Retry/backoff/dead-letter policy.
+    pub policy: RetryPolicy,
+    /// Backoff-jitter stream (only drawn from on a retry).
+    pub rng: StdRng,
     /// Fault injection: crash after this many messages.
     pub crash_after: Option<u32>,
     /// Messages fully processed so far.
     pub processed: u32,
+    /// Consecutive throttles of the current operation.
+    pub attempt: u32,
 }
 
 impl QueryCore {
@@ -313,7 +506,7 @@ impl QueryCore {
         cache: &DocCache,
     ) -> Vec<QueryCore> {
         (0..cfg.query_pool.count)
-            .map(|_| QueryCore {
+            .map(|i| QueryCore {
                 instance: world.ec2.launch(cfg.query_pool.itype, now),
                 cores: cfg.query_pool.itype.cores(),
                 ecu: cfg.query_pool.itype.ecu_per_core(),
@@ -323,14 +516,27 @@ impl QueryCore {
                 visibility: cfg.visibility,
                 poll: cfg.poll_interval,
                 executions: executions.clone(),
+                policy: cfg.retry,
+                rng: StdRng::seed_from_u64(cfg.faults.seed ^ (QUERY_RNG_TAG + i as u64)),
                 crash_after: None,
                 processed: 0,
+                attempt: 0,
             })
             .collect()
     }
 
-    /// Executes one query message; returns the completion time.
-    fn process(&mut self, msg_id: u64, body: &str, t0: SimTime, world: &mut World) -> SimTime {
+    /// Executes one query message. Returns `Ok(completion time)`, or
+    /// `Err(resume time)` when a pre-commit retry budget was exhausted and
+    /// the task was abandoned (no execution recorded; the lease expires
+    /// and the message is redelivered).
+    fn process(
+        &mut self,
+        msg_id: u64,
+        body: &str,
+        t0: SimTime,
+        world: &mut World,
+        lease: &mut Lease,
+    ) -> Result<SimTime, SimTime> {
         let (name, text) = body
             .split_once('\n')
             .expect("query messages carry name\\nquery");
@@ -345,26 +551,49 @@ impl QueryCore {
         let mut t = t0;
         match self.strategy {
             Some(strategy) => {
-                let lookup = lookup_query(world.kv.as_mut(), t, strategy, self.opts, &query)
-                    .expect("index look-up succeeds");
+                let get_ops_before = world.kv.stats().get_ops;
+                // A throttle aborts the look-up mid-flight; the whole
+                // look-up is retried (every aborted get stays billed).
+                let lookup = loop {
+                    match lookup_query(world.kv.as_mut(), t, strategy, self.opts, &query) {
+                        Ok(lookup) => break lookup,
+                        Err(KvError::Throttled { available_at }) => {
+                            self.attempt += 1;
+                            if self.attempt > self.policy.max_attempts {
+                                self.attempt = 0;
+                                return Err(available_at);
+                            }
+                            let resume =
+                                available_at + self.policy.backoff(self.attempt, &mut self.rng);
+                            lease.keep_alive(&mut world.sqs, resume);
+                            t = resume;
+                        }
+                        Err(e) => panic!("index look-up succeeds: {e}"),
+                    }
+                };
+                self.attempt = 0;
                 let t_get = lookup.ready_at();
                 phases.lookup_get = t_get - t;
                 let plan = world.work.plan(lookup.entries_processed(), self.ecu);
                 phases.plan = plan;
                 t = t_get + plan;
                 docs_from_index = lookup.total_doc_ids;
-                index_get_ops = lookup.get_ops();
+                // `|op(q, D, I)|` counts billed ops, throttled retries
+                // included.
+                index_get_ops = world.kv.stats().get_ops - get_ops_before;
                 per_pattern_uris = lookup.per_pattern.into_iter().map(|o| o.uris).collect();
             }
             None => {
                 // No index: every pattern is evaluated on every document.
+                // (`list` is a host-side enumeration, never throttled.)
                 let all = world.s3.list(DOC_BUCKET).expect("document bucket exists");
                 per_pattern_uris = vec![all; query.patterns.len()];
             }
         }
 
         // Phase 3: transfer candidate documents and evaluate (steps 13–14).
-        // Work is accumulated serially and divided across the cores.
+        // Work is accumulated serially and divided across the cores;
+        // retry waits are serial work like the transfers they delay.
         let mut serial = SimDuration::ZERO;
         let mut fetched: BTreeSet<&String> = BTreeSet::new();
         let mut docs: HashMap<&String, Arc<Document>> = HashMap::new();
@@ -373,10 +602,22 @@ impl QueryCore {
                 if !fetched.insert(uri) {
                     continue;
                 }
-                let (bytes, resp) = world
-                    .s3
-                    .get(t, DOC_BUCKET, uri)
-                    .expect("candidate documents exist");
+                let (bytes, resp) = loop {
+                    match world.s3.get(t, DOC_BUCKET, uri) {
+                        Ok(out) => break out,
+                        Err(S3Error::SlowDown { available_at }) => {
+                            self.attempt += 1;
+                            if self.attempt > self.policy.max_attempts {
+                                self.attempt = 0;
+                                return Err(available_at);
+                            }
+                            serial += (available_at - t)
+                                + self.policy.backoff(self.attempt, &mut self.rng);
+                        }
+                        Err(e) => panic!("candidate documents exist: {e}"),
+                    }
+                };
+                self.attempt = 0;
                 serial += resp - t;
                 serial += world.work.parse(bytes.len() as u64, self.ecu);
                 docs.insert(uri, self.cache.parsed(uri, &bytes));
@@ -408,15 +649,44 @@ impl QueryCore {
         let wall = SimDuration::from_micros(serial.micros() / self.cores as u64);
         phases.transfer_eval = wall;
         t = t + wall;
+        lease.keep_alive(&mut world.sqs, t);
 
         // Step 14–15: store results, respond, delete the task message.
+        // These are the commit: the work is done, so every operation
+        // retries without bound — completing twice (via redelivery) would
+        // duplicate the response, whereas extra retries only cost money.
         let result_key = format!("{name}-{msg_id}.results");
-        let t = world
-            .s3
-            .put(t, RESULT_BUCKET, &result_key, payload.into_bytes())
-            .expect("result bucket exists");
-        let t = world.sqs.send(t, RESPONSE_QUEUE, result_key);
-        let t_done = world.sqs.delete(t, QUERY_QUEUE, msg_id);
+        let payload = payload.into_bytes();
+        let t = {
+            let mut t = t;
+            let mut attempt = 0u32;
+            loop {
+                match world.s3.put(t, RESULT_BUCKET, &result_key, payload.clone()) {
+                    Ok(done) => break done,
+                    Err(S3Error::SlowDown { available_at }) => {
+                        attempt = (attempt + 1).min(self.policy.max_attempts);
+                        t = available_at + self.policy.backoff(attempt, &mut self.rng);
+                    }
+                    Err(e) => panic!("result bucket exists: {e}"),
+                }
+            }
+        };
+        let t = send_with_retry(
+            &mut world.sqs,
+            &self.policy,
+            &mut self.rng,
+            t,
+            RESPONSE_QUEUE,
+            result_key,
+        );
+        let t_done = delete_with_retry(
+            &mut world.sqs,
+            &self.policy,
+            &mut self.rng,
+            t,
+            QUERY_QUEUE,
+            msg_id,
+        );
 
         let docs_with_results: BTreeSet<&str> = results
             .iter()
@@ -434,27 +704,70 @@ impl QueryCore {
             results,
             index_get_ops,
         });
-        t_done
+        Ok(t_done)
     }
 }
 
 impl Actor for QueryCore {
     fn step(&mut self, now: SimTime, world: &mut World) -> StepResult {
-        let (msg, t) = world.sqs.receive(now, QUERY_QUEUE, self.visibility);
+        let (msg, t) = match world.sqs.receive(now, QUERY_QUEUE, self.visibility) {
+            Ok(out) => out,
+            Err(SqsError::Throttled { available_at }) => {
+                self.attempt = (self.attempt + 1).min(self.policy.max_attempts);
+                let resume = available_at + self.policy.backoff(self.attempt, &mut self.rng);
+                world.ec2.extend(self.instance, available_at);
+                return StepResult::NextAt(resume);
+            }
+            Err(e) => panic!("query queue exists: {e}"),
+        };
+        self.attempt = 0;
         let Some(msg) = msg else {
             world.ec2.extend(self.instance, t);
-            return if world.sqs.drained(QUERY_QUEUE) {
+            return if world.sqs.drained(QUERY_QUEUE).expect("query queue exists") {
                 StepResult::Done
             } else {
                 StepResult::NextAt(t + self.poll)
             };
         };
         if self.crash_after.is_some_and(|n| self.processed >= n) {
+            // The instance was up for the final receive — bill it.
+            world.ec2.extend(self.instance, t);
             return StepResult::Done;
         }
+        if msg.receive_count > self.policy.max_receives {
+            let t = send_with_retry(
+                &mut world.sqs,
+                &self.policy,
+                &mut self.rng,
+                t,
+                DEAD_LETTER_QUEUE,
+                msg.body,
+            );
+            let t = delete_with_retry(
+                &mut world.sqs,
+                &self.policy,
+                &mut self.rng,
+                t,
+                QUERY_QUEUE,
+                msg.id,
+            );
+            world.ec2.extend(self.instance, t);
+            return StepResult::NextAt(t);
+        }
         self.processed += 1;
-        let t_done = self.process(msg.id, &msg.body.clone(), t, world);
-        world.ec2.extend(self.instance, t_done);
-        StepResult::NextAt(t_done)
+        let mut lease = Lease::new(QUERY_QUEUE, msg.id, self.visibility, now);
+        match self.process(msg.id, &msg.body.clone(), t, world, &mut lease) {
+            Ok(t_done) => {
+                world.ec2.extend(self.instance, t_done);
+                StepResult::NextAt(t_done)
+            }
+            Err(resume) => {
+                // Abandoned: the lease expires on its own and the message
+                // is redelivered (to this instance or another).
+                let resume = resume + self.poll;
+                world.ec2.extend(self.instance, resume);
+                StepResult::NextAt(resume)
+            }
+        }
     }
 }

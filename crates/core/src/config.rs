@@ -1,6 +1,9 @@
 //! Warehouse configuration.
 
-use amada_cloud::{InstanceType, KvBackend, KvTuning, PriceTable, SimDuration, WorkModel};
+use crate::retry::RetryPolicy;
+use amada_cloud::{
+    FaultConfig, InstanceType, KvBackend, KvTuning, PriceTable, SimDuration, WorkModel,
+};
 use amada_index::{ExtractOptions, Strategy};
 
 /// S3 bucket holding the XML documents.
@@ -13,6 +16,10 @@ pub const LOADER_QUEUE: &str = "amada-loader-requests";
 pub const QUERY_QUEUE: &str = "amada-query-requests";
 /// Queue carrying query responses (step 15).
 pub const RESPONSE_QUEUE: &str = "amada-query-responses";
+/// Queue receiving messages that exceeded `RetryPolicy::max_receives`
+/// deliveries without being completed (poison messages / repeated
+/// abandonment) instead of recirculating forever.
+pub const DEAD_LETTER_QUEUE: &str = "amada-dead-letter";
 
 /// An instance pool: how many virtual machines of which flavor run a
 /// module.
@@ -69,15 +76,23 @@ pub struct WarehouseConfig {
     pub prices: PriceTable,
     /// Compute work model.
     pub work: WorkModel,
-    /// SQS visibility timeout for task leases. Long by default so that a
-    /// healthy module never loses its lease mid-task. (The paper's modules
-    /// renew leases periodically; this model instead sizes the lease to
-    /// the task — `Sqs::renew_lease` exists and is exercised by the
-    /// fault-tolerance tests — so billing counts exactly the receive +
-    /// delete per message that the paper's cost formulas assume.)
+    /// SQS visibility timeout for task leases. A module core renews its
+    /// lease at the half-life while it works (the paper's Section 3
+    /// crash-detection contract: a crashed core stops renewing, and the
+    /// message is redelivered). Long by default so a healthy task
+    /// finishes within half the window and issues no renewals — billing
+    /// then counts exactly the receive + delete per message the paper's
+    /// cost formulas assume.
     pub visibility: SimDuration,
     /// How often an idle module core polls an empty queue.
     pub poll_interval: SimDuration,
+    /// Seeded transient-fault injection for the simulated services.
+    /// Off by default; the identity tests pin that a default `faults`
+    /// leaves every virtual time and cost bit-identical to a world with
+    /// no fault subsystem at all.
+    pub faults: FaultConfig,
+    /// How modules and the front end retry throttled requests.
+    pub retry: RetryPolicy,
     /// Host-side (wall-clock only) execution knobs.
     pub host: HostConfig,
 }
@@ -95,6 +110,8 @@ impl Default for WarehouseConfig {
             work: WorkModel::default(),
             visibility: SimDuration::from_secs(4 * 3600),
             poll_interval: SimDuration::from_millis(100),
+            faults: FaultConfig::default(),
+            retry: RetryPolicy::default(),
             host: HostConfig::default(),
         }
     }

@@ -10,6 +10,13 @@
 //! ("we measure actual charged costs, where the query- and
 //! strategy-dependent parameters are instantiated to concrete
 //! operations").
+//!
+//! The formulas assume a fault-free run: one receive + one delete per
+//! task message and no repeated service calls. Under transient-fault
+//! injection (`amada_cloud::fault`) every throttled request is still
+//! billed and every retry, lease renewal and redelivery adds requests on
+//! top, so metered charges exceed these formulas by exactly the
+//! fault-handling overhead the fault experiment reports.
 
 use amada_cloud::{InstanceType, Money, PriceTable, SimDuration};
 

@@ -13,12 +13,16 @@ pub mod amortization;
 pub mod config;
 pub mod cost;
 pub mod metrics;
+pub mod retry;
 pub mod warehouse;
 
 pub use advisor::{advise, advise_queries, Advice, StrategyEstimate};
 pub use amortization::{Amortization, AmortizationPoint};
 pub use config::{Pool, WarehouseConfig};
-pub use config::{DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE, RESULT_BUCKET};
+pub use config::{
+    DEAD_LETTER_QUEUE, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE, RESULT_BUCKET,
+};
 pub use cost::CostModel;
 pub use metrics::{CostedQuery, IndexBuildReport, QueryExecution, QueryPhases, WorkloadReport};
+pub use retry::{Lease, RetryPolicy};
 pub use warehouse::{UploadReport, Warehouse};

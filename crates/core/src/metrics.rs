@@ -41,6 +41,14 @@ pub struct IndexBuildReport {
     pub index_overhead_bytes: u64,
     /// Monthly storage charges after the build (Figure 8).
     pub storage: StorageCost,
+    /// Billed requests the services throttled during the build (each was
+    /// retried; zero in a fault-free run).
+    pub throttled_requests: u64,
+    /// Visibility-lease renewals issued by the loader cores.
+    pub lease_renewals: u64,
+    /// Task messages redelivered after a lease expired (crashed or
+    /// abandoning consumer).
+    pub redelivered: u64,
 }
 
 /// Timing decomposition of one query execution (Figures 9b / 9c): the
@@ -109,6 +117,12 @@ pub struct WorkloadReport {
     pub total_time: SimDuration,
     /// Charges for the run.
     pub cost: CostReport,
+    /// Billed requests the services throttled during the run.
+    pub throttled_requests: u64,
+    /// Visibility-lease renewals issued by the query processors.
+    pub lease_renewals: u64,
+    /// Query messages redelivered after a lease expired.
+    pub redelivered: u64,
 }
 
 #[cfg(test)]

@@ -3,10 +3,16 @@
 
 use crate::actors::{DocCache, LoaderCore, LoaderTotals, QueryCore};
 use crate::config::{
-    WarehouseConfig, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE, RESULT_BUCKET,
+    WarehouseConfig, DEAD_LETTER_QUEUE, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE,
+    RESULT_BUCKET,
 };
 use crate::metrics::{CostedQuery, IndexBuildReport, QueryExecution, WorkloadReport};
-use amada_cloud::{CostReport, Engine, Money, SimDuration, SimTime, StorageCost, World};
+use crate::retry::{
+    frontend_delete, frontend_get_object, frontend_put_object, frontend_receive, frontend_send,
+};
+use amada_cloud::{
+    CostReport, CostSnapshot, Engine, Money, SimDuration, SimTime, StorageCost, World,
+};
 use amada_index::{CacheStats, ExtractCache, PrewarmReport};
 use amada_pattern::Query;
 use std::cell::RefCell;
@@ -19,6 +25,21 @@ pub struct Warehouse {
     cache: DocCache,
     doc_uris: Vec<String>,
     corpus_bytes: u64,
+}
+
+/// Fault-visibility deltas since a snapshot: (throttled billed requests
+/// across all services, lease renewals, redeliveries).
+fn fault_deltas(world: &World, before: &CostSnapshot) -> (u64, u64, u64) {
+    let s3 = world.s3.stats();
+    let kv = world.kv.stats();
+    let sqs = world.sqs.stats();
+    (
+        (s3.throttled - before.s3.throttled)
+            + (kv.throttled - before.kv.throttled)
+            + (sqs.throttled - before.sqs.throttled),
+        sqs.renewals - before.sqs.renewals,
+        sqs.redelivered - before.sqs.redelivered,
+    )
 }
 
 /// Outcome of uploading a batch of documents (front-end steps 1–3).
@@ -48,9 +69,11 @@ impl Warehouse {
         world.sqs.create_queue(LOADER_QUEUE);
         world.sqs.create_queue(QUERY_QUEUE);
         world.sqs.create_queue(RESPONSE_QUEUE);
+        world.sqs.create_queue(DEAD_LETTER_QUEUE);
         for table in cfg.strategy.tables() {
             world.kv.ensure_table(table);
         }
+        world.install_faults(&cfg.faults);
         Warehouse {
             cfg,
             engine: Engine::new(world),
@@ -121,13 +144,21 @@ impl Warehouse {
             // Re-uploading an existing URI replaces the object: account
             // for the replaced bytes and keep the URI listed once.
             let replaced = self.engine.world.s3.object_size(DOC_BUCKET, &uri);
-            t = self
-                .engine
-                .world
-                .s3
-                .put(t, DOC_BUCKET, &uri, body)
-                .expect("document bucket exists");
-            t = self.engine.world.sqs.send(t, LOADER_QUEUE, uri.clone());
+            t = frontend_put_object(
+                &mut self.engine.world.s3,
+                &self.cfg.retry,
+                t,
+                DOC_BUCKET,
+                &uri,
+                body,
+            );
+            t = frontend_send(
+                &mut self.engine.world.sqs,
+                &self.cfg.retry,
+                t,
+                LOADER_QUEUE,
+                uri.clone(),
+            );
             match replaced {
                 Some(old) => self.corpus_bytes -= old,
                 None => self.doc_uris.push(uri),
@@ -203,6 +234,8 @@ impl Warehouse {
             .expect("actors are gone")
             .into_inner();
         let cost = self.engine.world.cost_since(&before);
+        let (throttled_requests, lease_renewals, redelivered) =
+            fault_deltas(&self.engine.world, &before);
         let kv_after = self.engine.world.kv.stats();
         // Averages are per *core* (the unit that actually works): the pool
         // has count × cores workers whose busy times sum into the totals.
@@ -225,6 +258,9 @@ impl Warehouse {
             index_raw_bytes: kv_after.raw_bytes - before.kv.raw_bytes,
             index_overhead_bytes: kv_after.overhead_bytes - before.kv.overhead_bytes,
             storage: self.engine.world.storage_cost_per_month(),
+            throttled_requests,
+            lease_renewals,
+            redelivered,
         }
     }
 
@@ -285,11 +321,13 @@ impl Warehouse {
                     .name
                     .clone()
                     .unwrap_or_else(|| format!("query-{}", r * queries.len() + i));
-                t = self
-                    .engine
-                    .world
-                    .sqs
-                    .send(t, QUERY_QUEUE, format!("{name}\n{q}"));
+                t = frontend_send(
+                    &mut self.engine.world.sqs,
+                    &self.cfg.retry,
+                    t,
+                    QUERY_QUEUE,
+                    format!("{name}\n{q}"),
+                );
             }
         }
         self.engine.world.sqs.close(QUERY_QUEUE);
@@ -318,28 +356,42 @@ impl Warehouse {
         // results out of the cloud.
         let mut t = end;
         loop {
-            let (msg, t2) = self
-                .engine
-                .world
-                .sqs
-                .receive(t, RESPONSE_QUEUE, self.cfg.visibility);
+            let (msg, t2) = frontend_receive(
+                &mut self.engine.world.sqs,
+                &self.cfg.retry,
+                t,
+                RESPONSE_QUEUE,
+                self.cfg.visibility,
+            );
             let Some(msg) = msg else { break };
-            let (data, t3) = self
-                .engine
-                .world
-                .s3
-                .get(t2, RESULT_BUCKET, &msg.body)
-                .expect("responses reference stored results");
+            let (data, t3) = frontend_get_object(
+                &mut self.engine.world.s3,
+                &self.cfg.retry,
+                t2,
+                RESULT_BUCKET,
+                &msg.body,
+            );
             self.engine.world.egress(data.len() as u64);
-            t = self.engine.world.sqs.delete(t3, RESPONSE_QUEUE, msg.id);
+            t = frontend_delete(
+                &mut self.engine.world.sqs,
+                &self.cfg.retry,
+                t3,
+                RESPONSE_QUEUE,
+                msg.id,
+            );
         }
         let executions = Rc::try_unwrap(executions)
             .expect("actors are gone")
             .into_inner();
+        let (throttled_requests, lease_renewals, redelivered) =
+            fault_deltas(&self.engine.world, &before);
         WorkloadReport {
             executions,
             total_time: end - start,
             cost: self.engine.world.cost_since(&before),
+            throttled_requests,
+            lease_renewals,
+            redelivered,
         }
     }
 
@@ -401,7 +453,7 @@ mod tests {
         assert!(report.cost.total() > Money::ZERO);
         assert!(report.index_raw_bytes > 0);
         // The loader queue is drained.
-        assert!(w.world().sqs.is_empty(LOADER_QUEUE));
+        assert!(w.world().sqs.is_empty(LOADER_QUEUE).unwrap());
     }
 
     #[test]

@@ -7,7 +7,8 @@ use amada::index::Strategy;
 use amada::warehouse::{Warehouse, WarehouseConfig};
 use amada::xmark::{generate_corpus, workload_query, CorpusConfig};
 use amada_core::actors::{DocCache, LoaderCore, LoaderTotals, QueryCore};
-use amada_core::{LOADER_QUEUE, QUERY_QUEUE};
+use amada_core::{RetryPolicy, LOADER_QUEUE, QUERY_QUEUE};
+use amada_rng::StdRng;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -40,7 +41,7 @@ fn loader_crash_is_recovered_through_lease_expiry() {
     let start = w.now();
     let engine = w.engine_mut();
     engine.world.sqs.close(LOADER_QUEUE);
-    let mk = |engine: &mut amada::cloud::Engine, crash: Option<u32>| {
+    let mk = |engine: &mut amada::cloud::Engine, crash: Option<u32>, seed: u64| {
         let mut core = LoaderCore::new(
             engine.world.ec2.launch(InstanceType::Large, start),
             2.0,
@@ -50,22 +51,32 @@ fn loader_crash_is_recovered_through_lease_expiry() {
             cache.clone(),
             cfg.visibility,
             cfg.poll_interval,
+            RetryPolicy::default(),
+            seed,
         );
         core.crash_after = crash;
         core
     };
-    let crashing = mk(engine, Some(2));
+    let crashing = mk(engine, Some(2), 1);
+    let crashed_instance = crashing.instance;
     engine.spawn(Box::new(crashing), start);
-    let healthy = mk(engine, None);
+    let healthy = mk(engine, None, 2);
     engine.spawn(Box::new(healthy), start);
     engine.run();
     engine.world.sqs.open(LOADER_QUEUE);
 
     // Every message was eventually processed and at least one was
     // redelivered after the crashed lease expired.
-    assert!(engine.world.sqs.is_empty(LOADER_QUEUE));
+    assert!(engine.world.sqs.is_empty(LOADER_QUEUE).unwrap());
     assert!(engine.world.sqs.stats().redelivered >= 1);
     assert_eq!(totals.borrow().docs, 12);
+    // The crashed instance is billed past its launch: its uptime covers
+    // the documents it did finish *and* the final receive that it died
+    // holding (the receive is a served request the provider charges for).
+    assert!(
+        engine.world.ec2.record(crashed_instance).uptime() > SimDuration::ZERO,
+        "crashed instance uptime must cover its served requests"
+    );
 
     // The index is correct despite the crash (redelivery is idempotent:
     // range keys are deterministic per document).
@@ -98,9 +109,10 @@ fn query_processor_crash_is_recovered() {
     let t = engine
         .world
         .sqs
-        .send(start, QUERY_QUEUE, format!("q1\n{q}"));
+        .send(start, QUERY_QUEUE, format!("q1\n{q}"))
+        .unwrap();
     engine.world.sqs.close(QUERY_QUEUE);
-    let mk = |engine: &mut amada::cloud::Engine, crash: Option<u32>| QueryCore {
+    let mk = |engine: &mut amada::cloud::Engine, crash: Option<u32>, seed: u64| QueryCore {
         instance: engine.world.ec2.launch(InstanceType::Large, t),
         cores: 2,
         ecu: 2.0,
@@ -110,13 +122,17 @@ fn query_processor_crash_is_recovered() {
         visibility: cfg.visibility,
         poll: cfg.poll_interval,
         executions: executions.clone(),
+        policy: RetryPolicy::default(),
+        rng: StdRng::seed_from_u64(seed),
         crash_after: crash,
         processed: 0,
+        attempt: 0,
     };
     // The crashing processor receives the message first (spawned first).
-    let crashing = mk(engine, Some(0));
+    let crashing = mk(engine, Some(0), 1);
+    let crashed_instance = crashing.instance;
     engine.spawn(Box::new(crashing), t);
-    let healthy = mk(engine, None);
+    let healthy = mk(engine, None, 2);
     engine.spawn(Box::new(healthy), t + SimDuration::from_millis(1));
     let end = engine.run();
     engine.world.sqs.open(QUERY_QUEUE);
@@ -126,4 +142,11 @@ fn query_processor_crash_is_recovered() {
     // Recovery took at least the visibility timeout.
     assert!(end >= SimTime::ZERO + SimDuration::from_secs(30));
     assert!(!executions.borrow()[0].results.is_empty());
+    // Billing regression: this instance's only act was the receive it
+    // crashed on; before the fix its uptime was zero and the receive went
+    // unbilled.
+    assert!(
+        engine.world.ec2.record(crashed_instance).uptime() > SimDuration::ZERO,
+        "a crash after one receive still bills that receive's uptime"
+    );
 }
