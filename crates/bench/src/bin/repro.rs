@@ -16,6 +16,8 @@
 //!   fig13    index cost amortization
 //!   table7   indexing comparison: SimpleDB [8] vs. DynamoDB
 //!   table8   query comparison: SimpleDB [8] vs. DynamoDB
+//!   trace    recorded pipeline: Chrome trace-event export
+//!            (TRACE_repro.json) + span roll-up tables (beyond the paper)
 //!   fault    pipeline under transient-fault injection (beyond the paper;
 //!            seeded via AMADA_FAULT_SEED, not part of `all`)
 //!   all      everything above except `fault`, in order
@@ -77,7 +79,7 @@ fn main() {
 
     let known: &[&str] = &[
         "table4", "fig7", "fig8", "table5", "fig9", "fig10", "table6", "fig11", "fig12", "fig13",
-        "table7", "table8", "ablation", "fault",
+        "table7", "table8", "ablation", "trace", "fault",
     ];
     // `all` deliberately leaves `fault` out: its output depends on
     // AMADA_FAULT_SEED, and `all` stays comparable run to run.
@@ -189,6 +191,7 @@ fn compute(scale: &Scale, selected: &[&str]) -> Vec<Computed> {
                             )
                             .to_string(),
                             "ablation" => exp::ablation(scale).to_string(),
+                            "trace" => exp::trace(scale),
                             "fault" => exp::fault(scale).to_string(),
                             _ => unreachable!("validated in main"),
                         };
@@ -247,8 +250,14 @@ fn write_report(
     };
     json.push_str(&format!(
         "  \"cache\": {{ \"parse_hits\": {}, \"parse_misses\": {}, \"extract_hits\": {}, \
-         \"extract_misses\": {}, \"hit_rate\": {} }}\n",
+         \"extract_misses\": {}, \"hit_rate\": {} }},\n",
         stats.parse_hits, stats.parse_misses, stats.extract_hits, stats.extract_misses, hit_rate
+    ));
+    // Zero when the `trace` artifact was not selected.
+    json.push_str(&format!(
+        "  \"trace\": {{ \"spans\": {}, \"series_buckets\": {} }}\n",
+        exp::trace::TRACE_SPANS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::trace::TRACE_BUCKETS.load(std::sync::atomic::Ordering::Relaxed)
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_repro.json", json)?;
@@ -270,6 +279,9 @@ fn title(artifact: &str) -> &'static str {
         "table7" => "Table 7 - indexing comparison vs. [8] (SimpleDB)",
         "table8" => "Table 8 - query processing comparison vs. [8] (SimpleDB)",
         "ablation" => "Ablation - binary ID encoding and write batching (beyond the paper)",
+        "trace" => {
+            "Trace - recorded pipeline, Chrome trace export and span roll-ups (beyond the paper)"
+        }
         "fault" => "Fault injection - the pipeline under transient faults (beyond the paper)",
         _ => "unknown",
     }
@@ -279,7 +291,7 @@ fn print_usage() {
     println!(
         "repro - regenerate the paper's tables and figures\n\n\
          usage: repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R]\n\n\
-         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation fault all"
+         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault all"
     );
 }
 

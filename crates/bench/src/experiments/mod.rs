@@ -7,6 +7,7 @@ pub mod fault;
 pub mod indexing;
 pub mod querying;
 pub mod scaling;
+pub mod trace;
 
 pub use ablation::ablation;
 pub use amortize::fig13;
@@ -15,3 +16,4 @@ pub use fault::fault;
 pub use indexing::{fig7, fig8, indexing_suite, table4, table6, IndexingSuite};
 pub use querying::{fig11, fig12, fig9, query_suite, table5, QuerySuite};
 pub use scaling::fig10;
+pub use trace::trace;

@@ -24,6 +24,7 @@ use crate::fault::FaultInjector;
 #[cfg(test)]
 use crate::kv::KvValue;
 use crate::kv::{KvError, KvItem, KvProfile, KvStats, KvStore};
+use crate::obs::{Outcome, Recorder, ServiceKind, Span};
 use crate::service::ServiceQueue;
 use std::collections::{BTreeMap, HashMap};
 
@@ -71,6 +72,7 @@ pub struct DynamoDb {
     writes: ServiceQueue,
     reads: ServiceQueue,
     faults: FaultInjector,
+    obs: Recorder,
 }
 
 impl DynamoDb {
@@ -90,6 +92,7 @@ impl DynamoDb {
                 config.latency,
             ),
             faults: FaultInjector::off(),
+            obs: Recorder::off(),
         }
     }
 
@@ -108,6 +111,17 @@ impl DynamoDb {
             } else {
                 self.stats.get_ops += 1;
             }
+            self.obs.record(|p, ctx| {
+                let (op, price) = if is_write {
+                    ("put", p.idx_put)
+                } else {
+                    ("get", p.idx_get)
+                };
+                Span::new(ServiceKind::Kv, op, now, available_at, ctx)
+                    .units(1.0)
+                    .billed(price)
+                    .outcome(Outcome::Throttled)
+            });
             return Err(KvError::Throttled { available_at });
         }
         Ok(())
@@ -196,12 +210,19 @@ impl KvStore for DynamoDb {
             });
         }
         let mut units = 0.0;
+        let mut billed_units = 0u64;
+        let mut bytes_written = 0u64;
         for item in &items {
             self.validate(item)?;
-            units += Self::write_units(item.byte_size());
+            bytes_written += item.byte_size() as u64;
+            let item_units = Self::write_units(item.byte_size());
+            units += item_units;
+            // Billed capacity rounds up *per item* (min 1 unit), as real
+            // DynamoDB does: batching packs items into one API round trip
+            // but never changes the provisioned capacity they consume.
+            billed_units += (item_units.ceil() as u64).max(1);
         }
         self.maybe_throttle(now, true)?;
-        let n = items.len() as u64;
         let t = self.table_mut(table)?;
         let mut raw_delta: i64 = 0;
         let mut ovh_delta: i64 = 0;
@@ -220,11 +241,19 @@ impl KvStore for DynamoDb {
         // DynamoDB bills by provisioned *write capacity units*, which is
         // what the cost model's `IDXput$ × |op(D, I)|` term multiplies —
         // the paper's Table 6 / Figure 12 DynamoDB charges track data
-        // volume, not request counts.
-        let _ = n;
-        self.stats.put_ops += units.ceil() as u64;
+        // volume, not request counts. Service *time* keeps the fractional
+        // aggregate so throughput still tracks index bytes (Figure 10).
+        self.stats.put_ops += billed_units;
         self.stats.api_requests += 1;
-        Ok(self.writes.serve(now, units))
+        let ready = self.writes.serve(now, units);
+        self.obs.record(|p, ctx| {
+            Span::new(ServiceKind::Kv, "batch_put", now, ready, ctx)
+                .bytes(bytes_written)
+                .units(units)
+                .busy(self.writes.service_time(units))
+                .billed(p.idx_put * billed_units)
+        });
+        Ok(ready)
     }
 
     fn get(
@@ -244,10 +273,19 @@ impl KvStore for DynamoDb {
             .unwrap_or_default();
         let bytes: usize = items.iter().map(KvItem::byte_size).sum();
         let units = Self::read_units(bytes);
-        self.stats.get_ops += units.ceil() as u64;
+        // Single-key request: the per-request ceil *is* the per-key ceil.
+        let billed_units = (units.ceil() as u64).max(1);
+        self.stats.get_ops += billed_units;
         self.stats.api_requests += 1;
         self.stats.bytes_read += bytes as u64;
         let ready = self.reads.serve(now, units);
+        self.obs.record(|p, ctx| {
+            Span::new(ServiceKind::Kv, "get", now, ready, ctx)
+                .bytes(bytes as u64)
+                .units(units)
+                .busy(self.reads.service_time(units))
+                .billed(p.idx_get * billed_units)
+        });
         Ok((items, ready))
     }
 
@@ -269,18 +307,33 @@ impl KvStore for DynamoDb {
         self.maybe_throttle(now, false)?;
         let t = self.tables.get(table).expect("checked above");
         let mut items = Vec::new();
+        let mut billed_units = 0u64;
         for k in hash_keys {
+            let first = items.len();
             if let Some(rows) = t.get(k) {
                 items.extend(rows.values().cloned());
             }
+            // Billed read capacity rounds up *per key* (min 1 unit), so a
+            // batch get bills exactly what the same keys fetched one by
+            // one would — batching saves API round trips, not capacity.
+            let key_bytes: usize = items[first..].iter().map(KvItem::byte_size).sum();
+            billed_units += (Self::read_units(key_bytes).ceil() as u64).max(1);
         }
         let bytes: usize = items.iter().map(KvItem::byte_size).sum();
-        // Billed read capacity units: a per-key request share plus volume.
+        // Service time keeps the fractional aggregate: one request's worth
+        // of overhead plus a per-key share plus volume.
         let units = Self::read_units(bytes) + 0.25 * (hash_keys.len().saturating_sub(1)) as f64;
-        self.stats.get_ops += units.ceil() as u64;
+        self.stats.get_ops += billed_units;
         self.stats.api_requests += 1;
         self.stats.bytes_read += bytes as u64;
         let ready = self.reads.serve(now, units);
+        self.obs.record(|p, ctx| {
+            Span::new(ServiceKind::Kv, "batch_get", now, ready, ctx)
+                .bytes(bytes as u64)
+                .units(units)
+                .busy(self.reads.service_time(units))
+                .billed(p.idx_get * billed_units)
+        });
         Ok((items, ready))
     }
 
@@ -290,6 +343,10 @@ impl KvStore for DynamoDb {
 
     fn set_faults(&mut self, faults: FaultInjector) {
         self.faults = faults;
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = recorder;
     }
 
     fn faults_active(&self) -> bool {
@@ -424,10 +481,11 @@ mod tests {
             .collect();
         db.batch_put(SimTime::ZERO, "t", items).unwrap();
         let st = db.stats();
-        // 25 small items ≈ 25 × (0.05 + size/1024) units, in one request.
-        assert!(st.put_ops >= 1 && st.put_ops <= 5, "{}", st.put_ops);
+        // 25 small items each bill the 1-unit per-item minimum, in one
+        // API request.
+        assert_eq!(st.put_ops, 25);
         assert_eq!(st.api_requests, 1);
-        // A single 8 KB item bills by volume.
+        // A single 8 KB item bills by volume: ceil(0.05 + 8) = 9 units.
         let mut db2 = DynamoDb::default();
         db2.ensure_table("t");
         db2.batch_put(
@@ -436,7 +494,66 @@ mod tests {
             vec![item("k", "r", "doc", KvValue::B(vec![0; 8192]))],
         )
         .unwrap();
-        assert!(db2.stats().put_ops >= 8, "{}", db2.stats().put_ops);
+        assert_eq!(db2.stats().put_ops, 9);
+    }
+
+    #[test]
+    fn batching_never_changes_billed_write_units() {
+        // The same 25 items, uploaded as one batch and one by one, must
+        // consume identical billed capacity — batching may only save API
+        // round trips. Mix sizes so several per-item ceils are fractional.
+        let items: Vec<KvItem> = (0..25)
+            .map(|i| {
+                item(
+                    "k",
+                    &format!("r{i}"),
+                    "doc",
+                    KvValue::B(vec![0; (i * 700) % 9000]),
+                )
+            })
+            .collect();
+        let mut batched = DynamoDb::default();
+        batched.ensure_table("t");
+        batched
+            .batch_put(SimTime::ZERO, "t", items.clone())
+            .unwrap();
+        let mut single = DynamoDb::default();
+        single.ensure_table("t");
+        for it in items {
+            single.batch_put(SimTime::ZERO, "t", vec![it]).unwrap();
+        }
+        assert_eq!(batched.stats().put_ops, single.stats().put_ops);
+        assert_eq!(batched.stats().api_requests, 1);
+        assert_eq!(single.stats().api_requests, 25);
+    }
+
+    #[test]
+    fn batching_never_changes_billed_read_units() {
+        let mut db = DynamoDb::default();
+        db.ensure_table("t");
+        for i in 0..10 {
+            db.batch_put(
+                SimTime::ZERO,
+                "t",
+                vec![item(
+                    &format!("k{i}"),
+                    "r",
+                    "d",
+                    KvValue::B(vec![0; (i * 1500) % 12_000]),
+                )],
+            )
+            .unwrap();
+        }
+        let keys: Vec<String> = (0..10).map(|i| format!("k{i}")).collect();
+        let before = db.stats();
+        db.batch_get(SimTime::ZERO, "t", &keys).unwrap();
+        let batched_units = db.stats().get_ops - before.get_ops;
+        let mid = db.stats();
+        for k in &keys {
+            db.get(SimTime::ZERO, "t", k).unwrap();
+        }
+        let single_units = db.stats().get_ops - mid.get_ops;
+        assert_eq!(batched_units, single_units);
     }
 
     #[test]
@@ -554,11 +671,7 @@ mod tests {
         let (items, _) = db.batch_get(SimTime::ZERO, "t", &keys).unwrap();
         assert_eq!(items.len(), 5);
         assert_eq!(db.stats().api_requests, before + 1);
-        // Five near-empty keys bill ≈ 5 × 0.25 read units, rounded up.
-        assert!(
-            db.stats().get_ops >= 2 && db.stats().get_ops <= 4,
-            "{}",
-            db.stats().get_ops
-        );
+        // Five near-empty keys each bill the 1-unit per-key minimum.
+        assert_eq!(db.stats().get_ops, 5);
     }
 }

@@ -98,8 +98,9 @@ mod tests {
         let prices = PriceTable::default();
         let id = ec2.launch(InstanceType::Large, SimTime::ZERO);
         ec2.extend(id, SimTime::ZERO + SimDuration::from_secs(1800));
-        // Half an hour of a $0.34/h instance.
-        assert_eq!(ec2.total_cost(&prices).dollars(), 0.17);
+        // Half an hour of a $0.34/h instance: exactly $0.17, compared in
+        // picodollars so rounding regressions can't hide in f64.
+        assert_eq!(ec2.total_cost(&prices).pico(), 170_000_000_000);
         assert!((ec2.total_hours() - 0.5).abs() < 1e-9);
     }
 

@@ -23,6 +23,7 @@
 
 use crate::clock::SimTime;
 use crate::fault::FaultInjector;
+use crate::obs::Recorder;
 use std::fmt;
 
 /// A value stored under an attribute name.
@@ -241,6 +242,11 @@ pub trait KvStore: Send {
     /// [`KvError::Throttled`]. The default implementation ignores it (a
     /// backend that opts out of fault injection simply never throttles).
     fn set_faults(&mut self, _faults: FaultInjector) {}
+
+    /// Installs a span recorder: subsequent operations are recorded as
+    /// [`crate::obs::Span`]s. The default implementation ignores it (a
+    /// backend that opts out simply records nothing).
+    fn set_recorder(&mut self, _recorder: Recorder) {}
 
     /// True when a fault injector is installed and active — callers that
     /// must hand over owned data (e.g. `batch_put` payloads) use this to

@@ -19,7 +19,10 @@
 //! * [`workmodel`] — converts real measured work metrics into virtual
 //!   compute durations;
 //! * [`pricing`] / [`money`] — the paper's Table 3 price constants and
-//!   exact picodollar arithmetic.
+//!   exact picodollar arithmetic;
+//! * [`obs`] — an off-by-default span recorder keyed to the virtual
+//!   clock (service calls, throttles, actor phases) feeding the
+//!   `amada-obs` analysis crate.
 //!
 //! Everything is deterministic: no wall-clock time, no host randomness.
 
@@ -29,6 +32,7 @@ pub mod ec2;
 pub mod fault;
 pub mod kv;
 pub mod money;
+pub mod obs;
 pub mod pricing;
 pub mod s3;
 pub mod service;
@@ -44,6 +48,7 @@ pub use ec2::{Ec2, InstanceId, InstanceRecord};
 pub use fault::{FaultConfig, FaultInjector};
 pub use kv::{KvError, KvItem, KvProfile, KvStats, KvStore, KvValue};
 pub use money::Money;
+pub use obs::{ActorTag, Ctx, Outcome, Phase, Recorder, ServiceKind, Span};
 pub use pricing::{InstanceType, PriceTable};
 pub use s3::{S3Error, S3Stats, S3};
 pub use sim::{Actor, CostReport, CostSnapshot, Engine, KvBackend, StepResult, StorageCost, World};

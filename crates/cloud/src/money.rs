@@ -43,16 +43,21 @@ impl Money {
         self.0 as f64 / PICO as f64
     }
 
-    /// Price per GB applied to a byte count: `self × bytes / 10⁹`.
-    /// (Cloud providers bill decimal gigabytes.)
+    /// Price per GB applied to a byte count: `self × bytes / 10⁹`,
+    /// rounded half-up to the nearest picodollar. (Cloud providers bill
+    /// decimal gigabytes.) Truncating here instead would drop up to one
+    /// pico per charge, so a bill split into N transfers would disagree
+    /// with the same bytes charged at once.
     pub fn per_gb(self, bytes: u64) -> Money {
-        Money(self.0 * bytes as u128 / 1_000_000_000)
+        Money(div_round_half_up(self.0 * bytes as u128, 1_000_000_000))
     }
 
     /// Price per hour applied to a duration in microseconds (fractional
-    /// billing, as in the paper's cost formulas `VM$_h × t`).
+    /// billing, as in the paper's cost formulas `VM$_h × t`), rounded
+    /// half-up to the nearest picodollar for the same summability reason
+    /// as [`Money::per_gb`].
     pub fn per_hour(self, micros: u64) -> Money {
-        Money(self.0 * micros as u128 / 3_600_000_000)
+        Money(div_round_half_up(self.0 * micros as u128, 3_600_000_000))
     }
 
     /// Saturating subtraction (benefit computations can go "negative";
@@ -66,6 +71,12 @@ impl Money {
     pub fn signed_diff(self, rhs: Money) -> i128 {
         self.0 as i128 - rhs.0 as i128
     }
+}
+
+/// `n / d` rounded half-up. `n` is at most price × u64::MAX ≈ 2⁹⁸ for any
+/// realistic price, so `n + d/2` cannot overflow a `u128`.
+fn div_round_half_up(n: u128, d: u128) -> u128 {
+    (n + d / 2) / d
 }
 
 impl Add for Money {
@@ -133,14 +144,62 @@ mod tests {
     fn per_gb_is_decimal_gigabytes() {
         let p = Money::from_dollars(0.19);
         assert_eq!(p.per_gb(1_000_000_000), p);
-        assert_eq!(p.per_gb(500_000_000).dollars(), 0.095);
+        // Half a decimal GB at $0.19/GB is exactly $0.095.
+        assert_eq!(p.per_gb(500_000_000).pico(), 95_000_000_000);
     }
 
     #[test]
     fn per_hour_fractional_billing() {
         let p = Money::from_dollars(0.34);
-        // 30 virtual minutes on a large instance = $0.17.
-        assert_eq!(p.per_hour(1_800_000_000).dollars(), 0.17);
+        // 30 virtual minutes on a large instance = exactly $0.17.
+        assert_eq!(p.per_hour(1_800_000_000).pico(), 170_000_000_000);
+    }
+
+    #[test]
+    fn fractional_charges_round_half_up_not_down() {
+        // A 1-pico/GB price over half a GB sits exactly on the half-pico
+        // boundary: truncation billed 0, round-half-up bills 1.
+        assert_eq!(Money::from_pico(1).per_gb(500_000_000).pico(), 1);
+        assert_eq!(Money::from_pico(1).per_gb(499_999_999).pico(), 0);
+        // Same boundary for hourly billing: 1 pico/h over half an hour.
+        assert_eq!(Money::from_pico(1).per_hour(1_800_000_000).pico(), 1);
+        assert_eq!(Money::from_pico(1).per_hour(1_799_999_999).pico(), 0);
+    }
+
+    #[test]
+    fn split_charges_sum_to_the_aggregate_within_a_pico_each() {
+        // Property: N equal charges sum to the aggregate charge within
+        // 1 pico per charge — round-half-up bounds each charge's error by
+        // half a pico, so |N·charge(x) − charge(N·x)| ≤ N picos. Under the
+        // old truncation the drift reached a full pico per charge and was
+        // always one-sided, so split bills systematically undershot.
+        let prices = [
+            Money::from_dollars(0.19),        // egress $/GB
+            Money::from_dollars(0.000000032), // request-level price
+            Money::from_pico(7),              // adversarially tiny
+        ];
+        for price in prices {
+            for n in [2u64, 3, 7, 25, 1000] {
+                for chunk in [1u64, 1024, 500_000_000, 999_999_999] {
+                    let split = price.per_gb(chunk) * n;
+                    let aggregate = price.per_gb(chunk * n);
+                    let drift = split.signed_diff(aggregate).unsigned_abs();
+                    assert!(
+                        drift <= n as u128,
+                        "{price} × {n} chunks of {chunk} B: drift {drift} pico"
+                    );
+                }
+            }
+        }
+        // And the flagship case: equal hourly slices of one instance-hour.
+        let vm = Money::from_dollars(0.34);
+        for n in [2u64, 3, 6, 60, 3600] {
+            let slice = 3_600_000_000 / n;
+            let split = vm.per_hour(slice) * n;
+            let aggregate = vm.per_hour(slice * n);
+            let drift = split.signed_diff(aggregate).unsigned_abs();
+            assert!(drift <= n as u128, "{n} slices: drift {drift} pico");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::clock::{SimDuration, SimTime};
 use crate::fault::FaultInjector;
+use crate::obs::{Outcome, Recorder, ServiceKind, Span};
 use crate::service::ServiceQueue;
 use std::collections::HashMap;
 use std::fmt;
@@ -67,6 +68,7 @@ pub struct S3 {
     stats: S3Stats,
     transfer: ServiceQueue,
     faults: FaultInjector,
+    obs: Recorder,
 }
 
 impl S3 {
@@ -82,12 +84,29 @@ impl S3 {
                 SimDuration::from_millis(12),
             ),
             faults: FaultInjector::off(),
+            obs: Recorder::off(),
         }
     }
 
     /// Installs a fault injector (replacing any previous one).
     pub fn set_faults(&mut self, faults: FaultInjector) {
         self.faults = faults;
+    }
+
+    /// Installs a span recorder (replacing any previous one).
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
+    }
+
+    /// Records a throttled request span (billed, no data moved).
+    fn record_throttle(&self, now: SimTime, op: &'static str) {
+        let end = now + self.transfer.latency;
+        self.obs.record(|p, ctx| {
+            let billed = if op == "put" { p.st_put } else { p.st_get };
+            Span::new(ServiceKind::S3, op, now, end, ctx)
+                .billed(billed)
+                .outcome(Outcome::Throttled)
+        });
     }
 
     /// True when a fault injector with a non-zero rate is installed
@@ -126,7 +145,10 @@ impl S3 {
             return Err(S3Error::NoSuchBucket(bucket.to_string()));
         }
         self.stats.put_requests += 1;
-        self.maybe_throttle(now)?;
+        if let Err(e) = self.maybe_throttle(now) {
+            self.record_throttle(now, "put");
+            return Err(e);
+        }
         let b = self.buckets.get_mut(bucket).expect("checked above");
         let len = data.len() as u64;
         self.stats.bytes_in += len;
@@ -134,34 +156,68 @@ impl S3 {
             self.stats.stored_bytes -= old.len() as u64;
         }
         self.stats.stored_bytes += len;
-        Ok(self.transfer.serve_unqueued(now, len as f64))
+        let ready = self.transfer.serve_unqueued(now, len as f64);
+        let busy = self.transfer.service_time(len as f64);
+        self.obs.record(|p, ctx| {
+            Span::new(ServiceKind::S3, "put", now, ready, ctx)
+                .bytes(len)
+                .busy(busy)
+                .billed(p.st_put)
+        });
+        Ok(ready)
     }
 
     /// Retrieves an object (shared, zero-copy for the simulation host).
+    ///
+    /// A `NoSuchKey` miss is still a billed GET — real S3 charges for the
+    /// request whether or not the object exists. Only `NoSuchBucket` is
+    /// free, mirroring SQS's unbilled `NoSuchQueue`: a misconfigured
+    /// endpoint is a client-side error, a missing object is a served
+    /// request.
     pub fn get(
         &mut self,
         now: SimTime,
         bucket: &str,
         key: &str,
     ) -> Result<(Arc<Vec<u8>>, SimTime), S3Error> {
-        let b = self
-            .buckets
-            .get(bucket)
-            .ok_or_else(|| S3Error::NoSuchBucket(bucket.to_string()))?;
-        let data = b.get(key).cloned().ok_or_else(|| S3Error::NoSuchKey {
-            bucket: bucket.into(),
-            key: key.into(),
-        })?;
+        if !self.buckets.contains_key(bucket) {
+            return Err(S3Error::NoSuchBucket(bucket.to_string()));
+        }
         self.stats.get_requests += 1;
-        self.maybe_throttle(now)?;
-        self.stats.bytes_out += data.len() as u64;
-        let ready = self.transfer.serve_unqueued(now, data.len() as f64);
+        if let Err(e) = self.maybe_throttle(now) {
+            self.record_throttle(now, "get");
+            return Err(e);
+        }
+        let b = self.buckets.get(bucket).expect("checked above");
+        let Some(data) = b.get(key).cloned() else {
+            let end = now + self.transfer.latency;
+            self.obs.record(|p, ctx| {
+                Span::new(ServiceKind::S3, "get", now, end, ctx)
+                    .billed(p.st_get)
+                    .outcome(Outcome::Missing)
+            });
+            return Err(S3Error::NoSuchKey {
+                bucket: bucket.into(),
+                key: key.into(),
+            });
+        };
+        let len = data.len() as u64;
+        self.stats.bytes_out += len;
+        let ready = self.transfer.serve_unqueued(now, len as f64);
+        let busy = self.transfer.service_time(len as f64);
+        self.obs.record(|p, ctx| {
+            Span::new(ServiceKind::S3, "get", now, ready, ctx)
+                .bytes(len)
+                .busy(busy)
+                .billed(p.st_get)
+        });
         Ok((data, ready))
     }
 
     /// Lists the keys of a bucket, in sorted order. Billed as one get-class
-    /// request (AWS prices LIST like GET).
-    pub fn list(&mut self, bucket: &str) -> Result<Vec<String>, S3Error> {
+    /// request (AWS prices LIST like GET). `now` stamps the request in the
+    /// span recorder; the listing itself advances no virtual time.
+    pub fn list(&mut self, now: SimTime, bucket: &str) -> Result<Vec<String>, S3Error> {
         let b = self
             .buckets
             .get(bucket)
@@ -169,6 +225,9 @@ impl S3 {
         let mut keys: Vec<String> = b.keys().cloned().collect();
         keys.sort();
         self.stats.get_requests += 1;
+        let end = now + self.transfer.latency;
+        self.obs
+            .record(|p, ctx| Span::new(ServiceKind::S3, "list", now, end, ctx).billed(p.st_get));
         Ok(keys)
     }
 
@@ -241,6 +300,26 @@ mod tests {
     }
 
     #[test]
+    fn missing_key_gets_are_billed_missing_buckets_are_not() {
+        let mut s3 = S3::new();
+        s3.create_bucket("b");
+        // NoSuchKey is a served (and billed) request that moves no data.
+        assert!(matches!(
+            s3.get(SimTime::ZERO, "b", "ghost"),
+            Err(S3Error::NoSuchKey { .. })
+        ));
+        assert_eq!(s3.stats().get_requests, 1);
+        assert_eq!(s3.stats().bytes_out, 0);
+        // NoSuchBucket never reaches the service: nothing is billed,
+        // mirroring SQS's unbilled NoSuchQueue contract.
+        assert!(matches!(
+            s3.get(SimTime::ZERO, "nope", "k"),
+            Err(S3Error::NoSuchBucket(_))
+        ));
+        assert_eq!(s3.stats().get_requests, 1);
+    }
+
+    #[test]
     fn replacement_keeps_storage_accounting_consistent() {
         let mut s3 = S3::new();
         s3.create_bucket("b");
@@ -258,7 +337,7 @@ mod tests {
         s3.create_bucket("b");
         s3.put(SimTime::ZERO, "b", "z", vec![]).unwrap();
         s3.put(SimTime::ZERO, "b", "a", vec![]).unwrap();
-        assert_eq!(s3.list("b").unwrap(), ["a", "z"]);
+        assert_eq!(s3.list(SimTime::ZERO, "b").unwrap(), ["a", "z"]);
     }
 
     #[test]

@@ -50,11 +50,18 @@ impl ServiceQueue {
         }
     }
 
+    /// Time the server is occupied by a request of `units` capacity units
+    /// (overhead plus rate-based service; excludes queueing and latency).
+    /// Shared by both serve paths and by span recording, so a recorded
+    /// span's busy time is exactly what the queue charged.
+    pub fn service_time(&self, units: f64) -> SimDuration {
+        self.request_overhead + SimDuration::from_secs_f64(units / self.units_per_sec)
+    }
+
     /// Serves a request of `units` capacity units arriving at `now`;
     /// returns the virtual time at which the response is available.
     pub fn serve(&mut self, now: SimTime, units: f64) -> SimTime {
-        let service =
-            self.request_overhead + SimDuration::from_secs_f64(units / self.units_per_sec);
+        let service = self.service_time(units);
         let start = now.max(self.next_free);
         let done = start + service;
         self.next_free = done;
@@ -66,8 +73,7 @@ impl ServiceQueue {
     /// An infinitely-parallel variant: the request never queues (used for
     /// S3, which scales horizontally); only per-request time applies.
     pub fn serve_unqueued(&mut self, now: SimTime, units: f64) -> SimTime {
-        let service =
-            self.request_overhead + SimDuration::from_secs_f64(units / self.units_per_sec);
+        let service = self.service_time(units);
         self.busy += service;
         self.served += 1;
         now + service + self.latency

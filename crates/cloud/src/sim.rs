@@ -22,6 +22,7 @@ use crate::ec2::Ec2;
 use crate::fault::FaultConfig;
 use crate::kv::{KvStats, KvStore};
 use crate::money::Money;
+use crate::obs::{Recorder, ServiceKind, Span};
 use crate::pricing::PriceTable;
 use crate::s3::{S3Stats, S3};
 use crate::simpledb::{SimpleDb, SimpleDbConfig};
@@ -61,6 +62,9 @@ pub struct World {
     pub prices: PriceTable,
     /// Bytes transferred out of the cloud (billed `egress$_GB`).
     pub egress_bytes: u64,
+    /// Span recorder (off unless [`World::enable_recording`] was called);
+    /// the services hold clones sharing the same buffer.
+    pub obs: Recorder,
 }
 
 impl World {
@@ -79,13 +83,31 @@ impl World {
             work: WorkModel::default(),
             prices: PriceTable::default(),
             egress_bytes: 0,
+            obs: Recorder::off(),
         }
     }
 
-    /// Records `bytes` leaving the cloud (query results returned to the
-    /// user — the paper's `egress$_GB × |r(q)|` term).
-    pub fn egress(&mut self, bytes: u64) {
+    /// Turns on span recording: every subsequent service call, throttle
+    /// and actor phase is recorded against the current price table. Must
+    /// be called after `prices` is set — the recorder bills spans under a
+    /// snapshot of the table taken here.
+    pub fn enable_recording(&mut self) {
+        let rec = Recorder::enabled(self.prices.clone());
+        self.s3.set_recorder(rec.clone());
+        self.kv.set_recorder(rec.clone());
+        self.sqs.set_recorder(rec.clone());
+        self.obs = rec;
+    }
+
+    /// Records `bytes` leaving the cloud at `now` (query results returned
+    /// to the user — the paper's `egress$_GB × |r(q)|` term).
+    pub fn egress(&mut self, now: SimTime, bytes: u64) {
         self.egress_bytes += bytes;
+        self.obs.record(|p, ctx| {
+            Span::new(ServiceKind::Egress, "egress", now, now, ctx)
+                .bytes(bytes)
+                .billed(p.egress_gb.per_gb(bytes))
+        });
     }
 
     /// Installs the per-service fault injectors derived from `cfg`. With
@@ -378,7 +400,7 @@ mod tests {
             .unwrap();
         world.sqs.create_queue("q");
         world.sqs.send(SimTime::ZERO, "q", "m").unwrap();
-        world.egress(1_000_000_000);
+        world.egress(SimTime::ZERO, 1_000_000_000);
         let report = world.cost_report();
         assert_eq!(report.s3, world.prices.st_put);
         assert_eq!(report.sqs, world.prices.qs_request);
@@ -419,7 +441,8 @@ mod tests {
             .put(SimTime::ZERO, "b", "k", vec![0; 2_000_000_000])
             .unwrap();
         let st = world.storage_cost_per_month();
-        assert_eq!(st.file_store.dollars(), 0.25); // 2 GB × $0.125
+        // 2 GB × $0.125 = exactly $0.25, compared in picodollars.
+        assert_eq!(st.file_store.pico(), 250_000_000_000);
         assert_eq!(st.index_store, Money::ZERO);
         assert_eq!(st.total(), st.file_store);
     }

@@ -18,6 +18,7 @@
 use crate::clock::{SimDuration, SimTime};
 use crate::fault::FaultInjector;
 use crate::kv::{KvError, KvItem, KvProfile, KvStats, KvStore};
+use crate::obs::{Outcome, Recorder, ServiceKind, Span};
 use crate::service::ServiceQueue;
 use std::collections::{BTreeMap, HashMap};
 
@@ -66,6 +67,7 @@ pub struct SimpleDb {
     writes: ServiceQueue,
     reads: ServiceQueue,
     faults: FaultInjector,
+    obs: Recorder,
 }
 
 impl SimpleDb {
@@ -85,6 +87,7 @@ impl SimpleDb {
                 config.latency,
             ),
             faults: FaultInjector::off(),
+            obs: Recorder::off(),
         }
     }
 
@@ -103,6 +106,17 @@ impl SimpleDb {
             } else {
                 self.stats.get_ops += 1;
             }
+            self.obs.record(|p, ctx| {
+                let (op, price) = if is_write {
+                    ("put", p.idx_put)
+                } else {
+                    ("get", p.idx_get)
+                };
+                Span::new(ServiceKind::Kv, op, now, available_at, ctx)
+                    .units(1.0)
+                    .billed(price)
+                    .outcome(Outcome::Throttled)
+            });
             return Err(KvError::Throttled { available_at });
         }
         Ok(())
@@ -183,7 +197,6 @@ impl KvStore for SimpleDb {
         self.maybe_throttle(now, true)?;
         let d = self.domains.get_mut(table).expect("checked above");
         let mut bytes = 0usize;
-        let n = items.len() as u64;
         let mut total_attr_values = 0u64;
         let mut raw_delta: i64 = 0;
         let mut ovh_delta: i64 = 0;
@@ -210,10 +223,17 @@ impl KvStore for SimpleDb {
         // SimpleDB's box-usage billing scales with the attribute-value
         // pairs written, not the item count — the billing-side half of the
         // Tables 7–8 amplification (chunked values each pay their way).
-        let _ = n;
         self.stats.put_ops += total_attr_values;
         self.stats.api_requests += 1;
-        Ok(self.writes.serve(now, bytes as f64))
+        let ready = self.writes.serve(now, bytes as f64);
+        self.obs.record(|p, ctx| {
+            Span::new(ServiceKind::Kv, "batch_put", now, ready, ctx)
+                .bytes(bytes as u64)
+                .units(total_attr_values as f64)
+                .busy(self.writes.service_time(bytes as f64))
+                .billed(p.idx_put * total_attr_values)
+        });
+        Ok(ready)
     }
 
     fn get(
@@ -236,6 +256,13 @@ impl KvStore for SimpleDb {
         self.stats.api_requests += 1;
         self.stats.bytes_read += bytes as u64;
         let ready = self.reads.serve(now, bytes as f64);
+        self.obs.record(|p, ctx| {
+            Span::new(ServiceKind::Kv, "get", now, ready, ctx)
+                .bytes(bytes as u64)
+                .units(1.0)
+                .busy(self.reads.service_time(bytes as f64))
+                .billed(p.idx_get)
+        });
         Ok((items, ready))
     }
 
@@ -262,6 +289,10 @@ impl KvStore for SimpleDb {
 
     fn set_faults(&mut self, faults: FaultInjector) {
         self.faults = faults;
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = recorder;
     }
 
     fn faults_active(&self) -> bool {

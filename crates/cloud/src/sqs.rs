@@ -19,6 +19,7 @@
 
 use crate::clock::{SimDuration, SimTime};
 use crate::fault::FaultInjector;
+use crate::obs::{Outcome, Recorder, ServiceKind, Span};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -93,6 +94,7 @@ pub struct Sqs {
     stats: SqsStats,
     latency: SimDuration,
     faults: FaultInjector,
+    obs: Recorder,
 }
 
 #[derive(Default)]
@@ -127,12 +129,18 @@ impl Sqs {
             stats: SqsStats::default(),
             latency: SimDuration::from_millis(4),
             faults: FaultInjector::off(),
+            obs: Recorder::off(),
         }
     }
 
     /// Installs a fault injector (replacing any previous one).
     pub fn set_faults(&mut self, faults: FaultInjector) {
         self.faults = faults;
+    }
+
+    /// Installs a span recorder (replacing any previous one).
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
     }
 
     /// Creates a queue (idempotent).
@@ -154,15 +162,29 @@ impl Sqs {
 
     /// Bills one request and rolls the fault injector; on a throttle the
     /// error response arrives after the usual request latency.
-    fn billed_request(&mut self, now: SimTime) -> Result<(), SqsError> {
+    fn billed_request(&mut self, now: SimTime, op: &'static str) -> Result<(), SqsError> {
         self.stats.requests += 1;
         if self.faults.roll() {
             self.stats.throttled += 1;
-            return Err(SqsError::Throttled {
-                available_at: now + self.latency,
+            let available_at = now + self.latency;
+            self.obs.record(|p, ctx| {
+                Span::new(ServiceKind::Sqs, op, now, available_at, ctx)
+                    .billed(p.qs_request)
+                    .outcome(Outcome::Throttled)
             });
+            return Err(SqsError::Throttled { available_at });
         }
         Ok(())
+    }
+
+    /// Records the span of a successfully served request (`Ok` outcome,
+    /// one `QS$` charge, response at `now + latency`).
+    fn record_ok(&self, now: SimTime, op: &'static str, bytes: u64) {
+        self.obs.record(|p, ctx| {
+            Span::new(ServiceKind::Sqs, op, now, now + self.latency, ctx)
+                .bytes(bytes)
+                .billed(p.qs_request)
+        });
     }
 
     /// Sends a message; returns the virtual completion time.
@@ -173,19 +195,22 @@ impl Sqs {
         body: impl Into<String>,
     ) -> Result<SimTime, SqsError> {
         self.queue(queue)?;
-        self.billed_request(now)?;
+        self.billed_request(now, "send")?;
         self.stats.sent += 1;
         let latency = self.latency;
+        let body: String = body.into();
+        let body_len = body.len() as u64;
         let q = self.queue_mut(queue)?;
         assert!(!q.closed, "send on closed queue {queue}");
         let id = q.next_id;
         q.next_id += 1;
         q.messages.push(Stored {
             id,
-            body: body.into(),
+            body,
             invisible_until: None,
             receive_count: 0,
         });
+        self.record_ok(now, "send", body_len);
         Ok(now + latency)
     }
 
@@ -199,7 +224,7 @@ impl Sqs {
         visibility: SimDuration,
     ) -> Result<(Option<Message>, SimTime), SqsError> {
         self.queue(queue)?;
-        self.billed_request(now)?;
+        self.billed_request(now, "receive")?;
         let latency = self.latency;
         let q = self.queue_mut(queue)?;
         // Expiry is exclusive: a lease set (or renewed) to expire at `t`
@@ -226,6 +251,17 @@ impl Sqs {
                 self.stats.redelivered += 1;
             }
         }
+        // An empty receive is a billed request too; spans mark it Missing
+        // so empty-poll cost shows up in the attribution tables.
+        self.obs.record(|p, ctx| {
+            let mut span = Span::new(ServiceKind::Sqs, "receive", now, now + latency, ctx)
+                .billed(p.qs_request);
+            match &msg {
+                Some(m) => span.bytes = m.body.len() as u64,
+                None => span.outcome = Outcome::Missing,
+            }
+            span
+        });
         Ok((msg, now + latency))
     }
 
@@ -239,11 +275,12 @@ impl Sqs {
     /// should not rely on delete-after-expiry being rejected.
     pub fn delete(&mut self, now: SimTime, queue: &str, id: u64) -> Result<SimTime, SqsError> {
         self.queue(queue)?;
-        self.billed_request(now)?;
+        self.billed_request(now, "delete")?;
         let latency = self.latency;
         let q = self.queue_mut(queue)?;
         q.deleted.insert(id);
         q.compact_if_needed();
+        self.record_ok(now, "delete", 0);
         Ok(now + latency)
     }
 
@@ -257,7 +294,7 @@ impl Sqs {
         visibility: SimDuration,
     ) -> Result<SimTime, SqsError> {
         self.queue(queue)?;
-        self.billed_request(now)?;
+        self.billed_request(now, "renew")?;
         self.stats.renewals += 1;
         let latency = self.latency;
         let q = self.queue_mut(queue)?;
@@ -266,6 +303,7 @@ impl Sqs {
                 m.invisible_until = Some(now + visibility);
             }
         }
+        self.record_ok(now, "renew", 0);
         Ok(now + latency)
     }
 

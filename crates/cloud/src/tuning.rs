@@ -133,6 +133,10 @@ impl KvStore for TunedKvStore {
         self.inner.set_faults(faults);
     }
 
+    fn set_recorder(&mut self, recorder: crate::obs::Recorder) {
+        self.inner.set_recorder(recorder);
+    }
+
     fn faults_active(&self) -> bool {
         self.inner.faults_active()
     }

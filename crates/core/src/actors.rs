@@ -39,7 +39,8 @@ use crate::config::{
 use crate::metrics::{QueryExecution, QueryPhases};
 use crate::retry::{delete_with_retry, send_with_retry, Lease, RetryPolicy};
 use amada_cloud::{
-    Actor, InstanceId, KvError, KvItem, S3Error, SimDuration, SimTime, SqsError, StepResult, World,
+    Actor, ActorTag, InstanceId, KvError, KvItem, Phase, S3Error, ServiceKind, SimDuration,
+    SimTime, Span, SqsError, StepResult, World,
 };
 use amada_index::{lookup_query, store::UuidGen, ExtractCache, ExtractOptions, Strategy};
 use amada_pattern::{evaluate_pattern_twig, join_pattern_results, parse_query, Query, Tuple};
@@ -91,6 +92,7 @@ enum LoaderState {
     /// Writing the current document's item batches.
     Uploading {
         lease: Lease,
+        uri: String,
         batches: VecDeque<(&'static str, Vec<KvItem>)>,
         entries: u64,
         items: u64,
@@ -237,6 +239,9 @@ impl LoaderCore {
             // neither processed nor deleted; SQS will redeliver it. The
             // instance was up for the receive — bill it.
             world.ec2.extend(self.instance, t);
+            world
+                .obs
+                .record(|_, ctx| Span::new(ServiceKind::Actor, "crash", now, t, ctx));
             return StepResult::Done;
         }
         if msg.receive_count > self.policy.max_receives {
@@ -303,7 +308,11 @@ impl LoaderCore {
         let entry_bytes: u64 = entries.iter().map(|e| e.raw_bytes() as u64).sum();
         let extraction = world.work.parse(bytes.len() as u64, self.ecu)
             + world.work.extract(entry_bytes, self.ecu);
+        let fetched_at = t;
         let t = t + extraction;
+        world.obs.record(|_, ctx| {
+            Span::new(ServiceKind::Actor, "extract", fetched_at, t, ctx).bytes(bytes.len() as u64)
+        });
         self.totals.borrow_mut().extraction_micros += extraction.micros();
         let profile = world.kv.profile();
         let mut uuids = UuidGen::for_document(&uri);
@@ -327,6 +336,7 @@ impl LoaderCore {
         lease.keep_alive(&mut world.sqs, t);
         self.state = LoaderState::Uploading {
             lease,
+            uri,
             batches,
             entries: entries.len() as u64,
             items,
@@ -348,6 +358,7 @@ impl LoaderCore {
         now: SimTime,
         world: &mut World,
         mut lease: Lease,
+        uri: String,
         mut batches: VecDeque<(&'static str, Vec<KvItem>)>,
         entries: u64,
         items: u64,
@@ -366,6 +377,9 @@ impl LoaderCore {
                 // the store; the lease expires and the document is
                 // redelivered. Bill the uptime this step consumed.
                 world.ec2.extend(self.instance, last);
+                world
+                    .obs
+                    .record(|_, ctx| Span::new(ServiceKind::Actor, "crash", now, last, ctx));
                 return StepResult::Done;
             }
             let res = if retryable {
@@ -401,6 +415,7 @@ impl LoaderCore {
             lease.keep_alive(&mut world.sqs, resume);
             self.state = LoaderState::Uploading {
                 lease,
+                uri,
                 batches,
                 entries,
                 items,
@@ -409,6 +424,9 @@ impl LoaderCore {
             return StepResult::NextAt(resume);
         }
         self.attempt = 0;
+        world.obs.record(|_, ctx| {
+            Span::new(ServiceKind::Actor, "upload", now, last, ctx).bytes(entry_bytes)
+        });
         let mut tot = self.totals.borrow_mut();
         tot.upload_micros += (last - now).micros();
         tot.docs += 1;
@@ -441,16 +459,31 @@ impl LoaderCore {
 impl Actor for LoaderCore {
     fn step(&mut self, now: SimTime, world: &mut World) -> StepResult {
         let state = std::mem::replace(&mut self.state, LoaderState::Idle);
+        world.obs.with_ctx(|c| {
+            c.phase = Phase::Build;
+            c.query = None;
+            c.doc = match &state {
+                LoaderState::Fetching { uri, .. } | LoaderState::Uploading { uri, .. } => {
+                    Some(uri.as_str().into())
+                }
+                _ => None,
+            };
+            c.actor = Some(ActorTag {
+                kind: "loader",
+                instance: self.instance.0,
+            });
+        });
         let result = match state {
             LoaderState::Idle => self.step_idle(now, world),
             LoaderState::Fetching { lease, uri } => self.step_fetching(now, world, lease, uri),
             LoaderState::Uploading {
                 lease,
+                uri,
                 batches,
                 entries,
                 items,
                 entry_bytes,
-            } => self.step_uploading(now, world, lease, batches, entries, items, entry_bytes),
+            } => self.step_uploading(now, world, lease, uri, batches, entries, items, entry_bytes),
             LoaderState::Finishing { lease } => self.step_finishing(now, world, lease),
         };
         if let StepResult::NextAt(t) = result {
@@ -541,6 +574,7 @@ impl QueryCore {
             .split_once('\n')
             .expect("query messages carry name\\nquery");
         let query: Query = parse_query(text).expect("stored queries are well-formed");
+        world.obs.with_ctx(|c| c.query = Some(name.into()));
 
         // Phase 1+2: index look-up and plan execution (step 10–12).
         let mut phases = QueryPhases::default();
@@ -576,6 +610,13 @@ impl QueryCore {
                 phases.lookup_get = t_get - t;
                 let plan = world.work.plan(lookup.entries_processed(), self.ecu);
                 phases.plan = plan;
+                let t_lookup = t;
+                world.obs.record(|_, ctx| {
+                    Span::new(ServiceKind::Actor, "lookup_get", t_lookup, t_get, ctx)
+                });
+                world.obs.record(|_, ctx| {
+                    Span::new(ServiceKind::Actor, "plan", t_get, t_get + plan, ctx)
+                });
                 t = t_get + plan;
                 docs_from_index = lookup.total_doc_ids;
                 // `|op(q, D, I)|` counts billed ops, throttled retries
@@ -586,7 +627,10 @@ impl QueryCore {
             None => {
                 // No index: every pattern is evaluated on every document.
                 // (`list` is a host-side enumeration, never throttled.)
-                let all = world.s3.list(DOC_BUCKET).expect("document bucket exists");
+                let all = world
+                    .s3
+                    .list(t, DOC_BUCKET)
+                    .expect("document bucket exists");
                 per_pattern_uris = vec![all; query.patterns.len()];
             }
         }
@@ -648,6 +692,17 @@ impl QueryCore {
         serial += world.work.materialize(result_bytes, self.ecu);
         let wall = SimDuration::from_micros(serial.micros() / self.cores as u64);
         phases.transfer_eval = wall;
+        let t_eval = t;
+        world.obs.record(|_, ctx| {
+            Span::new(
+                ServiceKind::Actor,
+                "transfer_eval",
+                t_eval,
+                t_eval + wall,
+                ctx,
+            )
+            .bytes(result_bytes)
+        });
         t = t + wall;
         lease.keep_alive(&mut world.sqs, t);
 
@@ -710,6 +765,15 @@ impl QueryCore {
 
 impl Actor for QueryCore {
     fn step(&mut self, now: SimTime, world: &mut World) -> StepResult {
+        world.obs.with_ctx(|c| {
+            c.phase = Phase::Query;
+            c.query = None;
+            c.doc = None;
+            c.actor = Some(ActorTag {
+                kind: "query",
+                instance: self.instance.0,
+            });
+        });
         let (msg, t) = match world.sqs.receive(now, QUERY_QUEUE, self.visibility) {
             Ok(out) => out,
             Err(SqsError::Throttled { available_at }) => {
@@ -732,6 +796,9 @@ impl Actor for QueryCore {
         if self.crash_after.is_some_and(|n| self.processed >= n) {
             // The instance was up for the final receive — bill it.
             world.ec2.extend(self.instance, t);
+            world
+                .obs
+                .record(|_, ctx| Span::new(ServiceKind::Actor, "crash", now, t, ctx));
             return StepResult::Done;
         }
         if msg.receive_count > self.policy.max_receives {

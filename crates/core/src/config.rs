@@ -49,11 +49,20 @@ pub struct HostConfig {
     /// become cache hits. Thread count comes from `AMADA_THREADS` or the
     /// machine's available parallelism.
     pub prewarm: bool,
+    /// Record every service call, throttle and actor phase as a virtual-
+    /// time span (`amada_cloud::obs`). Off by default; recording only
+    /// *observes* — virtual times, bills and results stay bit-identical
+    /// (asserted by the observability identity test), which is why this
+    /// knob lives in `HostConfig`.
+    pub record: bool,
 }
 
 impl Default for HostConfig {
     fn default() -> Self {
-        HostConfig { prewarm: true }
+        HostConfig {
+            prewarm: true,
+            record: false,
+        }
     }
 }
 

@@ -11,7 +11,8 @@ use crate::retry::{
     frontend_delete, frontend_get_object, frontend_put_object, frontend_receive, frontend_send,
 };
 use amada_cloud::{
-    CostReport, CostSnapshot, Engine, Money, SimDuration, SimTime, StorageCost, World,
+    ActorTag, CostReport, CostSnapshot, Engine, Money, Phase, SimDuration, SimTime, Span,
+    StorageCost, World,
 };
 use amada_index::{CacheStats, ExtractCache, PrewarmReport};
 use amada_pattern::Query;
@@ -74,6 +75,9 @@ impl Warehouse {
             world.kv.ensure_table(table);
         }
         world.install_faults(&cfg.faults);
+        if cfg.host.record {
+            world.enable_recording();
+        }
         Warehouse {
             cfg,
             engine: Engine::new(world),
@@ -137,6 +141,14 @@ impl Warehouse {
             let (uri, xml) = (uri.into(), xml.into());
             let body = xml.into_bytes();
             bytes += body.len() as u64;
+            self.engine.world.obs.with_ctx(|c| {
+                c.phase = Phase::Upload;
+                c.doc = Some(uri.as_str().into());
+                c.actor = Some(ActorTag {
+                    kind: "frontend",
+                    instance: 0,
+                });
+            });
             // Hash the content once, here; every later cache probe for
             // this URI compares against the recorded hash instead of
             // re-hashing megabytes of XML per loader step.
@@ -166,6 +178,7 @@ impl Warehouse {
             n += 1;
         }
         self.corpus_bytes += bytes;
+        self.engine.world.obs.with_ctx(|c| *c = Default::default());
         let cost = self.engine.world.cost_since(&before).total();
         UploadReport {
             documents: n,
@@ -313,7 +326,9 @@ impl Warehouse {
         }
         let before = self.engine.world.snapshot();
         let start = self.engine.now();
-        // Front end, steps 7–8: enqueue the query messages.
+        // Front end, steps 7–8: enqueue the query messages. The sends are
+        // tagged per query so Figure-12-style attribution charges each
+        // query its own request.
         let mut t = start;
         for r in 0..repeats {
             for (i, q) in queries.iter().enumerate() {
@@ -321,6 +336,14 @@ impl Warehouse {
                     .name
                     .clone()
                     .unwrap_or_else(|| format!("query-{}", r * queries.len() + i));
+                self.engine.world.obs.with_ctx(|c| {
+                    c.phase = Phase::Query;
+                    c.query = Some(name.as_str().into());
+                    c.actor = Some(ActorTag {
+                        kind: "frontend",
+                        instance: 0,
+                    });
+                });
                 t = frontend_send(
                     &mut self.engine.world.sqs,
                     &self.cfg.retry,
@@ -354,6 +377,14 @@ impl Warehouse {
         self.engine.world.sqs.open(QUERY_QUEUE);
         // Front end, steps 16–18: fetch each response, download the
         // results out of the cloud.
+        self.engine.world.obs.with_ctx(|c| {
+            *c = Default::default();
+            c.phase = Phase::Frontend;
+            c.actor = Some(ActorTag {
+                kind: "frontend",
+                instance: 0,
+            });
+        });
         let mut t = end;
         loop {
             let (msg, t2) = frontend_receive(
@@ -371,7 +402,7 @@ impl Warehouse {
                 RESULT_BUCKET,
                 &msg.body,
             );
-            self.engine.world.egress(data.len() as u64);
+            self.engine.world.egress(t3, data.len() as u64);
             t = frontend_delete(
                 &mut self.engine.world.sqs,
                 &self.cfg.retry,
@@ -380,6 +411,7 @@ impl Warehouse {
                 msg.id,
             );
         }
+        self.engine.world.obs.with_ctx(|c| *c = Default::default());
         let executions = Rc::try_unwrap(executions)
             .expect("actors are gone")
             .into_inner();
@@ -404,6 +436,12 @@ impl Warehouse {
     /// Charges accumulated since provisioning.
     pub fn total_cost(&self) -> CostReport {
         self.engine.world.cost_report()
+    }
+
+    /// Every span recorded so far (empty unless `cfg.host.record` was
+    /// set when the warehouse was provisioned).
+    pub fn spans(&self) -> Vec<Span> {
+        self.engine.world.obs.spans()
     }
 
     /// Test access to the engine (fault injection, custom actors).

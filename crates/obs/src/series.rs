@@ -1,0 +1,178 @@
+//! Per-service time-series in fixed virtual-time buckets.
+//!
+//! The derived signals are the ones the paper reads off its service-level
+//! plots: request and throttle rates and consumed capacity units per
+//! bucket (Figure 10's DynamoDB saturation is a capacity-unit series
+//! pinned at the provisioned rate), service busy time as a utilization
+//! fraction, and in-flight depth (how many requests overlap the bucket —
+//! the queueing view of saturation).
+
+use amada_cloud::{Money, ServiceKind, SimDuration, SimTime, Span};
+
+/// Aggregates for one `[start, start + width)` window of virtual time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Bucket {
+    /// Requests *starting* in this bucket.
+    pub requests: u64,
+    /// Throttled requests starting in this bucket.
+    pub throttled: u64,
+    /// Capacity units consumed by requests starting in this bucket.
+    pub units: f64,
+    /// Payload bytes moved by requests starting in this bucket.
+    pub bytes: u64,
+    /// Service busy time charged by requests starting in this bucket.
+    pub busy: SimDuration,
+    /// Money billed to requests starting in this bucket.
+    pub billed: Money,
+    /// Spans (from this service) whose `[start, end]` overlaps the
+    /// bucket — the in-flight/queue-depth signal.
+    pub in_flight: u64,
+}
+
+/// A fixed-width bucketed series for one service.
+#[derive(Debug, Clone)]
+pub struct ServiceSeries {
+    /// The service the series describes.
+    pub service: ServiceKind,
+    /// Bucket width (virtual time).
+    pub width: SimDuration,
+    /// Buckets from virtual time zero, contiguous.
+    pub buckets: Vec<Bucket>,
+}
+
+impl ServiceSeries {
+    /// Buckets `spans` of `service` into windows of `width`. The series
+    /// always starts at virtual time zero and extends to cover the last
+    /// span end; an empty span set yields an empty series.
+    pub fn build(spans: &[Span], service: ServiceKind, width: SimDuration) -> ServiceSeries {
+        assert!(width > SimDuration::ZERO, "bucket width must be positive");
+        let mine: Vec<&Span> = spans.iter().filter(|s| s.service == service).collect();
+        let horizon = mine.iter().map(|s| s.end.micros()).max().unwrap_or(0);
+        let n = if mine.is_empty() {
+            0
+        } else {
+            (horizon / width.micros() + 1) as usize
+        };
+        let mut buckets = vec![Bucket::default(); n];
+        for s in &mine {
+            let b = &mut buckets[(s.start.micros() / width.micros()) as usize];
+            b.requests += 1;
+            if s.outcome == amada_cloud::Outcome::Throttled {
+                b.throttled += 1;
+            }
+            b.units += s.units;
+            b.bytes += s.bytes;
+            b.busy += s.busy;
+            b.billed += s.billed;
+            let first = (s.start.micros() / width.micros()) as usize;
+            let last = (s.end.micros() / width.micros()) as usize;
+            for bucket in buckets.iter_mut().take(last + 1).skip(first) {
+                bucket.in_flight += 1;
+            }
+        }
+        ServiceSeries {
+            service,
+            width,
+            buckets,
+        }
+    }
+
+    /// Start of bucket `i`.
+    pub fn bucket_start(&self, i: usize) -> SimTime {
+        SimTime(i as u64 * self.width.micros())
+    }
+
+    /// Busy time over bucket width — the utilization fraction of bucket
+    /// `i` (can exceed 1.0 when requests submitted in one bucket keep the
+    /// server busy into later ones; the series attributes busy time to
+    /// the submission bucket).
+    pub fn utilization(&self, i: usize) -> f64 {
+        self.buckets[i].busy.micros() as f64 / self.width.micros() as f64
+    }
+
+    /// Fraction of bucket `i`'s requests that were throttled (0.0 for an
+    /// idle bucket).
+    pub fn throttle_rate(&self, i: usize) -> f64 {
+        let b = &self.buckets[i];
+        if b.requests == 0 {
+            0.0
+        } else {
+            b.throttled as f64 / b.requests as f64
+        }
+    }
+
+    /// Total requests across the series.
+    pub fn total_requests(&self) -> u64 {
+        self.buckets.iter().map(|b| b.requests).sum()
+    }
+
+    /// Total billed money across the series.
+    pub fn total_billed(&self) -> Money {
+        self.buckets.iter().map(|b| b.billed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amada_cloud::{Ctx, Outcome};
+
+    fn span(service: ServiceKind, start: u64, end: u64) -> Span {
+        Span::new(service, "op", SimTime(start), SimTime(end), &Ctx::default())
+    }
+
+    #[test]
+    fn spans_land_in_their_start_bucket() {
+        let width = SimDuration::from_micros(100);
+        let spans = vec![
+            span(ServiceKind::Kv, 0, 10).units(2.0).bytes(5),
+            span(ServiceKind::Kv, 150, 160).units(1.0),
+            span(ServiceKind::S3, 0, 10), // other service: excluded
+        ];
+        let s = ServiceSeries::build(&spans, ServiceKind::Kv, width);
+        assert_eq!(s.buckets.len(), 2);
+        assert_eq!(s.buckets[0].requests, 1);
+        assert_eq!(s.buckets[0].units, 2.0);
+        assert_eq!(s.buckets[0].bytes, 5);
+        assert_eq!(s.buckets[1].requests, 1);
+        assert_eq!(s.total_requests(), 2);
+        assert_eq!(s.bucket_start(1), SimTime(100));
+    }
+
+    #[test]
+    fn in_flight_counts_every_overlapped_bucket() {
+        let width = SimDuration::from_micros(100);
+        // One long request spanning buckets 0..=2, one short in bucket 2.
+        let spans = vec![
+            span(ServiceKind::Sqs, 50, 250),
+            span(ServiceKind::Sqs, 210, 220),
+        ];
+        let s = ServiceSeries::build(&spans, ServiceKind::Sqs, width);
+        assert_eq!(s.buckets.len(), 3);
+        assert_eq!(s.buckets[0].in_flight, 1);
+        assert_eq!(s.buckets[1].in_flight, 1);
+        assert_eq!(s.buckets[2].in_flight, 2);
+        // But each request is only counted once for rates.
+        assert_eq!(s.buckets[2].requests, 1);
+    }
+
+    #[test]
+    fn throttle_rate_and_utilization() {
+        let width = SimDuration::from_micros(1000);
+        let spans = vec![
+            span(ServiceKind::Kv, 0, 10).busy(SimDuration::from_micros(500)),
+            span(ServiceKind::Kv, 10, 20).outcome(Outcome::Throttled),
+        ];
+        let s = ServiceSeries::build(&spans, ServiceKind::Kv, width);
+        assert_eq!(s.throttle_rate(0), 0.5);
+        assert_eq!(s.utilization(0), 0.5);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = ServiceSeries::build(&[], ServiceKind::Ec2, SimDuration::from_secs(1));
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.total_requests(), 0);
+        assert_eq!(s.total_billed(), Money::ZERO);
+    }
+}

@@ -20,13 +20,16 @@
 //! * [`index`] — the four indexing strategies (LU, LUP, LUI, 2LUPI) and
 //!   their look-up planners;
 //! * [`warehouse`] — the end-to-end warehouse tying everything together,
-//!   plus the Section 7 cost model.
+//!   plus the Section 7 cost model;
+//! * [`obs`] — analyses over the recorded span stream (time-series, cost
+//!   attribution, Chrome trace export).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
 pub use amada_cloud as cloud;
 pub use amada_core as warehouse;
 pub use amada_index as index;
+pub use amada_obs as obs;
 pub use amada_pattern as pattern;
 pub use amada_xmark as xmark;
 pub use amada_xml as xml;
