@@ -20,7 +20,11 @@
 //!            (TRACE_repro.json) + span roll-up tables (beyond the paper)
 //!   fault    pipeline under transient-fault injection (beyond the paper;
 //!            seeded via AMADA_FAULT_SEED, not part of `all`)
-//!   all      everything above except `fault`, in order
+//!   scale    elastic queue-depth autoscaling vs. static pools on bursty
+//!            traffic (beyond the paper; not part of `all` — the
+//!            autoscaled run's timings depend on its own knobs, and `all`
+//!            stays byte-comparable to pre-elasticity runs)
+//!   all      everything above except `fault` and `scale`, in order
 //! ```
 //!
 //! Artifacts that share an expensive suite (e.g. `table4`/`fig8`/`table6`
@@ -79,12 +83,18 @@ fn main() {
 
     let known: &[&str] = &[
         "table4", "fig7", "fig8", "table5", "fig9", "fig10", "table6", "fig11", "fig12", "fig13",
-        "table7", "table8", "ablation", "trace", "fault",
+        "table7", "table8", "ablation", "trace", "fault", "scale",
     ];
-    // `all` deliberately leaves `fault` out: its output depends on
-    // AMADA_FAULT_SEED, and `all` stays comparable run to run.
+    // `all` deliberately leaves `fault` (output depends on
+    // AMADA_FAULT_SEED) and `scale` (beyond-the-paper elasticity run) out,
+    // so `all` stays comparable run to run and release to release.
+    let excluded = ["fault", "scale"];
     let selected: Vec<&str> = if artifacts == ["all"] {
-        known[..known.len() - 1].to_vec()
+        known
+            .iter()
+            .copied()
+            .filter(|a| !excluded.contains(a))
+            .collect()
     } else {
         for a in &artifacts {
             if !known.contains(a) {
@@ -193,6 +203,7 @@ fn compute(scale: &Scale, selected: &[&str]) -> Vec<Computed> {
                             "ablation" => exp::ablation(scale).to_string(),
                             "trace" => exp::trace(scale),
                             "fault" => exp::fault(scale).to_string(),
+                            "scale" => exp::elastic(scale).to_string(),
                             _ => unreachable!("validated in main"),
                         };
                         (artifact.to_string(), body, start.elapsed().as_secs_f64())
@@ -255,9 +266,16 @@ fn write_report(
     ));
     // Zero when the `trace` artifact was not selected.
     json.push_str(&format!(
-        "  \"trace\": {{ \"spans\": {}, \"series_buckets\": {} }}\n",
+        "  \"trace\": {{ \"spans\": {}, \"series_buckets\": {} }},\n",
         exp::trace::TRACE_SPANS.load(std::sync::atomic::Ordering::Relaxed),
         exp::trace::TRACE_BUCKETS.load(std::sync::atomic::Ordering::Relaxed)
+    ));
+    // Zero when the `scale` artifact was not selected.
+    json.push_str(&format!(
+        "  \"scaling\": {{ \"out_events\": {}, \"in_events\": {}, \"peak_pool\": {} }}\n",
+        exp::elastic::SCALE_OUT_EVENTS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::elastic::SCALE_IN_EVENTS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::elastic::SCALE_PEAK_POOL.load(std::sync::atomic::Ordering::Relaxed)
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_repro.json", json)?;
@@ -283,6 +301,9 @@ fn title(artifact: &str) -> &'static str {
             "Trace - recorded pipeline, Chrome trace export and span roll-ups (beyond the paper)"
         }
         "fault" => "Fault injection - the pipeline under transient faults (beyond the paper)",
+        "scale" => {
+            "Scale - elastic autoscaling vs. static pools on bursty traffic (beyond the paper)"
+        }
         _ => "unknown",
     }
 }
@@ -291,7 +312,7 @@ fn print_usage() {
     println!(
         "repro - regenerate the paper's tables and figures\n\n\
          usage: repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R]\n\n\
-         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault all"
+         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale all"
     );
 }
 

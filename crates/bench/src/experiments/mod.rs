@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod amortize;
 pub mod comparison;
+pub mod elastic;
 pub mod fault;
 pub mod indexing;
 pub mod querying;
@@ -12,6 +13,7 @@ pub mod trace;
 pub use ablation::ablation;
 pub use amortize::fig13;
 pub use comparison::{comparison_suite, table7, table8, ComparisonSuite};
+pub use elastic::elastic;
 pub use fault::fault;
 pub use indexing::{fig7, fig8, indexing_suite, table4, table6, IndexingSuite};
 pub use querying::{fig11, fig12, fig9, query_suite, table5, QuerySuite};

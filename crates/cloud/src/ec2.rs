@@ -4,6 +4,14 @@
 //! run one warehouse module across their cores, and are billed for the
 //! virtual wall-clock window they were up — `VM$_h × t`, fractional hours,
 //! exactly as the paper's cost formulas use instance time (Section 7.3).
+//! A [`BillingGranularity`] knob switches to the per-*started*-hour
+//! billing real 2012 EC2 applied (every started hour charged in full);
+//! the default stays fractional so the reproduced tables are unchanged.
+//!
+//! [`Ec2::stop`] freezes an instance's billing window: an autoscaler
+//! draining a scale-in victim stops it the moment its last core exits,
+//! and later `extend` calls (including the warehouse's blanket phase-end
+//! extension of its pools) no longer grow the window.
 
 use crate::clock::{SimDuration, SimTime};
 use crate::money::Money;
@@ -31,16 +39,46 @@ impl InstanceRecord {
     }
 }
 
+/// How instance uptime converts into dollars.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BillingGranularity {
+    /// `VM$_h × t` with fractional hours — the paper's cost formulas
+    /// (Section 7.3) and the default.
+    #[default]
+    Fractional,
+    /// Every *started* instance-hour billed in full (`ceil(t / 1h)`, at
+    /// least one hour per launched instance) — how 2012 EC2 actually
+    /// invoiced.
+    PerStartedHour,
+}
+
+const HOUR_MICROS: u64 = 3_600_000_000;
+
 /// The instance registry.
 #[derive(Debug, Default)]
 pub struct Ec2 {
     records: Vec<InstanceRecord>,
+    /// Parallel to `records`: instances whose billing window is frozen.
+    stopped: Vec<bool>,
+    granularity: BillingGranularity,
 }
 
 impl Ec2 {
-    /// Creates an empty registry.
+    /// Creates an empty registry (fractional-hour billing).
     pub fn new() -> Ec2 {
         Ec2::default()
+    }
+
+    /// Switches the billing granularity (applies to every record,
+    /// retroactively — granularity is a property of the price sheet, not
+    /// of an individual launch).
+    pub fn set_granularity(&mut self, granularity: BillingGranularity) {
+        self.granularity = granularity;
+    }
+
+    /// The billing granularity in force.
+    pub fn granularity(&self) -> BillingGranularity {
+        self.granularity
     }
 
     /// Launches an instance at `now`.
@@ -50,14 +88,38 @@ impl Ec2 {
             start: now,
             end: now,
         });
+        self.stopped.push(false);
         InstanceId(self.records.len() - 1)
     }
 
     /// Extends an instance's busy window to cover `now` (called by actors
     /// as their operations complete; the final call fixes shutdown time).
+    /// A stopped instance's window is frozen: extending it is a no-op.
     pub fn extend(&mut self, id: InstanceId, now: SimTime) {
+        if self.stopped[id.0] {
+            return;
+        }
         let r = &mut self.records[id.0];
         r.end = r.end.max(now);
+    }
+
+    /// Stops an instance at `now`: the billing window is extended to
+    /// cover `now` one last time and then frozen — subsequent `extend`
+    /// calls (e.g. the warehouse's phase-end pool extension) are no-ops.
+    /// Idempotent; a second stop cannot grow the window.
+    pub fn stop(&mut self, id: InstanceId, now: SimTime) {
+        if self.stopped[id.0] {
+            return;
+        }
+        let r = &mut self.records[id.0];
+        r.end = r.end.max(now);
+        self.stopped[id.0] = true;
+    }
+
+    /// True when the instance's billing window was frozen by
+    /// [`Ec2::stop`].
+    pub fn is_stopped(&self, id: InstanceId) -> bool {
+        self.stopped[id.0]
     }
 
     /// The record of an instance.
@@ -70,12 +132,24 @@ impl Ec2 {
         &self.records
     }
 
-    /// Total EC2 charge under a price table (fractional-hour billing, as
-    /// in the paper's `VM$_h × t` terms).
+    /// What one record costs under `prices` and the current granularity.
+    pub fn record_cost(&self, r: &InstanceRecord, prices: &PriceTable) -> Money {
+        let rate = prices.vm_hour(r.itype);
+        match self.granularity {
+            BillingGranularity::Fractional => rate.per_hour(r.uptime().micros()),
+            BillingGranularity::PerStartedHour => {
+                let hours = r.uptime().micros().div_ceil(HOUR_MICROS).max(1);
+                rate * hours
+            }
+        }
+    }
+
+    /// Total EC2 charge under a price table (fractional-hour billing by
+    /// default, as in the paper's `VM$_h × t` terms).
     pub fn total_cost(&self, prices: &PriceTable) -> Money {
         self.records
             .iter()
-            .map(|r| prices.vm_hour(r.itype).per_hour(r.uptime().micros()))
+            .map(|r| self.record_cost(r, prices))
             .sum()
     }
 
@@ -91,6 +165,7 @@ impl Ec2 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amada_rng::StdRng;
 
     #[test]
     fn billing_is_fractional_hours() {
@@ -126,5 +201,81 @@ mod tests {
             b.total_cost(&prices).pico(),
             2 * a.total_cost(&prices).pico()
         );
+    }
+
+    #[test]
+    fn stop_freezes_the_billing_window() {
+        let mut ec2 = Ec2::new();
+        let prices = PriceTable::default();
+        let id = ec2.launch(InstanceType::Large, SimTime::ZERO);
+        ec2.extend(id, SimTime(1_000_000));
+        ec2.stop(id, SimTime(1_800_000_000)); // 30 virtual minutes
+        assert!(ec2.is_stopped(id));
+        // Extending a stopped instance is a no-op (the warehouse's
+        // phase-end pool extension must not resurrect it).
+        ec2.extend(id, SimTime(7_200_000_000));
+        assert_eq!(ec2.record(id).end, SimTime(1_800_000_000));
+        // A second stop cannot grow the window either.
+        ec2.stop(id, SimTime(7_200_000_000));
+        assert_eq!(ec2.record(id).end, SimTime(1_800_000_000));
+        assert_eq!(ec2.total_cost(&prices).pico(), 170_000_000_000);
+    }
+
+    #[test]
+    fn started_hour_billing_rounds_up_per_record() {
+        let mut ec2 = Ec2::new();
+        let prices = PriceTable::default();
+        ec2.set_granularity(BillingGranularity::PerStartedHour);
+        // 61 minutes → 2 started hours of a $0.34/h instance.
+        let a = ec2.launch(InstanceType::Large, SimTime::ZERO);
+        ec2.extend(a, SimTime::ZERO + SimDuration::from_secs(61 * 60));
+        // Launched and immediately stopped → still 1 started hour.
+        let _b = ec2.launch(InstanceType::Large, SimTime(5));
+        assert_eq!(
+            ec2.total_cost(&prices).pico(),
+            3 * 340_000_000_000,
+            "2 started hours + 1 minimum hour at $0.34 each"
+        );
+        // An exact hour stays one hour, not two.
+        let c = ec2.launch(InstanceType::Large, SimTime::ZERO);
+        ec2.extend(c, SimTime(HOUR_MICROS));
+        assert_eq!(
+            ec2.record_cost(&ec2.record(c), &prices).pico(),
+            340_000_000_000
+        );
+    }
+
+    /// Property (issue's satellite): for any schedule of launches and
+    /// extensions, `fractional ≤ started-hour ≤ fractional + 1h × N`.
+    #[test]
+    fn started_hour_brackets_fractional_billing() {
+        let prices = PriceTable::default();
+        let mut rng = StdRng::seed_from_u64(0xB111_1146);
+        for _ in 0..200 {
+            let mut ec2 = Ec2::new();
+            let n = rng.gen_range(1..=6) as usize;
+            for _ in 0..n {
+                let itype = if rng.gen_range(0..2) == 0 {
+                    InstanceType::Large
+                } else {
+                    InstanceType::ExtraLarge
+                };
+                let start = SimTime(rng.gen_range(0u64..7_200_000_000));
+                let id = ec2.launch(itype, start);
+                for _ in 0..rng.gen_range(0..4) {
+                    let run = SimDuration::from_micros(rng.gen_range(0u64..36_000_000_000));
+                    ec2.extend(id, start + run);
+                }
+            }
+            let fractional = ec2.total_cost(&prices);
+            ec2.set_granularity(BillingGranularity::PerStartedHour);
+            let started = ec2.total_cost(&prices);
+            let hour_each: Money = ec2.records().iter().map(|r| prices.vm_hour(r.itype)).sum();
+            assert!(fractional <= started, "{fractional} > {started}");
+            assert!(
+                started <= fractional + hour_each,
+                "{started} > {fractional} + {hour_each}"
+            );
+        }
     }
 }

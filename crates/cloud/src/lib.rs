@@ -44,7 +44,7 @@ pub mod workmodel;
 
 pub use clock::{SimDuration, SimTime};
 pub use dynamodb::{DynamoConfig, DynamoDb};
-pub use ec2::{Ec2, InstanceId, InstanceRecord};
+pub use ec2::{BillingGranularity, Ec2, InstanceId, InstanceRecord};
 pub use fault::{FaultConfig, FaultInjector};
 pub use kv::{KvError, KvItem, KvProfile, KvStats, KvStore, KvValue};
 pub use money::Money;

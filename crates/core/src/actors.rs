@@ -32,6 +32,7 @@
 //! more than `RetryPolicy::max_receives` times is dead-lettered. Every
 //! retry is a billed request.
 
+use crate::autoscale::DrainSignal;
 use crate::config::{
     WarehouseConfig, DEAD_LETTER_QUEUE, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE,
     RESULT_BUCKET,
@@ -62,8 +63,10 @@ pub type DocCache = Arc<ExtractCache>;
 
 /// Stream-derivation tags for the per-core jitter RNGs, so loader and
 /// query cores draw from independent streams under one master seed.
-const LOADER_RNG_TAG: u64 = 0x10AD_0000;
-const QUERY_RNG_TAG: u64 = 0x9E4F_0000;
+/// `pub(crate)` so the warehouse's autoscale launchers derive the same
+/// stream for core *k* whether it was provisioned up-front or mid-run.
+pub(crate) const LOADER_RNG_TAG: u64 = 0x10AD_0000;
+pub(crate) const QUERY_RNG_TAG: u64 = 0x9E4F_0000;
 
 /// Aggregated loader-side totals (shared across all loader cores).
 #[derive(Debug, Default)]
@@ -76,6 +79,10 @@ pub struct LoaderTotals {
     pub items: u64,
     /// Raw entry bytes.
     pub entry_bytes: u64,
+    /// Cores that actually received at least one document (the divisor
+    /// for the report's per-core averages; can be smaller than the
+    /// configured pool when the corpus is smaller than the pool).
+    pub active_cores: u64,
     /// Summed per-core extraction (parse + extract) time, microseconds.
     pub extraction_micros: u64,
     /// Summed per-core index-upload wait time, microseconds.
@@ -134,7 +141,15 @@ pub struct LoaderCore {
     pub batches_written: u64,
     /// Messages fully processed so far.
     pub processed: u32,
+    /// Autoscaling drain signal shared with the instance's other cores
+    /// (`None` for a static pool). A draining core finishes its leased
+    /// message, then exits instead of polling again; the last core out
+    /// freezes the instance's billing window.
+    pub drain: Option<DrainSignal>,
     state: LoaderState,
+    /// Whether this core has received a document yet (first receipt
+    /// increments `LoaderTotals::active_cores`).
+    worked: bool,
     /// Backoff-jitter stream (only drawn from when a retry happens, so
     /// fault-free runs consume no randomness).
     rng: StdRng,
@@ -172,10 +187,23 @@ impl LoaderCore {
             crash_after_batches: None,
             batches_written: 0,
             processed: 0,
+            drain: None,
             state: LoaderState::Idle,
+            worked: false,
             rng: StdRng::seed_from_u64(rng_seed),
             attempt: 0,
         }
+    }
+
+    /// Exits the core: an autoscaled member reports to its drain signal
+    /// (the last core out freezes the instance's billing window); a
+    /// static core just bills its uptime.
+    fn exit(&self, world: &mut World, t: SimTime) -> StepResult {
+        match &self.drain {
+            Some(d) => d.core_exited(world, t),
+            None => world.ec2.extend(self.instance, t),
+        }
+        StepResult::Done
     }
 
     /// Builds the cores for one instance pool from a warehouse config.
@@ -211,6 +239,12 @@ impl LoaderCore {
     /// Step 4: poll the task queue; on a message, lease it and move to
     /// [`LoaderState::Fetching`].
     fn step_idle(&mut self, now: SimTime, world: &mut World) -> StepResult {
+        // A scale-in victim stops *receiving*; it only reaches Idle once
+        // any leased message is fully processed, so draining never
+        // abandons a lease.
+        if self.drain.as_ref().is_some_and(|d| d.is_draining()) {
+            return self.exit(world, now);
+        }
         let (msg, t) = match world.sqs.receive(now, LOADER_QUEUE, self.visibility) {
             Ok(out) => out,
             Err(SqsError::Throttled { available_at }) => {
@@ -223,16 +257,15 @@ impl LoaderCore {
         };
         self.attempt = 0;
         let Some(msg) = msg else {
-            world.ec2.extend(self.instance, t);
-            return if world
+            if world
                 .sqs
                 .drained(LOADER_QUEUE)
                 .expect("loader queue exists")
             {
-                StepResult::Done
-            } else {
-                StepResult::NextAt(t + self.poll)
-            };
+                return self.exit(world, t);
+            }
+            world.ec2.extend(self.instance, t);
+            return StepResult::NextAt(t + self.poll);
         };
         if self.crash_after.is_some_and(|n| self.processed >= n) {
             // Simulated crash after lease acquisition: the message is
@@ -266,6 +299,10 @@ impl LoaderCore {
             return StepResult::NextAt(t);
         }
         self.processed += 1;
+        if !self.worked {
+            self.worked = true;
+            self.totals.borrow_mut().active_cores += 1;
+        }
         self.state = LoaderState::Fetching {
             lease: Lease::new(LOADER_QUEUE, msg.id, self.visibility, now),
             uri: msg.body,
@@ -526,6 +563,11 @@ pub struct QueryCore {
     pub processed: u32,
     /// Consecutive throttles of the current operation.
     pub attempt: u32,
+    /// Autoscaling drain signal (`None` for a static pool). A query
+    /// processor holds no lease between steps, so a draining one exits at
+    /// its next wake-up — the query it was mid-way through (if any) was
+    /// completed within the previous step.
+    pub drain: Option<DrainSignal>,
 }
 
 impl QueryCore {
@@ -554,8 +596,20 @@ impl QueryCore {
                 crash_after: None,
                 processed: 0,
                 attempt: 0,
+                drain: None,
             })
             .collect()
+    }
+
+    /// Exits the processor: an autoscaled member reports to its drain
+    /// signal (freezing the instance's billing window — a query instance
+    /// has exactly one actor); a static one just bills its uptime.
+    fn exit(&self, world: &mut World, t: SimTime) -> StepResult {
+        match &self.drain {
+            Some(d) => d.core_exited(world, t),
+            None => world.ec2.extend(self.instance, t),
+        }
+        StepResult::Done
     }
 
     /// Executes one query message. Returns `Ok(completion time)`, or
@@ -774,6 +828,9 @@ impl Actor for QueryCore {
                 instance: self.instance.0,
             });
         });
+        if self.drain.as_ref().is_some_and(|d| d.is_draining()) {
+            return self.exit(world, now);
+        }
         let (msg, t) = match world.sqs.receive(now, QUERY_QUEUE, self.visibility) {
             Ok(out) => out,
             Err(SqsError::Throttled { available_at }) => {
@@ -786,12 +843,11 @@ impl Actor for QueryCore {
         };
         self.attempt = 0;
         let Some(msg) = msg else {
+            if world.sqs.drained(QUERY_QUEUE).expect("query queue exists") {
+                return self.exit(world, t);
+            }
             world.ec2.extend(self.instance, t);
-            return if world.sqs.drained(QUERY_QUEUE).expect("query queue exists") {
-                StepResult::Done
-            } else {
-                StepResult::NextAt(t + self.poll)
-            };
+            return StepResult::NextAt(t + self.poll);
         };
         if self.crash_after.is_some_and(|n| self.processed >= n) {
             // The instance was up for the final receive — bill it.

@@ -1,0 +1,348 @@
+//! Queue-depth autoscaling for the warehouse's instance pools.
+//!
+//! The paper provisions fixed pools per experiment and bills
+//! `VM$_h × t_phase`; a deployed warehouse serving bursty traffic must
+//! instead grow and shrink the loader and query-processor pools at
+//! runtime. [`AutoscaleController`] is a control-plane actor (it runs on
+//! the front end — no EC2 instance of its own) that every
+//! `sample_interval`:
+//!
+//! 1. issues a **billed** SQS depth probe ([`amada_cloud::Sqs::depth`]) —
+//!    sampling the backlog costs real requests, and those requests land
+//!    in the cost ledger and the span recorder like any other;
+//! 2. computes the desired pool size
+//!    `ceil(depth / backlog_per_instance)`, clamped to the policy's
+//!    `min..=max`;
+//! 3. **scales out** by launching instances whose billing window opens at
+//!    the decision instant while their cores start polling only
+//!    `boot_latency` later (you pay for the boot, as on real EC2); or
+//! 4. **scales in** by draining the newest instances: a drained core
+//!    finishes the message it holds a lease on, stops receiving, and the
+//!    last core to exit freezes the instance's billing window with
+//!    [`amada_cloud::Ec2::stop`] — so a scale-in victim is billed
+//!    launch → last useful work, not to the end of the phase.
+//!
+//! Everything is deterministic: the controller is an ordinary engine
+//! actor woken at virtual times, new cores are adopted through the
+//! engine's FIFO spawn queue, and scale-in picks victims in LIFO launch
+//! order. With the policy absent (`None` in the config) none of this
+//! code runs and the warehouse is bit-identical to the static-pool
+//! version — asserted by `tests/autoscale.rs`.
+//!
+//! Correctness under drain leans entirely on the queue's at-least-once
+//! contract: a drained core never abandons a lease (it completes the
+//! in-flight message first), and a core that dies mid-lease anyway — a
+//! crash racing the drain — simply stops renewing, so the message
+//! reappears and another member processes it exactly once.
+
+use crate::config::AutoscalePolicy;
+use crate::retry::RetryPolicy;
+use amada_cloud::{
+    Actor, ActorTag, InstanceId, Phase, ServiceKind, SimTime, Span, SqsError, StepResult, World,
+};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Shared drain/termination state of one pool instance, cloned into each
+/// of its cores and held by the controller.
+#[derive(Debug)]
+struct DrainShared {
+    instance: InstanceId,
+    draining: Cell<bool>,
+    live_cores: Cell<usize>,
+}
+
+/// Handle to one pool member: the autoscaler flips it to *draining*; the
+/// member's cores poll it between tasks and exit gracefully, and the last
+/// core out freezes the instance's billing window.
+#[derive(Debug, Clone)]
+pub struct DrainSignal(Rc<DrainShared>);
+
+impl DrainSignal {
+    /// A fresh signal for an instance with `cores` cores.
+    pub fn new(instance: InstanceId, cores: usize) -> DrainSignal {
+        DrainSignal(Rc::new(DrainShared {
+            instance,
+            draining: Cell::new(false),
+            live_cores: Cell::new(cores),
+        }))
+    }
+
+    /// The instance this signal controls.
+    pub fn instance(&self) -> InstanceId {
+        self.0.instance
+    }
+
+    /// Asks the instance's cores to stop receiving new work. Leased
+    /// messages are finished first — draining never abandons a lease.
+    pub fn drain(&self) {
+        self.0.draining.set(true);
+    }
+
+    /// True once [`DrainSignal::drain`] was called.
+    pub fn is_draining(&self) -> bool {
+        self.0.draining.get()
+    }
+
+    /// Cores still running on the instance.
+    pub fn live_cores(&self) -> usize {
+        self.0.live_cores.get()
+    }
+
+    /// Called by a core as it exits (drained, or out of work): bills the
+    /// instance to `now`, and the last core out stops the instance so the
+    /// billing window is frozen at its final useful instant.
+    pub fn core_exited(&self, world: &mut World, now: SimTime) {
+        world.ec2.extend(self.0.instance, now);
+        let left = self.0.live_cores.get().saturating_sub(1);
+        self.0.live_cores.set(left);
+        if left == 0 {
+            world.ec2.stop(self.0.instance, now);
+        }
+    }
+}
+
+/// Which way a scaling action went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDirection {
+    /// A new instance was launched.
+    Out,
+    /// An instance was told to drain.
+    In,
+}
+
+/// One autoscaler decision, for reports and the `repro scale` artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleEvent {
+    /// When the decision was made (the depth sample's response time).
+    pub at: SimTime,
+    /// Out (launch) or in (drain).
+    pub direction: ScaleDirection,
+    /// The instance launched or drained.
+    pub instance: InstanceId,
+    /// The sampled queue depth that triggered the decision.
+    pub depth: usize,
+    /// Active (non-draining) pool size after the action.
+    pub pool_size: usize,
+}
+
+/// Scaling decisions shared between a controller and the warehouse.
+pub type ScaleEvents = Rc<RefCell<Vec<ScaleEvent>>>;
+
+/// Launches one pool instance and its core actors: called with the world,
+/// the launch time and the boot latency (zero for the up-front `min`
+/// pool), it must bill the instance from the launch time, schedule the
+/// cores at `launch + boot`, and return the instance's drain signal.
+pub type Launcher<'a> =
+    Box<dyn FnMut(&mut World, SimTime, amada_cloud::SimDuration) -> DrainSignal + 'a>;
+
+/// The deterministic, virtual-time autoscaling controller (one per
+/// elastic pool per phase). See the module docs for the control loop.
+pub struct AutoscaleController<'a> {
+    queue: &'static str,
+    policy: AutoscalePolicy,
+    phase: Phase,
+    tag: ActorTag,
+    retry: RetryPolicy,
+    launcher: Launcher<'a>,
+    /// Active (non-draining) members, in launch order; scale-in drains
+    /// from the back (newest first).
+    members: Vec<DrainSignal>,
+    events: ScaleEvents,
+    /// Consecutive throttles of the depth probe.
+    attempt: u32,
+}
+
+impl<'a> AutoscaleController<'a> {
+    /// A controller over `queue` with no members yet; call
+    /// [`AutoscaleController::provision`] before spawning it.
+    pub fn new(
+        queue: &'static str,
+        policy: AutoscalePolicy,
+        phase: Phase,
+        tag: ActorTag,
+        retry: RetryPolicy,
+        launcher: Launcher<'a>,
+        events: ScaleEvents,
+    ) -> AutoscaleController<'a> {
+        policy.validate();
+        AutoscaleController {
+            queue,
+            policy,
+            phase,
+            tag,
+            retry,
+            launcher,
+            members: Vec::new(),
+            events,
+            attempt: 0,
+        }
+    }
+
+    /// Launches the `min` pool up-front (no boot latency — like a static
+    /// pool, the floor is provisioned before the phase starts).
+    pub fn provision(&mut self, world: &mut World, now: SimTime) {
+        for _ in 0..self.policy.min {
+            let sig = (self.launcher)(world, now, amada_cloud::SimDuration::ZERO);
+            self.members.push(sig);
+        }
+    }
+
+    /// Active (non-draining) pool size.
+    pub fn pool_size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn record_event(&self, world: &mut World, event: ScaleEvent) {
+        // The launcher tags boot spans with the new instance's lane;
+        // re-assert the controller's own lane for the decision span.
+        world.obs.with_ctx(|c| c.actor = Some(self.tag));
+        self.events.borrow_mut().push(event);
+        let op = match event.direction {
+            ScaleDirection::Out => "scale-out",
+            ScaleDirection::In => "scale-in",
+        };
+        world.obs.record(|_, ctx| {
+            Span::new(ServiceKind::Actor, op, event.at, event.at, ctx).units(event.depth as f64)
+        });
+    }
+}
+
+impl Actor for AutoscaleController<'_> {
+    fn step(&mut self, now: SimTime, world: &mut World) -> StepResult {
+        world.obs.with_ctx(|c| {
+            c.phase = self.phase;
+            c.query = None;
+            c.doc = None;
+            c.actor = Some(self.tag);
+        });
+        // The members exit by themselves once the queue is drained (same
+        // unbilled host probe the static pools use); the controller's job
+        // is over then too.
+        if world.sqs.drained(self.queue).expect("pool queue exists") {
+            return StepResult::Done;
+        }
+        let (depth, t) = match world.sqs.depth(now, self.queue) {
+            Ok(out) => out,
+            Err(SqsError::Throttled { available_at }) => {
+                self.attempt = (self.attempt + 1).min(self.retry.max_attempts);
+                return StepResult::NextAt(available_at + self.retry.backoff_linear(self.attempt));
+            }
+            Err(e) => panic!("pool queue exists: {e}"),
+        };
+        self.attempt = 0;
+        let desired = self.policy.desired(depth);
+        while self.members.len() < desired {
+            let sig = (self.launcher)(world, t, self.policy.boot_latency);
+            self.members.push(sig);
+            self.record_event(
+                world,
+                ScaleEvent {
+                    at: t,
+                    direction: ScaleDirection::Out,
+                    instance: self.members.last().expect("just pushed").instance(),
+                    depth,
+                    pool_size: self.members.len(),
+                },
+            );
+        }
+        while self.members.len() > desired {
+            let victim = self.members.pop().expect("len > desired >= min >= 1");
+            victim.drain();
+            self.record_event(
+                world,
+                ScaleEvent {
+                    at: t,
+                    direction: ScaleDirection::In,
+                    instance: victim.instance(),
+                    depth,
+                    pool_size: self.members.len(),
+                },
+            );
+        }
+        StepResult::NextAt(t + self.policy.sample_interval)
+    }
+}
+
+/// A front-end actor that releases query messages in timed bursts (the
+/// `repro scale` workload): each burst's messages are sent back-to-back
+/// at their scheduled instant, and the queue is closed after the last
+/// send so the pool (and its controller) can wind down.
+pub struct BurstSender {
+    queue: &'static str,
+    /// `(send at, query name, message body)`, in send order.
+    pending: VecDeque<(SimTime, String, String)>,
+    retry: RetryPolicy,
+    tag: ActorTag,
+}
+
+impl BurstSender {
+    /// A sender for a prepared schedule (must be non-decreasing in time).
+    pub fn new(
+        queue: &'static str,
+        pending: VecDeque<(SimTime, String, String)>,
+        retry: RetryPolicy,
+        tag: ActorTag,
+    ) -> BurstSender {
+        BurstSender {
+            queue,
+            pending,
+            retry,
+            tag,
+        }
+    }
+
+    /// When the first message is due (spawn the actor there).
+    pub fn first_send(&self) -> Option<SimTime> {
+        self.pending.front().map(|(at, _, _)| *at)
+    }
+}
+
+impl Actor for BurstSender {
+    fn step(&mut self, now: SimTime, world: &mut World) -> StepResult {
+        let Some((_, name, body)) = self.pending.pop_front() else {
+            world.sqs.close(self.queue);
+            return StepResult::Done;
+        };
+        world.obs.with_ctx(|c| {
+            c.phase = Phase::Query;
+            c.query = Some(name.into());
+            c.doc = None;
+            c.actor = Some(self.tag);
+        });
+        let t = crate::retry::frontend_send(&mut world.sqs, &self.retry, now, self.queue, body);
+        match self.pending.front() {
+            Some((at, _, _)) => StepResult::NextAt(t.max(*at)),
+            // One more wake-up to close the queue, at the time the last
+            // send completed.
+            None => StepResult::NextAt(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_signal_stops_instance_when_last_core_exits() {
+        let mut world = World::new(amada_cloud::KvBackend::default());
+        let id = world
+            .ec2
+            .launch(amada_cloud::InstanceType::Large, SimTime::ZERO);
+        let sig = DrainSignal::new(id, 2);
+        assert!(!sig.is_draining());
+        sig.drain();
+        assert!(sig.is_draining());
+        sig.core_exited(&mut world, SimTime(1_000_000));
+        assert!(!world.ec2.is_stopped(id), "one core still running");
+        assert_eq!(sig.live_cores(), 1);
+        sig.core_exited(&mut world, SimTime(2_000_000));
+        assert!(world.ec2.is_stopped(id), "last core out stops the clock");
+        assert_eq!(world.ec2.record(id).end, SimTime(2_000_000));
+        // Later phase-end extensions cannot resurrect the window.
+        world.ec2.extend(id, SimTime(9_000_000));
+        assert_eq!(world.ec2.record(id).end, SimTime(2_000_000));
+    }
+}

@@ -10,6 +10,7 @@
 pub mod actors;
 pub mod advisor;
 pub mod amortization;
+pub mod autoscale;
 pub mod config;
 pub mod cost;
 pub mod metrics;
@@ -18,7 +19,8 @@ pub mod warehouse;
 
 pub use advisor::{advise, advise_queries, Advice, StrategyEstimate};
 pub use amortization::{Amortization, AmortizationPoint};
-pub use config::{Pool, WarehouseConfig};
+pub use autoscale::{AutoscaleController, DrainSignal, ScaleDirection, ScaleEvent};
+pub use config::{AutoscalePolicy, Pool, WarehouseConfig};
 pub use config::{
     DEAD_LETTER_QUEUE, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE, RESULT_BUCKET,
 };

@@ -1,6 +1,7 @@
 //! Report types produced by the warehouse — the raw material of every
 //! table and figure in the paper's evaluation section.
 
+use crate::autoscale::ScaleEvent;
 use amada_cloud::{CostReport, InstanceType, SimDuration, StorageCost};
 use amada_index::Strategy;
 use amada_pattern::JoinedTuple;
@@ -49,6 +50,8 @@ pub struct IndexBuildReport {
     /// Task messages redelivered after a lease expired (crashed or
     /// abandoning consumer).
     pub redelivered: u64,
+    /// Autoscaler decisions during the build (empty for a static pool).
+    pub scale_events: Vec<ScaleEvent>,
 }
 
 /// Timing decomposition of one query execution (Figures 9b / 9c): the
@@ -123,6 +126,8 @@ pub struct WorkloadReport {
     pub lease_renewals: u64,
     /// Query messages redelivered after a lease expired.
     pub redelivered: u64,
+    /// Autoscaler decisions during the run (empty for a static pool).
+    pub scale_events: Vec<ScaleEvent>,
 }
 
 #[cfg(test)]

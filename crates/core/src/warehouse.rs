@@ -1,22 +1,25 @@
 //! The warehouse façade: the full architecture of the paper's Figure 1,
 //! steps 1–18, over the simulated cloud.
 
-use crate::actors::{DocCache, LoaderCore, LoaderTotals, QueryCore};
+use crate::actors::{DocCache, LoaderCore, LoaderTotals, QueryCore, LOADER_RNG_TAG, QUERY_RNG_TAG};
+use crate::autoscale::{AutoscaleController, BurstSender, DrainSignal, ScaleEvents};
 use crate::config::{
-    WarehouseConfig, DEAD_LETTER_QUEUE, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE,
-    RESULT_BUCKET,
+    AutoscalePolicy, WarehouseConfig, DEAD_LETTER_QUEUE, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE,
+    RESPONSE_QUEUE, RESULT_BUCKET,
 };
 use crate::metrics::{CostedQuery, IndexBuildReport, QueryExecution, WorkloadReport};
 use crate::retry::{
     frontend_delete, frontend_get_object, frontend_put_object, frontend_receive, frontend_send,
 };
 use amada_cloud::{
-    ActorTag, CostReport, CostSnapshot, Engine, Money, Phase, SimDuration, SimTime, Span,
-    StorageCost, World,
+    ActorTag, CostReport, CostSnapshot, Engine, Money, Phase, ServiceKind, SimDuration, SimTime,
+    Span, StorageCost, World,
 };
 use amada_index::{CacheStats, ExtractCache, PrewarmReport};
 use amada_pattern::Query;
+use amada_rng::StdRng;
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// A cloud-hosted XML warehouse (one simulated deployment).
@@ -26,6 +29,10 @@ pub struct Warehouse {
     cache: DocCache,
     doc_uris: Vec<String>,
     corpus_bytes: u64,
+    /// The front end's span lane (one logical front-end machine).
+    frontend: ActorTag,
+    /// Autoscale controllers spawned so far (numbers their span lanes).
+    controllers: usize,
 }
 
 /// Fault-visibility deltas since a snapshot: (throttled billed requests
@@ -65,6 +72,7 @@ impl Warehouse {
         }
         world.prices = cfg.prices.clone();
         world.work = cfg.work.clone();
+        world.ec2.set_granularity(cfg.ec2_billing);
         world.s3.create_bucket(DOC_BUCKET);
         world.s3.create_bucket(RESULT_BUCKET);
         world.sqs.create_queue(LOADER_QUEUE);
@@ -84,6 +92,11 @@ impl Warehouse {
             cache: ExtractCache::shared(),
             doc_uris: Vec::new(),
             corpus_bytes: 0,
+            frontend: ActorTag {
+                kind: "frontend",
+                instance: 0,
+            },
+            controllers: 0,
         }
     }
 
@@ -96,6 +109,18 @@ impl Warehouse {
     /// instance count and flavor between runs; the index is unaffected).
     pub fn set_query_pool(&mut self, pool: crate::config::Pool) {
         self.cfg.query_pool = pool;
+    }
+
+    /// Switches queue-depth autoscaling of the query-processor pool on
+    /// (`Some(policy)`) or off (`None`) for subsequent workload runs.
+    pub fn set_query_autoscale(&mut self, policy: Option<AutoscalePolicy>) {
+        self.cfg.query_autoscale = policy;
+    }
+
+    /// Switches queue-depth autoscaling of the loader pool for subsequent
+    /// [`Warehouse::build_index`] calls.
+    pub fn set_loader_autoscale(&mut self, policy: Option<AutoscalePolicy>) {
+        self.cfg.loader_autoscale = policy;
     }
 
     /// The simulated cloud (for inspection and cost reporting).
@@ -141,13 +166,12 @@ impl Warehouse {
             let (uri, xml) = (uri.into(), xml.into());
             let body = xml.into_bytes();
             bytes += body.len() as u64;
+            let frontend = self.frontend;
             self.engine.world.obs.with_ctx(|c| {
                 c.phase = Phase::Upload;
+                c.query = None;
                 c.doc = Some(uri.as_str().into());
-                c.actor = Some(ActorTag {
-                    kind: "frontend",
-                    instance: 0,
-                });
+                c.actor = Some(frontend);
             });
             // Hash the content once, here; every later cache probe for
             // this URI compares against the recorded hash instead of
@@ -212,8 +236,130 @@ impl Warehouse {
         self.cache.stats()
     }
 
+    /// A [`crate::autoscale::Launcher`] for loader instances: launches
+    /// the instance at the decision time, records the boot as a span on
+    /// the instance's own lane, and schedules one [`LoaderCore`] per core
+    /// at `launch + boot` through the engine's deferred-spawn queue. The
+    /// closure owns the core counter, so RNG streams continue the exact
+    /// numbering the static pool uses — a `min == max` autoscaled pool
+    /// draws the same backoff jitter as a static one.
+    fn loader_launcher(
+        &self,
+        totals: &Rc<RefCell<LoaderTotals>>,
+    ) -> crate::autoscale::Launcher<'static> {
+        let pool = self.cfg.loader_pool;
+        let strategy = self.cfg.strategy;
+        let extract = self.cfg.extract;
+        let visibility = self.cfg.visibility;
+        let poll = self.cfg.poll_interval;
+        let retry = self.cfg.retry;
+        let seed = self.cfg.faults.seed;
+        let totals = totals.clone();
+        let cache = self.cache.clone();
+        let mut next_core: u64 = 0;
+        Box::new(move |world: &mut World, t: SimTime, boot: SimDuration| {
+            let id = world.ec2.launch(pool.itype, t);
+            if boot > SimDuration::ZERO {
+                world.obs.with_ctx(|c| {
+                    c.actor = Some(ActorTag {
+                        kind: "loader",
+                        instance: id.0,
+                    });
+                });
+                world
+                    .obs
+                    .record(|_, ctx| Span::new(ServiceKind::Actor, "boot", t, t + boot, ctx));
+            }
+            let sig = DrainSignal::new(id, pool.itype.cores());
+            for _ in 0..pool.itype.cores() {
+                let idx = next_core;
+                next_core += 1;
+                let mut core = LoaderCore::new(
+                    id,
+                    pool.itype.ecu_per_core(),
+                    strategy,
+                    extract,
+                    totals.clone(),
+                    cache.clone(),
+                    visibility,
+                    poll,
+                    retry,
+                    seed ^ (LOADER_RNG_TAG + idx),
+                );
+                core.drain = Some(sig.clone());
+                world.spawn_actor(t + boot, Box::new(core));
+            }
+            sig
+        })
+    }
+
+    /// A [`crate::autoscale::Launcher`] for query-processor instances
+    /// (one actor per instance, so the drain signal counts one core).
+    fn query_launcher(
+        &self,
+        strategy: Option<amada_index::Strategy>,
+        executions: &Rc<RefCell<Vec<QueryExecution>>>,
+    ) -> crate::autoscale::Launcher<'static> {
+        let pool = self.cfg.query_pool;
+        let extract = self.cfg.extract;
+        let visibility = self.cfg.visibility;
+        let poll = self.cfg.poll_interval;
+        let retry = self.cfg.retry;
+        let seed = self.cfg.faults.seed;
+        let executions = executions.clone();
+        let cache = self.cache.clone();
+        let mut next: u64 = 0;
+        Box::new(move |world: &mut World, t: SimTime, boot: SimDuration| {
+            let id = world.ec2.launch(pool.itype, t);
+            if boot > SimDuration::ZERO {
+                world.obs.with_ctx(|c| {
+                    c.actor = Some(ActorTag {
+                        kind: "query",
+                        instance: id.0,
+                    });
+                });
+                world
+                    .obs
+                    .record(|_, ctx| Span::new(ServiceKind::Actor, "boot", t, t + boot, ctx));
+            }
+            let sig = DrainSignal::new(id, 1);
+            let i = next;
+            next += 1;
+            let core = QueryCore {
+                instance: id,
+                cores: pool.itype.cores(),
+                ecu: pool.itype.ecu_per_core(),
+                strategy,
+                opts: extract,
+                cache: cache.clone(),
+                visibility,
+                poll,
+                executions: executions.clone(),
+                policy: retry,
+                rng: StdRng::seed_from_u64(seed ^ (QUERY_RNG_TAG + i)),
+                crash_after: None,
+                processed: 0,
+                attempt: 0,
+                drain: Some(sig.clone()),
+            };
+            world.spawn_actor(t + boot, Box::new(core));
+            sig
+        })
+    }
+
+    /// The autoscaler's span lane for the next controller.
+    fn controller_tag(&mut self) -> ActorTag {
+        let tag = ActorTag {
+            kind: "autoscaler",
+            instance: self.controllers,
+        };
+        self.controllers += 1;
+        tag
+    }
+
     /// Runs the indexing module over everything currently queued
-    /// (steps 4–6), with the configured loader pool.
+    /// (steps 4–6), with the configured loader pool — static, or elastic
+    /// when `cfg.loader_autoscale` is set.
     pub fn build_index(&mut self) -> IndexBuildReport {
         if self.cfg.host.prewarm {
             self.prewarm();
@@ -223,15 +369,35 @@ impl Warehouse {
         let totals = Rc::new(RefCell::new(LoaderTotals::default()));
         self.engine.world.sqs.close(LOADER_QUEUE);
         let first_instance = self.engine.world.ec2.records().len();
-        let cores = LoaderCore::pool(
-            &self.cfg,
-            &mut self.engine.world,
-            start,
-            &totals,
-            &self.cache,
-        );
-        for core in cores {
-            self.engine.spawn(Box::new(core), start);
+        let scale_events: ScaleEvents = Rc::new(RefCell::new(Vec::new()));
+        match self.cfg.loader_autoscale {
+            None => {
+                let cores = LoaderCore::pool(
+                    &self.cfg,
+                    &mut self.engine.world,
+                    start,
+                    &totals,
+                    &self.cache,
+                );
+                for core in cores {
+                    self.engine.spawn(Box::new(core), start);
+                }
+            }
+            Some(policy) => {
+                let tag = self.controller_tag();
+                let mut ctrl = AutoscaleController::new(
+                    LOADER_QUEUE,
+                    policy,
+                    Phase::Build,
+                    tag,
+                    self.cfg.retry,
+                    self.loader_launcher(&totals),
+                    scale_events.clone(),
+                );
+                ctrl.provision(&mut self.engine.world, start);
+                self.engine
+                    .spawn(Box::new(ctrl), start + policy.sample_interval);
+            }
         }
         let end = self.engine.run();
         // Instances are released when the whole indexing phase completes
@@ -250,22 +416,26 @@ impl Warehouse {
         let (throttled_requests, lease_renewals, redelivered) =
             fault_deltas(&self.engine.world, &before);
         let kv_after = self.engine.world.kv.stats();
-        // Averages are per *core* (the unit that actually works): the pool
-        // has count × cores workers whose busy times sum into the totals.
-        let workers =
-            (self.cfg.loader_pool.count * self.cfg.loader_pool.itype.cores()).max(1) as u64;
-        let per_instance = |sum_micros: u64| SimDuration::from_micros(sum_micros / workers);
+        // Averages are per core *that did work*: a corpus smaller than
+        // the pool leaves cores idle, and dividing by the configured
+        // count would understate the per-worker times the paper's
+        // Table 4 reports. Round half-up — truncation biased every
+        // average down by up to a microsecond.
+        let workers = totals.active_cores.max(1);
+        let per_core =
+            |sum_micros: u64| SimDuration::from_micros((sum_micros + workers / 2) / workers);
+        let instances = self.engine.world.ec2.records().len() - first_instance;
         IndexBuildReport {
             strategy: self.cfg.strategy,
-            instances: self.cfg.loader_pool.count,
+            instances,
             itype: self.cfg.loader_pool.itype,
             documents: totals.docs,
             corpus_bytes: self.corpus_bytes,
             entries: totals.entries,
             items: totals.items,
             entry_bytes: totals.entry_bytes,
-            avg_extraction_time: per_instance(totals.extraction_micros),
-            avg_upload_time: per_instance(totals.upload_micros),
+            avg_extraction_time: per_core(totals.extraction_micros),
+            avg_upload_time: per_core(totals.upload_micros),
             total_time: end - start,
             cost,
             index_raw_bytes: kv_after.raw_bytes - before.kv.raw_bytes,
@@ -274,6 +444,9 @@ impl Warehouse {
             throttled_requests,
             lease_renewals,
             redelivered,
+            scale_events: Rc::try_unwrap(scale_events)
+                .expect("controller is gone")
+                .into_inner(),
         }
     }
 
@@ -291,7 +464,7 @@ impl Warehouse {
 
     fn run_one(&mut self, query: &Query, strategy: Option<amada_index::Strategy>) -> CostedQuery {
         let before = self.engine.world.snapshot();
-        let report = self.run_batch(std::slice::from_ref(query), 1, strategy);
+        let report = self.run_batch(std::slice::from_ref(query), 1, strategy, None);
         let mut executions = report.executions;
         assert_eq!(executions.len(), 1, "one query in, one execution out");
         CostedQuery {
@@ -304,12 +477,33 @@ impl Warehouse {
     /// (sent in round-robin order: q1…qn, q1…qn, …), across the query
     /// pool. Used for the paper's Figure 10 scaling experiment.
     pub fn run_workload(&mut self, queries: &[Query], repeats: usize) -> WorkloadReport {
-        self.run_batch(queries, repeats, Some(self.cfg.strategy))
+        self.run_batch(queries, repeats, Some(self.cfg.strategy), None)
     }
 
     /// Like [`Warehouse::run_workload`] but without any index.
     pub fn run_workload_no_index(&mut self, queries: &[Query], repeats: usize) -> WorkloadReport {
-        self.run_batch(queries, repeats, None)
+        self.run_batch(queries, repeats, None, None)
+    }
+
+    /// Runs `bursts` copies of the workload, released `gap` apart: each
+    /// burst sends all `queries × repeats` messages back-to-back at its
+    /// scheduled instant, and the queue closes after the last burst. This
+    /// is the bursty-traffic scenario of the `repro scale` experiment — a
+    /// static pool idle-polls (billed) through the gaps, an autoscaled
+    /// one grows into each burst and drains back to its floor.
+    pub fn run_workload_bursts(
+        &mut self,
+        queries: &[Query],
+        repeats: usize,
+        bursts: usize,
+        gap: SimDuration,
+    ) -> WorkloadReport {
+        self.run_batch(
+            queries,
+            repeats,
+            Some(self.cfg.strategy),
+            Some((bursts, gap)),
+        )
     }
 
     fn run_batch(
@@ -317,6 +511,7 @@ impl Warehouse {
         queries: &[Query],
         repeats: usize,
         strategy: Option<amada_index::Strategy>,
+        bursts: Option<(usize, SimDuration)>,
     ) -> WorkloadReport {
         if self.cfg.host.prewarm {
             // Queries parse candidate documents; after an indexed build
@@ -329,43 +524,88 @@ impl Warehouse {
         // Front end, steps 7–8: enqueue the query messages. The sends are
         // tagged per query so Figure-12-style attribution charges each
         // query its own request.
-        let mut t = start;
-        for r in 0..repeats {
-            for (i, q) in queries.iter().enumerate() {
-                let name = q
-                    .name
-                    .clone()
-                    .unwrap_or_else(|| format!("query-{}", r * queries.len() + i));
-                self.engine.world.obs.with_ctx(|c| {
-                    c.phase = Phase::Query;
-                    c.query = Some(name.as_str().into());
-                    c.actor = Some(ActorTag {
-                        kind: "frontend",
-                        instance: 0,
-                    });
-                });
-                t = frontend_send(
-                    &mut self.engine.world.sqs,
-                    &self.cfg.retry,
-                    t,
-                    QUERY_QUEUE,
-                    format!("{name}\n{q}"),
-                );
+        let frontend = self.frontend;
+        match bursts {
+            None => {
+                let mut t = start;
+                for r in 0..repeats {
+                    for (i, q) in queries.iter().enumerate() {
+                        let name = q
+                            .name
+                            .clone()
+                            .unwrap_or_else(|| format!("query-{}", r * queries.len() + i));
+                        self.engine.world.obs.with_ctx(|c| {
+                            c.phase = Phase::Query;
+                            c.query = Some(name.as_str().into());
+                            c.doc = None;
+                            c.actor = Some(frontend);
+                        });
+                        t = frontend_send(
+                            &mut self.engine.world.sqs,
+                            &self.cfg.retry,
+                            t,
+                            QUERY_QUEUE,
+                            format!("{name}\n{q}"),
+                        );
+                    }
+                }
+                self.engine.world.sqs.close(QUERY_QUEUE);
+            }
+            Some((bursts, gap)) => {
+                // The sends happen inside the engine: a BurstSender actor
+                // releases each burst at its scheduled instant and closes
+                // the queue after the last one.
+                let mut schedule = VecDeque::new();
+                for b in 0..bursts {
+                    let at = start + SimDuration::from_micros(gap.micros() * b as u64);
+                    for r in 0..repeats {
+                        for (i, q) in queries.iter().enumerate() {
+                            let name = q.name.clone().unwrap_or_else(|| {
+                                format!("query-{}", (b * repeats + r) * queries.len() + i)
+                            });
+                            let body = format!("{name}\n{q}");
+                            schedule.push_back((at, name, body));
+                        }
+                    }
+                }
+                let sender = BurstSender::new(QUERY_QUEUE, schedule, self.cfg.retry, frontend);
+                let first = sender.first_send().unwrap_or(start);
+                self.engine.spawn(Box::new(sender), first);
             }
         }
-        self.engine.world.sqs.close(QUERY_QUEUE);
-        // Steps 9–15: the query-processor pool.
+        // Steps 9–15: the query-processor pool — static, or elastic when
+        // `cfg.query_autoscale` is set.
         let executions: Rc<RefCell<Vec<QueryExecution>>> = Rc::new(RefCell::new(Vec::new()));
         let first_instance = self.engine.world.ec2.records().len();
-        for core in QueryCore::pool(
-            &self.cfg,
-            &mut self.engine.world,
-            start,
-            strategy,
-            &executions,
-            &self.cache,
-        ) {
-            self.engine.spawn(Box::new(core), start);
+        let scale_events: ScaleEvents = Rc::new(RefCell::new(Vec::new()));
+        match self.cfg.query_autoscale {
+            None => {
+                for core in QueryCore::pool(
+                    &self.cfg,
+                    &mut self.engine.world,
+                    start,
+                    strategy,
+                    &executions,
+                    &self.cache,
+                ) {
+                    self.engine.spawn(Box::new(core), start);
+                }
+            }
+            Some(policy) => {
+                let tag = self.controller_tag();
+                let mut ctrl = AutoscaleController::new(
+                    QUERY_QUEUE,
+                    policy,
+                    Phase::Query,
+                    tag,
+                    self.cfg.retry,
+                    self.query_launcher(strategy, &executions),
+                    scale_events.clone(),
+                );
+                ctrl.provision(&mut self.engine.world, start);
+                self.engine
+                    .spawn(Box::new(ctrl), start + policy.sample_interval);
+            }
         }
         let end = self.engine.run();
         for i in first_instance..self.engine.world.ec2.records().len() {
@@ -380,10 +620,7 @@ impl Warehouse {
         self.engine.world.obs.with_ctx(|c| {
             *c = Default::default();
             c.phase = Phase::Frontend;
-            c.actor = Some(ActorTag {
-                kind: "frontend",
-                instance: 0,
-            });
+            c.actor = Some(frontend);
         });
         let mut t = end;
         loop {
@@ -424,6 +661,9 @@ impl Warehouse {
             throttled_requests,
             lease_renewals,
             redelivered,
+            scale_events: Rc::try_unwrap(scale_events)
+                .expect("controller is gone")
+                .into_inner(),
         }
     }
 

@@ -172,6 +172,22 @@ mod tests {
                 &Ctx::default(),
             )
             .outcome(Outcome::Missing),
+            // An autoscaler decision: instantaneous, tagged with the
+            // sampled queue depth as units.
+            Span::new(
+                ServiceKind::Actor,
+                "scale-out",
+                SimTime(40),
+                SimTime(40),
+                &Ctx {
+                    actor: Some(ActorTag {
+                        kind: "autoscaler",
+                        instance: 0,
+                    }),
+                    ..Default::default()
+                },
+            )
+            .units(7.0),
         ]
     }
 
@@ -195,6 +211,9 @@ mod tests {
         assert!(t.contains("\"name\":\"batch_put\""));
         assert!(t.contains("\"cat\":\"kv\""));
         assert!(t.contains("\"name\":\"loader 0\""));
+        // Scaling decisions get their own lane like any other actor.
+        assert!(t.contains("\"name\":\"autoscaler 0\""));
+        assert!(t.contains("\"name\":\"scale-out\""));
         assert!(t.contains("\"billed_pico\":\"123456\""));
         // Escaped query name survives.
         assert!(t.contains("q\\\"uoted"));

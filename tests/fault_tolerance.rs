@@ -127,6 +127,7 @@ fn query_processor_crash_is_recovered() {
         crash_after: crash,
         processed: 0,
         attempt: 0,
+        drain: None,
     };
     // The crashing processor receives the message first (spawned first).
     let crashing = mk(engine, Some(0), 1);
