@@ -27,6 +27,19 @@
 //!   all      everything above except `fault` and `scale`, in order
 //! ```
 //!
+//! A second mode runs the differential correctness harness instead of the
+//! paper artifacts:
+//!
+//! ```text
+//! repro check [--seed N[,N...]] [--cases M] [--billing-every K]
+//! ```
+//!
+//! Each seed runs `M` randomized cases through the strategy-equivalence,
+//! containment, twig-vs-naive, store round-trip and (sampled) billing
+//! oracles of `amada-check`. On a violation the case is shrunk, the
+//! reproducer is printed and written to `CHECK_reproducer.txt`, and the
+//! process exits non-zero.
+//!
 //! Artifacts that share an expensive suite (e.g. `table4`/`fig8`/`table6`
 //! all need the indexing suite) run sequentially within one host task so
 //! the suite is built once; *independent* suites run concurrently, one
@@ -49,6 +62,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         print_usage();
+        return;
+    }
+    if args[0] == "check" {
+        run_check_mode(&args[1..]);
         return;
     }
     // Leading non-flag arguments select artifacts (suites are shared
@@ -308,10 +325,86 @@ fn title(artifact: &str) -> &'static str {
     }
 }
 
+/// `repro check`: the seeded differential correctness harness.
+fn run_check_mode(args: &[String]) {
+    use amada_check::{run_check, CheckConfig};
+
+    let mut seeds: Vec<u64> = vec![0xA3ADA];
+    let mut cases = 200usize;
+    let mut billing_every = 10usize;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> &String {
+            args.get(i + 1)
+                .unwrap_or_else(|| die(&format!("{flag} needs an argument")))
+        };
+        match flag {
+            "--seed" => {
+                seeds = value()
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die(&format!("bad seed '{s}'")))
+                    })
+                    .collect();
+            }
+            "--cases" => {
+                cases = value()
+                    .parse()
+                    .unwrap_or_else(|_| die("--cases needs a number"));
+            }
+            "--billing-every" => {
+                billing_every = value()
+                    .parse()
+                    .unwrap_or_else(|_| die("--billing-every needs a number"));
+            }
+            other => die(&format!("unknown check flag {other}")),
+        }
+        i += 2;
+    }
+
+    let start = Instant::now();
+    for &seed in &seeds {
+        let cfg = CheckConfig {
+            seed,
+            cases,
+            billing_every,
+            mutation: Default::default(),
+        };
+        let outcome = run_check(&cfg);
+        match outcome.failure {
+            None => {
+                eprintln!("# seed {seed:#x}: {} cases passed", outcome.cases_passed);
+            }
+            Some(repro) => {
+                let text = repro.to_string();
+                println!("{text}");
+                match std::fs::write("CHECK_reproducer.txt", &text) {
+                    Ok(()) => eprintln!("# wrote CHECK_reproducer.txt"),
+                    Err(e) => eprintln!("# warning: could not write CHECK_reproducer.txt: {e}"),
+                }
+                eprintln!(
+                    "# seed {seed:#x}: VIOLATION after {} passing cases",
+                    outcome.cases_passed
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!(
+        "# check: {} seed(s) x {cases} cases passed in {:.1}s wall time",
+        seeds.len(),
+        start.elapsed().as_secs_f64()
+    );
+}
+
 fn print_usage() {
     println!(
         "repro - regenerate the paper's tables and figures\n\n\
-         usage: repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R]\n\n\
+         usage: repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R]\n\
+         \x20      repro check [--seed N[,N...]] [--cases M] [--billing-every K]\n\n\
          artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale all"
     );
 }

@@ -1,0 +1,372 @@
+//! The differential oracles, applied to one generated [`Case`].
+//!
+//! Every oracle compares two independent computations of the same fact:
+//! index-assisted answers vs. the no-index scan, the twig join vs. the
+//! naive evaluator, a decoded payload vs. the encoded one. A mismatch is
+//! a [`Violation`] carrying enough detail to read the failure without
+//! re-running anything.
+
+use crate::gen::Case;
+use crate::invariants;
+use crate::Mutation;
+use amada_cloud::{DynamoDb, KvError, KvProfile, KvStore, SimTime, SimpleDb};
+use amada_index::lookup::query_paths;
+use amada_index::store::{decode_id_lists, decode_path_lists, decode_presence_uris, encode_entry};
+use amada_index::{
+    extract, index_documents, lookup_query, ExtractOptions, Payload, Strategy, UuidGen, TABLE_MAIN,
+};
+use amada_pattern::twig::evaluate_pattern_twig;
+use amada_pattern::{join_pattern_results, naive_matches, parse_query, Query, TreePattern, Tuple};
+use amada_xml::Document;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One oracle violation: which oracle, and a self-contained account.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Oracle name (`answers`, `containment`, `twig-vs-naive`,
+    /// `round-trip`, `billing`).
+    pub oracle: &'static str,
+    /// What disagreed, with the per-strategy outputs involved.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+fn violation(oracle: &'static str, detail: String) -> Violation {
+    Violation { oracle, detail }
+}
+
+/// Runs every oracle against the case (the billing oracle only when
+/// `billing` is set — it spins up whole warehouse pipelines).
+pub fn check_case(case: &Case, mutation: Mutation, billing: bool) -> Result<(), Violation> {
+    let docs = parse_docs(case);
+    let query = parse_query(&case.query)
+        .map_err(|e| violation("answers", format!("query does not parse: {e:?}")))?;
+    let opts = ExtractOptions {
+        index_words: case.index_words,
+    };
+
+    oracle_twig_vs_naive(&docs, &query)?;
+
+    // Ground truth: the no-index scan evaluates every pattern on every
+    // document.
+    let truth_tuples: Vec<Vec<Tuple>> = query
+        .patterns
+        .iter()
+        .map(|p| eval_pattern(&docs, None, p))
+        .collect();
+    let truth = canon_joined(&join_pattern_results(&query, &truth_tuples));
+
+    for backend in Backend::ALL {
+        let candidates =
+            strategy_candidates(&docs, &query, opts, backend, mutation).map_err(|e| {
+                violation(
+                    "answers",
+                    format!("{} look-up failed: {e:?}", backend.name()),
+                )
+            })?;
+        oracle_containment(backend, &query, &candidates)?;
+        oracle_answers(backend, &docs, &query, &truth, &candidates)?;
+    }
+
+    oracle_round_trip(&docs, opts)?;
+
+    if billing {
+        invariants::billing_oracle(case, &query).map_err(|d| violation("billing", d))?;
+    }
+    Ok(())
+}
+
+fn parse_docs(case: &Case) -> Vec<Document> {
+    case.docs
+        .iter()
+        .map(|(uri, xml)| Document::parse_str(uri.clone(), xml).expect("case XML must parse"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Oracle C — twig join ≡ naive evaluator, per document and pattern
+// ---------------------------------------------------------------------------
+
+fn oracle_twig_vs_naive(docs: &[Document], query: &Query) -> Result<(), Violation> {
+    for (pi, pattern) in query.patterns.iter().enumerate() {
+        for doc in docs {
+            let naive = canon_tuples(&naive_matches(doc, pattern).0);
+            let twig = canon_tuples(&evaluate_pattern_twig(doc, pattern).0);
+            if naive != twig {
+                return Err(violation(
+                    "twig-vs-naive",
+                    format!(
+                        "pattern {pi} on {}: naive {naive:?} vs twig {twig:?}",
+                        doc.uri()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Per-strategy candidate sets
+// ---------------------------------------------------------------------------
+
+/// The two backend profiles the paper experiments with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    Dynamo,
+    Simple,
+}
+
+impl Backend {
+    pub const ALL: [Backend; 2] = [Backend::Dynamo, Backend::Simple];
+
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Dynamo => "DynamoDB",
+            Backend::Simple => "SimpleDB",
+        }
+    }
+
+    fn store(self) -> Box<dyn KvStore> {
+        match self {
+            Backend::Dynamo => Box::new(DynamoDb::default()),
+            Backend::Simple => Box::new(SimpleDb::default()),
+        }
+    }
+}
+
+/// Per-pattern candidate URI sets, per strategy (Strategy::ALL order).
+type Candidates = Vec<Vec<BTreeSet<String>>>;
+
+fn strategy_candidates(
+    docs: &[Document],
+    query: &Query,
+    opts: ExtractOptions,
+    backend: Backend,
+    mutation: Mutation,
+) -> Result<Candidates, KvError> {
+    let mut out = Vec::with_capacity(Strategy::ALL.len());
+    for strategy in Strategy::ALL {
+        let mut store = backend.store();
+        index_documents(store.as_mut(), docs, strategy, opts);
+        let per_pattern: Vec<BTreeSet<String>> =
+            if strategy == Strategy::Lup && mutation == Mutation::SkipLupPathFilter {
+                query
+                    .patterns
+                    .iter()
+                    .map(|p| lup_candidates_without_path_filter(store.as_mut(), opts, p))
+                    .collect::<Result<_, _>>()?
+            } else {
+                lookup_query(store.as_mut(), SimTime::ZERO, strategy, opts, query)?
+                    .per_pattern
+                    .into_iter()
+                    .map(|o| o.uris.into_iter().collect())
+                    .collect()
+            };
+        out.push(per_pattern);
+    }
+    Ok(out)
+}
+
+/// The injected `SkipLupPathFilter` bug: LUP candidates are every URI
+/// owning the *terminal key* of each query path, with `data_path_matches`
+/// never consulted — the structural filter of Section 5.2 is gone.
+fn lup_candidates_without_path_filter(
+    store: &mut dyn KvStore,
+    opts: ExtractOptions,
+    pattern: &TreePattern,
+) -> Result<BTreeSet<String>, KvError> {
+    let profile: KvProfile = store.profile();
+    let mut result: Option<BTreeSet<String>> = None;
+    for qp in query_paths(pattern, opts) {
+        let terminal = &qp.last().expect("query paths are non-empty").1;
+        let (items, _) = store.get(SimTime::ZERO, TABLE_MAIN, terminal)?;
+        let uris: BTreeSet<String> = decode_path_lists(&items, &profile).into_keys().collect();
+        result = Some(match result {
+            None => uris,
+            Some(prev) => prev.intersection(&uris).cloned().collect(),
+        });
+    }
+    Ok(result.unwrap_or_default())
+}
+
+// ---------------------------------------------------------------------------
+// Oracle B — candidate containment LU ⊇ LUP ⊇ LUI = 2LUPI (Table 5)
+// ---------------------------------------------------------------------------
+
+fn oracle_containment(
+    backend: Backend,
+    query: &Query,
+    candidates: &Candidates,
+) -> Result<(), Violation> {
+    let [lu, lup, lui, two] = [
+        &candidates[0],
+        &candidates[1],
+        &candidates[2],
+        &candidates[3],
+    ];
+    for pi in 0..query.patterns.len() {
+        let chain: [(&str, &BTreeSet<String>, &str, &BTreeSet<String>); 2] = [
+            ("LU", &lu[pi], "LUP", &lup[pi]),
+            ("LUP", &lup[pi], "LUI", &lui[pi]),
+        ];
+        for (big_name, big, small_name, small) in chain {
+            if !small.is_subset(big) {
+                let extra: Vec<&String> = small.difference(big).collect();
+                return Err(violation(
+                    "containment",
+                    format!(
+                        "{}, pattern {pi}: {small_name} ⊄ {big_name}; {small_name} has {extra:?} \
+                         that {big_name} lacks\n{}",
+                        backend.name(),
+                        render_candidates(pi, lu, lup, lui, two),
+                    ),
+                ));
+            }
+        }
+        if lui[pi] != two[pi] {
+            return Err(violation(
+                "containment",
+                format!(
+                    "{}, pattern {pi}: LUI ≠ 2LUPI\n{}",
+                    backend.name(),
+                    render_candidates(pi, lu, lup, lui, two),
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn render_candidates(
+    pi: usize,
+    lu: &[BTreeSet<String>],
+    lup: &[BTreeSet<String>],
+    lui: &[BTreeSet<String>],
+    two: &[BTreeSet<String>],
+) -> String {
+    format!(
+        "  LU    {:?}\n  LUP   {:?}\n  LUI   {:?}\n  2LUPI {:?}",
+        lu[pi], lup[pi], lui[pi], two[pi]
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Oracle A — answers identical to the no-index scan
+// ---------------------------------------------------------------------------
+
+fn eval_pattern(docs: &[Document], only: Option<&BTreeSet<String>>, p: &TreePattern) -> Vec<Tuple> {
+    docs.iter()
+        .filter(|d| only.is_none_or(|set| set.contains(d.uri())))
+        .flat_map(|d| naive_matches(d, p).0)
+        .collect()
+}
+
+fn oracle_answers(
+    backend: Backend,
+    docs: &[Document],
+    query: &Query,
+    truth: &[String],
+    candidates: &Candidates,
+) -> Result<(), Violation> {
+    for (si, strategy) in Strategy::ALL.iter().enumerate() {
+        let per_pattern: Vec<Vec<Tuple>> = query
+            .patterns
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| eval_pattern(docs, Some(&candidates[si][pi]), p))
+            .collect();
+        let answers = canon_joined(&join_pattern_results(query, &per_pattern));
+        if answers != truth {
+            return Err(violation(
+                "answers",
+                format!(
+                    "{} / {}: strategy answers differ from the no-index scan\n  \
+                     no-index: {truth:?}\n  {}: {answers:?}\n  candidates: {:?}",
+                    backend.name(),
+                    strategy.name(),
+                    strategy.name(),
+                    candidates[si],
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Oracle D — store round-trip on every extracted entry
+// ---------------------------------------------------------------------------
+
+fn oracle_round_trip(docs: &[Document], opts: ExtractOptions) -> Result<(), Violation> {
+    let profiles = [DynamoDb::default().profile(), SimpleDb::default().profile()];
+    for strategy in Strategy::ALL {
+        for doc in docs {
+            for entry in extract(doc, strategy, opts) {
+                for profile in &profiles {
+                    let mut uuids = UuidGen::for_document(&entry.uri);
+                    let items = encode_entry(&entry, profile, &mut uuids);
+                    let ok = match &entry.payload {
+                        Payload::Presence => {
+                            decode_presence_uris(&items) == vec![entry.uri.clone()]
+                        }
+                        Payload::Paths(paths) => {
+                            decode_path_lists(&items, profile).get(&entry.uri) == Some(paths)
+                        }
+                        Payload::Ids(ids) => {
+                            decode_id_lists(&items, profile).get(&entry.uri) == Some(ids)
+                        }
+                    };
+                    if !ok {
+                        return Err(violation(
+                            "round-trip",
+                            format!(
+                                "{} profile, strategy {}, doc {}: entry key {:?} did not \
+                                 survive encode→decode ({} items)",
+                                profile.name,
+                                strategy.name(),
+                                doc.uri(),
+                                entry.key,
+                                items.len(),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Canonical renderings (sorted, multiplicity-preserving)
+// ---------------------------------------------------------------------------
+
+/// Canonical multiset rendering of per-pattern tuples.
+pub fn canon_tuples(tuples: &[Tuple]) -> Vec<String> {
+    let mut v: Vec<String> = tuples
+        .iter()
+        .map(|t| format!("{}|{:?}|{:?}", t.uri, t.columns, t.joins))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Canonical multiset rendering of joined query results.
+pub fn canon_joined(results: &[amada_pattern::JoinedTuple]) -> Vec<String> {
+    let mut v: Vec<String> = results
+        .iter()
+        .map(|t| {
+            let uris: Vec<&str> = t.uris.iter().map(|u| u.as_ref()).collect();
+            format!("{uris:?}|{:?}", t.columns)
+        })
+        .collect();
+    v.sort();
+    v
+}

@@ -1,0 +1,297 @@
+//! Greedy shrinking of a failing case, and the printable reproducer.
+//!
+//! The shrinker minimizes along three axes, in order of payoff: drop
+//! whole documents, remove subtrees within the surviving documents, then
+//! simplify the query (drop a pattern, a leaf node, a predicate, an
+//! output annotation). Every candidate reduction is kept only if the
+//! reduced case *still fails* the same harness configuration; the whole
+//! process is bounded by a re-check budget so a slow oracle cannot stall
+//! the run.
+
+use crate::gen::Case;
+use crate::oracles::{check_case, Violation};
+use crate::Mutation;
+use amada_pattern::{parse_query, Query};
+use amada_xml::serialize::{escape_attr, escape_text};
+use amada_xml::{Document, NodeId, NodeKind};
+use std::fmt;
+
+/// Maximum number of re-checks a shrink run may spend.
+const SHRINK_BUDGET: usize = 300;
+
+/// A self-contained reproducer for one violation: the (shrunk) corpus and
+/// query inline, plus the seed coordinates of the original case.
+#[derive(Debug)]
+pub struct Reproducer {
+    /// The shrunk failing case (seed/index still identify the original).
+    pub case: Case,
+    /// The violation the shrunk case triggers.
+    pub violation: Violation,
+    /// The injected mutation the harness ran with, if any.
+    pub mutation: Mutation,
+    /// Re-checks spent shrinking.
+    pub rechecks: usize,
+}
+
+impl fmt::Display for Reproducer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "================ amada-check reproducer ================"
+        )?;
+        writeln!(
+            f,
+            "seed {} case {} (regenerate the unshrunk case with: repro check --seed {} --cases {})",
+            self.case.seed,
+            self.case.index,
+            self.case.seed,
+            self.case.index + 1
+        )?;
+        if self.mutation != Mutation::None {
+            writeln!(f, "injected mutation: {:?}", self.mutation)?;
+        }
+        writeln!(f, "index_words: {}", self.case.index_words)?;
+        writeln!(f, "query: {}", self.case.query)?;
+        writeln!(f, "documents ({}):", self.case.docs.len())?;
+        for (uri, xml) in &self.case.docs {
+            writeln!(f, "--- {uri} ---")?;
+            writeln!(f, "{xml}")?;
+        }
+        writeln!(f, "violation ({} rechecks spent shrinking):", self.rechecks)?;
+        writeln!(f, "{}", self.violation)?;
+        write!(
+            f,
+            "========================================================"
+        )
+    }
+}
+
+/// Shrinks a failing case greedily and packages the reproducer.
+///
+/// `mutation` and `billing` must be the configuration under which the
+/// case failed, so every re-check asks the same question.
+pub fn shrink_case(case: &Case, mutation: Mutation, billing: bool) -> Reproducer {
+    let mut best = case.clone();
+    let rechecks = std::cell::Cell::new(0usize);
+    // Accepts a candidate if it still fails within budget.
+    let mut still_fails = |c: &Case| -> bool {
+        if rechecks.get() >= SHRINK_BUDGET {
+            return false;
+        }
+        rechecks.set(rechecks.get() + 1);
+        check_case(c, mutation, billing).is_err()
+    };
+
+    loop {
+        let before = fingerprint(&best);
+        shrink_docs_away(&mut best, &mut still_fails);
+        shrink_doc_contents(&mut best, &mut still_fails);
+        shrink_query(&mut best, &mut still_fails);
+        if fingerprint(&best) == before || rechecks.get() >= SHRINK_BUDGET {
+            break;
+        }
+    }
+
+    let violation = check_case(&best, mutation, billing)
+        .expect_err("shrinking only ever accepts still-failing cases");
+    Reproducer {
+        case: best,
+        violation,
+        mutation,
+        rechecks: rechecks.get(),
+    }
+}
+
+fn fingerprint(case: &Case) -> (usize, usize, String) {
+    (
+        case.docs.len(),
+        case.docs.iter().map(|(_, x)| x.len()).sum(),
+        case.query.clone(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Axis 1: fewer documents
+// ---------------------------------------------------------------------------
+
+fn shrink_docs_away(case: &mut Case, still_fails: &mut impl FnMut(&Case) -> bool) {
+    let mut i = 0;
+    while case.docs.len() > 1 && i < case.docs.len() {
+        let mut candidate = case.clone();
+        candidate.docs.remove(i);
+        if still_fails(&candidate) {
+            *case = candidate;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Axis 2: smaller documents (remove one subtree at a time)
+// ---------------------------------------------------------------------------
+
+fn shrink_doc_contents(case: &mut Case, still_fails: &mut impl FnMut(&Case) -> bool) {
+    for di in 0..case.docs.len() {
+        loop {
+            let doc = Document::parse_str(case.docs[di].0.clone(), &case.docs[di].1)
+                .expect("case XML parses");
+            // Removable: everything but the document element. Larger
+            // subtrees first, so one accepted removal deletes the most.
+            let mut nodes: Vec<NodeId> = doc.all_nodes().filter(|&n| n != doc.root()).collect();
+            nodes.sort_by_key(|&n| std::cmp::Reverse(doc.descendants(n).count()));
+            let mut reduced = false;
+            for n in nodes {
+                let xml = serialize_without(&doc, n);
+                if Document::parse_str("shrunk.xml", &xml).is_err() {
+                    continue;
+                }
+                let mut candidate = case.clone();
+                candidate.docs[di].1 = xml;
+                if still_fails(&candidate) {
+                    *case = candidate;
+                    reduced = true;
+                    break;
+                }
+            }
+            if !reduced {
+                break;
+            }
+        }
+    }
+}
+
+/// Serializes the document, mirroring `Document::to_xml`, with one
+/// subtree left out.
+fn serialize_without(doc: &Document, skip: NodeId) -> String {
+    let mut out = String::new();
+    write_skipping(doc, doc.root(), skip, &mut out);
+    out
+}
+
+fn write_skipping(doc: &Document, id: NodeId, skip: NodeId, out: &mut String) {
+    if id == skip {
+        return;
+    }
+    match doc.kind(id) {
+        NodeKind::Text => escape_text(doc.value(id).unwrap_or_default(), out),
+        NodeKind::Attribute => {
+            out.push_str(doc.name(id).unwrap_or_default());
+            out.push_str("=\"");
+            escape_attr(doc.value(id).unwrap_or_default(), out);
+            out.push('"');
+        }
+        NodeKind::Element => {
+            let name = doc.name(id).unwrap_or_default();
+            out.push('<');
+            out.push_str(name);
+            let mut content = Vec::new();
+            for c in doc.children(id) {
+                if c == skip {
+                    continue;
+                }
+                if doc.kind(c) == NodeKind::Attribute {
+                    out.push(' ');
+                    out.push_str(doc.name(c).unwrap_or_default());
+                    out.push_str("=\"");
+                    escape_attr(doc.value(c).unwrap_or_default(), out);
+                    out.push('"');
+                } else {
+                    content.push(c);
+                }
+            }
+            if content.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in content {
+                    write_skipping(doc, c, skip, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Axis 3: smaller query
+// ---------------------------------------------------------------------------
+
+fn shrink_query(case: &mut Case, still_fails: &mut impl FnMut(&Case) -> bool) {
+    loop {
+        let query = parse_query(&case.query).expect("case query parses");
+        let mut reduced = false;
+        for candidate in query_reductions(&query) {
+            let text = candidate.to_string();
+            // Defensive: only propose candidates the parser accepts back.
+            if parse_query(&text).is_err() {
+                continue;
+            }
+            let mut c = case.clone();
+            c.query = text;
+            if still_fails(&c) {
+                *case = c;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+}
+
+/// One-step reductions of a query, most aggressive first.
+fn query_reductions(query: &Query) -> Vec<Query> {
+    let mut out = Vec::new();
+    // Drop a whole pattern (a join variable left with one site is simply
+    // unconstrained, so the remainder stays well-formed).
+    if query.patterns.len() > 1 {
+        for pi in 0..query.patterns.len() {
+            let mut q = query.clone();
+            q.patterns.remove(pi);
+            out.push(q);
+        }
+    }
+    for (pi, p) in query.patterns.iter().enumerate() {
+        // Drop a leaf node (never the root).
+        for leaf in p.leaves().filter(|&l| l != 0) {
+            let mut q = query.clone();
+            let pat = &mut q.patterns[pi];
+            pat.nodes.remove(leaf);
+            for node in pat.nodes.iter_mut() {
+                node.children.retain(|&c| c != leaf);
+                for c in node.children.iter_mut() {
+                    if *c > leaf {
+                        *c -= 1;
+                    }
+                }
+                if let Some(par) = node.parent {
+                    if par > leaf {
+                        node.parent = Some(par - 1);
+                    }
+                }
+            }
+            out.push(q);
+        }
+        // Drop a predicate.
+        for (ni, n) in p.nodes.iter().enumerate() {
+            if n.predicate.is_some() {
+                let mut q = query.clone();
+                q.patterns[pi].nodes[ni].predicate = None;
+                out.push(q);
+            }
+        }
+        // Drop output annotations.
+        for (ni, n) in p.nodes.iter().enumerate() {
+            if !n.outputs.is_empty() {
+                let mut q = query.clone();
+                q.patterns[pi].nodes[ni].outputs.clear();
+                out.push(q);
+            }
+        }
+    }
+    out
+}

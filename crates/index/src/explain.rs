@@ -118,7 +118,7 @@ mod tests {
     fn lup_plan_shows_query_paths() {
         let plan = explain(Strategy::Lup, &q2(), ExtractOptions::default());
         assert!(plan.contains("//epainting//edescription"), "{plan}");
-        assert!(plan.contains("//epainting/eyear/w1854"), "{plan}");
+        assert!(plan.contains("//epainting/eyear//w1854"), "{plan}");
     }
 
     #[test]

@@ -271,8 +271,11 @@ fn lookup_lu(
 pub type QueryPath = Vec<(Axis, String)>;
 
 /// Builds the root-to-leaf query paths of a pattern, extending leaves by
-/// their predicate word / attribute-value keys, exactly as the paper's q2
-/// path `//epainting/eyear/w1854` extends `year` by its equality constant.
+/// their predicate word / attribute-value keys, as the paper's q2 path
+/// extends `year` by its equality constant `1854` — except that the word
+/// step is `//`, not `/`: the predicate value is the subtree's
+/// concatenated text, so the word's text node may sit below intervening
+/// elements.
 pub fn query_paths(pattern: &TreePattern, opts: ExtractOptions) -> Vec<QueryPath> {
     let node_keys = pattern_keys(pattern, opts);
     let mut out = Vec::new();
@@ -287,11 +290,13 @@ pub fn query_paths(pattern: &TreePattern, opts: ExtractOptions) -> Vec<QueryPath
             out.push(base);
         } else {
             // One query path per predicate word, each extended by the word
-            // key as a child step (the word's text node sits under the
-            // element).
+            // key as a *descendant* step: an element predicate evaluates
+            // against the concatenated text of the whole subtree, so the
+            // word's text node may sit under any descendant element, and
+            // extraction stores the word under that deeper path.
             for w in words {
                 let mut p = base.clone();
-                p.push((Axis::Child, w.clone()));
+                p.push((Axis::Descendant, w.clone()));
                 out.push(p);
             }
         }
@@ -305,7 +310,7 @@ pub fn query_paths(pattern: &TreePattern, opts: ExtractOptions) -> Vec<QueryPath
                     .map(|&(axis, x)| (axis, node_keys[x].main_key.clone()))
                     .collect();
                 p.push((pattern.nodes[n].axis, node_keys[n].main_key.clone()));
-                p.push((Axis::Child, w.clone()));
+                p.push((Axis::Descendant, w.clone()));
                 out.push(p);
             }
         }
@@ -321,19 +326,43 @@ pub fn query_paths(pattern: &TreePattern, opts: ExtractOptions) -> Vec<QueryPath
 /// a leading `/` step must map to the first.
 pub fn data_path_matches(query: &[(Axis, String)], data: &str) -> bool {
     let comps: Vec<&str> = data.split('/').filter(|c| !c.is_empty()).collect();
-    fn rec(query: &[(Axis, String)], comps: &[&str], qi: usize, ci: usize) -> bool {
-        if qi == query.len() {
-            return ci == comps.len();
+    // Memoized over `(qi, ci)`: without it, adversarial descendant chains
+    // (`//a//a//a…` against `/a/a/…/b`) backtrack exponentially, since the
+    // same suffix pair is re-explored once per way of reaching it.
+    const UNKNOWN: u8 = 0;
+    const NO: u8 = 1;
+    const YES: u8 = 2;
+    let mut memo = vec![UNKNOWN; (query.len() + 1) * (comps.len() + 1)];
+    fn rec(
+        query: &[(Axis, String)],
+        comps: &[&str],
+        qi: usize,
+        ci: usize,
+        memo: &mut [u8],
+    ) -> bool {
+        let slot = qi * (comps.len() + 1) + ci;
+        match memo[slot] {
+            NO => return false,
+            YES => return true,
+            _ => {}
         }
-        let (axis, ref k) = query[qi];
-        match axis {
-            Axis::Child => comps.get(ci) == Some(&k.as_str()) && rec(query, comps, qi + 1, ci + 1),
-            Axis::Descendant => (ci..comps.len())
-                .any(|j| comps[j] == k.as_str() && rec(query, comps, qi + 1, j + 1)),
-        }
+        let matched = if qi == query.len() {
+            ci == comps.len()
+        } else {
+            let (axis, ref k) = query[qi];
+            match axis {
+                Axis::Child => {
+                    comps.get(ci) == Some(&k.as_str()) && rec(query, comps, qi + 1, ci + 1, memo)
+                }
+                Axis::Descendant => (ci..comps.len())
+                    .any(|j| comps[j] == k.as_str() && rec(query, comps, qi + 1, j + 1, memo)),
+            }
+        };
+        memo[slot] = if matched { YES } else { NO };
+        matched
     }
     // The final component must be consumed exactly; `rec` enforces both.
-    rec(query, &comps, 0, 0)
+    rec(query, &comps, 0, 0, &mut memo)
 }
 
 fn lookup_lup(
@@ -411,7 +440,11 @@ fn lookup_lui(
         for w in &nk.word_keys {
             let idx = shape.parent.len();
             shape.parent.push(Some(nk.node));
-            shape.axis.push(Axis::Child);
+            // Descendant, not child: the word's text node may live under a
+            // descendant element of the constrained one (an element
+            // predicate evaluates the whole subtree's text), and the word
+            // stream holds the text node's structural ID.
+            shape.axis.push(Axis::Descendant);
             shape.children.push(Vec::new());
             shape.children[nk.node].push(idx);
             stream_keys.push(w.clone());
@@ -419,18 +452,24 @@ fn lookup_lui(
     }
     let (by_key, ready_at, get_ops) = fetch_keys(store, now, table, &stream_keys)?;
     let profile = store.profile();
-    // Decode per key: uri -> ids.
-    let mut decoded: Vec<BTreeMap<String, Vec<StructuralId>>> =
-        Vec::with_capacity(stream_keys.len());
+    // Decode each distinct key once, as `lookup_lup` does: a pattern with
+    // repeated labels feeds several twig nodes from the same key, and
+    // re-decoding would double-count `entries_processed`.
+    let mut memo: HashMap<&String, BTreeMap<String, Vec<StructuralId>>> = HashMap::new();
     let mut entries = 0u64;
     for k in &stream_keys {
-        let map = by_key
-            .get(k)
-            .map(|items| decode_id_lists(items, &profile))
-            .unwrap_or_default();
-        entries += map.values().map(|v| v.len() as u64).sum::<u64>();
-        decoded.push(map);
+        if !memo.contains_key(k) {
+            let map = by_key
+                .get(k)
+                .map(|items| decode_id_lists(items, &profile))
+                .unwrap_or_default();
+            entries += map.values().map(|v| v.len() as u64).sum::<u64>();
+            memo.insert(k, map);
+        }
     }
+    // Per-stream view: stream i reads the decoded map of its key.
+    let decoded: Vec<&BTreeMap<String, Vec<StructuralId>>> =
+        stream_keys.iter().map(|k| &memo[k]).collect();
     // Candidate URIs: documents contributing IDs to *every* stream,
     // optionally reduced by the 2LUPI semijoin set.
     let mut candidates: Option<BTreeSet<String>> = reduce_to.cloned();
@@ -632,7 +671,7 @@ mod tests {
             "{rendered:?}"
         );
         assert!(
-            rendered.contains(&"//epainting/eyear/w1854".to_string()),
+            rendered.contains(&"//epainting/eyear//w1854".to_string()),
             "{rendered:?}"
         );
     }
@@ -673,6 +712,77 @@ mod tests {
         assert!(!data_path_matches(&q("/eb"), "/ea/eb"));
         // The query must consume the whole data path tail.
         assert!(!data_path_matches(&q("//ea"), "/ea/eb"));
+    }
+
+    #[test]
+    fn repeated_label_entries_are_counted_once() {
+        // Both patterns read the same distinct key set {epainting, ename,
+        // epainter}; the repeated `name` node feeds a second twig stream
+        // from the same key and must not re-count its decoded entries
+        // (the Figure 9b/9c plan-execution work metric).
+        let repeated = parse_pattern("//painting[/name, //painter[/name]]").unwrap();
+        let id_keys = ["epainting", "ename", "epainter"]; // distinct, name once
+        let sum_ids = |store: &mut dyn KvStore, table: &str, keys: &[&str]| -> u64 {
+            let profile = store.profile();
+            keys.iter()
+                .map(|k| {
+                    let (items, _) = store.get(SimTime::ZERO, table, k).unwrap();
+                    decode_id_lists(&items, &profile)
+                        .values()
+                        .map(|v| v.len() as u64)
+                        .sum::<u64>()
+                })
+                .sum()
+        };
+        let run = |store: &mut dyn KvStore, strategy: Strategy| {
+            lookup_pattern(
+                store,
+                SimTime::ZERO,
+                strategy,
+                ExtractOptions::default(),
+                &repeated,
+            )
+            .unwrap()
+            .entries_processed
+        };
+
+        let mut store = store_with(Strategy::Lui);
+        let expected = sum_ids(store.as_mut(), TABLE_MAIN, &id_keys);
+        assert_eq!(run(store.as_mut(), Strategy::Lui), expected);
+
+        // 2LUPI adds its path phase: both query paths end in `name`, so the
+        // path table contributes the single distinct terminal `ename`.
+        let mut store = store_with(Strategy::TwoLupi);
+        let profile = store.profile();
+        let (items, _) = store.get(SimTime::ZERO, TABLE_PATH, "ename").unwrap();
+        let path_entries: u64 = decode_path_lists(&items, &profile)
+            .values()
+            .map(|v| v.len() as u64)
+            .sum();
+        let expected = path_entries + sum_ids(store.as_mut(), TABLE_ID, &id_keys);
+        assert_eq!(run(store.as_mut(), Strategy::TwoLupi), expected);
+    }
+
+    #[test]
+    fn adversarial_descendant_chain_matches_without_backtracking() {
+        // `//a` × 18 against `/a/a/…/a/b` (300 components): the naive
+        // backtracking matcher explores C(300, 18) interleavings and never
+        // terminates; the memoized matcher is polynomial.
+        let chain: QueryPath = (0..18)
+            .map(|_| (Axis::Descendant, "ea".to_string()))
+            .collect();
+        let mut data = "/ea".repeat(300);
+        data.push_str("/eb");
+        let started = std::time::Instant::now();
+        // Fails only at the very end of every interleaving: the worst case.
+        assert!(!data_path_matches(&chain, &data));
+        let mut matching = chain.clone();
+        matching.push((Axis::Descendant, "eb".to_string()));
+        assert!(data_path_matches(&matching, &data));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "data_path_matches backtracked exponentially"
+        );
     }
 
     #[test]

@@ -64,7 +64,24 @@ impl UuidGen {
         )
     }
 
+    /// Chunk sequence numbers the fixed-width range-key prefix can order.
+    ///
+    /// Past this bound `{seq:06}` would widen to seven digits and sort
+    /// *before* the six-digit prefixes (`"1000000-…" < "999999-…"`), so
+    /// chunk reassembly would silently interleave. Widening the prefix is
+    /// not an option either — item sizes (and therefore billed bytes)
+    /// depend on the range-key length — so the generator hard-errors
+    /// instead. One entry would need > 10⁶ chunks (≈ 1 GB on SimpleDB) to
+    /// get here, far past any per-document payload the pipeline produces.
+    pub const MAX_CHUNK_SEQ: usize = 1_000_000;
+
     fn range_key(&mut self, seq: usize) -> String {
+        assert!(
+            seq < Self::MAX_CHUNK_SEQ,
+            "range-key sequence {seq} overflows the fixed {}-digit prefix: \
+             lexicographic chunk order would corrupt reassembly",
+            6
+        );
         format!("{seq:06}-{}", self.next_uuid())
     }
 }
@@ -312,6 +329,25 @@ mod tests {
         assert_eq!(u1.len(), 36);
         let mut other = UuidGen::for_document("other.xml");
         assert_ne!(u1, other.next_uuid());
+    }
+
+    #[test]
+    fn range_keys_order_lexicographically_up_to_the_cap() {
+        let mut g = UuidGen::for_document("doc.xml");
+        let penultimate = g.range_key(UuidGen::MAX_CHUNK_SEQ - 2);
+        let last = g.range_key(UuidGen::MAX_CHUNK_SEQ - 1);
+        assert!(
+            penultimate < last,
+            "chunk order must follow sequence order at the edge"
+        );
+        assert_eq!(last.len(), 6 + 1 + 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "range-key sequence")]
+    fn range_key_hard_errors_past_the_sequence_cap() {
+        let mut g = UuidGen::for_document("doc.xml");
+        let _ = g.range_key(UuidGen::MAX_CHUNK_SEQ);
     }
 
     #[test]

@@ -61,61 +61,13 @@ fn span_billing_reconciles_with_the_ledger() {
     let (w, _, _) = run(true);
     let spans = w.spans();
     let world = w.world();
-    let p = &world.prices;
 
-    let billed_for = |svc: ServiceKind| -> Money {
-        spans
-            .iter()
-            .filter(|s| s.service == svc)
-            .map(|s| s.billed)
-            .sum()
-    };
-
-    // The index store bills per capacity unit and the counters meter
-    // exactly those units, so the reconciliation is exact.
-    let kv = world.kv.stats();
-    assert_eq!(
-        billed_for(ServiceKind::Kv),
-        p.idx_put * kv.put_ops + p.idx_get * kv.get_ops,
-        "kv spans vs ledger"
-    );
-
-    let s3 = world.s3.stats();
-    assert_eq!(
-        billed_for(ServiceKind::S3),
-        p.st_put * s3.put_requests + p.st_get * s3.get_requests,
-        "s3 spans vs ledger"
-    );
-
-    let sqs = world.sqs.stats();
-    let sqs_spans = spans
-        .iter()
-        .filter(|s| s.service == ServiceKind::Sqs)
-        .count() as u64;
-    assert_eq!(sqs_spans, sqs.requests, "every SQS request has a span");
-    assert_eq!(
-        billed_for(ServiceKind::Sqs),
-        p.qs_request * sqs.requests,
-        "sqs spans vs ledger"
-    );
-
-    // Egress is volume-priced: each span rounds its own bytes to a
-    // picodollar, the ledger rounds the total once, so they may differ by
-    // at most one picodollar per span.
-    let egress_spans = spans
-        .iter()
-        .filter(|s| s.service == ServiceKind::Egress)
-        .count() as i128;
-    let diff = billed_for(ServiceKind::Egress)
-        .signed_diff(p.egress_gb.per_gb(world.egress_bytes))
-        .abs();
-    assert!(
-        diff <= egress_spans.max(1),
-        "egress spans vs ledger: off by {diff} picodollars over {egress_spans} spans"
-    );
-
-    // Actor spans are phases, not billed requests.
-    assert_eq!(billed_for(ServiceKind::Actor), Money::ZERO);
+    // The per-service reconciliation (kv/s3/sqs exact, egress to within
+    // per-span rounding, actor unbilled) lives in the shared invariant
+    // registry so `repro check` exercises the same predicate.
+    if let Err(e) = amada_check::invariants::ledger_matches_spans(&spans, world) {
+        panic!("span billing vs ledger: {e}");
+    }
 
     // Attribution is lossless: the phase decomposition sums back to the
     // total span charge.
