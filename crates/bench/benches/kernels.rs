@@ -111,6 +111,31 @@ fn bench_twig_join() {
             black_box(naive_matches(black_box(&doc), black_box(&p)));
         });
     }
+    // Stream-level advance at corpus-scale list lengths: the galloping
+    // join vs. the element-at-a-time linear reference, on a selective
+    // anchor (100 entries) over a dense descendant stream (~10k entries).
+    // 98% of the descendant stream lies outside anchor subtrees — the
+    // shape where skipping in binary-searched runs pays off.
+    use amada_pattern::twig::{holistic_twig_join, holistic_twig_join_linear, TwigShape};
+    let p = parse_pattern("//category[//text{val}]").unwrap();
+    let shape = TwigShape::from_pattern(&p);
+    let mut anchors = Vec::new();
+    let mut texts = Vec::new();
+    for pre in 0..10_000u32 {
+        if pre % 100 == 0 {
+            anchors.push((StructuralId::new(pre, pre + 2, 2), ()));
+        } else {
+            // Inside an anchor subtree only for the entry right after it.
+            texts.push((StructuralId::new(pre, pre, 3), ()));
+        }
+    }
+    let streams = vec![anchors, texts];
+    bench("twig-join", "streams/gallop", None, || {
+        black_box(holistic_twig_join(black_box(&shape), black_box(&streams)).len());
+    });
+    bench("twig-join", "streams/linear", None, || {
+        black_box(holistic_twig_join_linear(black_box(&shape), black_box(&streams)).len());
+    });
 }
 
 fn bench_extraction() {
@@ -125,6 +150,7 @@ fn bench_extraction() {
 }
 
 fn bench_id_codec() {
+    use amada_index::codec::{decode_ids_blocked, encode_ids_blocked, BlockList};
     let ids: Vec<StructuralId> = (1..=10_000)
         .map(|i| StructuralId::new(i * 3, i * 2, (i % 12) + 1))
         .collect();
@@ -134,6 +160,50 @@ fn bench_id_codec() {
     });
     bench("id-codec", "decode-10k", None, || {
         black_box(amada_index::codec::decode_ids(black_box(&encoded)).unwrap());
+    });
+    let blocked = encode_ids_blocked(&ids);
+    bench("id-codec", "encode-blocked-10k", None, || {
+        black_box(encode_ids_blocked(black_box(&ids)));
+    });
+    bench("id-codec", "decode-blocked-10k", None, || {
+        black_box(decode_ids_blocked(black_box(&blocked)).unwrap());
+    });
+    // Selective access: build the lazy block view from the persisted
+    // headers and decode only the blocks that 16 spread-out probes land
+    // in, vs. the full materializing decode above.
+    let targets: Vec<u32> = (1..=16u32).map(|k| k * 30_000 / 17).collect();
+    bench("id-codec", "blocked-probe-16", None, || {
+        let list = BlockList::from_blocked(black_box(&blocked)).unwrap();
+        let mut cur = list.cursor();
+        let mut hits = 0usize;
+        for &t in &targets {
+            cur.skip_to_pre(t);
+            hits += cur.peek().is_some() as usize;
+        }
+        black_box(hits);
+    });
+}
+
+fn bench_tokenize() {
+    // All text content of a 32 KB document, tokenized the streaming way
+    // (`for_each_word`, zero allocations) and the collecting way
+    // (`tokenize`, one `String` per word) — the before/after of the
+    // word-level hot path.
+    let (uri, xml) = corpus_doc(32 * 1024);
+    let doc = Document::parse_str(uri, &xml).unwrap();
+    let texts: Vec<&str> = doc.all_nodes().filter_map(|n| doc.value(n)).collect();
+    let bytes: u64 = texts.iter().map(|t| t.len() as u64).sum();
+    bench("tokenize", "streaming", Some(bytes), || {
+        let mut n = 0usize;
+        for t in &texts {
+            amada_xml::for_each_word(black_box(t), |w| n += w.len());
+        }
+        black_box(n);
+    });
+    bench("tokenize", "collecting", Some(bytes), || {
+        for t in &texts {
+            black_box(amada_xml::tokenize(black_box(t)));
+        }
     });
 }
 
@@ -221,6 +291,7 @@ fn bench_lookup() {
 fn main() {
     println!("{:<18} {:<24} {:>17}", "group", "benchmark", "mean");
     bench_parser();
+    bench_tokenize();
     bench_twig_join();
     bench_extraction();
     bench_id_codec();

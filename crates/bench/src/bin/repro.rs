@@ -77,8 +77,15 @@ fn main() {
         i += 1;
     }
     let mut scale = Scale::default_scale();
+    let mut enforce = false;
     while i < args.len() {
         let flag = args[i].as_str();
+        // `--enforce` is a boolean flag (no argument).
+        if flag == "--enforce" {
+            enforce = true;
+            i += 1;
+            continue;
+        }
         let value = || -> f64 {
             args.get(i + 1)
                 .and_then(|v| v.parse().ok())
@@ -100,12 +107,13 @@ fn main() {
 
     let known: &[&str] = &[
         "table4", "fig7", "fig8", "table5", "fig9", "fig10", "table6", "fig11", "fig12", "fig13",
-        "table7", "table8", "ablation", "trace", "fault", "scale",
+        "table7", "table8", "ablation", "trace", "fault", "scale", "perf",
     ];
     // `all` deliberately leaves `fault` (output depends on
-    // AMADA_FAULT_SEED) and `scale` (beyond-the-paper elasticity run) out,
-    // so `all` stays comparable run to run and release to release.
-    let excluded = ["fault", "scale"];
+    // AMADA_FAULT_SEED), `scale` (beyond-the-paper elasticity run) and
+    // `perf` (host wall-clock timings) out, so `all` stays byte-comparable
+    // run to run and release to release.
+    let excluded = ["fault", "scale", "perf"];
     let selected: Vec<&str> = if artifacts == ["all"] {
         known
             .iter()
@@ -136,6 +144,15 @@ fn main() {
     match write_report(&computed, total_wall, threads, &scale) {
         Ok(path) => eprintln!("# wrote {path}"),
         Err(e) => eprintln!("# warning: could not write BENCH_repro.json: {e}"),
+    }
+    if enforce {
+        match exp::perf::enforce_floors() {
+            Ok(msg) => eprintln!("# enforce: {msg}"),
+            Err(msg) => {
+                eprintln!("error: enforce: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -221,6 +238,7 @@ fn compute(scale: &Scale, selected: &[&str]) -> Vec<Computed> {
                             "trace" => exp::trace(scale),
                             "fault" => exp::fault(scale).to_string(),
                             "scale" => exp::elastic(scale).to_string(),
+                            "perf" => exp::perf(scale),
                             _ => unreachable!("validated in main"),
                         };
                         (artifact.to_string(), body, start.elapsed().as_secs_f64())
@@ -289,10 +307,15 @@ fn write_report(
     ));
     // Zero when the `scale` artifact was not selected.
     json.push_str(&format!(
-        "  \"scaling\": {{ \"out_events\": {}, \"in_events\": {}, \"peak_pool\": {} }}\n",
+        "  \"scaling\": {{ \"out_events\": {}, \"in_events\": {}, \"peak_pool\": {} }},\n",
         exp::elastic::SCALE_OUT_EVENTS.load(std::sync::atomic::Ordering::Relaxed),
         exp::elastic::SCALE_IN_EVENTS.load(std::sync::atomic::Ordering::Relaxed),
         exp::elastic::SCALE_PEAK_POOL.load(std::sync::atomic::Ordering::Relaxed)
+    ));
+    // Null when the `perf` artifact was not selected.
+    json.push_str(&format!(
+        "  \"perf\": {}\n",
+        exp::perf::perf_json().unwrap_or_else(|| "null".to_string())
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_repro.json", json)?;
@@ -320,6 +343,9 @@ fn title(artifact: &str) -> &'static str {
         "fault" => "Fault injection - the pipeline under transient faults (beyond the paper)",
         "scale" => {
             "Scale - elastic autoscaling vs. static pools on bursty traffic (beyond the paper)"
+        }
+        "perf" => {
+            "Perf - hot-path microbenchmarks: parse / tokenize / decode / twig (beyond the paper)"
         }
         _ => "unknown",
     }
@@ -403,9 +429,11 @@ fn run_check_mode(args: &[String]) {
 fn print_usage() {
     println!(
         "repro - regenerate the paper's tables and figures\n\n\
-         usage: repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R]\n\
+         usage: repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R] [--enforce]\n\
          \x20      repro check [--seed N[,N...]] [--cases M] [--billing-every K]\n\n\
-         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale all"
+         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale perf all\n\n\
+         --enforce (with perf): exit non-zero when a release build falls more\n\
+         than 30% below the repo-pinned parse / decode reference rates"
     );
 }
 

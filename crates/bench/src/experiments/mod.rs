@@ -6,6 +6,7 @@ pub mod comparison;
 pub mod elastic;
 pub mod fault;
 pub mod indexing;
+pub mod perf;
 pub mod querying;
 pub mod scaling;
 pub mod trace;
@@ -16,6 +17,7 @@ pub use comparison::{comparison_suite, table7, table8, ComparisonSuite};
 pub use elastic::elastic;
 pub use fault::fault;
 pub use indexing::{fig7, fig8, indexing_suite, table4, table6, IndexingSuite};
+pub use perf::perf;
 pub use querying::{fig11, fig12, fig9, query_suite, table5, QuerySuite};
 pub use scaling::fig10;
 pub use trace::trace;

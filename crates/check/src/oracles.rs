@@ -11,7 +11,9 @@ use crate::invariants;
 use crate::Mutation;
 use amada_cloud::{DynamoDb, KvError, KvProfile, KvStore, SimTime, SimpleDb};
 use amada_index::lookup::query_paths;
-use amada_index::store::{decode_id_lists, decode_path_lists, decode_presence_uris, encode_entry};
+use amada_index::store::{
+    decode_id_lists, decode_id_postings, decode_path_lists, decode_presence_uris, encode_entry,
+};
 use amada_index::{
     extract, index_documents, lookup_query, ExtractOptions, Payload, Strategy, UuidGen, TABLE_MAIN,
 };
@@ -321,6 +323,10 @@ fn oracle_round_trip(docs: &[Document], opts: ExtractOptions) -> Result<(), Viol
                         }
                         Payload::Ids(ids) => {
                             decode_id_lists(&items, profile).get(&entry.uri) == Some(ids)
+                                && decode_id_postings(&items, profile)
+                                    .get(&entry.uri)
+                                    .is_some_and(|l| l.decode_all() == *ids)
+                                && block_layer_agrees(ids)
                         }
                     };
                     if !ok {
@@ -342,6 +348,41 @@ fn oracle_round_trip(docs: &[Document], opts: ExtractOptions) -> Result<(), Viol
         }
     }
     Ok(())
+}
+
+/// The block layer over the same ID list agrees with the flat codec: the
+/// explicit blocked wire format round-trips, and a [`BlockList`] built
+/// from either format replays the list in full through its lazy cursor.
+fn block_layer_agrees(ids: &[amada_xml::StructuralId]) -> bool {
+    use amada_index::codec::{decode_ids_blocked, encode_ids, encode_ids_blocked, BlockList};
+    let blocked = encode_ids_blocked(ids);
+    if decode_ids_blocked(&blocked).as_deref() != Some(ids) {
+        return false;
+    }
+    let from_blocked = match BlockList::from_blocked(&blocked) {
+        Some(l) => l,
+        None => return false,
+    };
+    let from_flat = match BlockList::from_flat(&encode_ids(ids)) {
+        Some(l) => l,
+        None => return false,
+    };
+    for list in [&from_blocked, &from_flat] {
+        if list.len() != ids.len() || list.decode_all() != ids {
+            return false;
+        }
+        let mut cur = list.cursor();
+        for &id in ids {
+            if cur.peek() != Some(id) {
+                return false;
+            }
+            cur.advance();
+        }
+        if cur.peek().is_some() {
+            return false;
+        }
+    }
+    true
 }
 
 // ---------------------------------------------------------------------------

@@ -33,9 +33,16 @@ pub fn write_varint(mut v: u32, out: &mut Vec<u8>) {
 }
 
 /// Reads a LEB128 varint; advances `pos`.
+#[inline]
 pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u32> {
-    let mut v: u32 = 0;
-    let mut shift = 0;
+    // Single-byte fast path: deltas and depths are almost always < 128.
+    let byte = *bytes.get(*pos)?;
+    *pos += 1;
+    if byte & 0x80 == 0 {
+        return Some(byte as u32);
+    }
+    let mut v: u32 = (byte & 0x7f) as u32;
+    let mut shift = 7;
     loop {
         let byte = *bytes.get(*pos)?;
         *pos += 1;
@@ -51,6 +58,33 @@ pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u32> {
         shift += 7;
         if shift >= 35 {
             return None; // malformed
+        }
+    }
+}
+
+/// Skips one LEB128 varint, enforcing exactly the constraints of
+/// [`read_varint`] (truncation, overlong and u32-overflow rejection)
+/// without computing the value.
+#[inline]
+fn skip_varint(bytes: &[u8], pos: &mut usize) -> Option<()> {
+    let byte = *bytes.get(*pos)?;
+    *pos += 1;
+    if byte & 0x80 == 0 {
+        return Some(());
+    }
+    let mut shift = 7;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        if shift == 28 && byte & 0x70 != 0 {
+            return None;
+        }
+        if byte & 0x80 == 0 {
+            return Some(());
+        }
+        shift += 7;
+        if shift >= 35 {
+            return None;
         }
     }
 }
@@ -120,6 +154,394 @@ pub fn encode_ids_chunked(ids: &[StructuralId], max_bytes: usize) -> Vec<Vec<u8>
         chunks.push(current);
     }
     chunks
+}
+
+// ---------------------------------------------------------------------------
+// Block format
+// ---------------------------------------------------------------------------
+//
+// Long ID lists decoded end-to-end dominate LUI / 2LUPI lookup time, yet a
+// twig join only ever inspects the sub-ranges of each list that can
+// structurally intersect the other streams. The block layer splits a list
+// into fixed-size runs of [`BLOCK_IDS`] identifiers and keeps, per block, a
+// `max_pre` skip pointer plus the byte range of its varint body. A lazy
+// cursor then *gallops* across block headers and decodes only the blocks a
+// join actually lands in.
+//
+// Two representations share this metadata:
+//
+// * [`BlockList`] — in-memory: built by skip-scanning the flat wire bytes
+//   fetched from a store (no stored-format change; stored bytes still drive
+//   per-item billing and must stay byte-identical).
+// * `encode_ids_blocked` / `decode_ids_blocked` — an *explicit* serialized
+//   format (`[version][count][headers…][flat body]`) whose body is
+//   byte-identical to [`encode_ids`] output, for stores or caches that want
+//   the skip pointers persisted.
+
+/// Number of IDs per block. 128 keeps a block's decoded form (1.5 KiB)
+/// well inside L1 while making header overhead (~2–6 bytes per block)
+/// negligible next to the ~3-byte-per-ID body.
+pub const BLOCK_IDS: usize = 128;
+
+/// Version byte prefixed to the serialized blocked format.
+pub const BLOCKED_FORMAT_VERSION: u8 = 0x01;
+
+/// Per-block metadata: delta anchor, skip pointer, and body byte range.
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    /// `pre` of the last ID before this block; the first ID's delta is
+    /// relative to it. 0 at every chunk boundary (chunks re-anchor).
+    anchor_pre: u32,
+    /// Largest `pre` in the block (the list is pre-sorted, so this is the
+    /// last ID's `pre`). The skip pointer: a probe for `pre >= p` can
+    /// bypass every block with `max_pre < p` without decoding it.
+    max_pre: u32,
+    /// Byte range of the block body within `BlockList::body`.
+    start: u32,
+    end: u32,
+    /// Number of IDs in the block (≤ `BLOCK_IDS`).
+    count: u32,
+}
+
+/// A block-structured view of one `pre`-sorted ID list.
+///
+/// Holds the raw varint body plus per-block skip metadata; decoding is
+/// deferred to [`BlockCursor`], which touches only the blocks a lookup
+/// intersects.
+#[derive(Debug, Clone, Default)]
+pub struct BlockList {
+    body: Vec<u8>,
+    blocks: Vec<BlockMeta>,
+    len: usize,
+}
+
+impl BlockList {
+    /// Builds a block list from one flat [`encode_ids`] buffer.
+    /// `None` on malformed input (same rejection rules as [`decode_ids`]).
+    pub fn from_flat(bytes: &[u8]) -> Option<BlockList> {
+        let mut list = BlockList::default();
+        list.append_chunk(bytes)?;
+        Some(list)
+    }
+
+    /// Builds a block list from the self-anchored chunks produced by
+    /// [`encode_ids_chunked`] (each chunk restarts its delta from 0, so a
+    /// block boundary is forced at every chunk boundary). Malformed chunks
+    /// are skipped, mirroring the per-chunk tolerance of the flat decode
+    /// path in the store layer.
+    pub fn from_chunks<'a>(chunks: impl IntoIterator<Item = &'a [u8]>) -> BlockList {
+        let mut list = BlockList::default();
+        for chunk in chunks {
+            let (body_len, blocks_len, ids_len) = (list.body.len(), list.blocks.len(), list.len);
+            if list.append_chunk(chunk).is_none() {
+                list.body.truncate(body_len);
+                list.blocks.truncate(blocks_len);
+                list.len = ids_len;
+            }
+        }
+        list
+    }
+
+    /// Builds a block list from the serialized blocked format, using the
+    /// persisted headers for block boundaries (no delta re-scan; the body
+    /// is still validated varint-by-varint so cursors can decode
+    /// infallibly). `None` on malformed input.
+    pub fn from_blocked(bytes: &[u8]) -> Option<BlockList> {
+        let (count, headers, body_start) = parse_blocked_headers(bytes)?;
+        let body = &bytes[body_start..];
+        let mut list = BlockList {
+            body: body.to_vec(),
+            blocks: Vec::with_capacity(headers.len()),
+            len: count as usize,
+        };
+        let mut remaining = count;
+        let mut anchor = 0u32;
+        let mut start = 0usize;
+        for (max_pre, body_len) in headers {
+            let end = start.checked_add(body_len as usize)?;
+            if end > body.len() {
+                return None;
+            }
+            let block_ids = remaining.min(BLOCK_IDS as u32);
+            // Validate the body bytes and the header's skip pointer.
+            let mut pos = start;
+            let mut prev_pre = anchor;
+            for _ in 0..block_ids {
+                let dpre = read_varint(body, &mut pos)?;
+                skip_varint(body, &mut pos)?;
+                skip_varint(body, &mut pos)?;
+                prev_pre = prev_pre.checked_add(dpre)?;
+            }
+            if pos != end || prev_pre != max_pre {
+                return None;
+            }
+            list.blocks.push(BlockMeta {
+                anchor_pre: anchor,
+                max_pre,
+                start: start as u32,
+                end: end as u32,
+                count: block_ids,
+            });
+            remaining -= block_ids;
+            anchor = max_pre;
+            start = end;
+        }
+        if remaining != 0 || start != body.len() {
+            return None;
+        }
+        Some(list)
+    }
+
+    /// Total number of IDs across all blocks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the list holds no IDs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fully decodes the list (block order = `pre` order).
+    pub fn decode_all(&self) -> Vec<StructuralId> {
+        let mut ids = Vec::with_capacity(self.len);
+        for meta in &self.blocks {
+            decode_block(&self.body, meta, &mut ids);
+        }
+        ids
+    }
+
+    /// A lazy cursor positioned at the first ID.
+    pub fn cursor(&self) -> BlockCursor<'_> {
+        let mut cur = BlockCursor {
+            list: self,
+            block: 0,
+            buf: Vec::new(),
+            pos: 0,
+        };
+        cur.load_block();
+        cur
+    }
+
+    /// Scans one self-anchored chunk, appending its bytes and block
+    /// metadata. `None` (with partial state; caller rolls back) on
+    /// malformed input.
+    fn append_chunk(&mut self, bytes: &[u8]) -> Option<()> {
+        let base = self.body.len();
+        self.body.extend_from_slice(bytes);
+        let mut pos = 0usize;
+        let mut prev_pre = 0u32;
+        while pos < bytes.len() {
+            let start = pos;
+            let anchor = prev_pre;
+            let mut count = 0u32;
+            while pos < bytes.len() && (count as usize) < BLOCK_IDS {
+                let dpre = read_varint(bytes, &mut pos)?;
+                skip_varint(bytes, &mut pos)?;
+                skip_varint(bytes, &mut pos)?;
+                prev_pre = prev_pre.checked_add(dpre)?;
+                count += 1;
+            }
+            self.blocks.push(BlockMeta {
+                anchor_pre: anchor,
+                max_pre: prev_pre,
+                start: (base + start) as u32,
+                end: (base + pos) as u32,
+                count,
+            });
+            self.len += count as usize;
+        }
+        Some(())
+    }
+}
+
+/// Decodes one block body into `out`. The body was validated at
+/// construction time, so decoding cannot fail.
+fn decode_block(body: &[u8], meta: &BlockMeta, out: &mut Vec<StructuralId>) {
+    let bytes = &body[meta.start as usize..meta.end as usize];
+    let mut pos = 0usize;
+    let mut prev_pre = meta.anchor_pre;
+    for _ in 0..meta.count {
+        let dpre = read_varint(bytes, &mut pos).expect("block body validated at construction");
+        let post = read_varint(bytes, &mut pos).expect("block body validated at construction");
+        let depth = read_varint(bytes, &mut pos).expect("block body validated at construction");
+        prev_pre += dpre;
+        out.push(StructuralId::new(prev_pre, post, depth));
+    }
+}
+
+/// A lazy, forward-only cursor over a [`BlockList`].
+///
+/// Only the block under the cursor is ever decoded (into a reusable
+/// buffer); `skip_to_pre` gallops over block headers via `max_pre`, so a
+/// selective probe touches `O(log n)` headers and decodes a single block.
+#[derive(Debug)]
+pub struct BlockCursor<'a> {
+    list: &'a BlockList,
+    /// Current block index; `list.blocks.len()` once exhausted.
+    block: usize,
+    /// Decoded IDs of the current block.
+    buf: Vec<StructuralId>,
+    /// Position within `buf`.
+    pos: usize,
+}
+
+impl BlockCursor<'_> {
+    /// The ID under the cursor, or `None` when exhausted.
+    #[inline]
+    pub fn peek(&self) -> Option<StructuralId> {
+        self.buf.get(self.pos).copied()
+    }
+
+    /// Moves past the current ID.
+    pub fn advance(&mut self) {
+        self.pos += 1;
+        if self.pos >= self.buf.len() {
+            self.block += 1;
+            self.load_block();
+        }
+    }
+
+    /// Positions the cursor at the first remaining ID with `pre >=
+    /// min_pre`, galloping over whole blocks via their `max_pre` skip
+    /// pointers. Never moves backwards.
+    pub fn skip_to_pre(&mut self, min_pre: u32) {
+        let Some(cur) = self.buf.get(self.pos) else {
+            return; // exhausted
+        };
+        if cur.pre >= min_pre {
+            return;
+        }
+        if self.list.blocks[self.block].max_pre >= min_pre {
+            // Target is inside the already-decoded block: binary search.
+            self.pos += self.buf[self.pos..].partition_point(|id| id.pre < min_pre);
+            return;
+        }
+        // Gallop over the block headers after the current block.
+        let rest = &self.list.blocks[self.block + 1..];
+        let mut probe = 1usize;
+        while probe < rest.len() && rest[probe].max_pre < min_pre {
+            probe *= 2;
+        }
+        let lo = probe / 2;
+        let hi = probe.min(rest.len());
+        let off = lo + rest[lo..hi].partition_point(|m| m.max_pre < min_pre);
+        self.block += 1 + off;
+        self.load_block();
+        if !self.buf.is_empty() {
+            self.pos = self.buf.partition_point(|id| id.pre < min_pre);
+        }
+    }
+
+    /// Exhausts the cursor.
+    pub fn skip_to_end(&mut self) {
+        self.block = self.list.blocks.len();
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    /// Rewinds to the first ID.
+    pub fn reset(&mut self) {
+        self.block = 0;
+        self.load_block();
+    }
+
+    /// Decodes the block at `self.block` into `buf` (empty if exhausted).
+    fn load_block(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+        if let Some(meta) = self.list.blocks.get(self.block) {
+            decode_block(&self.list.body, meta, &mut self.buf);
+        }
+    }
+}
+
+impl amada_pattern::TwigStream<()> for BlockCursor<'_> {
+    #[inline]
+    fn peek(&self) -> Option<(StructuralId, ())> {
+        BlockCursor::peek(self).map(|id| (id, ()))
+    }
+
+    fn advance(&mut self) {
+        BlockCursor::advance(self);
+    }
+
+    fn skip_to_pre(&mut self, min_pre: u32) {
+        BlockCursor::skip_to_pre(self, min_pre);
+    }
+
+    fn skip_to_end(&mut self) {
+        BlockCursor::skip_to_end(self);
+    }
+
+    fn reset(&mut self) {
+        BlockCursor::reset(self);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialized blocked format
+// ---------------------------------------------------------------------------
+
+/// Encodes a `pre`-sorted ID list in the blocked format:
+///
+/// ```text
+/// [0x01][count varint][(Δmax_pre varint, body_len varint) × ⌈count/128⌉][flat body]
+/// ```
+///
+/// The body is byte-identical to [`encode_ids`] output; the headers add
+/// `max_pre` skip pointers (delta-coded across blocks) and per-block byte
+/// offsets, so a reader can seek without scanning.
+pub fn encode_ids_blocked(ids: &[StructuralId]) -> Vec<u8> {
+    let body = encode_ids(ids);
+    let mut out = Vec::with_capacity(body.len() + ids.len().div_ceil(BLOCK_IDS) * 6 + 8);
+    out.push(BLOCKED_FORMAT_VERSION);
+    write_varint(ids.len() as u32, &mut out);
+    // Per-block headers: walk the body to find each block's byte length.
+    let mut pos = 0usize;
+    let mut prev_max = 0u32;
+    for chunk in ids.chunks(BLOCK_IDS) {
+        let start = pos;
+        for _ in 0..chunk.len() * 3 {
+            skip_varint(&body, &mut pos).expect("encode_ids output is well-formed");
+        }
+        let max_pre = chunk.last().expect("chunks are non-empty").pre;
+        write_varint(max_pre - prev_max, &mut out);
+        write_varint((pos - start) as u32, &mut out);
+        prev_max = max_pre;
+    }
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes the blocked format, validating the version byte, every block
+/// header against the body, and overall length; `None` on any mismatch.
+/// Yields the same ID list as [`decode_ids`] on the flat body.
+pub fn decode_ids_blocked(bytes: &[u8]) -> Option<Vec<StructuralId>> {
+    BlockList::from_blocked(bytes).map(|list| list.decode_all())
+}
+
+/// Parsed blocked-format prefix: (ID count, per-block `(max_pre,
+/// body_len)` pairs, body start offset).
+type BlockedHeaders = (u32, Vec<(u32, u32)>, usize);
+
+/// Parses the blocked-format prefix.
+fn parse_blocked_headers(bytes: &[u8]) -> Option<BlockedHeaders> {
+    if bytes.first() != Some(&BLOCKED_FORMAT_VERSION) {
+        return None;
+    }
+    let mut pos = 1usize;
+    let count = read_varint(bytes, &mut pos)?;
+    let num_blocks = (count as usize).div_ceil(BLOCK_IDS);
+    let mut headers = Vec::with_capacity(num_blocks);
+    let mut max_pre = 0u32;
+    for _ in 0..num_blocks {
+        let d_max = read_varint(bytes, &mut pos)?;
+        let body_len = read_varint(bytes, &mut pos)?;
+        max_pre = max_pre.checked_add(d_max)?;
+        headers.push((max_pre, body_len));
+    }
+    Some((count, headers, pos))
 }
 
 // ---------------------------------------------------------------------------
@@ -290,5 +712,189 @@ mod tests {
             assert_eq!(read_varint(&buf, &mut pos), Some(v));
             assert_eq!(pos, buf.len());
         }
+    }
+
+    #[test]
+    fn skip_varint_matches_read_varint() {
+        // skip must accept/reject and advance exactly like read.
+        let cases: &[&[u8]] = &[
+            &[0x00],
+            &[0x7f],
+            &[0xff, 0x01],
+            &[0xff, 0xff, 0xff, 0xff, 0x0f],
+            &[0xff, 0xff, 0xff, 0xff, 0x1f],       // overflow: reject
+            &[0xff, 0xff, 0xff, 0xff, 0xff, 0x01], // overlong: reject
+            &[0x80],                               // truncated: reject
+        ];
+        for bytes in cases {
+            let (mut p1, mut p2) = (0usize, 0usize);
+            let read = read_varint(bytes, &mut p1);
+            let skip = skip_varint(bytes, &mut p2);
+            assert_eq!(read.is_some(), skip.is_some(), "{bytes:?}");
+            if read.is_some() {
+                assert_eq!(p1, p2, "{bytes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_round_trip_matches_flat() {
+        for n in [0usize, 1, 2, 127, 128, 129, 500, 1000] {
+            let list: Vec<StructuralId> = (0..n as u32)
+                .map(|i| StructuralId::new(i * 3 + 1, i * 2 + 1, (i % 9) + 1))
+                .collect();
+            let blocked = encode_ids_blocked(&list);
+            assert_eq!(decode_ids_blocked(&blocked).unwrap(), list, "n={n}");
+            // The body after the headers is byte-identical to the flat
+            // encoding, preserving the sorted-order contract.
+            let flat = encode_ids(&list);
+            assert!(blocked.ends_with(&flat), "n={n}");
+        }
+    }
+
+    #[test]
+    fn blocked_rejects_malformed() {
+        let list: Vec<StructuralId> = (1..=300).map(|i| StructuralId::new(i, i, 2)).collect();
+        let good = encode_ids_blocked(&list);
+        assert!(decode_ids_blocked(&good).is_some());
+        assert!(decode_ids_blocked(&[]).is_none());
+        assert!(decode_ids_blocked(&[0x02]).is_none()); // wrong version
+        assert!(decode_ids_blocked(&good[..good.len() - 1]).is_none()); // truncated
+        let mut extra = good.clone();
+        extra.push(0x00); // trailing junk
+        assert!(decode_ids_blocked(&extra).is_none());
+        // Corrupt a skip pointer: header no longer matches the body.
+        let mut bad = good.clone();
+        bad[2] ^= 0x01;
+        assert!(decode_ids_blocked(&bad).is_none());
+    }
+
+    #[test]
+    fn block_list_from_flat_matches_decode_ids() {
+        let list: Vec<StructuralId> = (0..777u32)
+            .map(|i| StructuralId::new(i * 5 + 1, i + 1, (i % 6) + 1))
+            .collect();
+        let flat = encode_ids(&list);
+        let bl = BlockList::from_flat(&flat).unwrap();
+        assert_eq!(bl.len(), list.len());
+        assert_eq!(bl.decode_all(), decode_ids(&flat).unwrap());
+        assert!(BlockList::from_flat(&[0x80]).is_none());
+    }
+
+    #[test]
+    fn block_list_from_chunks_skips_malformed_chunks() {
+        let list: Vec<StructuralId> = (1..=400).map(|i| StructuralId::new(i * 2, i, 3)).collect();
+        let chunks = encode_ids_chunked(&list, 64);
+        let bl = BlockList::from_chunks(chunks.iter().map(Vec::as_slice));
+        assert_eq!(bl.decode_all(), list);
+        // A malformed chunk is dropped; the rest survive (chunks are
+        // self-anchored), mirroring the flat per-chunk decode path.
+        let mut mixed: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+        let junk: &[u8] = &[0x80];
+        mixed.insert(1, junk);
+        let bl = BlockList::from_chunks(mixed);
+        assert_eq!(bl.decode_all(), list);
+    }
+
+    #[test]
+    fn cursor_walk_and_skip() {
+        let list: Vec<StructuralId> = (0..1000u32)
+            .map(|i| StructuralId::new(i * 7 + 3, i + 1, 4))
+            .collect();
+        let bl = BlockList::from_flat(&encode_ids(&list)).unwrap();
+        // Full walk equals the list.
+        let mut cur = bl.cursor();
+        let mut walked = Vec::new();
+        while let Some(id) = cur.peek() {
+            walked.push(id);
+            cur.advance();
+        }
+        assert_eq!(walked, list);
+        // Skips land on the first ID with pre >= target, monotonically.
+        let mut cur = bl.cursor();
+        for target in [0u32, 3, 4, 700, 701, 3500, 6996, 6997, 10_000] {
+            cur.skip_to_pre(target);
+            let expect = list.iter().find(|id| id.pre >= target).copied();
+            assert_eq!(cur.peek(), expect, "target {target}");
+        }
+        cur.reset();
+        assert_eq!(cur.peek(), Some(list[0]));
+        cur.skip_to_end();
+        assert_eq!(cur.peek(), None);
+    }
+
+    /// Seeded property test: adversarial lists round-trip identically
+    /// through the flat codec, the blocked codec, and every [`BlockList`]
+    /// construction path, and cursors agree with a reference scan.
+    #[test]
+    fn block_codec_property_equivalence() {
+        use amada_rng::StdRng;
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(0xB10C + seed);
+            let list = random_adversarial_list(&mut rng);
+            let flat = encode_ids(&list);
+            assert_eq!(decode_ids(&flat).unwrap(), list, "seed {seed}");
+            let blocked = encode_ids_blocked(&list);
+            assert_eq!(decode_ids_blocked(&blocked).unwrap(), list, "seed {seed}");
+            let from_flat = BlockList::from_flat(&flat).unwrap();
+            assert_eq!(from_flat.decode_all(), list, "seed {seed}");
+            assert_eq!(from_flat.len(), list.len(), "seed {seed}");
+            let from_blocked = BlockList::from_blocked(&blocked).unwrap();
+            assert_eq!(from_blocked.decode_all(), list, "seed {seed}");
+            let chunks = encode_ids_chunked(&list, rng.gen_range(15..200usize));
+            let from_chunks = BlockList::from_chunks(chunks.iter().map(Vec::as_slice));
+            assert_eq!(from_chunks.decode_all(), list, "seed {seed}");
+            // Random monotone skip/advance sequence vs a reference scan
+            // over the plain list, on each construction path.
+            for bl in [&from_flat, &from_blocked, &from_chunks] {
+                let mut cur = bl.cursor();
+                let mut ref_pos = 0usize;
+                let mut target = 0u32;
+                for _ in 0..60 {
+                    if rng.gen_bool(0.5) {
+                        target = target.saturating_add(rng.gen_range(0..1200u32));
+                        cur.skip_to_pre(target);
+                        while ref_pos < list.len() && list[ref_pos].pre < target {
+                            ref_pos += 1;
+                        }
+                    } else if ref_pos < list.len() {
+                        cur.advance();
+                        ref_pos += 1;
+                    }
+                    assert_eq!(cur.peek(), list.get(ref_pos).copied(), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    fn random_adversarial_list(rng: &mut amada_rng::StdRng) -> Vec<StructuralId> {
+        let shape = rng.gen_range(0..6u32);
+        let n: usize = match shape {
+            0 => 0,
+            1 => 1,
+            _ => rng.gen_range(2..900usize),
+        };
+        let mut pre = 0u32;
+        let mut list = Vec::with_capacity(n);
+        for _ in 0..n {
+            // dense (delta 1), clustered, or sparse jumps — plus repeated
+            // pre (the same node feeding several query levels is legal).
+            let delta = match shape {
+                2 => 1,
+                3 => rng.gen_range(0..3u32),
+                _ => rng.gen_range(1..50_000u32),
+            };
+            pre = pre.saturating_add(delta.max(if pre == 0 { 1 } else { 0 }));
+            list.push(StructuralId::new(
+                pre,
+                rng.gen_range(0..u32::MAX),
+                rng.gen_range(1..64u32),
+            ));
+        }
+        if shape == 5 && !list.is_empty() {
+            // Pin the tail at the extreme: max-u32 pre.
+            list.last_mut().unwrap().pre = u32::MAX;
+        }
+        list
     }
 }

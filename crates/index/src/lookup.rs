@@ -19,12 +19,13 @@
 //! independently and evaluated independently; the join runs on the tuple
 //! results (Section 5.5).
 
+use crate::codec::{BlockCursor, BlockList};
 use crate::key;
-use crate::store::{decode_id_lists, decode_path_lists, decode_presence_uris};
+use crate::store::{decode_id_postings, decode_path_lists, decode_presence_uris};
 use crate::strategy::{ExtractOptions, Strategy, TABLE_ID, TABLE_MAIN, TABLE_PATH};
 use amada_cloud::{KvError, KvItem, KvStore, SimTime};
-use amada_pattern::twig::{twig_has_match, TwigShape};
-use amada_pattern::{Axis, Predicate, Query, TreePattern};
+use amada_pattern::twig::{twig_streams_have_match, TwigShape};
+use amada_pattern::{Axis, Predicate, Query, TreePattern, TwigStream};
 use amada_xml::{tokenize, StructuralId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -452,24 +453,24 @@ fn lookup_lui(
     }
     let (by_key, ready_at, get_ops) = fetch_keys(store, now, table, &stream_keys)?;
     let profile = store.profile();
-    // Decode each distinct key once, as `lookup_lup` does: a pattern with
-    // repeated labels feeds several twig nodes from the same key, and
-    // re-decoding would double-count `entries_processed`.
-    let mut memo: HashMap<&String, BTreeMap<String, Vec<StructuralId>>> = HashMap::new();
+    // Group each distinct key's wire bytes once, as `lookup_lup` does: a
+    // pattern with repeated labels feeds several twig nodes from the same
+    // key, and regrouping would double-count `entries_processed`. The IDs
+    // stay block-compressed; only the blocks the join lands in are decoded.
+    let mut memo: HashMap<&String, BTreeMap<String, BlockList>> = HashMap::new();
     let mut entries = 0u64;
     for k in &stream_keys {
         if !memo.contains_key(k) {
             let map = by_key
                 .get(k)
-                .map(|items| decode_id_lists(items, &profile))
+                .map(|items| decode_id_postings(items, &profile))
                 .unwrap_or_default();
             entries += map.values().map(|v| v.len() as u64).sum::<u64>();
             memo.insert(k, map);
         }
     }
-    // Per-stream view: stream i reads the decoded map of its key.
-    let decoded: Vec<&BTreeMap<String, Vec<StructuralId>>> =
-        stream_keys.iter().map(|k| &memo[k]).collect();
+    // Per-stream view: stream i reads the postings of its key.
+    let decoded: Vec<&BTreeMap<String, BlockList>> = stream_keys.iter().map(|k| &memo[k]).collect();
     // Candidate URIs: documents contributing IDs to *every* stream,
     // optionally reduced by the 2LUPI semijoin set.
     let mut candidates: Option<BTreeSet<String>> = reduce_to.cloned();
@@ -481,26 +482,27 @@ fn lookup_lui(
         });
     }
     let candidates = candidates.unwrap_or_default();
-    // Per candidate document, run the holistic twig join on its streams.
+    // Per candidate document, run the holistic twig join on lazy cursors
+    // over its posting lists.
     let root_is_anchored = pattern.nodes[0].axis == Axis::Child;
     let mut uris = Vec::new();
     for uri in candidates {
-        let mut streams: Vec<Vec<(StructuralId, ())>> = Vec::with_capacity(stream_keys.len());
+        let mut streams: Vec<LuiStream<'_>> = Vec::with_capacity(stream_keys.len());
         let mut ok = true;
-        for map in &decoded {
-            let Some(ids) = map.get(&uri) else {
+        for (i, map) in decoded.iter().enumerate() {
+            let Some(list) = map.get(&uri) else {
                 ok = false;
                 break;
             };
-            streams.push(ids.iter().map(|&sid| (sid, ())).collect());
+            streams.push(LuiStream {
+                cur: list.cursor(),
+                depth1_only: root_is_anchored && i == 0,
+            });
         }
         if !ok {
             continue;
         }
-        if root_is_anchored {
-            streams[0].retain(|(sid, _)| sid.depth == 1);
-        }
-        if twig_has_match(&shape, &streams) {
+        if twig_streams_have_match(&shape, &mut streams) {
             uris.push(uri);
         }
     }
@@ -512,10 +514,59 @@ fn lookup_lui(
     })
 }
 
+/// [`TwigStream`] over a lazy block cursor, optionally restricted to
+/// depth-1 IDs — the anchored-root case (`/label`), where the old path
+/// materialized the list and `retain`ed document roots.
+struct LuiStream<'a> {
+    cur: BlockCursor<'a>,
+    depth1_only: bool,
+}
+
+impl LuiStream<'_> {
+    /// Re-establishes the depth-1 invariant after any repositioning.
+    fn settle(&mut self) {
+        if self.depth1_only {
+            while let Some(id) = self.cur.peek() {
+                if id.depth == 1 {
+                    break;
+                }
+                self.cur.advance();
+            }
+        }
+    }
+}
+
+impl TwigStream<()> for LuiStream<'_> {
+    #[inline]
+    fn peek(&self) -> Option<(StructuralId, ())> {
+        self.cur.peek().map(|id| (id, ()))
+    }
+
+    fn advance(&mut self) {
+        self.cur.advance();
+        self.settle();
+    }
+
+    fn skip_to_pre(&mut self, min_pre: u32) {
+        self.cur.skip_to_pre(min_pre);
+        self.settle();
+    }
+
+    fn skip_to_end(&mut self) {
+        self.cur.skip_to_end();
+    }
+
+    fn reset(&mut self) {
+        self.cur.reset();
+        self.settle();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::loadutil::index_documents;
+    use crate::store::decode_id_lists;
     use amada_cloud::{DynamoDb, KvStore};
     use amada_pattern::parse_pattern;
     use amada_xml::Document;

@@ -19,7 +19,9 @@
 //! Chunk order is preserved by prefixing range keys with a zero-padded
 //! sequence number, so a plain `get` returns chunks in order per document.
 
-use crate::codec::{base64_decode, base64_encode, decode_ids, encode_ids, encode_ids_chunked};
+use crate::codec::{
+    base64_decode, base64_encode, decode_ids, encode_ids, encode_ids_chunked, BlockList,
+};
 use crate::strategy::{IndexEntry, Payload};
 use amada_cloud::{KvItem, KvProfile, KvValue};
 use amada_xml::StructuralId;
@@ -274,6 +276,32 @@ pub fn decode_id_lists(
                 decode_ids(&reassemble_blob(&chunks)).unwrap_or_default()
             };
             (uri, ids)
+        })
+        .collect()
+}
+
+/// Decodes LUI items into per-URI block-structured postings.
+///
+/// Same grouping and per-chunk tolerance as [`decode_id_lists`] (a
+/// malformed binary chunk is dropped, a malformed string blob yields an
+/// empty list), but the IDs stay in their wire bytes behind
+/// [`BlockList`] skip metadata: the twig join decodes only the blocks it
+/// lands in.
+pub fn decode_id_postings(items: &[KvItem], profile: &KvProfile) -> BTreeMap<String, BlockList> {
+    group_by_uri(items)
+        .into_iter()
+        .map(|(uri, chunks)| {
+            let list = if profile.supports_binary {
+                BlockList::from_chunks(chunks.iter().flat_map(|(_, vs)| vs.iter()).filter_map(
+                    |v| match v {
+                        KvValue::B(b) => Some(b.as_slice()),
+                        KvValue::S(_) => None,
+                    },
+                ))
+            } else {
+                BlockList::from_flat(&reassemble_blob(&chunks)).unwrap_or_default()
+            };
+            (uri, list)
         })
         .collect()
 }

@@ -13,7 +13,7 @@
 //! name key and their value key (Section 5).
 
 use crate::key;
-use amada_xml::{tokenize, Document, NodeKind, StructuralId};
+use amada_xml::{for_each_word, Document, NodeKind, StructuralId};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -184,8 +184,8 @@ fn collect(doc: &Document, opts: ExtractOptions) -> BTreeMap<String, KeyAcc> {
                     continue;
                 }
                 let sid = doc.sid(n);
-                for word in tokenize(doc.value(n).unwrap_or_default()) {
-                    let wk = key::word_key(&word);
+                for_each_word(doc.value(n).unwrap_or_default(), |word| {
+                    let wk = key::word_key(word);
                     let e = acc.entry(wk.clone()).or_default();
                     e.paths.insert(format!("{parent_path}/{wk}"), ());
                     // The same word may occur twice in one text node; the
@@ -193,7 +193,7 @@ fn collect(doc: &Document, opts: ExtractOptions) -> BTreeMap<String, KeyAcc> {
                     if e.ids.last() != Some(&sid) {
                         e.ids.push(sid);
                     }
-                }
+                });
             }
         }
     }

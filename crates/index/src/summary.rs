@@ -28,7 +28,7 @@ use crate::key;
 use crate::lookup::{query_paths, QueryPath};
 use crate::strategy::ExtractOptions;
 use amada_pattern::{Axis, TreePattern};
-use amada_xml::{tokenize, Document, NodeKind};
+use amada_xml::{for_each_word, Document, NodeKind};
 use std::collections::{HashMap, HashSet};
 
 /// One node of the path trie.
@@ -114,11 +114,15 @@ impl PathSummary {
                 }
                 NodeKind::Text => {
                     trie_of[n.index()] = parent_trie;
-                    for w in tokenize(doc.value(n).unwrap_or_default()) {
-                        if seen_words.insert(w.clone()) {
-                            *self.word_docs.entry(w).or_default() += 1;
+                    let word_docs = &mut self.word_docs;
+                    for_each_word(doc.value(n).unwrap_or_default(), |w| {
+                        // Allocate only for first sightings; repeats hit
+                        // the `contains` check with a borrowed word.
+                        if !seen_words.contains(w) {
+                            seen_words.insert(w.to_string());
+                            *word_docs.entry(w.to_string()).or_default() += 1;
                         }
-                    }
+                    });
                 }
             }
         }

@@ -11,6 +11,8 @@
 //!   tuple materialization (`val` = string value, `cont` = subtree);
 //! * [`structural`] — binary structural joins (Al-Khalifa et al., the
 //!   paper's \[3\]) on sorted ID streams;
+//! * [`stream`] — skippable sorted-stream inputs ([`TwigStream`]) the join
+//!   gallops over (exponential probe + binary search);
 //! * [`twig`] — the holistic twig join over *(pre, post, depth)* streams
 //!   (PathStack + path-solution merging), generic over stream payloads so
 //!   the index look-up layer can run it on bare ID lists;
@@ -36,6 +38,7 @@
 pub mod ast;
 pub mod eval;
 pub mod parser;
+pub mod stream;
 pub mod structural;
 pub mod twig;
 pub mod valuejoin;
@@ -44,8 +47,13 @@ pub mod xquery;
 pub use ast::{Axis, Bound, NodeTest, Output, PatternNode, Predicate, Query, TreePattern};
 pub use eval::{naive_matches, EvalStats, Tuple};
 pub use parser::{parse_pattern, parse_query, ParseError};
+pub use stream::{SliceStream, TwigStream};
 pub use structural::{semijoin_descendants, structural_join};
-pub use twig::{evaluate_pattern_twig, holistic_twig_join, twig_has_match, TwigShape};
+pub use twig::{
+    evaluate_pattern_twig, holistic_twig_join, holistic_twig_join_linear,
+    holistic_twig_join_streams, twig_has_match, twig_has_match_linear, twig_streams_have_match,
+    TwigShape,
+};
 pub use valuejoin::{join_pattern_results, JoinedTuple};
 pub use xquery::parse_xquery;
 

@@ -1,0 +1,151 @@
+//! Skippable input streams for the holistic twig join.
+//!
+//! The PathStack join consumes, per query node, a stream of structural IDs
+//! sorted by `pre`. The original formulation advances each stream one
+//! element at a time; [`TwigStream`] generalizes the interface with a
+//! `skip_to_pre` operation so the join can *gallop* — skip runs of
+//! elements (or, with block-structured postings, whole undecoded blocks)
+//! that provably cannot take part in any solution.
+//!
+//! Implementations in this crate and downstream:
+//!
+//! * [`SliceStream`] — over an in-memory sorted slice, with
+//!   exponential-probe + binary-search skipping;
+//! * `amada_index::codec::BlockCursor` — over block-compressed postings,
+//!   skipping whole blocks via their `max_pre` headers.
+
+use amada_xml::StructuralId;
+
+/// A forward-only stream of `(StructuralId, payload)` pairs sorted by
+/// `pre`, with efficient forward skipping.
+///
+/// Contract: after `skip_to_pre(p)`, the head (if any) is the first
+/// element of the stream with `pre >= p` that the cursor had not already
+/// passed; skipping never moves backwards. `reset` rewinds to the first
+/// element (the join runs once per root-to-leaf path over the same
+/// streams).
+pub trait TwigStream<T: Copy> {
+    /// The element under the cursor, or `None` when exhausted.
+    fn peek(&self) -> Option<(StructuralId, T)>;
+    /// Moves past the current element.
+    fn advance(&mut self);
+    /// Positions the cursor at the first remaining element with
+    /// `pre >= min_pre`.
+    fn skip_to_pre(&mut self, min_pre: u32);
+    /// Exhausts the stream.
+    fn skip_to_end(&mut self);
+    /// Rewinds to the first element.
+    fn reset(&mut self);
+}
+
+/// [`TwigStream`] over a `pre`-sorted slice, skipping with an exponential
+/// probe followed by a binary search of the bracketed range — `O(log d)`
+/// for a skip of distance `d`, so short hops near the cursor stay cheap.
+#[derive(Debug)]
+pub struct SliceStream<'a, T> {
+    items: &'a [(StructuralId, T)],
+    pos: usize,
+}
+
+impl<'a, T: Copy> SliceStream<'a, T> {
+    /// A stream positioned at the first element of `items`.
+    pub fn new(items: &'a [(StructuralId, T)]) -> Self {
+        SliceStream { items, pos: 0 }
+    }
+}
+
+impl<T: Copy> TwigStream<T> for SliceStream<'_, T> {
+    #[inline]
+    fn peek(&self) -> Option<(StructuralId, T)> {
+        self.items.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn skip_to_pre(&mut self, min_pre: u32) {
+        let rest = &self.items[self.pos.min(self.items.len())..];
+        match rest.first() {
+            None => return,
+            Some((sid, _)) if sid.pre >= min_pre => return,
+            Some(_) => {}
+        }
+        // Gallop: double the probe until it lands at or past the target,
+        // then binary-search the bracketed half-open range.
+        let mut probe = 1usize;
+        while probe < rest.len() && rest[probe].0.pre < min_pre {
+            probe *= 2;
+        }
+        let lo = probe / 2;
+        let hi = probe.min(rest.len());
+        let off = lo + rest[lo..hi].partition_point(|(sid, _)| sid.pre < min_pre);
+        self.pos += off;
+    }
+
+    fn skip_to_end(&mut self) {
+        self.pos = self.items.len();
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(pres: &[u32]) -> Vec<(StructuralId, ())> {
+        pres.iter()
+            .map(|&p| (StructuralId::new(p, p, 1), ()))
+            .collect()
+    }
+
+    #[test]
+    fn skip_lands_on_first_ge() {
+        let items = stream(&[1, 3, 5, 8, 13, 21, 34, 55]);
+        for target in 0..60 {
+            let mut s = SliceStream::new(&items);
+            s.skip_to_pre(target);
+            let expect = items.iter().find(|(sid, _)| sid.pre >= target).copied();
+            assert_eq!(s.peek(), expect, "target {target}");
+        }
+    }
+
+    #[test]
+    fn skip_never_moves_backwards() {
+        let items = stream(&[2, 4, 6, 8, 10]);
+        let mut s = SliceStream::new(&items);
+        s.skip_to_pre(7);
+        assert_eq!(s.peek().unwrap().0.pre, 8);
+        s.skip_to_pre(3); // earlier target: no-op
+        assert_eq!(s.peek().unwrap().0.pre, 8);
+    }
+
+    #[test]
+    fn skip_past_end_exhausts() {
+        let items = stream(&[1, 2, 3]);
+        let mut s = SliceStream::new(&items);
+        s.skip_to_pre(100);
+        assert_eq!(s.peek(), None);
+        s.reset();
+        assert_eq!(s.peek().unwrap().0.pre, 1);
+        s.skip_to_end();
+        assert_eq!(s.peek(), None);
+    }
+
+    #[test]
+    fn skip_handles_duplicate_pres() {
+        // The same document node can feed several query levels.
+        let items = stream(&[1, 5, 5, 5, 9]);
+        let mut s = SliceStream::new(&items);
+        s.skip_to_pre(5);
+        assert_eq!(s.peek().unwrap().0.pre, 5);
+        s.advance();
+        assert_eq!(s.peek().unwrap().0.pre, 5);
+        s.skip_to_pre(6);
+        assert_eq!(s.peek().unwrap().0.pre, 9);
+    }
+}

@@ -23,6 +23,7 @@
 
 use crate::ast::{Axis, TreePattern};
 use crate::eval::{candidates, materialize, EvalStats, Tuple};
+use crate::stream::{SliceStream, TwigStream};
 use amada_xml::{Document, NodeId, StructuralId};
 use std::collections::HashMap;
 
@@ -89,7 +90,7 @@ pub type Assignment<T> = Vec<(StructuralId, T)>;
 /// A partial assignment: `None` for query nodes not yet covered.
 type Sparse<T> = Vec<Option<(StructuralId, T)>>;
 
-/// Runs the holistic twig join.
+/// Runs the holistic twig join with galloping stream advance.
 ///
 /// `streams[i]` is the candidate stream for query node `i`, sorted by `pre`
 /// (document order). Returns every distinct assignment of query nodes to
@@ -98,29 +99,68 @@ pub fn holistic_twig_join<T: Copy>(
     shape: &TwigShape,
     streams: &[Vec<(StructuralId, T)>],
 ) -> Vec<Assignment<T>> {
-    join_inner(shape, streams, false)
+    let mut s: Vec<SliceStream<'_, T>> = streams.iter().map(|v| SliceStream::new(v)).collect();
+    join_streams_inner(shape, &mut s, false)
 }
 
 /// Like [`holistic_twig_join`] but stops as soon as one match is found.
 /// Used for index-side document selection, where only existence matters.
 pub fn twig_has_match<T: Copy>(shape: &TwigShape, streams: &[Vec<(StructuralId, T)>]) -> bool {
-    !join_inner(shape, streams, true).is_empty()
+    let mut s: Vec<SliceStream<'_, T>> = streams.iter().map(|v| SliceStream::new(v)).collect();
+    !join_streams_inner(shape, &mut s, true).is_empty()
 }
 
-fn join_inner<T: Copy>(
+/// [`holistic_twig_join`] over arbitrary [`TwigStream`]s — e.g. lazy block
+/// cursors that decode postings on demand.
+pub fn holistic_twig_join_streams<T: Copy, S: TwigStream<T>>(
+    shape: &TwigShape,
+    streams: &mut [S],
+) -> Vec<Assignment<T>> {
+    join_streams_inner(shape, streams, false)
+}
+
+/// Existence check over arbitrary [`TwigStream`]s.
+pub fn twig_streams_have_match<T: Copy, S: TwigStream<T>>(
+    shape: &TwigShape,
+    streams: &mut [S],
+) -> bool {
+    !join_streams_inner(shape, streams, true).is_empty()
+}
+
+/// The original element-at-a-time join, kept as the reference
+/// implementation for equivalence tests and before/after benchmarks.
+pub fn holistic_twig_join_linear<T: Copy>(
     shape: &TwigShape,
     streams: &[Vec<(StructuralId, T)>],
+) -> Vec<Assignment<T>> {
+    join_inner_linear(shape, streams, false)
+}
+
+/// Existence check via the element-at-a-time reference join.
+pub fn twig_has_match_linear<T: Copy>(
+    shape: &TwigShape,
+    streams: &[Vec<(StructuralId, T)>],
+) -> bool {
+    !join_inner_linear(shape, streams, true).is_empty()
+}
+
+fn join_streams_inner<T: Copy, S: TwigStream<T>>(
+    shape: &TwigShape,
+    streams: &mut [S],
     early_exit: bool,
 ) -> Vec<Assignment<T>> {
     assert_eq!(shape.len(), streams.len(), "one stream per query node");
     // Empty stream on any node: no solutions.
-    if streams.iter().any(Vec::is_empty) {
+    for s in streams.iter_mut() {
+        s.reset();
+    }
+    if streams.iter().any(|s| s.peek().is_none()) {
         return Vec::new();
     }
     let paths = shape.paths();
     let mut acc: Option<Vec<Sparse<T>>> = None;
     for path in &paths {
-        let sols = path_stack(shape, streams, path);
+        let sols = path_stack_streams(shape, streams, path);
         if sols.is_empty() {
             return Vec::new();
         }
@@ -161,9 +201,161 @@ fn join_inner<T: Copy>(
     out
 }
 
-/// PathStack over one root-to-leaf path. Returns solutions aligned with
-/// `path` (root first).
-fn path_stack<T: Copy>(
+/// PathStack over one root-to-leaf path with galloping stream advance.
+/// Returns solutions aligned with `path` (root first).
+///
+/// Produces exactly the solutions of the element-at-a-time variant, in the
+/// same order: skipping only drops elements that can never appear in a
+/// chain, and while stacks may retain entries the reference run would have
+/// popped, solution expansion applies exact structural checks, and a
+/// retained entry that would have been popped at a skipped element can
+/// never be an ancestor of anything arriving after it.
+fn path_stack_streams<T: Copy, S: TwigStream<T>>(
+    shape: &TwigShape,
+    streams: &mut [S],
+    path: &[usize],
+) -> Vec<Vec<(StructuralId, T)>> {
+    let k = path.len();
+    for &q in path {
+        streams[q].reset();
+    }
+    // Per path-level stacks: (sid, payload, pointer-to-top-of-parent-stack).
+    let mut stacks: Vec<Vec<(StructuralId, T, isize)>> = vec![Vec::new(); k];
+    let mut solutions = Vec::new();
+
+    loop {
+        // Galloping skips: while a level's parent stack is empty, nothing
+        // can be pushed at this level before the parent stream's head is,
+        // and any future parent-level element has `pre >=` that head's
+        // `pre` while an ancestor needs strictly smaller `pre` — so every
+        // element at this level with `pre <=` the head's can never gain an
+        // ancestor and is skipped (whole blocks at a time for block
+        // cursors). An exhausted parent stream with an empty parent stack
+        // kills the level outright; iterating root-to-leaf propagates
+        // death down the path in one pass.
+        for level in 1..k {
+            if !stacks[level - 1].is_empty() {
+                continue;
+            }
+            match streams[path[level - 1]].peek() {
+                None => streams[path[level]].skip_to_end(),
+                Some((psid, _)) => match psid.pre.checked_add(1) {
+                    Some(p) => streams[path[level]].skip_to_pre(p),
+                    None => streams[path[level]].skip_to_end(),
+                },
+            }
+        }
+
+        // qmin: the path level whose stream's next element has minimal pre.
+        let mut qmin: Option<(usize, StructuralId, T)> = None;
+        for (level, &q) in path.iter().enumerate() {
+            if let Some((sid, payload)) = streams[q].peek() {
+                // Ties (same document node feeding several query nodes) go
+                // to the level closest to the root, so ancestors are pushed
+                // before their descendants arrive.
+                if qmin.is_none_or(|(_, m, _)| sid.pre < m.pre) {
+                    qmin = Some((level, sid, payload));
+                }
+            }
+        }
+        let Some((level, next, payload)) = qmin else {
+            break;
+        };
+        streams[path[level]].advance();
+
+        // Pop, from every stack, elements that end before the incoming
+        // element starts (disjoint predecessors — they can never be
+        // ancestors of it or of anything arriving later). Elements equal to
+        // `next` (the same document node feeding another query level) must
+        // stay: `precedes` is false for them.
+        for st in stacks.iter_mut() {
+            while st.last().is_some_and(|(sid, _, _)| sid.precedes(&next)) {
+                st.pop();
+            }
+        }
+
+        // Push only when the parent chain is alive.
+        if level == 0 || !stacks[level - 1].is_empty() {
+            let ptr = if level == 0 {
+                -1
+            } else {
+                stacks[level - 1].len() as isize - 1
+            };
+            if level == k - 1 {
+                // Leaf: expand solutions immediately; no need to push.
+                expand(
+                    shape,
+                    path,
+                    &stacks,
+                    (next, payload, ptr),
+                    level,
+                    &mut solutions,
+                );
+            } else {
+                stacks[level].push((next, payload, ptr));
+            }
+        }
+    }
+    solutions
+}
+
+fn join_inner_linear<T: Copy>(
+    shape: &TwigShape,
+    streams: &[Vec<(StructuralId, T)>],
+    early_exit: bool,
+) -> Vec<Assignment<T>> {
+    assert_eq!(shape.len(), streams.len(), "one stream per query node");
+    // Empty stream on any node: no solutions.
+    if streams.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let paths = shape.paths();
+    let mut acc: Option<Vec<Sparse<T>>> = None;
+    for path in &paths {
+        let sols = path_stack_linear(shape, streams, path);
+        if sols.is_empty() {
+            return Vec::new();
+        }
+        // Convert path solutions into sparse assignments.
+        let sparse: Vec<Sparse<T>> = sols
+            .into_iter()
+            .map(|sol| {
+                let mut a = vec![None; shape.len()];
+                for (k, &qi) in path.iter().enumerate() {
+                    a[qi] = Some(sol[k]);
+                }
+                a
+            })
+            .collect();
+        acc = Some(match acc {
+            None => sparse,
+            Some(prev) => merge_assignments(shape.len(), prev, sparse),
+        });
+        if acc.as_ref().is_some_and(Vec::is_empty) {
+            return Vec::new();
+        }
+        if early_exit && paths.len() == 1 {
+            break;
+        }
+    }
+    let mut out: Vec<Assignment<T>> = acc
+        .unwrap_or_default()
+        .into_iter()
+        .map(|a| {
+            a.into_iter()
+                .map(|x| x.expect("all nodes assigned"))
+                .collect()
+        })
+        .collect();
+    if early_exit {
+        out.truncate(1);
+    }
+    out
+}
+
+/// Element-at-a-time PathStack over one root-to-leaf path. Returns
+/// solutions aligned with `path` (root first).
+fn path_stack_linear<T: Copy>(
     shape: &TwigShape,
     streams: &[Vec<(StructuralId, T)>],
     path: &[usize],

@@ -7,9 +7,12 @@
 
 use amada_pattern::ast::{Axis, NodeTest, Output, PatternNode, Predicate, TreePattern};
 use amada_pattern::eval::naive_matches;
-use amada_pattern::twig::evaluate_pattern_twig;
+use amada_pattern::twig::{
+    evaluate_pattern_twig, holistic_twig_join, holistic_twig_join_linear, twig_has_match,
+    twig_has_match_linear, TwigShape,
+};
 use amada_rng::StdRng;
-use amada_xml::Document;
+use amada_xml::{Document, StructuralId};
 use std::collections::HashSet;
 
 const LABELS: &[&str] = &["a", "b", "c", "d"];
@@ -98,6 +101,75 @@ fn gen_pattern(rng: &mut StdRng) -> TreePattern {
         {
             return pattern;
         }
+    }
+}
+
+/// Random twig shape: a rooted tree of up to 5 nodes with random axes.
+fn gen_shape(rng: &mut StdRng) -> TwigShape {
+    let n = rng.gen_range(1..6usize);
+    let mut shape = TwigShape {
+        parent: vec![None],
+        axis: vec![Axis::Descendant],
+        children: vec![Vec::new()],
+    };
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        shape.parent.push(Some(p));
+        shape.axis.push(if rng.gen_bool(0.5) {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        });
+        shape.children.push(Vec::new());
+        shape.children[p].push(i);
+    }
+    shape
+}
+
+/// Per-node candidate streams drawn from a real document's label postings
+/// (genuine ancestor structure, so matches exist), occasionally replaced
+/// by an empty or synthetic sparse stream to hit the exhaustion paths.
+fn gen_streams(rng: &mut StdRng, doc: &Document, n: usize) -> Vec<Vec<(StructuralId, u32)>> {
+    (0..n)
+        .map(|i| {
+            if rng.gen_bool(0.1) {
+                return Vec::new();
+            }
+            doc.elements_named(rng.choose(LABELS))
+                .iter()
+                .map(|&node| (doc.sid(node), i as u32))
+                .collect()
+        })
+        .collect()
+}
+
+/// The galloping join must return exactly what the element-at-a-time
+/// linear reference join returns — same assignments, same order — and
+/// the early-exit existence checks must agree with both.
+#[test]
+fn galloping_equals_linear() {
+    for case in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(0x6a11_0000 + case);
+        let xml = gen_doc(&mut rng);
+        let doc = Document::parse_str("prop.xml", &xml).unwrap();
+        let shape = gen_shape(&mut rng);
+        let streams = gen_streams(&mut rng, &doc, shape.len());
+        let linear = holistic_twig_join_linear(&shape, &streams);
+        let gallop = holistic_twig_join(&shape, &streams);
+        assert_eq!(
+            linear, gallop,
+            "case {case}: shape {shape:?} streams {streams:?} on {xml}"
+        );
+        assert_eq!(
+            twig_has_match_linear(&shape, &streams),
+            !linear.is_empty(),
+            "case {case}"
+        );
+        assert_eq!(
+            twig_has_match(&shape, &streams),
+            !linear.is_empty(),
+            "case {case}"
+        );
     }
 }
 

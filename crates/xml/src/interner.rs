@@ -3,18 +3,54 @@
 //! XML corpora repeat a small vocabulary of tag names across millions of
 //! nodes, so nodes store a 4-byte [`Sym`] instead of an owned string. Label
 //! comparison during pattern matching is then a single integer compare.
+//!
+//! The map is keyed on raw bytes with an FNV-1a hasher: the parser interns
+//! names straight from the input buffer, so the per-tag hot path is one
+//! short-string hash and one probe — no owned-`String` allocation and no
+//! UTF-8 validation for names already seen (validation runs once, when a
+//! *new* name enters the table).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// An interned name. Only meaningful together with the [`Interner`]
 /// (in practice: the [`crate::Document`]) that produced it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Sym(pub u32);
 
+/// FNV-1a (64-bit). Names are short — a handful of bytes — where FNV beats
+/// the default SipHash by a wide margin; interning is per-document
+/// vocabulary, not an attacker-controlled collision surface.
+#[derive(Debug, Clone)]
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
 /// A simple append-only string interner.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    map: HashMap<Box<str>, Sym>,
+    map: HashMap<Box<[u8]>, Sym, BuildHasherDefault<Fnv>>,
     names: Vec<Box<str>>,
 }
 
@@ -26,18 +62,27 @@ impl Interner {
 
     /// Interns `name`, returning its symbol (existing or fresh).
     pub fn intern(&mut self, name: &str) -> Sym {
+        self.intern_bytes(name.as_bytes())
+            .expect("&str input is valid UTF-8")
+    }
+
+    /// Interns a raw byte slice, returning `None` when the bytes are a
+    /// *new* name that is not valid UTF-8. Known names are matched on
+    /// bytes alone — no validation, no allocation.
+    pub fn intern_bytes(&mut self, name: &[u8]) -> Option<Sym> {
         if let Some(&sym) = self.map.get(name) {
-            return sym;
+            return Some(sym);
         }
+        let checked = std::str::from_utf8(name).ok()?;
         let sym = Sym(self.names.len() as u32);
-        self.names.push(name.into());
+        self.names.push(checked.into());
         self.map.insert(name.into(), sym);
-        sym
+        Some(sym)
     }
 
     /// Looks up the symbol for `name` without interning it.
     pub fn lookup(&self, name: &str) -> Option<Sym> {
-        self.map.get(name).copied()
+        self.map.get(name.as_bytes()).copied()
     }
 
     /// Resolves a symbol back to its string.
@@ -98,5 +143,16 @@ mod tests {
         i.intern("b");
         let names: Vec<&str> = i.iter().map(|(_, n)| n).collect();
         assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn intern_bytes_validates_only_new_names() {
+        let mut i = Interner::new();
+        let a = i.intern_bytes("musée".as_bytes()).unwrap();
+        assert_eq!(i.resolve(a), "musée");
+        assert_eq!(i.intern_bytes("musée".as_bytes()), Some(a));
+        // A new name must be valid UTF-8.
+        assert_eq!(i.intern_bytes(&[0xff, 0xfe]), None);
+        assert_eq!(i.len(), 1);
     }
 }

@@ -43,7 +43,7 @@ pub use interner::{Interner, Sym};
 pub use node::{NodeData, NodeId, NodeKind};
 pub use sid::StructuralId;
 pub use tree::Document;
-pub use words::tokenize;
+pub use words::{contains_word, for_each_word, tokenize};
 
 // Parsed documents are shared across host threads (the warehouse's
 // parallel cache-prewarm stage); keep that guaranteed at compile time.

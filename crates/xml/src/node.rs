@@ -2,7 +2,6 @@
 
 use crate::interner::Sym;
 use crate::sid::StructuralId;
-use std::sync::Arc;
 
 /// Index of a node inside its [`crate::Document`]'s arena.
 ///
@@ -38,6 +37,15 @@ pub enum NodeKind {
     Text,
 }
 
+/// Byte range of an attribute value or text content within its
+/// [`crate::Document`]'s shared text arena. Only meaningful together with
+/// the arena it indexes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TextSpan {
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+}
+
 /// One node of a parsed document.
 #[derive(Debug, Clone)]
 pub struct NodeData {
@@ -46,8 +54,9 @@ pub struct NodeData {
     /// Interned name for elements and attributes; unused (`Sym(u32::MAX)`
     /// never handed out by the interner) for text nodes.
     pub(crate) sym: Option<Sym>,
-    /// Attribute value or text content.
-    pub(crate) value: Option<Arc<str>>,
+    /// Attribute value or text content, as a span into the document's
+    /// text arena (one allocation per document, not per node).
+    pub(crate) value: Option<TextSpan>,
     pub(crate) parent: u32,
     pub(crate) first_child: u32,
     pub(crate) next_sibling: u32,

@@ -13,9 +13,8 @@
 //! numbering.
 
 use crate::error::{XmlError, XmlErrorKind};
-use crate::interner::Interner;
-use crate::node::{NodeData, NodeId, NodeKind};
-use std::sync::Arc;
+use crate::interner::{Interner, Sym};
+use crate::node::{NodeData, NodeId, NodeKind, TextSpan};
 
 /// Internal parser state.
 pub(crate) struct Parser<'a> {
@@ -23,6 +22,9 @@ pub(crate) struct Parser<'a> {
     pos: usize,
     nodes: Vec<NodeData>,
     interner: Interner,
+    /// Text arena: attribute values and text content accumulate here, one
+    /// allocation per document; nodes hold [`TextSpan`]s into it.
+    text: String,
     /// Stack of open element arena indices.
     stack: Vec<usize>,
     /// Last child pushed for each open element (for sibling linking),
@@ -39,6 +41,7 @@ impl<'a> Parser<'a> {
             pos: 0,
             nodes: Vec::new(),
             interner: Interner::new(),
+            text: String::new(),
             stack: Vec::new(),
             last_child: Vec::new(),
             post_counter: 0,
@@ -46,7 +49,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    pub(crate) fn parse(mut self) -> Result<(Vec<NodeData>, Interner), XmlError> {
+    pub(crate) fn parse(mut self) -> Result<(Vec<NodeData>, Interner, String), XmlError> {
         self.skip_bom();
         loop {
             self.skip_misc_or_text()?;
@@ -70,7 +73,7 @@ impl<'a> Parser<'a> {
         if !self.root_seen {
             return Err(self.err(XmlErrorKind::NoRootElement));
         }
-        Ok((self.nodes, self.interner))
+        Ok((self.nodes, self.interner, self.text))
     }
 
     // ---- low-level helpers -------------------------------------------------
@@ -107,11 +110,12 @@ impl<'a> Parser<'a> {
         }
     }
 
-    /// Consumes text content up to the next `<`, decoding entities, and
-    /// emits a text node if the content is not all-whitespace. Returns at
-    /// EOF or at a `<`.
+    /// Consumes text content up to the next `<`, decoding entities into
+    /// the text arena, and emits a text node if the content is not
+    /// all-whitespace (otherwise the arena is rolled back). Returns at EOF
+    /// or at a `<`.
     fn skip_misc_or_text(&mut self) -> Result<(), XmlError> {
-        let mut buf = String::new();
+        let arena_start = self.text.len();
         let mut any_non_ws = false;
         loop {
             match self.peek() {
@@ -121,7 +125,7 @@ impl<'a> Parser<'a> {
                     if !c.is_whitespace() {
                         any_non_ws = true;
                     }
-                    buf.push(c);
+                    self.text.push(c);
                 }
                 Some(_) => {
                     let start = self.pos;
@@ -133,7 +137,7 @@ impl<'a> Parser<'a> {
                     }
                     let s = std::str::from_utf8(&self.input[start..self.pos])
                         .map_err(|_| self.err(XmlErrorKind::InvalidUtf8))?;
-                    buf.push_str(s);
+                    self.text.push_str(s);
                 }
             }
         }
@@ -141,9 +145,21 @@ impl<'a> Parser<'a> {
             if self.stack.is_empty() {
                 return Err(self.err(XmlErrorKind::NoRootElement));
             }
-            self.push_leaf(NodeKind::Text, None, Some(buf.into()));
+            let span = self.arena_span(arena_start);
+            self.push_leaf(NodeKind::Text, None, Some(span));
+        } else {
+            // Whitespace-only (or empty) run: drop it from the arena.
+            self.text.truncate(arena_start);
         }
         Ok(())
+    }
+
+    /// The span of arena text appended since `start`.
+    fn arena_span(&self, start: usize) -> TextSpan {
+        TextSpan {
+            start: start as u32,
+            len: (self.text.len() - start) as u32,
+        }
     }
 
     fn parse_entity(&mut self) -> Result<char, XmlError> {
@@ -186,7 +202,10 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_name(&mut self) -> Result<&'a str, XmlError> {
+    /// Consumes a name, returning its raw bytes. UTF-8 validation is
+    /// deferred to [`Self::intern_name`], which only validates names not
+    /// already in the interner.
+    fn parse_name_bytes(&mut self) -> Result<&'a [u8], XmlError> {
         let start = self.pos;
         match self.peek() {
             Some(b) if is_name_start(b) => self.pos += 1,
@@ -195,8 +214,15 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b) if is_name_char(b)) {
             self.pos += 1;
         }
-        std::str::from_utf8(&self.input[start..self.pos])
-            .map_err(|_| self.err(XmlErrorKind::InvalidUtf8))
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// Interns a name taken straight from the input buffer; a *new* name
+    /// that is not valid UTF-8 is rejected here.
+    fn intern_name(&mut self, name: &[u8]) -> Result<Sym, XmlError> {
+        self.interner
+            .intern_bytes(name)
+            .ok_or_else(|| self.err(XmlErrorKind::InvalidUtf8))
     }
 
     // ---- markup ------------------------------------------------------------
@@ -244,7 +270,10 @@ impl<'a> Parser<'a> {
                     .map_err(|_| self.err(XmlErrorKind::InvalidUtf8))?;
                 self.pos += 3;
                 if !s.trim().is_empty() {
-                    self.push_leaf(NodeKind::Text, None, Some(s.into()));
+                    let arena_start = self.text.len();
+                    self.text.push_str(s);
+                    let span = self.arena_span(arena_start);
+                    self.push_leaf(NodeKind::Text, None, Some(span));
                 }
                 return Ok(());
             }
@@ -276,14 +305,16 @@ impl<'a> Parser<'a> {
 
     fn parse_open_tag(&mut self) -> Result<(), XmlError> {
         self.expect(b'<')?;
-        let name = self.parse_name()?;
+        let name = self.parse_name_bytes()?;
+        // Intern (and so UTF-8-validate) before the multiple-roots check to
+        // keep error precedence identical to the validating parser.
+        let sym = self.intern_name(name)?;
         if self.stack.is_empty() {
             if self.root_seen {
                 return Err(self.err(XmlErrorKind::MultipleRoots));
             }
             self.root_seen = true;
         }
-        let sym = self.interner.intern(name);
         let elem_idx = self.push_node(NodeKind::Element, Some(sym), None);
         self.stack.push(elem_idx);
         self.last_child.push(NodeId::NONE);
@@ -310,7 +341,8 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_attribute(&mut self, elem_idx: usize) -> Result<(), XmlError> {
-        let name = self.parse_name()?;
+        let name = self.parse_name_bytes()?;
+        let sym = self.intern_name(name)?;
         let err_pos = self.pos;
         self.skip_ws();
         self.expect(b'=')?;
@@ -323,14 +355,17 @@ impl<'a> Parser<'a> {
             Some(b) => return Err(self.err(XmlErrorKind::UnexpectedByte(b))),
             None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
         };
-        let mut value = String::new();
+        let arena_start = self.text.len();
         loop {
             match self.peek() {
                 Some(q) if q == quote => {
                     self.pos += 1;
                     break;
                 }
-                Some(b'&') => value.push(self.parse_entity()?),
+                Some(b'&') => {
+                    let c = self.parse_entity()?;
+                    self.text.push(c);
+                }
                 Some(b'<') => return Err(self.err(XmlErrorKind::UnexpectedByte(b'<'))),
                 Some(_) => {
                     let start = self.pos;
@@ -339,45 +374,48 @@ impl<'a> Parser<'a> {
                     {
                         self.pos += 1;
                     }
-                    value.push_str(
-                        std::str::from_utf8(&self.input[start..self.pos])
-                            .map_err(|_| self.err(XmlErrorKind::InvalidUtf8))?,
-                    );
+                    let s = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.err(XmlErrorKind::InvalidUtf8))?;
+                    self.text.push_str(s);
                 }
                 None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
             }
         }
-        let sym = self.interner.intern(name);
         // Duplicate attribute detection: scan existing attribute children.
         let mut c = self.nodes[elem_idx].first_child;
         while c != NodeId::NONE {
             let child = &self.nodes[c as usize];
             if child.kind == NodeKind::Attribute && child.sym == Some(sym) {
                 return Err(XmlError::new(
-                    XmlErrorKind::DuplicateAttribute(name.to_string()),
+                    XmlErrorKind::DuplicateAttribute(String::from_utf8_lossy(name).into_owned()),
                     self.input,
                     err_pos,
                 ));
             }
             c = child.next_sibling;
         }
-        self.push_leaf(NodeKind::Attribute, Some(sym), Some(value.into()));
+        let span = self.arena_span(arena_start);
+        self.push_leaf(NodeKind::Attribute, Some(sym), Some(span));
         Ok(())
     }
 
     fn parse_close_tag(&mut self) -> Result<(), XmlError> {
         self.pos += 2; // "</"
-        let name = self.parse_name()?;
+        let name = self.parse_name_bytes()?;
         self.skip_ws();
         self.expect(b'>')?;
         let Some(&open_idx) = self.stack.last() else {
-            return Err(self.err(XmlErrorKind::UnmatchedClose(name.to_string())));
+            return Err(self.err(XmlErrorKind::UnmatchedClose(
+                String::from_utf8_lossy(name).into_owned(),
+            )));
         };
         let open_sym = self.nodes[open_idx].sym.expect("open elements have names");
-        if self.interner.resolve(open_sym) != name {
+        // Close-tag names are compared as raw bytes against the interned
+        // open name; lossy conversion happens only on the error path.
+        if self.interner.resolve(open_sym).as_bytes() != name {
             return Err(self.err(XmlErrorKind::MismatchedTag {
                 open: self.interner.resolve(open_sym).to_string(),
-                close: name.to_string(),
+                close: String::from_utf8_lossy(name).into_owned(),
             }));
         }
         self.finish_element();
@@ -394,12 +432,7 @@ impl<'a> Parser<'a> {
     // ---- arena construction --------------------------------------------------
 
     /// Pushes a node, linking it under the current open element.
-    fn push_node(
-        &mut self,
-        kind: NodeKind,
-        sym: Option<crate::interner::Sym>,
-        value: Option<Arc<str>>,
-    ) -> usize {
+    fn push_node(&mut self, kind: NodeKind, sym: Option<Sym>, value: Option<TextSpan>) -> usize {
         let idx = self.nodes.len();
         let parent = self.stack.last().copied();
         let depth = parent.map_or(1, |p| self.nodes[p].depth + 1);
@@ -430,12 +463,7 @@ impl<'a> Parser<'a> {
 
     /// Pushes a leaf (attribute or text), which completes immediately and
     /// therefore receives the next postorder rank.
-    fn push_leaf(
-        &mut self,
-        kind: NodeKind,
-        sym: Option<crate::interner::Sym>,
-        value: Option<Arc<str>>,
-    ) {
+    fn push_leaf(&mut self, kind: NodeKind, sym: Option<Sym>, value: Option<TextSpan>) {
         let idx = self.push_node(kind, sym, value);
         self.post_counter += 1;
         self.nodes[idx].post = self.post_counter;

@@ -5,8 +5,6 @@ use crate::interner::{Interner, Sym};
 use crate::node::{NodeData, NodeId, NodeKind};
 use crate::parser::Parser;
 use crate::sid::StructuralId;
-use std::collections::HashMap;
-use std::sync::Arc;
 
 /// A parsed, immutable XML document.
 ///
@@ -19,11 +17,15 @@ pub struct Document {
     uri: String,
     nodes: Vec<NodeData>,
     interner: Interner,
-    /// For each interned name: the nodes bearing it, in document order.
-    /// Element and attribute occurrences are kept in separate maps because
-    /// the index keys distinguish `e‖label` from `a‖name`.
-    element_postings: HashMap<Sym, Vec<NodeId>>,
-    attribute_postings: HashMap<Sym, Vec<NodeId>>,
+    /// Shared text arena: attribute values and text content of all nodes,
+    /// concatenated; nodes carry spans into it (one allocation per
+    /// document instead of one per value).
+    text: String,
+    /// For each interned name (indexed by `Sym`): the nodes bearing it, in
+    /// document order. Element and attribute occurrences are kept separate
+    /// because the index keys distinguish `e‖label` from `a‖name`.
+    element_postings: Vec<Vec<NodeId>>,
+    attribute_postings: Vec<Vec<NodeId>>,
     /// Size in bytes of the serialized source this document was parsed from.
     source_bytes: usize,
 }
@@ -31,8 +33,14 @@ pub struct Document {
 impl Document {
     /// Parses a document from raw bytes.
     pub fn parse(uri: impl Into<String>, input: &[u8]) -> Result<Document, XmlError> {
-        let (nodes, interner) = Parser::new(input).parse()?;
-        Ok(Self::assemble(uri.into(), nodes, interner, input.len()))
+        let (nodes, interner, text) = Parser::new(input).parse()?;
+        Ok(Self::assemble(
+            uri.into(),
+            nodes,
+            interner,
+            text,
+            input.len(),
+        ))
     }
 
     /// Parses a document from a `&str`.
@@ -44,24 +52,26 @@ impl Document {
         uri: String,
         nodes: Vec<NodeData>,
         interner: Interner,
+        text: String,
         source_bytes: usize,
     ) -> Document {
-        let mut element_postings: HashMap<Sym, Vec<NodeId>> = HashMap::new();
-        let mut attribute_postings: HashMap<Sym, Vec<NodeId>> = HashMap::new();
+        let mut element_postings: Vec<Vec<NodeId>> = vec![Vec::new(); interner.len()];
+        let mut attribute_postings: Vec<Vec<NodeId>> = vec![Vec::new(); interner.len()];
         for (i, n) in nodes.iter().enumerate() {
             if let Some(sym) = n.sym {
-                let map = match n.kind {
+                let postings = match n.kind {
                     NodeKind::Element => &mut element_postings,
                     NodeKind::Attribute => &mut attribute_postings,
                     NodeKind::Text => continue,
                 };
-                map.entry(sym).or_default().push(NodeId(i as u32));
+                postings[sym.0 as usize].push(NodeId(i as u32));
             }
         }
         Document {
             uri,
             nodes,
             interner,
+            text,
             element_postings,
             attribute_postings,
             source_bytes,
@@ -128,12 +138,9 @@ impl Document {
 
     /// Attribute value or text content; `None` for elements.
     pub fn value(&self, id: NodeId) -> Option<&str> {
-        self.data(id).value.as_deref()
-    }
-
-    /// Attribute value or text content as a shared `Arc<str>`.
-    pub fn value_arc(&self, id: NodeId) -> Option<Arc<str>> {
-        self.data(id).value.clone()
+        self.data(id)
+            .value
+            .map(|sp| &self.text[sp.start as usize..(sp.start + sp.len) as usize])
     }
 
     /// The parent node, or `None` for the root.
@@ -196,30 +203,32 @@ impl Document {
     pub fn elements_named(&self, name: &str) -> &[NodeId] {
         self.interner
             .lookup(name)
-            .and_then(|s| self.element_postings.get(&s))
-            .map_or(&[], |v| v.as_slice())
+            .map_or(&[], |s| self.element_postings[s.0 as usize].as_slice())
     }
 
     /// The attribute nodes named `name`, in document order.
     pub fn attributes_named(&self, name: &str) -> &[NodeId] {
         self.interner
             .lookup(name)
-            .and_then(|s| self.attribute_postings.get(&s))
-            .map_or(&[], |v| v.as_slice())
+            .map_or(&[], |s| self.attribute_postings[s.0 as usize].as_slice())
     }
 
     /// Iterates `(name, nodes)` for every distinct element label.
     pub fn element_labels(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
         self.element_postings
             .iter()
-            .map(|(s, v)| (self.interner.resolve(*s), v.as_slice()))
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, v)| (self.interner.resolve(Sym(i as u32)), v.as_slice()))
     }
 
     /// Iterates `(name, nodes)` for every distinct attribute name.
     pub fn attribute_labels(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
         self.attribute_postings
             .iter()
-            .map(|(s, v)| (self.interner.resolve(*s), v.as_slice()))
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, v)| (self.interner.resolve(Sym(i as u32)), v.as_slice()))
     }
 
     /// The *string value* of a node (XQuery data model): for text and

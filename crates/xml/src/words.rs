@@ -5,31 +5,115 @@
 //! case-insensitive, implemented by lowercasing at both index and query
 //! time. `contains(Lion)` on the value `"The Lion Hunt"` therefore matches
 //! the word list `["the", "lion", "hunt"]`.
+//!
+//! The streaming form [`for_each_word`] is the hot path: index extraction
+//! and predicate evaluation visit every text node of every document, so
+//! words are yielded as borrowed `&str` with no per-word (and, for
+//! lowercase-ASCII runs, no per-call) allocation. [`tokenize`] collects
+//! the same stream for callers that need owned words.
+
+/// Calls `f` with each lowercase word of `text`, in order.
+///
+/// Words are maximal alphanumeric runs, lowercased exactly as
+/// [`tokenize`] does (per-`char` `to_lowercase`). Runs that are already
+/// lowercase ASCII are yielded as sub-slices of `text` without copying;
+/// other runs are lowercased into one reused scratch buffer.
+pub fn for_each_word(text: &str, mut f: impl FnMut(&str)) {
+    for_each_word_until(text, &mut |w| {
+        f(w);
+        false
+    });
+}
+
+/// True iff `word` occurs in `text` under word tokenization.
+/// `word` must itself be a single word; it is lowercased internally
+/// (skipped when already lowercase ASCII) and the scan stops at the
+/// first match.
+pub fn contains_word(text: &str, word: &str) -> bool {
+    let lowered;
+    let needle: &str = if word
+        .bytes()
+        .all(|b| b.is_ascii() && !b.is_ascii_uppercase())
+    {
+        word
+    } else {
+        lowered = word.to_lowercase();
+        &lowered
+    };
+    for_each_word_until(text, &mut |w| w == needle)
+}
 
 /// Splits `text` into lowercase words.
 pub fn tokenize(text: &str) -> Vec<String> {
     let mut words = Vec::new();
-    let mut current = String::new();
-    for c in text.chars() {
-        if c.is_alphanumeric() {
-            for lc in c.to_lowercase() {
-                current.push(lc);
-            }
-        } else if !current.is_empty() {
-            words.push(std::mem::take(&mut current));
-        }
-    }
-    if !current.is_empty() {
-        words.push(current);
-    }
+    for_each_word(text, |w| words.push(w.to_string()));
     words
 }
 
-/// True iff `word` occurs in `text` under word tokenization.
-/// `word` must itself be a single word; it is lowercased internally.
-pub fn contains_word(text: &str, word: &str) -> bool {
-    let needle = word.to_lowercase();
-    tokenize(text).contains(&needle)
+/// Streaming core: yields words to `f` until it returns `true` (stop) or
+/// the text is exhausted; returns whether `f` stopped the scan.
+fn for_each_word_until(text: &str, f: &mut impl FnMut(&str) -> bool) -> bool {
+    let bytes = text.as_bytes();
+    let mut scratch = String::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii() {
+            if !b.is_ascii_alphanumeric() {
+                i += 1;
+                continue;
+            }
+            // ASCII fast path: scan the ASCII-alphanumeric run.
+            let start = i;
+            let mut has_upper = false;
+            while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                has_upper |= bytes[i].is_ascii_uppercase();
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i].is_ascii() {
+                // The run ends at an ASCII non-alphanumeric boundary (or
+                // end of text): a pure-ASCII word.
+                let stop = if has_upper {
+                    scratch.clear();
+                    scratch.push_str(&text[start..i]);
+                    scratch.make_ascii_lowercase();
+                    f(&scratch)
+                } else {
+                    f(&text[start..i])
+                };
+                if stop {
+                    return true;
+                }
+                continue;
+            }
+            // A non-ASCII character may extend the word: take the slow
+            // path over the whole run.
+            i = start;
+        }
+        // Slow path: char-wise maximal alphanumeric run with full Unicode
+        // lowercasing, starting at a char boundary.
+        scratch.clear();
+        let mut end = i;
+        for (off, c) in text[i..].char_indices() {
+            if !c.is_alphanumeric() {
+                break;
+            }
+            for lc in c.to_lowercase() {
+                scratch.push(lc);
+            }
+            end = i + off + c.len_utf8();
+        }
+        if scratch.is_empty() {
+            // Non-alphanumeric non-ASCII char: step over it.
+            i += text[i..].chars().next().map_or(1, char::len_utf8);
+        } else {
+            if f(&scratch) {
+                return true;
+            }
+            i = end;
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -64,5 +148,57 @@ mod tests {
         // Substrings of words do not match: "Lio" is not a word of the text.
         assert!(!contains_word("The Lion Hunt", "Lio"));
         assert!(!contains_word("The Lionhunt", "Lion"));
+    }
+
+    #[test]
+    fn streaming_matches_reference_tokenizer() {
+        // for_each_word must yield exactly what the collecting tokenizer
+        // returns, across ASCII/Unicode/mixed-boundary shapes.
+        fn reference(text: &str) -> Vec<String> {
+            let mut words = Vec::new();
+            let mut current = String::new();
+            for c in text.chars() {
+                if c.is_alphanumeric() {
+                    for lc in c.to_lowercase() {
+                        current.push(lc);
+                    }
+                } else if !current.is_empty() {
+                    words.push(std::mem::take(&mut current));
+                }
+            }
+            if !current.is_empty() {
+                words.push(current);
+            }
+            words
+        }
+        for text in [
+            "",
+            "x",
+            "É",
+            "The Lion Hunt",
+            "Olympia, 1863-1!",
+            "Eugène Delacroix",
+            "abcÉdef ghi",          // ASCII run extended by non-ASCII
+            "ABCß",                 // uppercase ASCII then non-ASCII
+            "münchen…überall 1a2b", // non-ASCII separators
+            "Ꮎbig!",                // uppercase non-ASCII start
+            "İstanbul",             // expanding lowercase (İ → i̇)
+            "a…b—c",
+        ] {
+            assert_eq!(tokenize(text), reference(text), "{text:?}");
+            let mut streamed = Vec::new();
+            for_each_word(text, |w| streamed.push(w.to_string()));
+            assert_eq!(streamed, reference(text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn contains_word_stops_early_and_handles_case() {
+        assert!(contains_word("Eugène Delacroix", "EUGÈNE"));
+        assert!(contains_word("a b c d lion", "lion"));
+        assert!(!contains_word("", "lion"));
+        // Needle lowercasing matches the tokenizer's on ASCII; a mixed
+        // needle still compares against per-char-lowercased text words.
+        assert!(contains_word("1863", "1863"));
     }
 }
