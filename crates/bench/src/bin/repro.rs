@@ -24,7 +24,12 @@
 //!            traffic (beyond the paper; not part of `all` — the
 //!            autoscaled run's timings depend on its own knobs, and `all`
 //!            stays byte-comparable to pre-elasticity runs)
-//!   all      everything above except `fault` and `scale`, in order
+//!   pushdown storage-side predicate filtering (LUP-PD) vs. document
+//!            shipping, swept across predicate selectivity with the $
+//!            crossover (beyond the paper; not part of `all` so `all`
+//!            stays byte-comparable to pre-pushdown runs)
+//!   all      everything above except `fault`, `scale` and `pushdown`,
+//!            in order
 //! ```
 //!
 //! A second mode runs the differential correctness harness instead of the
@@ -107,13 +112,14 @@ fn main() {
 
     let known: &[&str] = &[
         "table4", "fig7", "fig8", "table5", "fig9", "fig10", "table6", "fig11", "fig12", "fig13",
-        "table7", "table8", "ablation", "trace", "fault", "scale", "perf",
+        "table7", "table8", "ablation", "trace", "fault", "scale", "perf", "pushdown",
     ];
     // `all` deliberately leaves `fault` (output depends on
-    // AMADA_FAULT_SEED), `scale` (beyond-the-paper elasticity run) and
-    // `perf` (host wall-clock timings) out, so `all` stays byte-comparable
-    // run to run and release to release.
-    let excluded = ["fault", "scale", "perf"];
+    // AMADA_FAULT_SEED), `scale` (beyond-the-paper elasticity run),
+    // `perf` (host wall-clock timings) and `pushdown` (beyond-the-paper
+    // selectivity sweep) out, so `all` stays byte-comparable run to run
+    // and release to release.
+    let excluded = ["fault", "scale", "perf", "pushdown"];
     let selected: Vec<&str> = if artifacts == ["all"] {
         known
             .iter()
@@ -239,6 +245,7 @@ fn compute(scale: &Scale, selected: &[&str]) -> Vec<Computed> {
                             "fault" => exp::fault(scale).to_string(),
                             "scale" => exp::elastic(scale).to_string(),
                             "perf" => exp::perf(scale),
+                            "pushdown" => exp::pushdown(scale).to_string(),
                             _ => unreachable!("validated in main"),
                         };
                         (artifact.to_string(), body, start.elapsed().as_secs_f64())
@@ -312,6 +319,15 @@ fn write_report(
         exp::elastic::SCALE_IN_EVENTS.load(std::sync::atomic::Ordering::Relaxed),
         exp::elastic::SCALE_PEAK_POOL.load(std::sync::atomic::Ordering::Relaxed)
     ));
+    // Zero when the `pushdown` artifact was not selected.
+    json.push_str(&format!(
+        "  \"pushdown\": {{ \"sweep_points\": {}, \"pushdown_wins\": {}, \"bytes_scanned\": {}, \
+         \"bytes_returned\": {} }},\n",
+        exp::pushdown::PUSHDOWN_POINTS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::pushdown::PUSHDOWN_WINS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::pushdown::PUSHDOWN_SCANNED_BYTES.load(std::sync::atomic::Ordering::Relaxed),
+        exp::pushdown::PUSHDOWN_RETURNED_BYTES.load(std::sync::atomic::Ordering::Relaxed)
+    ));
     // Null when the `perf` artifact was not selected.
     json.push_str(&format!(
         "  \"perf\": {}\n",
@@ -346,6 +362,9 @@ fn title(artifact: &str) -> &'static str {
         }
         "perf" => {
             "Perf - hot-path microbenchmarks: parse / tokenize / decode / twig (beyond the paper)"
+        }
+        "pushdown" => {
+            "Pushdown - storage-side filtering vs. document shipping by selectivity (beyond the paper)"
         }
         _ => "unknown",
     }
@@ -431,9 +450,10 @@ fn print_usage() {
         "repro - regenerate the paper's tables and figures\n\n\
          usage: repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R] [--enforce]\n\
          \x20      repro check [--seed N[,N...]] [--cases M] [--billing-every K]\n\n\
-         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale perf all\n\n\
-         --enforce (with perf): exit non-zero when a release build falls more\n\
-         than 30% below the repo-pinned parse / decode reference rates"
+         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale perf pushdown all\n\n\
+         --enforce (with perf): exit non-zero when a release build regresses more\n\
+         than 30% past the repo-pinned parse / tokenize / decode rates or the\n\
+         twig-join latency ceiling"
     );
 }
 

@@ -7,6 +7,7 @@ pub mod elastic;
 pub mod fault;
 pub mod indexing;
 pub mod perf;
+pub mod pushdown;
 pub mod querying;
 pub mod scaling;
 pub mod trace;
@@ -18,6 +19,7 @@ pub use elastic::elastic;
 pub use fault::fault;
 pub use indexing::{fig7, fig8, indexing_suite, table4, table6, IndexingSuite};
 pub use perf::perf;
+pub use pushdown::pushdown;
 pub use querying::{fig11, fig12, fig9, query_suite, table5, QuerySuite};
 pub use scaling::fig10;
 pub use trace::trace;

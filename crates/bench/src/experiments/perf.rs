@@ -22,8 +22,9 @@
 //! *not* part of `repro all` (which stays byte-comparable run to run).
 //! The measured rates land in `BENCH_repro.json`; `repro perf --enforce`
 //! additionally fails the process when a release build regresses more
-//! than [`REGRESSION_TOLERANCE`] below the repo-pinned reference rates —
-//! the CI smoke guard for the parse and decode fast paths.
+//! than [`REGRESSION_TOLERANCE`] past the repo-pinned reference rates —
+//! the CI smoke guard for the parse, tokenize and decode throughputs and
+//! the twig-join latency (the one lower-is-better pin).
 
 use crate::{Scale, TextTable};
 use amada_index::codec::{decode_ids, encode_ids, BlockList};
@@ -41,16 +42,31 @@ use std::time::{Duration, Instant};
 pub const PINNED_PARSE_MIBPS: f64 = 60.0;
 /// See [`PINNED_PARSE_MIBPS`]; full-decode rate in million IDs per second.
 pub const PINNED_DECODE_MIDS: f64 = 60.0;
-/// Fraction below the pinned rate that still passes (`0.30` = fail only
-/// when more than 30% slower than the pin).
+/// See [`PINNED_PARSE_MIBPS`]; streaming-tokenizer rate in MiB/s of text.
+pub const PINNED_TOKENIZE_MIBPS: f64 = 70.0;
+/// Galloping twig-join ceiling in ns per stream entry — the one
+/// lower-is-better pin, set at roughly twice what a developer-class x86
+/// host measures.
+pub const PINNED_TWIG_NS: f64 = 2.5;
+/// Fraction past the pinned rate that still passes (`0.30` = fail only
+/// when more than 30% slower than the pin, in whichever direction the
+/// axis calls slower).
 pub const REGRESSION_TOLERANCE: f64 = 0.30;
 
 const MIB: f64 = 1024.0 * 1024.0;
 
-/// The last run's JSON fragment and `(parse MiB/s, decode M IDs/s)` at 1x,
-/// for `BENCH_repro.json` and `--enforce` (the artifact body itself only
+/// The last run's JSON fragment and 1x measurements, for
+/// `BENCH_repro.json` and `--enforce` (the artifact body itself only
 /// carries formatted text through the harness).
-static LAST_RUN: Mutex<Option<(String, f64, f64)>> = Mutex::new(None);
+struct PerfRun {
+    json: String,
+    parse_mibps: f64,
+    decode_mids: f64,
+    tok_mibps: f64,
+    twig_ns: f64,
+}
+
+static LAST_RUN: Mutex<Option<PerfRun>> = Mutex::new(None);
 
 /// Runs `f` repeatedly for at least ~120 ms after a short warm-up and
 /// returns the mean seconds per iteration (same auto-calibration as the
@@ -351,7 +367,13 @@ pub fn perf(scale: &Scale) -> String {
         "    \"decode_full_mids_1x\": {:.4},\n    \"parse_mibps_1x\": {:.4}\n  }}",
         one.dec_full_mids, one.parse_mibps
     ));
-    *LAST_RUN.lock().unwrap() = Some((json, one.parse_mibps, one.dec_full_mids));
+    *LAST_RUN.lock().unwrap() = Some(PerfRun {
+        json,
+        parse_mibps: one.parse_mibps,
+        decode_mids: one.dec_full_mids,
+        tok_mibps: one.tok_new_mibps,
+        twig_ns: one.twig_gallop_ns,
+    });
 
     format!(
         "{t}\n\
@@ -367,41 +389,57 @@ pub fn perf(scale: &Scale) -> String {
 
 /// The JSON fragment of the last [`perf`] run (for `BENCH_repro.json`).
 pub fn perf_json() -> Option<String> {
-    LAST_RUN.lock().unwrap().as_ref().map(|(j, _, _)| j.clone())
+    LAST_RUN.lock().unwrap().as_ref().map(|r| r.json.clone())
 }
 
-/// Enforces the repo-pinned floors against the last [`perf`] run.
-/// Returns a human-readable pass message, or an error describing the
-/// regression. Debug builds skip the check (the pins are release rates).
+/// Enforces the repo-pinned floors (and the twig ceiling) against the
+/// last [`perf`] run. Returns a human-readable pass message, or an error
+/// describing the regression. Debug builds skip the check (the pins are
+/// release rates).
 pub fn enforce_floors() -> Result<String, String> {
     let guard = LAST_RUN.lock().unwrap();
-    let Some((_, parse_mibps, decode_mids)) = guard.as_ref() else {
+    let Some(PerfRun {
+        parse_mibps,
+        decode_mids,
+        tok_mibps,
+        twig_ns,
+        ..
+    }) = guard.as_ref()
+    else {
         return Err("--enforce requires the perf artifact to have run".into());
     };
     if cfg!(debug_assertions) {
         return Ok(format!(
             "floors skipped (debug build): parse {parse_mibps:.1} MiB/s, \
-             decode {decode_mids:.1} M IDs/s"
+             decode {decode_mids:.1} M IDs/s, tokenize {tok_mibps:.1} MiB/s, \
+             twig {twig_ns:.2} ns/id"
         ));
     }
-    let parse_floor = PINNED_PARSE_MIBPS * (1.0 - REGRESSION_TOLERANCE);
-    let decode_floor = PINNED_DECODE_MIDS * (1.0 - REGRESSION_TOLERANCE);
-    if *parse_mibps < parse_floor {
-        return Err(format!(
-            "parse throughput {parse_mibps:.1} MiB/s is below the floor {parse_floor:.1} \
-             (pinned {PINNED_PARSE_MIBPS:.1} - {:.0}%)",
-            REGRESSION_TOLERANCE * 100.0
-        ));
+    let tolerance_pct = REGRESSION_TOLERANCE * 100.0;
+    // Throughput axes: fail when the measurement falls below the floor.
+    for (axis, unit, measured, pinned) in [
+        ("parse", "MiB/s", *parse_mibps, PINNED_PARSE_MIBPS),
+        ("decode", "M IDs/s", *decode_mids, PINNED_DECODE_MIDS),
+        ("tokenize", "MiB/s", *tok_mibps, PINNED_TOKENIZE_MIBPS),
+    ] {
+        let floor = pinned * (1.0 - REGRESSION_TOLERANCE);
+        if measured < floor {
+            return Err(format!(
+                "{axis} throughput {measured:.1} {unit} is below the floor {floor:.1} \
+                 (pinned {pinned:.1} - {tolerance_pct:.0}%)"
+            ));
+        }
     }
-    if *decode_mids < decode_floor {
+    // The twig join pins a latency, so its guard is a ceiling.
+    let twig_ceiling = PINNED_TWIG_NS * (1.0 + REGRESSION_TOLERANCE);
+    if *twig_ns > twig_ceiling {
         return Err(format!(
-            "decode rate {decode_mids:.1} M IDs/s is below the floor {decode_floor:.1} \
-             (pinned {PINNED_DECODE_MIDS:.1} - {:.0}%)",
-            REGRESSION_TOLERANCE * 100.0
+            "twig-join latency {twig_ns:.2} ns/id is above the ceiling {twig_ceiling:.2} \
+             (pinned {PINNED_TWIG_NS:.2} + {tolerance_pct:.0}%)"
         ));
     }
     Ok(format!(
-        "floors passed: parse {parse_mibps:.1} MiB/s (floor {parse_floor:.1}), \
-         decode {decode_mids:.1} M IDs/s (floor {decode_floor:.1})"
+        "floors passed: parse {parse_mibps:.1} MiB/s, decode {decode_mids:.1} M IDs/s, \
+         tokenize {tok_mibps:.1} MiB/s, twig {twig_ns:.2} ns/id (ceiling {twig_ceiling:.2})"
     ))
 }

@@ -9,13 +9,15 @@
 use crate::gen::Case;
 use crate::invariants;
 use crate::Mutation;
+use amada_cloud::ObjectPredicate;
 use amada_cloud::{DynamoDb, KvError, KvProfile, KvStore, SimTime, SimpleDb};
 use amada_index::lookup::query_paths;
 use amada_index::store::{
     decode_id_lists, decode_id_postings, decode_path_lists, decode_presence_uris, encode_entry,
 };
 use amada_index::{
-    extract, index_documents, lookup_query, ExtractOptions, Payload, Strategy, UuidGen, TABLE_MAIN,
+    decode_tuples, extract, index_documents, lookup_query, ExtractOptions, Payload, ScanPredicate,
+    Strategy, UuidGen, TABLE_MAIN,
 };
 use amada_pattern::twig::evaluate_pattern_twig;
 use amada_pattern::{join_pattern_results, naive_matches, parse_query, Query, TreePattern, Tuple};
@@ -74,6 +76,7 @@ pub fn check_case(case: &Case, mutation: Mutation, billing: bool) -> Result<(), 
             })?;
         oracle_containment(backend, &query, &candidates)?;
         oracle_answers(backend, &docs, &query, &truth, &candidates)?;
+        oracle_pushdown_answers(backend, case, &docs, &query, opts, &truth)?;
     }
 
     oracle_round_trip(&docs, opts)?;
@@ -298,6 +301,68 @@ fn oracle_answers(
                 ),
             ));
         }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Oracle A, strategy #5 — pushdown answers identical to the no-index scan
+// ---------------------------------------------------------------------------
+
+/// LUP-PD: candidates from the index under [`Strategy::LupPd`], residual
+/// evaluation pushed to storage — each candidate is filtered by the
+/// wire-round-tripped [`ScanPredicate`] (exactly what the simulated store
+/// runs) and only the decoded tuples join. The answers must still equal
+/// the no-index scan.
+fn oracle_pushdown_answers(
+    backend: Backend,
+    case: &Case,
+    docs: &[Document],
+    query: &Query,
+    opts: ExtractOptions,
+    truth: &[String],
+) -> Result<(), Violation> {
+    let mut store = backend.store();
+    index_documents(store.as_mut(), docs, Strategy::LupPd, opts);
+    let lookup = lookup_query(store.as_mut(), SimTime::ZERO, Strategy::LupPd, opts, query)
+        .map_err(|e| {
+            violation(
+                "answers",
+                format!("{} LUP-PD look-up failed: {e:?}", backend.name()),
+            )
+        })?;
+    let per_pattern: Vec<Vec<Tuple>> = query
+        .patterns
+        .iter()
+        .zip(lookup.per_pattern)
+        .map(|(p, outcome)| {
+            let pred = ScanPredicate::from_wire(ScanPredicate::compile(p).wire())
+                .expect("compiled predicates round-trip their wire form");
+            let mut tuples = Vec::new();
+            for uri in &outcome.uris {
+                let (_, xml) = case
+                    .docs
+                    .iter()
+                    .find(|(u, _)| u == uri)
+                    .expect("candidate URIs come from the corpus");
+                tuples.extend(
+                    decode_tuples(&pred.filter(xml.as_bytes()), uri)
+                        .expect("store-encoded scan results decode"),
+                );
+            }
+            tuples
+        })
+        .collect();
+    let answers = canon_joined(&join_pattern_results(query, &per_pattern));
+    if answers != truth {
+        return Err(violation(
+            "answers",
+            format!(
+                "{} / LUP-PD: pushdown answers differ from the no-index scan\n  \
+                 no-index: {truth:?}\n  LUP-PD: {answers:?}",
+                backend.name(),
+            ),
+        ));
     }
     Ok(())
 }

@@ -50,7 +50,7 @@ pub use kv::{KvError, KvItem, KvProfile, KvStats, KvStore, KvValue};
 pub use money::Money;
 pub use obs::{ActorTag, Ctx, Outcome, Phase, Recorder, ServiceKind, Span};
 pub use pricing::{InstanceType, PriceTable};
-pub use s3::{S3Error, S3Stats, S3};
+pub use s3::{ObjectPredicate, S3Error, S3Stats, S3};
 pub use sim::{Actor, CostReport, CostSnapshot, Engine, KvBackend, StepResult, StorageCost, World};
 pub use simpledb::{SimpleDb, SimpleDbConfig};
 pub use sqs::{Message, Sqs, SqsError, SqsStats};

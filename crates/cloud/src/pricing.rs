@@ -66,6 +66,11 @@ pub struct PriceTable {
     pub qs_request: Money,
     /// `egress$_{GB}` — data transferred out of the cloud, per GB.
     pub egress_gb: Money,
+    /// `STscan$_{GB}` — server-side scan (the S3-Select analog), per GB
+    /// of stored object bytes *scanned*; the filtered result bytes are
+    /// additionally billed at `egress_gb`, and each scan request at
+    /// `st_get`.
+    pub st_scan_gb: Money,
 }
 
 impl PriceTable {
@@ -83,6 +88,7 @@ impl PriceTable {
             vm_hour_xlarge: Money::from_dollars(0.68),
             qs_request: Money::from_dollars(0.000001),
             egress_gb: Money::from_dollars(0.19),
+            st_scan_gb: Money::from_dollars(0.002),
         }
     }
 
@@ -102,6 +108,7 @@ impl PriceTable {
             vm_hour_xlarge: Money::from_dollars(0.58),
             qs_request: Money::from_dollars(0.000001),
             egress_gb: Money::from_dollars(0.18),
+            st_scan_gb: Money::from_dollars(0.0018),
         }
     }
 
@@ -120,6 +127,7 @@ impl PriceTable {
             vm_hour_xlarge: Money::from_dollars(0.64),
             qs_request: Money::from_dollars(0.0000001),
             egress_gb: Money::from_dollars(0.12),
+            st_scan_gb: Money::from_dollars(0.0016),
         }
     }
 
@@ -148,6 +156,22 @@ mod tests {
         assert_eq!(p.st_month_gb.dollars(), 0.125);
         assert_eq!(p.idx_get.pico(), 32_000);
         assert_eq!(p.vm_hour(InstanceType::ExtraLarge).dollars(), 0.68);
+        // The S3-Select analog: $0.002 per GB scanned.
+        assert_eq!(p.st_scan_gb.pico(), 2_000_000_000);
+    }
+
+    #[test]
+    fn every_provider_prices_scans() {
+        for p in [
+            PriceTable::aws_singapore_2012(),
+            PriceTable::google_cloud_2012(),
+            PriceTable::windows_azure_2012(),
+        ] {
+            assert!(p.st_scan_gb > Money::ZERO, "{}", p.provider);
+            // Scanning a GB must cost less than egressing it — otherwise
+            // pushdown could never pay off.
+            assert!(p.st_scan_gb < p.egress_gb, "{}", p.provider);
+        }
     }
 
     #[test]

@@ -43,7 +43,10 @@ use amada_cloud::{
     Actor, ActorTag, InstanceId, KvError, KvItem, Phase, S3Error, ServiceKind, SimDuration,
     SimTime, Span, SqsError, StepResult, World,
 };
-use amada_index::{lookup_query, store::UuidGen, ExtractCache, ExtractOptions, Strategy};
+use amada_index::{
+    decode_tuples, lookup_query, store::UuidGen, ExtractCache, ExtractOptions, ScanPredicate,
+    Strategy,
+};
 use amada_pattern::{evaluate_pattern_twig, join_pattern_results, parse_query, Query, Tuple};
 use amada_rng::StdRng;
 use amada_xml::Document;
@@ -694,43 +697,81 @@ impl QueryCore {
         // retry waits are serial work like the transfers they delay.
         let mut serial = SimDuration::ZERO;
         let mut fetched: BTreeSet<&String> = BTreeSet::new();
-        let mut docs: HashMap<&String, Arc<Document>> = HashMap::new();
-        for uris in &per_pattern_uris {
-            for uri in uris {
-                if !fetched.insert(uri) {
-                    continue;
-                }
-                let (bytes, resp) = loop {
-                    match world.s3.get(t, DOC_BUCKET, uri) {
-                        Ok(out) => break out,
-                        Err(S3Error::SlowDown { available_at }) => {
-                            self.attempt += 1;
-                            if self.attempt > self.policy.max_attempts {
-                                self.attempt = 0;
-                                return Err(available_at);
-                            }
-                            serial += (available_at - t)
-                                + self.policy.backoff(self.attempt, &mut self.rng);
-                        }
-                        Err(e) => panic!("candidate documents exist: {e}"),
-                    }
-                };
-                self.attempt = 0;
-                serial += resp - t;
-                serial += world.work.parse(bytes.len() as u64, self.ecu);
-                docs.insert(uri, self.cache.parsed(uri, &bytes));
-            }
-        }
         let mut per_pattern: Vec<Vec<Tuple>> = Vec::with_capacity(query.patterns.len());
-        for (p, uris) in query.patterns.iter().zip(&per_pattern_uris) {
-            let mut tuples = Vec::new();
-            for uri in uris {
-                let doc = &docs[uri];
-                let (t_p, stats) = evaluate_pattern_twig(doc, p);
-                serial += world.work.eval(stats.candidates, self.ecu);
-                tuples.extend(t_p);
+        if self.strategy == Some(Strategy::LupPd) {
+            // Pushdown: the post-filter runs *inside* the store. Each
+            // candidate is scanned (per pattern — the predicate differs),
+            // only the matching tuples travel back, and the instance never
+            // parses or evaluates the document — that work is what the
+            // per-GB scan charge buys.
+            for (p, uris) in query.patterns.iter().zip(&per_pattern_uris) {
+                // Compiling round-trips the predicate through its wire
+                // form once per pattern, exactly what ships to the store.
+                let pred = ScanPredicate::compile(p);
+                let mut tuples = Vec::new();
+                for uri in uris {
+                    fetched.insert(uri);
+                    let (bytes, resp) = loop {
+                        match world.s3.scan(t, DOC_BUCKET, uri, &pred) {
+                            Ok(out) => break out,
+                            Err(S3Error::SlowDown { available_at }) => {
+                                self.attempt += 1;
+                                if self.attempt > self.policy.max_attempts {
+                                    self.attempt = 0;
+                                    return Err(available_at);
+                                }
+                                serial += (available_at - t)
+                                    + self.policy.backoff(self.attempt, &mut self.rng);
+                            }
+                            Err(e) => panic!("candidate documents exist: {e}"),
+                        }
+                    };
+                    self.attempt = 0;
+                    serial += resp - t;
+                    tuples.extend(
+                        decode_tuples(&bytes, uri).expect("store-encoded scan results decode"),
+                    );
+                }
+                per_pattern.push(tuples);
             }
-            per_pattern.push(tuples);
+        } else {
+            let mut docs: HashMap<&String, Arc<Document>> = HashMap::new();
+            for uris in &per_pattern_uris {
+                for uri in uris {
+                    if !fetched.insert(uri) {
+                        continue;
+                    }
+                    let (bytes, resp) = loop {
+                        match world.s3.get(t, DOC_BUCKET, uri) {
+                            Ok(out) => break out,
+                            Err(S3Error::SlowDown { available_at }) => {
+                                self.attempt += 1;
+                                if self.attempt > self.policy.max_attempts {
+                                    self.attempt = 0;
+                                    return Err(available_at);
+                                }
+                                serial += (available_at - t)
+                                    + self.policy.backoff(self.attempt, &mut self.rng);
+                            }
+                            Err(e) => panic!("candidate documents exist: {e}"),
+                        }
+                    };
+                    self.attempt = 0;
+                    serial += resp - t;
+                    serial += world.work.parse(bytes.len() as u64, self.ecu);
+                    docs.insert(uri, self.cache.parsed(uri, &bytes));
+                }
+            }
+            for (p, uris) in query.patterns.iter().zip(&per_pattern_uris) {
+                let mut tuples = Vec::new();
+                for uri in uris {
+                    let doc = &docs[uri];
+                    let (t_p, stats) = evaluate_pattern_twig(doc, p);
+                    serial += world.work.eval(stats.candidates, self.ecu);
+                    tuples.extend(t_p);
+                }
+                per_pattern.push(tuples);
+            }
         }
         let tuple_count: u64 = per_pattern.iter().map(|v| v.len() as u64).sum();
         let results = join_pattern_results(&query, &per_pattern);

@@ -17,43 +17,48 @@ use amada_index::{ExtractOptions, PathSummary, Strategy, StrategyHint};
 use amada_pattern::Query;
 use amada_xml::Document;
 
-/// Cost projection for one strategy.
+/// Cost projection for one candidate deployment.
 #[derive(Debug, Clone)]
 pub struct StrategyEstimate {
-    /// The strategy.
-    pub strategy: Strategy,
-    /// Cost of building the index over the sample (`ci$`).
+    /// The indexing strategy, or `None` for the "index nothing" candidate
+    /// (every query scans the whole corpus; no build, no index storage).
+    pub strategy: Option<Strategy>,
+    /// Cost of building the index over the sample (`ci$`; zero for
+    /// `None`).
     pub build_cost: Money,
     /// Monthly storage charge for data + index.
     pub storage_per_month: Money,
-    /// Cost of one workload run with the index.
+    /// Cost of one workload run.
     pub run_cost: Money,
-    /// Mean workload response time (seconds) with the index.
+    /// Mean workload response time (seconds).
     pub mean_response_secs: f64,
     /// Projected total over the horizon:
     /// `build + runs × run_cost + months × storage`.
     pub projected_total: Money,
 }
 
-/// The advisor's output: estimates for every strategy, best first.
+/// The advisor's output: estimates for every candidate, best first.
 #[derive(Debug, Clone)]
 pub struct Advice {
-    /// Ranked estimates (ascending projected total).
+    /// Ranked estimates (ascending projected total), including the
+    /// no-index candidate — for a cold workload (few expected runs over a
+    /// small corpus) *not* building an index is the honest
+    /// recommendation, so it competes in the same ranking.
     pub ranked: Vec<StrategyEstimate>,
-    /// The no-index baseline projection over the same horizon
-    /// (`runs × scan run cost`; no build, no index storage).
+    /// The no-index baseline projection over the same horizon (the
+    /// `strategy: None` entry's projected total).
     pub no_index_total: Money,
 }
 
 impl Advice {
-    /// The cheapest strategy over the horizon.
+    /// The cheapest candidate over the horizon.
     pub fn best(&self) -> &StrategyEstimate {
         &self.ranked[0]
     }
 
     /// Whether indexing at all beats scanning over the horizon.
     pub fn indexing_pays_off(&self) -> bool {
-        self.best().projected_total < self.no_index_total
+        self.best().strategy.is_some()
     }
 }
 
@@ -72,36 +77,47 @@ pub fn advise(
     months: f64,
     base: &WarehouseConfig,
 ) -> Advice {
+    // The four paper strategies, the pushdown variant, and the "index
+    // nothing" baseline all compete in one ranking.
+    let candidates = Strategy::ALL
+        .iter()
+        .copied()
+        .chain([Strategy::LupPd])
+        .map(Some)
+        .chain([None]);
     let mut estimates = Vec::new();
     let mut no_index_total = Money::ZERO;
-    for strategy in Strategy::ALL {
+    for strategy in candidates {
         let mut cfg = base.clone();
-        cfg.strategy = strategy;
+        if let Some(s) = strategy {
+            cfg.strategy = s;
+        }
         let mut w = Warehouse::new(cfg);
         w.upload_documents(sample.iter().map(|(u, x)| (u.clone(), x.clone())));
-        let build = w.build_index();
+        let (build_cost, storage) = match strategy {
+            Some(_) => (w.build_index().cost.total(), w.storage_cost().total()),
+            // No index is ever built: queries scan the corpus, and the
+            // only storage billed is the file store itself.
+            None => (Money::ZERO, w.storage_cost().file_store),
+        };
         let mut run_cost = Money::ZERO;
         let mut response = 0.0;
         for q in workload {
-            let r = w.run_query(q);
+            let r = match strategy {
+                Some(_) => w.run_query(q),
+                None => w.run_query_no_index(q),
+            };
             run_cost += r.cost.total();
             response += r.exec.response_time.as_secs_f64();
         }
-        // The scan baseline is strategy-independent; measure it once.
-        if strategy == Strategy::Lu {
-            let mut scan_cost = Money::ZERO;
-            for q in workload {
-                scan_cost += w.run_query_no_index(q).cost.total();
-            }
-            no_index_total = scan_cost * expected_runs as u64
-                + months_scaled(w.storage_cost().file_store, months);
-        }
-        let storage = w.storage_cost().total();
         let projected =
-            build.cost.total() + run_cost * expected_runs as u64 + months_scaled(storage, months);
+            build_cost + run_cost * expected_runs as u64 + months_scaled(storage, months);
+        if strategy.is_none() {
+            no_index_total = projected;
+        }
         estimates.push(StrategyEstimate {
             strategy,
-            build_cost: build.cost.total(),
+            build_cost,
             storage_per_month: storage,
             run_cost,
             mean_response_secs: response / workload.len().max(1) as f64,
@@ -173,7 +189,16 @@ mod tests {
             .map(|n| workload_query(n).unwrap())
             .collect();
         let advice = advise(&sample(), &workload, 500, 1.0, &WarehouseConfig::default());
-        assert_eq!(advice.ranked.len(), 4);
+        // Four paper strategies + LUP-PD + the no-index candidate.
+        assert_eq!(advice.ranked.len(), 6);
+        assert_eq!(
+            advice
+                .ranked
+                .iter()
+                .filter(|e| e.strategy.is_none())
+                .count(),
+            1
+        );
         // Ranking is ascending in projected total.
         for w in advice.ranked.windows(2) {
             assert!(w[0].projected_total <= w[1].projected_total);
@@ -181,6 +206,22 @@ mod tests {
         // Over enough runs, indexing must beat scanning (the sample corpus
         // is tiny, so break-even needs many more runs than at real scale).
         assert!(advice.indexing_pays_off());
+        // The baseline field mirrors the None entry.
+        let none = advice.ranked.iter().find(|e| e.strategy.is_none()).unwrap();
+        assert_eq!(none.projected_total, advice.no_index_total);
+        assert_eq!(none.build_cost, Money::ZERO);
+    }
+
+    #[test]
+    fn cold_workloads_are_advised_not_to_index() {
+        // One expected run over a tiny corpus: the build cost can never be
+        // amortized, so the honest recommendation is "index nothing".
+        // (This candidate used to be absent from the ranking, so `best()`
+        // recommended building an index that could not pay for itself.)
+        let workload = vec![workload_query("q1").unwrap()];
+        let advice = advise(&sample(), &workload, 1, 1.0, &WarehouseConfig::default());
+        assert!(advice.best().strategy.is_none(), "{:?}", advice.best());
+        assert!(!advice.indexing_pays_off());
     }
 
     #[test]
@@ -211,7 +252,7 @@ mod tests {
             advice
                 .ranked
                 .iter()
-                .find(|e| e.strategy == s)
+                .find(|e| e.strategy == Some(s))
                 .unwrap()
                 .build_cost
         };

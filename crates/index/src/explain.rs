@@ -63,6 +63,22 @@ fn explain_pattern(out: &mut String, strategy: Strategy, p: &TreePattern, opts: 
             }
             let _ = writeln!(out, "  ∩ intersect URI sets");
         }
+        Strategy::LupPd => {
+            for qp in query_paths(p, opts) {
+                let _ = writeln!(
+                    out,
+                    "  get({}) → filter paths matching {}",
+                    qp.last().expect("paths are non-empty").1,
+                    render_query_path(&qp)
+                );
+            }
+            let _ = writeln!(out, "  ∩ intersect URI sets");
+            let _ = writeln!(
+                out,
+                "  ∀ candidate: s3.scan(doc, compiled pattern) — storage-side \
+                 filter, egress only on matching tuples"
+            );
+        }
         Strategy::Lui => {
             for nk in &keys {
                 let _ = writeln!(out, "  get({}) → ID stream", nk.main_key);
@@ -119,6 +135,16 @@ mod tests {
         let plan = explain(Strategy::Lup, &q2(), ExtractOptions::default());
         assert!(plan.contains("//epainting//edescription"), "{plan}");
         assert!(plan.contains("//epainting/eyear//w1854"), "{plan}");
+    }
+
+    #[test]
+    fn lup_pd_plan_pushes_the_filter_to_storage() {
+        let plan = explain(Strategy::LupPd, &q2(), ExtractOptions::default());
+        // Same index-side narrowing as LUP…
+        assert!(plan.contains("//epainting//edescription"), "{plan}");
+        assert!(plan.contains("intersect"));
+        // …plus the storage-side scan step.
+        assert!(plan.contains("s3.scan"), "{plan}");
     }
 
     #[test]

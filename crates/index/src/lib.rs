@@ -17,6 +17,8 @@
 //!   paper's Figure 5;
 //! * [`explain`] — textual look-up plans (the Figure 5 outline, for every
 //!   strategy);
+//! * [`pushdown`] — the wire-serializable scan predicate behind the
+//!   LUP-PD strategy (storage-side post-filtering, the S3-Select analog);
 //! * [`summary`] — DataGuide-style path summaries, selectivity estimation
 //!   and the Section 8.5 per-query strategy hint (the paper's future
 //!   work).
@@ -28,6 +30,7 @@ pub mod key;
 pub mod loadutil;
 pub mod lookup;
 pub mod parallel;
+pub mod pushdown;
 pub mod store;
 pub mod strategy;
 pub mod summary;
@@ -37,6 +40,7 @@ pub use explain::explain;
 pub use loadutil::{index_document, index_documents, write_entries, DocIndexing};
 pub use lookup::{lookup_pattern, lookup_query, LookupOutcome, QueryLookup};
 pub use parallel::{prewarm, PrewarmReport};
+pub use pushdown::{decode_tuples, encode_tuples, ScanPredicate};
 pub use store::UuidGen;
 pub use strategy::{extract, ExtractOptions, IndexEntry, Payload, Strategy};
 pub use strategy::{TABLE_ID, TABLE_MAIN, TABLE_PATH};

@@ -28,10 +28,18 @@ pub enum Strategy {
     Lui,
     /// Label–URI–Path + Label–URI–ID (two materialized indexes).
     TwoLupi,
+    /// Label–URI–Path with the post-filter *pushed down to storage*:
+    /// the LUP index narrows candidates, then each candidate is resolved
+    /// with a server-side [`amada_cloud::s3::S3::scan`] instead of a GET —
+    /// billed per GB scanned plus egress on the filtered result only
+    /// (the S3-Select analog; beyond the paper).
+    LupPd,
 }
 
 impl Strategy {
-    /// All strategies, in the paper's presentation order.
+    /// The paper's four strategies, in its presentation order. LUP-PD is
+    /// deliberately *not* here: every existing experiment, oracle rotation
+    /// and report iterates `ALL`, and the pushdown strategy is opt-in.
     pub const ALL: [Strategy; 4] = [
         Strategy::Lu,
         Strategy::Lup,
@@ -46,6 +54,7 @@ impl Strategy {
             Strategy::Lup => "LUP",
             Strategy::Lui => "LUI",
             Strategy::TwoLupi => "2LUPI",
+            Strategy::LupPd => "LUP-PD",
         }
     }
 
@@ -56,6 +65,7 @@ impl Strategy {
             "LUP" => Some(Strategy::Lup),
             "LUI" => Some(Strategy::Lui),
             "2LUPI" => Some(Strategy::TwoLupi),
+            "LUP-PD" | "LUPPD" => Some(Strategy::LupPd),
             _ => None,
         }
     }
@@ -65,7 +75,7 @@ impl Strategy {
     /// its two sub-indexes in two tables (paper Section 6).
     pub fn tables(self) -> &'static [&'static str] {
         match self {
-            Strategy::Lu | Strategy::Lup | Strategy::Lui => &[TABLE_MAIN],
+            Strategy::Lu | Strategy::Lup | Strategy::Lui | Strategy::LupPd => &[TABLE_MAIN],
             Strategy::TwoLupi => &[TABLE_PATH, TABLE_ID],
         }
     }
@@ -213,7 +223,9 @@ pub fn extract(doc: &Document, strategy: Strategy, opts: ExtractOptions) -> Vec<
                 uri: uri.clone(),
                 payload: Payload::Presence,
             }),
-            Strategy::Lup => out.push(IndexEntry {
+            // LUP-PD stores exactly the LUP index; only query execution
+            // differs (candidates resolve via storage-side scans).
+            Strategy::Lup | Strategy::LupPd => out.push(IndexEntry {
                 table: TABLE_MAIN,
                 key: k,
                 uri: uri.clone(),
@@ -356,6 +368,18 @@ mod tests {
         }
         assert_eq!(Strategy::parse("2lupi"), Some(Strategy::TwoLupi));
         assert_eq!(Strategy::parse("nope"), None);
+        // The fifth (pushdown) strategy round-trips but stays outside ALL.
+        assert_eq!(Strategy::parse("LUP-PD"), Some(Strategy::LupPd));
+        assert_eq!(Strategy::parse("luppd"), Some(Strategy::LupPd));
+        assert_eq!(Strategy::LupPd.to_string(), "LUP-PD");
+        assert!(!Strategy::ALL.contains(&Strategy::LupPd));
+    }
+
+    #[test]
+    fn lup_pd_extraction_is_identical_to_lup() {
+        let lup = extract(&doc(), Strategy::Lup, ExtractOptions::default());
+        let pd = extract(&doc(), Strategy::LupPd, ExtractOptions::default());
+        assert_eq!(lup, pd, "LUP-PD stores exactly the LUP index");
     }
 
     #[test]

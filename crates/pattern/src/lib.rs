@@ -46,7 +46,7 @@ pub mod xquery;
 
 pub use ast::{Axis, Bound, NodeTest, Output, PatternNode, Predicate, Query, TreePattern};
 pub use eval::{naive_matches, EvalStats, Tuple};
-pub use parser::{parse_pattern, parse_query, ParseError};
+pub use parser::{parse_pattern, parse_pattern_component, parse_query, ParseError};
 pub use stream::{SliceStream, TwigStream};
 pub use structural::{semijoin_descendants, structural_join};
 pub use twig::{

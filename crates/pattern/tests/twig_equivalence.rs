@@ -135,7 +135,8 @@ fn gen_streams(rng: &mut StdRng, doc: &Document, n: usize) -> Vec<Vec<(Structura
             if rng.gen_bool(0.1) {
                 return Vec::new();
             }
-            doc.elements_named(rng.choose(LABELS))
+            let label = *rng.choose(LABELS);
+            doc.elements_named(label)
                 .iter()
                 .map(|&node| (doc.sid(node), i as u32))
                 .collect()

@@ -109,7 +109,7 @@ fn main() {
         for e in &advice.ranked {
             println!(
                 "  {:<8} {:>14} {:>14} {:>14} {:>14}",
-                e.strategy.name(),
+                e.strategy.map_or("none", |s| s.name()),
                 e.build_cost.to_string(),
                 e.run_cost.to_string(),
                 e.storage_per_month.to_string(),

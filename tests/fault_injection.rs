@@ -2,7 +2,7 @@
 //! injection, retry/backoff, lease renewal, mid-task crash recovery, and
 //! the faults-off identity guarantee.
 
-use amada::cloud::{FaultConfig, InstanceType, SimDuration, Sqs, SqsError};
+use amada::cloud::{FaultConfig, InstanceType, Money, SimDuration, Sqs, SqsError};
 use amada::index::Strategy;
 use amada::warehouse::{Warehouse, WarehouseConfig};
 use amada::xmark::{generate_corpus, workload_query, CorpusConfig};
@@ -264,4 +264,71 @@ fn faulty_pipeline_is_correct_and_costs_more() {
         rb.sort_by(|x, y| x.columns.cmp(&y.columns));
         assert_eq!(ra, rb, "{name}: faults must not change answers");
     }
+}
+
+/// Pushdown under injected faults: a throttled scan is billed like any
+/// other request but is *stateless* — it moves no bytes and leaves no
+/// partial result behind — so the LUP-PD pipeline retries its way to
+/// answers byte-identical to the fault-free run, paying strictly more
+/// for the re-billed requests along the way.
+#[test]
+fn throttled_scans_are_billed_stateless_and_answers_identical() {
+    let docs = corpus(12);
+    let queries = ["q2", "q4", "q5"];
+
+    let mut clean = Warehouse::new(WarehouseConfig::with_strategy(Strategy::LupPd));
+    upload(&mut clean, &docs);
+    clean.build_index();
+
+    let mut cfg = faulty_config(0.08);
+    cfg.strategy = Strategy::LupPd;
+    let mut faulty = Warehouse::new(cfg);
+    upload(&mut faulty, &docs);
+    faulty.build_index();
+
+    // Deltas from here on isolate the query phase (the builds above also
+    // touch S3, and the faulty build gets throttled on its own).
+    let clean_scans_before = clean.world().s3.stats().scan_requests;
+    let faulty_scans_before = faulty.world().s3.stats().scan_requests;
+    let faulty_bytes_before = faulty.world().s3.stats().bytes_scanned;
+    let clean_bytes_before = clean.world().s3.stats().bytes_scanned;
+    let throttled_before = faulty.world().s3.stats().throttled;
+
+    let (mut clean_cost, mut faulty_cost) = (Money::ZERO, Money::ZERO);
+    for name in queries {
+        let q = workload_query(name).unwrap();
+        let a = clean.run_query(&q);
+        let b = faulty.run_query(&q);
+        clean_cost += a.cost.total();
+        faulty_cost += b.cost.total();
+        let mut ra = a.exec.results.clone();
+        let mut rb = b.exec.results.clone();
+        ra.sort_by(|x, y| x.columns.cmp(&y.columns));
+        rb.sort_by(|x, y| x.columns.cmp(&y.columns));
+        assert_eq!(ra, rb, "{name}: faults must not change pushdown answers");
+    }
+
+    let clean_scans = clean.world().s3.stats().scan_requests - clean_scans_before;
+    let faulty_scans = faulty.world().s3.stats().scan_requests - faulty_scans_before;
+    let throttled = faulty.world().s3.stats().throttled - throttled_before;
+    assert!(clean_scans > 0, "LUP-PD queries must answer through scans");
+    assert!(throttled > 0, "8% faults must throttle mid-query");
+    // Every throttle is re-billed as a fresh scan request, so the faulty
+    // run issues strictly more of them than the fault-free run (the
+    // throttled counter also covers the per-query result GET, hence <=).
+    assert!(
+        faulty_scans > clean_scans,
+        "retried scans must be re-billed: {faulty_scans} vs {clean_scans}"
+    );
+    assert!(faulty_scans - clean_scans <= throttled);
+    // Stateless: a throttle meters no scanned volume — only successful
+    // scans do, and a (rare) abandoned-and-retried query can only rescan,
+    // never partially scan.
+    let clean_bytes = clean.world().s3.stats().bytes_scanned - clean_bytes_before;
+    let faulty_bytes = faulty.world().s3.stats().bytes_scanned - faulty_bytes_before;
+    assert!(faulty_bytes >= clean_bytes);
+    assert!(
+        faulty_cost > clean_cost,
+        "billed throttles must surface in the bill: faulty {faulty_cost} vs clean {clean_cost}"
+    );
 }
