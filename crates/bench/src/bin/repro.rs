@@ -28,8 +28,14 @@
 //!            shipping, swept across predicate selectivity with the $
 //!            crossover (beyond the paper; not part of `all` so `all`
 //!            stays byte-comparable to pre-pushdown runs)
-//!   all      everything above except `fault`, `scale` and `pushdown`,
-//!            in order
+//!   churn    Figure 13 under document churn: per-run index maintenance
+//!            (incremental rebuild + stale-entry retraction) vs. query
+//!            savings, swept across update rates, with the rate at which
+//!            the advisor flips to "index nothing" (beyond the paper;
+//!            not part of `all` so `all` stays byte-comparable to
+//!            pre-churn runs)
+//!   all      everything above except `fault`, `scale`, `pushdown` and
+//!            `churn`, in order
 //! ```
 //!
 //! A second mode runs the differential correctness harness instead of the
@@ -112,14 +118,15 @@ fn main() {
 
     let known: &[&str] = &[
         "table4", "fig7", "fig8", "table5", "fig9", "fig10", "table6", "fig11", "fig12", "fig13",
-        "table7", "table8", "ablation", "trace", "fault", "scale", "perf", "pushdown",
+        "table7", "table8", "ablation", "trace", "fault", "scale", "perf", "pushdown", "churn",
     ];
     // `all` deliberately leaves `fault` (output depends on
     // AMADA_FAULT_SEED), `scale` (beyond-the-paper elasticity run),
-    // `perf` (host wall-clock timings) and `pushdown` (beyond-the-paper
-    // selectivity sweep) out, so `all` stays byte-comparable run to run
-    // and release to release.
-    let excluded = ["fault", "scale", "perf", "pushdown"];
+    // `perf` (host wall-clock timings), `pushdown` (beyond-the-paper
+    // selectivity sweep) and `churn` (beyond-the-paper churn-rate sweep)
+    // out, so `all` stays byte-comparable run to run and release to
+    // release.
+    let excluded = ["fault", "scale", "perf", "pushdown", "churn"];
     let selected: Vec<&str> = if artifacts == ["all"] {
         known
             .iter()
@@ -246,6 +253,7 @@ fn compute(scale: &Scale, selected: &[&str]) -> Vec<Computed> {
                             "scale" => exp::elastic(scale).to_string(),
                             "perf" => exp::perf(scale),
                             "pushdown" => exp::pushdown(scale).to_string(),
+                            "churn" => exp::churn(scale).to_string(),
                             _ => unreachable!("validated in main"),
                         };
                         (artifact.to_string(), body, start.elapsed().as_secs_f64())
@@ -328,6 +336,15 @@ fn write_report(
         exp::pushdown::PUSHDOWN_SCANNED_BYTES.load(std::sync::atomic::Ordering::Relaxed),
         exp::pushdown::PUSHDOWN_RETURNED_BYTES.load(std::sync::atomic::Ordering::Relaxed)
     ));
+    // Zero when the `churn` artifact was not selected.
+    json.push_str(&format!(
+        "  \"churn\": {{ \"sweep_points\": {}, \"strategy_flips\": {}, \"retracted_items\": {}, \
+         \"advisor_flip_pct\": {} }},\n",
+        exp::churn::CHURN_POINTS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::churn::CHURN_FLIPS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::churn::CHURN_RETRACTED_ITEMS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::churn::CHURN_ADVISOR_FLIP_PCT.load(std::sync::atomic::Ordering::Relaxed)
+    ));
     // Null when the `perf` artifact was not selected.
     json.push_str(&format!(
         "  \"perf\": {}\n",
@@ -365,6 +382,9 @@ fn title(artifact: &str) -> &'static str {
         }
         "pushdown" => {
             "Pushdown - storage-side filtering vs. document shipping by selectivity (beyond the paper)"
+        }
+        "churn" => {
+            "Churn - index maintenance vs. query savings by update rate (beyond the paper)"
         }
         _ => "unknown",
     }
@@ -450,7 +470,7 @@ fn print_usage() {
         "repro - regenerate the paper's tables and figures\n\n\
          usage: repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R] [--enforce]\n\
          \x20      repro check [--seed N[,N...]] [--cases M] [--billing-every K]\n\n\
-         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale perf pushdown all\n\n\
+         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale perf pushdown churn all\n\n\
          --enforce (with perf): exit non-zero when a release build regresses more\n\
          than 30% past the repo-pinned parse / tokenize / decode rates or the\n\
          twig-join latency ceiling"

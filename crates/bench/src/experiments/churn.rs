@@ -1,0 +1,263 @@
+//! The document-churn experiment (beyond the paper's figures): Figure 13
+//! extended to a corpus that keeps changing.
+//!
+//! Figure 13 asks how many workload runs it takes for an index to pay for
+//! itself on a *static* corpus. Under churn the question inverts: each
+//! workload run is now accompanied by a churn round replacing a fraction
+//! of the documents, and every replaced document costs an incremental
+//! index maintenance bill — the loader re-fetches and re-indexes the new
+//! version and retracts the old version's stale entries (billed deletes
+//! on DynamoDB, free on S3). The no-index scan pays none of that: new
+//! versions simply overwrite their objects.
+//!
+//! The sweep raises the churn rate from 0% to 100% of the corpus per
+//! workload run and reports, per strategy, the maintenance bill and the
+//! *net* benefit per run (query savings − maintenance). The tests pin the
+//! crossover: every strategy's net is positive on the static corpus and
+//! negative at full churn, so somewhere in between the index stops paying
+//! — and the advisor ([`amada_core::advise_churn`]), fed the same churn
+//! rate, flips its recommendation to the "index nothing" candidate.
+
+use crate::{corpus, strategy_warehouse, Scale, TextTable};
+use amada_cloud::{InstanceType, Money};
+use amada_core::{advise_churn, Pool, WarehouseConfig};
+use amada_index::Strategy;
+use amada_xmark::generate_document;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sweep points run (for `BENCH_repro.json`).
+pub static CHURN_POINTS: AtomicU64 = AtomicU64::new(0);
+/// Strategies whose net benefit flipped negative within the sweep.
+pub static CHURN_FLIPS: AtomicU64 = AtomicU64::new(0);
+/// Stale index items retracted across all maintenance rounds.
+pub static CHURN_RETRACTED_ITEMS: AtomicU64 = AtomicU64::new(0);
+/// First churn rate (percent) at which the advisor picked "index
+/// nothing"; 0 when it never flipped.
+pub static CHURN_ADVISOR_FLIP_PCT: AtomicU64 = AtomicU64::new(0);
+
+/// Churn rates swept: percent of the corpus replaced per workload run.
+pub const RATES: [u64; 6] = [0, 5, 10, 25, 50, 100];
+
+/// The five competitors, in column order.
+pub const STRATEGIES: [Strategy; 5] = [
+    Strategy::Lu,
+    Strategy::Lup,
+    Strategy::Lui,
+    Strategy::TwoLupi,
+    Strategy::LupPd,
+];
+
+/// Advisor horizon: enough workload runs that indexing clearly pays on
+/// the static corpus, so any "index nothing" verdict is churn's doing.
+const ADVISOR_RUNS: u32 = 500;
+
+/// One sweep point: every strategy's maintenance bill and net benefit
+/// per workload run at this churn rate.
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Percent of the corpus replaced per workload run.
+    pub rate_pct: u64,
+    /// Documents that rate replaces.
+    pub replaced: usize,
+    /// `(strategy name, maintenance $, net picodollars)` in
+    /// [`STRATEGIES`] order; net = query savings − maintenance, signed
+    /// because maintenance overtakes the savings along the sweep.
+    pub per_strategy: Vec<(&'static str, Money, i128)>,
+    /// The strategy with the best positive net, or `"none"` when every
+    /// index loses money per run at this rate.
+    pub best: &'static str,
+    /// What the advisor recommends at this churn rate (`"none"` for the
+    /// index-nothing candidate).
+    pub advisor: &'static str,
+}
+
+/// Runs the sweep. Each strategy keeps one warehouse alive across the
+/// whole sweep: its query savings are measured once on the fresh corpus,
+/// then every rate applies one churn round (replace + incremental
+/// rebuild) and bills it.
+pub fn churn_rows(scale: &Scale) -> Vec<ChurnRow> {
+    let docs = corpus(scale);
+    let queries = crate::workload();
+
+    // Per strategy: a live warehouse and its per-run query savings.
+    let mut fleet = Vec::new();
+    for strategy in STRATEGIES {
+        let (mut w, _) = strategy_warehouse(strategy, &docs);
+        w.set_query_pool(Pool::new(1, InstanceType::Large));
+        let indexed = w.run_workload(&queries, 1).cost.total();
+        let baseline = w.run_workload_no_index(&queries, 1).cost.total();
+        fleet.push((strategy, w, baseline.signed_diff(indexed)));
+    }
+
+    // The advisor prices the same trade on a small sample.
+    let sample: Vec<(String, String)> = docs.iter().take(docs.len().min(30)).cloned().collect();
+
+    let mut rows = Vec::new();
+    let mut retracted_total = 0u64;
+    let mut advisor_flip = 0u64;
+    for (round, &rate_pct) in RATES.iter().enumerate() {
+        let replaced = (docs.len() as u64 * rate_pct).div_ceil(100) as usize;
+        let mut per_strategy = Vec::new();
+        for (strategy, w, benefit) in fleet.iter_mut() {
+            let maintenance = if replaced == 0 {
+                Money::ZERO
+            } else {
+                // New versions: the same document slots regenerated under
+                // a round-specific seed, so every replaced document truly
+                // changes and old entries go stale.
+                let mut cc = scale.corpus_config();
+                cc.seed = scale.seed ^ (round as u64).wrapping_mul(0x9E37_79B9) ^ 0xC0DE;
+                w.upload_documents(
+                    docs.iter()
+                        .take(replaced)
+                        .enumerate()
+                        .map(|(i, (uri, _))| (uri.clone(), generate_document(&cc, i).xml)),
+                );
+                let report = w.build_index();
+                retracted_total += report.retracted_items;
+                report.cost.total()
+            };
+            per_strategy.push((
+                strategy.name(),
+                maintenance,
+                *benefit - maintenance.pico() as i128,
+            ));
+        }
+        let best = per_strategy
+            .iter()
+            .filter(|(_, _, net)| *net > 0)
+            .max_by_key(|(_, _, net)| *net)
+            .map_or("none", |(name, _, _)| name);
+        let advice = advise_churn(
+            &sample,
+            &queries,
+            ADVISOR_RUNS,
+            1.0,
+            rate_pct as f64 / 100.0,
+            &WarehouseConfig::default(),
+        );
+        let advisor = advice.best().strategy.map_or("none", |s| s.name());
+        if advisor == "none" && advisor_flip == 0 {
+            // Rate 0 can't flip: the advisor charges no maintenance there.
+            advisor_flip = rate_pct.max(1);
+        }
+        rows.push(ChurnRow {
+            rate_pct,
+            replaced,
+            per_strategy,
+            best,
+            advisor,
+        });
+    }
+
+    let flips = STRATEGIES
+        .iter()
+        .enumerate()
+        .filter(|(si, _)| {
+            rows.first().is_some_and(|r| r.per_strategy[*si].2 > 0)
+                && rows.last().is_some_and(|r| r.per_strategy[*si].2 <= 0)
+        })
+        .count() as u64;
+    CHURN_POINTS.store(rows.len() as u64, Ordering::Relaxed);
+    CHURN_FLIPS.store(flips, Ordering::Relaxed);
+    CHURN_RETRACTED_ITEMS.store(retracted_total, Ordering::Relaxed);
+    CHURN_ADVISOR_FLIP_PCT.store(advisor_flip, Ordering::Relaxed);
+    rows
+}
+
+/// The `repro churn` artifact.
+pub fn churn(scale: &Scale) -> TextTable {
+    render(&churn_rows(scale))
+}
+
+/// Renders already-computed rows.
+pub fn render(rows: &[ChurnRow]) -> TextTable {
+    let mut t = TextTable::new([
+        "churn %/run",
+        "replaced",
+        "LU net ($)",
+        "LUP net ($)",
+        "LUI net ($)",
+        "2LUPI net ($)",
+        "LUP-PD net ($)",
+        "LUP maint ($)",
+        "best",
+        "advisor",
+    ]);
+    for r in rows {
+        let net = |i: usize| format!("{:+.4}", r.per_strategy[i].2 as f64 / 1e12);
+        t.row([
+            r.rate_pct.to_string(),
+            r.replaced.to_string(),
+            net(0),
+            net(1),
+            net(2),
+            net(3),
+            net(4),
+            format!("${:.4}", r.per_strategy[1].1.dollars()),
+            r.best.to_string(),
+            r.advisor.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_strategy_crosses_over_and_the_advisor_flips() {
+        let rows = churn_rows(&Scale::tiny());
+        assert_eq!(rows.len(), RATES.len());
+        let (first, last) = (&rows[0], rows.last().unwrap());
+
+        // Static corpus: no maintenance, every index saves money per run,
+        // and both the measurement and the advisor pick an index.
+        assert_eq!(first.replaced, 0);
+        for (name, maint, net) in &first.per_strategy {
+            assert_eq!(*maint, Money::ZERO, "{name}");
+            assert!(*net > 0, "{name} must save money on a static corpus");
+        }
+        assert_ne!(first.best, "none");
+        assert_ne!(first.advisor, "none", "{first:?}");
+
+        // Full churn: re-indexing the whole corpus every run costs more
+        // than any strategy's query savings — indexing is a net loss and
+        // the advisor agrees.
+        for (name, maint, net) in &last.per_strategy {
+            assert!(*maint > Money::ZERO, "{name}");
+            assert!(*net < 0, "{name} must lose money at 100% churn");
+        }
+        assert_eq!(last.best, "none");
+        assert_eq!(last.advisor, "none", "{last:?}");
+
+        // Maintenance only grows with the churn rate, so each strategy's
+        // net crosses zero exactly once: the crossover is well defined
+        // and every strategy has one inside the sweep.
+        for (si, strategy) in STRATEGIES.iter().enumerate() {
+            for w in rows.windows(2) {
+                assert!(
+                    w[0].per_strategy[si].1 <= w[1].per_strategy[si].1,
+                    "{}: maintenance must be monotone in the churn rate",
+                    strategy.name()
+                );
+            }
+        }
+        assert_eq!(CHURN_FLIPS.load(Ordering::Relaxed), STRATEGIES.len() as u64);
+        assert!(CHURN_RETRACTED_ITEMS.load(Ordering::Relaxed) > 0);
+        let flip = CHURN_ADVISOR_FLIP_PCT.load(Ordering::Relaxed);
+        assert!(
+            (1..=100).contains(&flip),
+            "the advisor must flip to index-nothing within the sweep (got {flip})"
+        );
+    }
+
+    #[test]
+    fn same_scale_same_table() {
+        let scale = Scale::tiny();
+        let a = render(&churn_rows(&scale));
+        let b = render(&churn_rows(&scale));
+        assert_eq!(a.to_string(), b.to_string());
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod amortize;
+pub mod churn;
 pub mod comparison;
 pub mod elastic;
 pub mod fault;
@@ -14,6 +15,7 @@ pub mod trace;
 
 pub use ablation::ablation;
 pub use amortize::fig13;
+pub use churn::churn;
 pub use comparison::{comparison_suite, table7, table8, ComparisonSuite};
 pub use elastic::elastic;
 pub use fault::fault;

@@ -11,8 +11,21 @@ use amada_rng::StdRng;
 use amada_xmark::{generate_document, CorpusConfig};
 use amada_xml::{tokenize, Document, NodeKind};
 
-/// One generated check case: a corpus and a query text, both of which
-/// re-parse deterministically.
+/// One churn operation, applied to the warehouse after the initial
+/// corpus is uploaded and indexed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// (Re-)upload `uri` with `xml`: a grown, shrunk or byte-identical
+    /// replacement — or a fresh document under a previously deleted URI.
+    Upload { uri: String, xml: String },
+    /// Delete `uri` from the warehouse.
+    Delete { uri: String },
+    /// Drain the loader queue (an index build) mid-sequence.
+    Build,
+}
+
+/// One generated check case: a corpus, a query text (both of which
+/// re-parse deterministically) and an optional churn script.
 #[derive(Debug, Clone)]
 pub struct Case {
     /// Master seed the case derives from.
@@ -21,6 +34,8 @@ pub struct Case {
     pub index: usize,
     /// `(uri, xml)` corpus documents.
     pub docs: Vec<(String, String)>,
+    /// Churn script applied after the initial corpus is indexed.
+    pub churn: Vec<ChurnOp>,
     /// Canonical query text (round-trips through the parser).
     pub query: String,
     /// Whether full-text word keys are extracted and used.
@@ -35,15 +50,38 @@ pub fn generate_case(seed: u64, index: usize) -> Case {
             .wrapping_add(0xA3ADA),
     );
     let docs = gen_docs(&mut rng, index);
-    let vocab = Vocab::collect(&docs);
+    let churn = gen_churn(&mut rng, &docs);
+    // Queries draw from both the initial and the post-churn corpus, so
+    // look-ups target retracted content as often as surviving content.
+    let mut union = docs.clone();
+    union.extend(final_docs(&docs, &churn));
+    let vocab = Vocab::collect(&union);
     let query = gen_query(&mut rng, &vocab);
     Case {
         seed,
         index,
         docs,
+        churn,
         query,
         index_words: rng.gen_bool(0.8),
     }
+}
+
+/// The corpus that survives a case's churn script: replacements applied
+/// in place, deletions removed, re-adds appended.
+pub fn final_docs(docs: &[(String, String)], churn: &[ChurnOp]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = docs.to_vec();
+    for op in churn {
+        match op {
+            ChurnOp::Upload { uri, xml } => match out.iter_mut().find(|(u, _)| u == uri) {
+                Some(slot) => slot.1 = xml.clone(),
+                None => out.push((uri.clone(), xml.clone())),
+            },
+            ChurnOp::Delete { uri } => out.retain(|(u, _)| u != uri),
+            ChurnOp::Build => {}
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -84,6 +122,50 @@ fn gen_docs(rng: &mut StdRng, case_index: usize) -> Vec<(String, String)> {
             (uri, xml)
         })
         .collect()
+}
+
+/// A churn script over the generated corpus: the mutation kinds that
+/// have historically hidden stale-index bugs — grown, shrunk and
+/// byte-identical re-uploads, deletes, and delete-then-re-add under the
+/// same URI — interleaved with mid-sequence index builds.
+fn gen_churn(rng: &mut StdRng, docs: &[(String, String)]) -> Vec<ChurnOp> {
+    if rng.gen_bool(0.5) {
+        return Vec::new();
+    }
+    let mut ops = Vec::new();
+    for _ in 0..rng.gen_range(1..=3usize) {
+        let (uri, xml) = rng.choose(docs).clone();
+        match rng.gen_range(0..5u32) {
+            // Grown: the old content survives under a new root, plus new
+            // keys — retraction must remove nothing that still exists.
+            0 => ops.push(ChurnOp::Upload {
+                uri,
+                xml: format!("<r>{xml}<grown><name>beta gamma</name></grown></r>"),
+            }),
+            // Shrunk: almost every old key goes stale at once.
+            1 => ops.push(ChurnOp::Upload {
+                uri,
+                xml: "<item><name>alpha</name></item>".to_string(),
+            }),
+            // Byte-identical: a replace that must retract nothing.
+            2 => ops.push(ChurnOp::Upload { uri, xml }),
+            3 => ops.push(ChurnOp::Delete { uri }),
+            // Delete, then re-add different content under the same URI —
+            // sometimes with a build (and its retraction) in between.
+            _ => {
+                ops.push(ChurnOp::Delete { uri: uri.clone() });
+                if rng.gen_bool(0.5) {
+                    ops.push(ChurnOp::Build);
+                }
+                let xml = gen_adversarial(rng);
+                ops.push(ChurnOp::Upload { uri, xml });
+            }
+        }
+        if rng.gen_bool(0.3) {
+            ops.push(ChurnOp::Build);
+        }
+    }
+    ops
 }
 
 /// An adversarial document: deep recursion, repeated labels, empty / huge
@@ -452,6 +534,7 @@ mod tests {
             let a = generate_case(42, index);
             let b = generate_case(42, index);
             assert_eq!(a.docs, b.docs);
+            assert_eq!(a.churn, b.churn);
             assert_eq!(a.query, b.query);
             assert_eq!(a.index_words, b.index_words);
         }
@@ -476,5 +559,59 @@ mod tests {
             let q = parse_query(&case.query).expect("query must parse");
             assert_eq!(q.to_string(), case.query, "display must round-trip");
         }
+    }
+
+    #[test]
+    fn churn_scripts_cover_every_mutation_kind_and_stay_parseable() {
+        let (mut uploads, mut deletes, mut builds, mut identical) = (0, 0, 0, 0);
+        for index in 0..60 {
+            let case = generate_case(11, index);
+            for op in &case.churn {
+                match op {
+                    ChurnOp::Upload { uri, xml } => {
+                        uploads += 1;
+                        if case.docs.iter().any(|(u, x)| u == uri && x == xml) {
+                            identical += 1;
+                        }
+                        Document::parse_str(uri.clone(), xml).expect("churn XML must parse");
+                    }
+                    ChurnOp::Delete { .. } => deletes += 1,
+                    ChurnOp::Build => builds += 1,
+                }
+            }
+            for (uri, xml) in final_docs(&case.docs, &case.churn) {
+                Document::parse_str(uri, &xml).expect("final corpus must parse");
+            }
+        }
+        assert!(uploads > 0 && deletes > 0 && builds > 0 && identical > 0);
+    }
+
+    #[test]
+    fn final_docs_replays_replace_delete_and_readd() {
+        let docs = vec![
+            ("a.xml".to_string(), "<a/>".to_string()),
+            ("b.xml".to_string(), "<b/>".to_string()),
+        ];
+        let churn = vec![
+            ChurnOp::Upload {
+                uri: "a.xml".into(),
+                xml: "<a2/>".into(),
+            },
+            ChurnOp::Delete {
+                uri: "b.xml".into(),
+            },
+            ChurnOp::Build,
+            ChurnOp::Upload {
+                uri: "b.xml".into(),
+                xml: "<b2/>".into(),
+            },
+        ];
+        assert_eq!(
+            final_docs(&docs, &churn),
+            vec![
+                ("a.xml".to_string(), "<a2/>".to_string()),
+                ("b.xml".to_string(), "<b2/>".to_string()),
+            ]
+        );
     }
 }

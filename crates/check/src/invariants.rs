@@ -17,7 +17,7 @@
 use crate::gen::Case;
 use amada_cloud::{FaultConfig, Money, ServiceKind, Span, World};
 use amada_core::{Warehouse, WarehouseConfig};
-use amada_index::{ExtractOptions, Strategy};
+use amada_index::ExtractOptions;
 use amada_pattern::Query;
 
 /// Checks that per-service span charges reproduce the ledger.
@@ -117,14 +117,7 @@ fn run_pipeline(
 ) -> (Vec<String>, Vec<String>, Warehouse) {
     // Rotate the strategy with the case index so all five (the four paper
     // strategies plus pushdown) are exercised across a seed's cases.
-    const ROTATION: [Strategy; 5] = [
-        Strategy::Lu,
-        Strategy::Lup,
-        Strategy::Lui,
-        Strategy::TwoLupi,
-        Strategy::LupPd,
-    ];
-    let strategy = ROTATION[case.index % ROTATION.len()];
+    let strategy = crate::case_strategy(case.index);
     let mut cfg = WarehouseConfig::with_strategy(strategy);
     cfg.extract = ExtractOptions {
         index_words: case.index_words,

@@ -21,18 +21,39 @@
 //! * **E — billing** (sampled): the recorder's span charges reconcile
 //!   with the ledger exactly, and the metamorphic invariances hold
 //!   (recorder on/off, explicit zero fault rates, batching on/off).
+//! * **F — churn**: when the case carries a churn script (re-uploads,
+//!   deletes, delete-then-re-add), replaying it against a warehouse must
+//!   converge — index bytes, file store, accounting and answers — to a
+//!   fresh build of the surviving corpus.
 //!
-//! On a violation the failing case is *shrunk* — fewer documents, smaller
-//! documents, smaller query — and printed as a self-contained reproducer.
+//! On a violation the failing case is *shrunk* — fewer documents, fewer
+//! churn operations, smaller documents, smaller query — and printed as a
+//! self-contained reproducer.
 
 pub mod gen;
 pub mod invariants;
 pub mod oracles;
 pub mod shrink;
 
-pub use gen::{generate_case, Case};
+use amada_index::Strategy;
+
+pub use gen::{final_docs, generate_case, Case, ChurnOp};
 pub use oracles::{check_case, Violation};
 pub use shrink::{shrink_case, Reproducer};
+
+/// The strategy a case exercises in warehouse-level oracles (billing,
+/// churn): rotates through all five — the four paper strategies plus
+/// pushdown — with the case index.
+pub fn case_strategy(index: usize) -> Strategy {
+    const ROTATION: [Strategy; 5] = [
+        Strategy::Lu,
+        Strategy::Lup,
+        Strategy::Lui,
+        Strategy::TwoLupi,
+        Strategy::LupPd,
+    ];
+    ROTATION[index % ROTATION.len()]
+}
 
 /// A deliberate bug injected into the look-up path, used to validate that
 /// the harness actually catches (and shrinks) strategy-equivalence bugs.
@@ -46,6 +67,11 @@ pub enum Mutation {
     /// Breaks the containment oracle (LUP ⊄ LU) whenever a document has a
     /// path's terminal label but lacks an inner label.
     SkipLupPathFilter,
+    /// The front end forgets every pending retraction before each index
+    /// build: stale entries from replaced documents are never deleted.
+    /// Breaks the churn oracle (churned index ≠ fresh build) on any
+    /// key-changing re-upload.
+    DropRetractions,
 }
 
 /// Harness configuration for one seed.

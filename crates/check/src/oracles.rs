@@ -6,11 +6,12 @@
 //! a [`Violation`] carrying enough detail to read the failure without
 //! re-running anything.
 
-use crate::gen::Case;
+use crate::gen::{final_docs, Case, ChurnOp};
 use crate::invariants;
 use crate::Mutation;
 use amada_cloud::ObjectPredicate;
 use amada_cloud::{DynamoDb, KvError, KvProfile, KvStore, SimTime, SimpleDb};
+use amada_core::{Warehouse, WarehouseConfig, DOC_BUCKET};
 use amada_index::lookup::query_paths;
 use amada_index::store::{
     decode_id_lists, decode_id_postings, decode_path_lists, decode_presence_uris, encode_entry,
@@ -80,6 +81,10 @@ pub fn check_case(case: &Case, mutation: Mutation, billing: bool) -> Result<(), 
     }
 
     oracle_round_trip(&docs, opts)?;
+
+    if !case.churn.is_empty() {
+        oracle_churn(case, &query, mutation)?;
+    }
 
     if billing {
         invariants::billing_oracle(case, &query).map_err(|d| violation("billing", d))?;
@@ -361,6 +366,124 @@ fn oracle_pushdown_answers(
                 "{} / LUP-PD: pushdown answers differ from the no-index scan\n  \
                  no-index: {truth:?}\n  LUP-PD: {answers:?}",
                 backend.name(),
+            ),
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Oracle F — churn convergence: replayed mutations ≡ a fresh build
+// ---------------------------------------------------------------------------
+
+/// Replays the case's churn script against a live warehouse — initial
+/// corpus uploaded and indexed, then re-uploads / deletes / mid-sequence
+/// builds in order, then a final build — and demands convergence with a
+/// fresh warehouse of the surviving corpus: byte-identical index items,
+/// byte-identical file store, equal accounting, and query answers equal
+/// to the no-index scan of the survivors.
+fn oracle_churn(case: &Case, query: &Query, mutation: Mutation) -> Result<(), Violation> {
+    let strategy = crate::case_strategy(case.index);
+    let mk = || {
+        let mut cfg = WarehouseConfig::with_strategy(strategy);
+        cfg.extract = ExtractOptions {
+            index_words: case.index_words,
+        };
+        Warehouse::new(cfg)
+    };
+    // The injected `DropRetractions` bug: pending retractions vanish
+    // before every build, so stale entries survive any replace.
+    let build = |w: &mut Warehouse| {
+        if mutation == Mutation::DropRetractions {
+            w.retraction_registry().borrow_mut().clear();
+        }
+        w.build_index();
+    };
+
+    let mut churned = mk();
+    churned.upload_documents(case.docs.clone());
+    build(&mut churned);
+    for op in &case.churn {
+        match op {
+            ChurnOp::Upload { uri, xml } => {
+                churned.upload_documents([(uri.clone(), xml.clone())]);
+            }
+            ChurnOp::Delete { uri } => {
+                churned.delete_documents([uri.clone()]);
+            }
+            ChurnOp::Build => build(&mut churned),
+        }
+    }
+    build(&mut churned);
+
+    let survivors = final_docs(&case.docs, &case.churn);
+    let mut fresh = mk();
+    fresh.upload_documents(survivors.clone());
+    fresh.build_index();
+
+    let ctx = || format!("{} after {:?}", strategy.name(), case.churn);
+    let (churned_kv, fresh_kv) = (churned.world().kv.peek_all(), fresh.world().kv.peek_all());
+    if churned_kv != fresh_kv {
+        let stale: Vec<_> = churned_kv
+            .iter()
+            .filter(|i| !fresh_kv.contains(i))
+            .collect();
+        let missing: Vec<_> = fresh_kv
+            .iter()
+            .filter(|i| !churned_kv.contains(i))
+            .collect();
+        return Err(violation(
+            "churn",
+            format!(
+                "{}: churned index differs from a fresh build of the survivors\n  \
+                 stale (churned only): {stale:?}\n  missing (fresh only): {missing:?}",
+                ctx()
+            ),
+        ));
+    }
+    if churned.world().s3.peek_all(DOC_BUCKET) != fresh.world().s3.peek_all(DOC_BUCKET) {
+        return Err(violation(
+            "churn",
+            format!("{}: churned file store differs from the survivors", ctx()),
+        ));
+    }
+    if churned.corpus_bytes() != fresh.corpus_bytes()
+        || churned.storage_cost() != fresh.storage_cost()
+    {
+        return Err(violation(
+            "churn",
+            format!(
+                "{}: accounting diverged — {} vs {} corpus bytes, {:?} vs {:?} storage",
+                ctx(),
+                churned.corpus_bytes(),
+                fresh.corpus_bytes(),
+                churned.storage_cost(),
+                fresh.storage_cost(),
+            ),
+        ));
+    }
+
+    // Answers on the churned warehouse must equal the no-index scan of
+    // the surviving corpus — a stale candidate that slips through would
+    // resurface retracted content here.
+    let docs: Vec<Document> = survivors
+        .iter()
+        .map(|(uri, xml)| Document::parse_str(uri.clone(), xml).expect("survivors parse"))
+        .collect();
+    let truth_tuples: Vec<Vec<Tuple>> = query
+        .patterns
+        .iter()
+        .map(|p| eval_pattern(&docs, None, p))
+        .collect();
+    let truth = canon_joined(&join_pattern_results(query, &truth_tuples));
+    let answers = canon_joined(&churned.run_query(query).exec.results);
+    if answers != truth {
+        return Err(violation(
+            "churn",
+            format!(
+                "{}: churned answers differ from the survivors' no-index scan\n  \
+                 no-index: {truth:?}\n  churned:  {answers:?}",
+                ctx()
             ),
         ));
     }

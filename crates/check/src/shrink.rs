@@ -8,7 +8,7 @@
 //! process is bounded by a re-check budget so a slow oracle cannot stall
 //! the run.
 
-use crate::gen::Case;
+use crate::gen::{Case, ChurnOp};
 use crate::oracles::{check_case, Violation};
 use crate::Mutation;
 use amada_pattern::{parse_query, Query};
@@ -57,6 +57,16 @@ impl fmt::Display for Reproducer {
             writeln!(f, "--- {uri} ---")?;
             writeln!(f, "{xml}")?;
         }
+        if !self.case.churn.is_empty() {
+            writeln!(f, "churn ({} ops):", self.case.churn.len())?;
+            for op in &self.case.churn {
+                match op {
+                    ChurnOp::Upload { uri, xml } => writeln!(f, "  upload {uri}: {xml}")?,
+                    ChurnOp::Delete { uri } => writeln!(f, "  delete {uri}")?,
+                    ChurnOp::Build => writeln!(f, "  build")?,
+                }
+            }
+        }
         writeln!(f, "violation ({} rechecks spent shrinking):", self.rechecks)?;
         writeln!(f, "{}", self.violation)?;
         write!(
@@ -84,6 +94,7 @@ pub fn shrink_case(case: &Case, mutation: Mutation, billing: bool) -> Reproducer
 
     loop {
         let before = fingerprint(&best);
+        shrink_churn_away(&mut best, &mut still_fails);
         shrink_docs_away(&mut best, &mut still_fails);
         shrink_doc_contents(&mut best, &mut still_fails);
         shrink_query(&mut best, &mut still_fails);
@@ -102,12 +113,34 @@ pub fn shrink_case(case: &Case, mutation: Mutation, billing: bool) -> Reproducer
     }
 }
 
-fn fingerprint(case: &Case) -> (usize, usize, String) {
+fn fingerprint(case: &Case) -> (usize, usize, usize, String) {
     (
         case.docs.len(),
         case.docs.iter().map(|(_, x)| x.len()).sum(),
+        case.churn.len(),
         case.query.clone(),
     )
+}
+
+// ---------------------------------------------------------------------------
+// Axis 0: fewer churn operations
+// ---------------------------------------------------------------------------
+
+/// Drops churn operations one at a time. Any remainder stays replayable:
+/// a delete of an absent URI is a no-op and an upload of an absent URI
+/// just creates the document, so order-sensitive pairs (delete then
+/// re-add) shrink safely.
+fn shrink_churn_away(case: &mut Case, still_fails: &mut impl FnMut(&Case) -> bool) {
+    let mut i = 0;
+    while i < case.churn.len() {
+        let mut candidate = case.clone();
+        candidate.churn.remove(i);
+        if still_fails(&candidate) {
+            *case = candidate;
+        } else {
+            i += 1;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -55,3 +55,29 @@ fn injected_mutation_is_caught_and_shrunk() {
         "{rendered}"
     );
 }
+
+#[test]
+fn dropped_retractions_are_caught_by_the_churn_oracle() {
+    // If the front end forgets pending retractions, any key-changing
+    // re-upload leaves stale index entries behind; the churn oracle must
+    // see the churned index diverge from a fresh build of the survivors.
+    let mut caught = None;
+    for seed in 1u64..=6 {
+        let mut cfg = CheckConfig::new(seed, 40);
+        cfg.billing_every = 0;
+        cfg.mutation = Mutation::DropRetractions;
+        let outcome = run_check(&cfg);
+        if let Some(repro) = outcome.failure {
+            caught = Some(repro);
+            break;
+        }
+    }
+    let repro = caught.expect("DropRetractions must be caught within 6 seeds x 40 cases");
+    assert_eq!(repro.violation.oracle, "churn");
+    assert!(
+        !repro.case.churn.is_empty(),
+        "a churn violation needs churn operations"
+    );
+    let rendered = repro.to_string();
+    assert!(rendered.contains("churn ("), "{rendered}");
+}

@@ -256,6 +256,68 @@ impl KvStore for DynamoDb {
         Ok(ready)
     }
 
+    fn batch_delete(
+        &mut self,
+        now: SimTime,
+        table: &str,
+        keys: &[(String, String)],
+    ) -> Result<SimTime, KvError> {
+        if keys.len() > BATCH_PUT_LIMIT {
+            return Err(KvError::BatchTooLarge {
+                limit: BATCH_PUT_LIMIT,
+                got: keys.len(),
+            });
+        }
+        if !self.tables.contains_key(table) {
+            return Err(KvError::NoSuchTable(table.to_string()));
+        }
+        self.maybe_throttle(now, true)?;
+        let t = self.table_mut(table)?;
+        let mut units = 0.0;
+        let mut billed_units = 0u64;
+        let mut raw_delta: i64 = 0;
+        let mut ovh_delta: i64 = 0;
+        for (hash, range) in keys {
+            let removed = match t.get_mut(hash) {
+                Some(rows) => {
+                    let old = rows.remove(range);
+                    if rows.is_empty() {
+                        t.remove(hash);
+                    }
+                    old
+                }
+                None => None,
+            };
+            // DeleteItem consumes write capacity sized by the *deleted*
+            // item — and a delete of a nonexistent item still consumes
+            // one write unit, which is what keeps retried deletes billed
+            // (and idempotent) rather than free no-ops.
+            let item_units = match &removed {
+                Some(old) => {
+                    let size = old.byte_size();
+                    raw_delta -= size as i64;
+                    ovh_delta -= ITEM_OVERHEAD_BYTES as i64;
+                    Self::write_units(size)
+                }
+                None => Self::write_units(0),
+            };
+            units += item_units;
+            billed_units += (item_units.ceil() as u64).max(1);
+        }
+        self.stats.raw_bytes = (self.stats.raw_bytes as i64 + raw_delta) as u64;
+        self.stats.overhead_bytes = (self.stats.overhead_bytes as i64 + ovh_delta) as u64;
+        self.stats.put_ops += billed_units;
+        self.stats.api_requests += 1;
+        let ready = self.writes.serve(now, units);
+        self.obs.record(|p, ctx| {
+            Span::new(ServiceKind::Kv, "batch_delete", now, ready, ctx)
+                .units(units)
+                .busy(self.writes.service_time(units))
+                .billed(p.idx_put * billed_units)
+        });
+        Ok(ready)
+    }
+
     fn get(
         &mut self,
         now: SimTime,
@@ -554,6 +616,86 @@ mod tests {
         }
         let single_units = db.stats().get_ops - mid.get_ops;
         assert_eq!(batched_units, single_units);
+    }
+
+    #[test]
+    fn delete_bills_write_units_and_frees_storage() {
+        let mut db = DynamoDb::default();
+        db.ensure_table("t");
+        // An 8 KB item bills ceil(0.05 + 8) = 9 units to write — and the
+        // same 9 units to delete (DeleteItem is billed by the size of the
+        // removed item).
+        db.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![item("k", "r", "doc", KvValue::B(vec![0; 8192]))],
+        )
+        .unwrap();
+        let st = db.stats();
+        assert_eq!(st.put_ops, 9);
+        assert!(st.raw_bytes > 0);
+        assert_eq!(st.overhead_bytes, ITEM_OVERHEAD_BYTES);
+        let done = db
+            .batch_delete(SimTime(3), "t", &[("k".into(), "r".into())])
+            .unwrap();
+        assert!(done > SimTime(3));
+        let st = db.stats();
+        assert_eq!(st.put_ops, 18, "delete bills like the put did");
+        assert_eq!(st.raw_bytes, 0);
+        assert_eq!(st.overhead_bytes, 0);
+        assert!(db.peek_all().is_empty());
+    }
+
+    #[test]
+    fn deleting_a_missing_key_bills_the_minimum_and_is_idempotent() {
+        let mut db = DynamoDb::default();
+        db.ensure_table("t");
+        db.batch_delete(SimTime::ZERO, "t", &[("k".into(), "r".into())])
+            .unwrap();
+        db.batch_delete(SimTime::ZERO, "t", &[("k".into(), "r".into())])
+            .unwrap();
+        let st = db.stats();
+        assert_eq!(st.put_ops, 2, "each attempt bills one write unit");
+        assert_eq!(st.api_requests, 2);
+        assert_eq!(st.raw_bytes, 0);
+        assert_eq!(st.overhead_bytes, 0);
+        // Limits still apply.
+        let many: Vec<(String, String)> = (0..26).map(|i| ("k".into(), format!("r{i}"))).collect();
+        assert!(matches!(
+            db.batch_delete(SimTime::ZERO, "t", &many),
+            Err(KvError::BatchTooLarge { .. })
+        ));
+        assert!(matches!(
+            db.batch_delete(SimTime::ZERO, "nope", &[("k".into(), "r".into())]),
+            Err(KvError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn throttled_deletes_leave_items_in_place() {
+        let mut db = DynamoDb::default();
+        db.ensure_table("t");
+        db.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![item("k", "r", "d", KvValue::S(String::new()))],
+        )
+        .unwrap();
+        db.set_faults(FaultInjector::new(1.0, 17)); // clamped to 0.95
+        let mut throttles = 0;
+        for _ in 0..50 {
+            match db.batch_delete(SimTime(55), "t", &[("k".into(), "r".into())]) {
+                Ok(_) => {}
+                Err(KvError::Throttled { available_at }) => {
+                    assert!(available_at > SimTime(55));
+                    throttles += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(throttles > 0, "a 95% rate throttles within 50 calls");
+        assert_eq!(db.stats().throttled, throttles);
+        assert!(db.peek_all().is_empty(), "a non-throttled attempt landed");
     }
 
     #[test]

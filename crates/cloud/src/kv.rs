@@ -218,6 +218,23 @@ pub trait KvStore: Send {
         items: Vec<KvItem>,
     ) -> Result<SimTime, KvError>;
 
+    /// Deletes items by full `(hash, range)` primary key, up to
+    /// `batch_put_limit` keys per API call (deletes ride the write path
+    /// and consume write capacity, exactly like real DynamoDB's
+    /// `DeleteItem`). Billing mirrors each backend's write billing:
+    /// DynamoDB bills the removed item's size in write units (min 1 unit,
+    /// charged even when the key does not exist), SimpleDB bills per
+    /// removed attribute-value pair (min 1 per key). Deleting an absent
+    /// key is an idempotent success — the property that makes retraction
+    /// retries and queue redeliveries safe without tombstones. Returns
+    /// the virtual completion time.
+    fn batch_delete(
+        &mut self,
+        now: SimTime,
+        table: &str,
+        keys: &[(String, String)],
+    ) -> Result<SimTime, KvError>;
+
     /// Retrieves all items with the given hash key.
     fn get(
         &mut self,

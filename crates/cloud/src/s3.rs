@@ -79,6 +79,9 @@ pub struct S3Stats {
     pub scan_returned_bytes: u64,
     /// Bytes currently stored (the `s(D)` of the storage cost).
     pub stored_bytes: u64,
+    /// Delete requests. Counted for observability but billed nothing:
+    /// S3 DELETEs are free of request charges.
+    pub delete_requests: u64,
     /// Requests rejected with `SlowDown` by the fault injector (each one
     /// billed as a request but moving no data).
     pub throttled: u64,
@@ -124,7 +127,12 @@ impl S3 {
     fn record_throttle(&self, now: SimTime, op: &'static str) {
         let end = now + self.transfer.latency;
         self.obs.record(|p, ctx| {
-            let billed = if op == "put" { p.st_put } else { p.st_get };
+            // DELETEs carry no request charge even when throttled.
+            let billed = match op {
+                "put" => p.st_put,
+                "delete" => crate::money::Money::ZERO,
+                _ => p.st_get,
+            };
             Span::new(ServiceKind::S3, op, now, end, ctx)
                 .billed(billed)
                 .outcome(Outcome::Throttled)
@@ -187,6 +195,38 @@ impl S3 {
                 .billed(p.st_put)
         });
         Ok(ready)
+    }
+
+    /// Deletes an object. S3 DELETE requests are free of request charges,
+    /// so the span carries a zero bill; the storage saving shows up in
+    /// `stored_bytes` (and therefore in the monthly storage cost). Like
+    /// real S3 (which answers 204 whether or not the key exists), deleting
+    /// a missing key is an idempotent success — the property retries and
+    /// redeliveries lean on. Throttles still happen: a delete is a
+    /// data-plane request and the injector treats it like any other.
+    pub fn delete(&mut self, now: SimTime, bucket: &str, key: &str) -> Result<SimTime, S3Error> {
+        if !self.buckets.contains_key(bucket) {
+            return Err(S3Error::NoSuchBucket(bucket.to_string()));
+        }
+        self.stats.delete_requests += 1;
+        if let Err(e) = self.maybe_throttle(now) {
+            self.record_throttle(now, "delete");
+            return Err(e);
+        }
+        let b = self.buckets.get_mut(bucket).expect("checked above");
+        let removed = b.remove(key);
+        if let Some(old) = &removed {
+            self.stats.stored_bytes -= old.len() as u64;
+        }
+        let end = now + self.transfer.latency;
+        self.obs.record(|_p, ctx| {
+            let span = Span::new(ServiceKind::S3, "delete", now, end, ctx);
+            match &removed {
+                Some(old) => span.bytes(old.len() as u64),
+                None => span.outcome(Outcome::Missing),
+            }
+        });
+        Ok(end)
     }
 
     /// Retrieves an object (shared, zero-copy for the simulation host).
@@ -325,6 +365,14 @@ impl S3 {
             b.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         objects.sort_by(|(a, _), (b, _)| a.cmp(b));
         objects
+    }
+
+    /// Host-side snapshot of one object (shared, zero-copy). No request
+    /// is billed and no virtual time passes — the front end uses this to
+    /// capture the *old* version of a document before a replace or delete
+    /// destroys it, so stale index entries stay derivable.
+    pub fn peek(&self, bucket: &str, key: &str) -> Option<Arc<Vec<u8>>> {
+        self.buckets.get(bucket)?.get(key).cloned()
     }
 
     /// True if the object exists.
@@ -553,6 +601,65 @@ mod tests {
         );
         // ~0.5 s of server-side scanning dominates the scan response.
         assert!((scan_done.as_secs_f64() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn delete_frees_storage_and_bills_nothing() {
+        let mut s3 = S3::new();
+        s3.create_bucket("b");
+        s3.put(SimTime::ZERO, "b", "k", vec![0; 100]).unwrap();
+        assert_eq!(s3.stats().stored_bytes, 100);
+        let done = s3.delete(SimTime(5), "b", "k").unwrap();
+        assert!(done > SimTime(5));
+        let st = s3.stats();
+        assert_eq!(st.stored_bytes, 0);
+        assert_eq!(st.delete_requests, 1);
+        // Deletes never count toward the billed request classes.
+        assert_eq!(st.put_requests, 1);
+        assert_eq!(st.get_requests, 0);
+        assert!(!s3.exists("b", "k"));
+    }
+
+    #[test]
+    fn deleting_a_missing_key_is_an_idempotent_success() {
+        let mut s3 = S3::new();
+        s3.create_bucket("b");
+        s3.delete(SimTime::ZERO, "b", "ghost").unwrap();
+        s3.delete(SimTime::ZERO, "b", "ghost").unwrap();
+        assert_eq!(s3.stats().delete_requests, 2);
+        assert_eq!(s3.stats().stored_bytes, 0);
+        // An unknown bucket is still a client-side error.
+        assert!(matches!(
+            s3.delete(SimTime::ZERO, "nope", "k"),
+            Err(S3Error::NoSuchBucket(_))
+        ));
+        assert_eq!(s3.stats().delete_requests, 2);
+    }
+
+    #[test]
+    fn throttled_deletes_leave_the_object_in_place() {
+        use crate::fault::FaultInjector;
+        let mut s3 = S3::new();
+        s3.create_bucket("b");
+        s3.put(SimTime::ZERO, "b", "k", vec![0; 64]).unwrap();
+        s3.set_faults(FaultInjector::new(1.0, 9)); // clamped to 0.95
+        let mut throttles = 0;
+        for _ in 0..50 {
+            match s3.delete(SimTime(777), "b", "k") {
+                Ok(_) => {}
+                Err(S3Error::SlowDown { available_at }) => {
+                    assert!(available_at > SimTime(777));
+                    throttles += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(throttles > 0, "a 95% rate throttles within 50 calls");
+        let st = s3.stats();
+        assert_eq!(st.delete_requests, 50);
+        assert_eq!(st.throttled, throttles);
+        // At least one of the 50 attempts got through.
+        assert!(!s3.exists("b", "k"));
     }
 
     #[test]

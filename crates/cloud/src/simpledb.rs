@@ -236,6 +236,68 @@ impl KvStore for SimpleDb {
         Ok(ready)
     }
 
+    fn batch_delete(
+        &mut self,
+        now: SimTime,
+        table: &str,
+        keys: &[(String, String)],
+    ) -> Result<SimTime, KvError> {
+        if keys.len() > BATCH_PUT_LIMIT {
+            return Err(KvError::BatchTooLarge {
+                limit: BATCH_PUT_LIMIT,
+                got: keys.len(),
+            });
+        }
+        if !self.domains.contains_key(table) {
+            return Err(KvError::NoSuchTable(table.to_string()));
+        }
+        self.maybe_throttle(now, true)?;
+        let d = self.domains.get_mut(table).expect("checked above");
+        let mut bytes = 0usize;
+        let mut billed = 0u64;
+        let mut raw_delta: i64 = 0;
+        let mut ovh_delta: i64 = 0;
+        for (hash, range) in keys {
+            let removed = match d.get_mut(hash) {
+                Some(rows) => {
+                    let old = rows.remove(range);
+                    if rows.is_empty() {
+                        d.remove(hash);
+                    }
+                    old
+                }
+                None => None,
+            };
+            // DeleteAttributes box usage scales with the attribute-value
+            // pairs removed, mirroring batch_put; an absent key still
+            // bills the one-operation minimum, keeping retried deletes
+            // idempotent but never free.
+            match &removed {
+                Some(old) => {
+                    let attr_values: i64 =
+                        old.attrs.iter().map(|(_, vs)| vs.len() as i64).sum::<i64>();
+                    bytes += old.byte_size();
+                    raw_delta -= old.byte_size() as i64;
+                    ovh_delta -= ATTR_OVERHEAD_BYTES as i64 * attr_values;
+                    billed += (attr_values as u64).max(1);
+                }
+                None => billed += 1,
+            }
+        }
+        self.stats.raw_bytes = (self.stats.raw_bytes as i64 + raw_delta) as u64;
+        self.stats.overhead_bytes = (self.stats.overhead_bytes as i64 + ovh_delta) as u64;
+        self.stats.put_ops += billed;
+        self.stats.api_requests += 1;
+        let ready = self.writes.serve(now, bytes as f64);
+        self.obs.record(|p, ctx| {
+            Span::new(ServiceKind::Kv, "batch_delete", now, ready, ctx)
+                .units(billed as f64)
+                .busy(self.writes.service_time(bytes as f64))
+                .billed(p.idx_put * billed)
+        });
+        Ok(ready)
+    }
+
     fn get(
         &mut self,
         now: SimTime,
@@ -462,6 +524,35 @@ mod tests {
         assert_eq!(st.throttled, throttles);
         assert_eq!(st.api_requests, 50);
         assert_eq!(db.peek_all().len(), 50 - throttles as usize);
+    }
+
+    #[test]
+    fn delete_bills_per_attribute_value_and_frees_overhead() {
+        let mut db = SimpleDb::default();
+        db.ensure_table("t");
+        let it = KvItem {
+            hash_key: "k".into(),
+            range_key: "r".into(),
+            attrs: vec![(
+                "a".into(),
+                vec![KvValue::S("1".into()), KvValue::S("2".into())],
+            )],
+        };
+        db.batch_put(SimTime::ZERO, "t", vec![it]).unwrap();
+        let before = db.stats();
+        assert_eq!(before.put_ops, 2);
+        assert_eq!(before.overhead_bytes, 2 * ATTR_OVERHEAD_BYTES);
+        db.batch_delete(SimTime::ZERO, "t", &[("k".into(), "r".into())])
+            .unwrap();
+        let st = db.stats();
+        assert_eq!(st.put_ops, 4, "two attribute-values billed to remove");
+        assert_eq!(st.raw_bytes, 0);
+        assert_eq!(st.overhead_bytes, 0);
+        assert!(db.peek_all().is_empty());
+        // A missing key bills the one-operation minimum and stays a success.
+        db.batch_delete(SimTime::ZERO, "t", &[("k".into(), "r".into())])
+            .unwrap();
+        assert_eq!(db.stats().put_ops, 5);
     }
 
     #[test]

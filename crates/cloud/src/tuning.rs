@@ -107,6 +107,21 @@ impl KvStore for TunedKvStore {
         self.inner.batch_put(now, table, items)
     }
 
+    fn batch_delete(
+        &mut self,
+        now: SimTime,
+        table: &str,
+        keys: &[(String, String)],
+    ) -> Result<SimTime, KvError> {
+        if self.tuning.disable_batching && keys.len() > 1 {
+            return Err(KvError::BatchTooLarge {
+                limit: 1,
+                got: keys.len(),
+            });
+        }
+        self.inner.batch_delete(now, table, keys)
+    }
+
     fn get(
         &mut self,
         now: SimTime,
@@ -223,6 +238,32 @@ mod tests {
             t.batch_put(SimTime::ZERO, "t", vec![long]),
             Err(KvError::ValueTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn unbatched_tuning_limits_deletes_too() {
+        let mut t = TunedKvStore::new(
+            Box::new(DynamoDb::default()),
+            KvTuning {
+                force_string_values: false,
+                disable_batching: true,
+            },
+        );
+        t.ensure_table("t");
+        t.batch_put(SimTime::ZERO, "t", vec![item(0)]).unwrap();
+        t.batch_put(SimTime::ZERO, "t", vec![item(1)]).unwrap();
+        assert!(matches!(
+            t.batch_delete(
+                SimTime::ZERO,
+                "t",
+                &[("k".into(), "r0".into()), ("k".into(), "r1".into())]
+            ),
+            Err(KvError::BatchTooLarge { limit: 1, .. })
+        ));
+        t.batch_delete(SimTime::ZERO, "t", &[("k".into(), "r0".into())])
+            .unwrap();
+        let (items, _) = t.get(SimTime::ZERO, "t", "k").unwrap();
+        assert_eq!(items.len(), 1);
     }
 
     #[test]

@@ -44,8 +44,8 @@ use amada_cloud::{
     SimTime, Span, SqsError, StepResult, World,
 };
 use amada_index::{
-    decode_tuples, lookup_query, store::UuidGen, ExtractCache, ExtractOptions, ScanPredicate,
-    Strategy,
+    decode_tuples, lookup_query, store::UuidGen, ExtractCache, ExtractOptions, ItemKey,
+    ScanPredicate, Strategy,
 };
 use amada_pattern::{evaluate_pattern_twig, join_pattern_results, parse_query, Query, Tuple};
 use amada_rng::StdRng;
@@ -71,6 +71,17 @@ pub type DocCache = Arc<ExtractCache>;
 pub(crate) const LOADER_RNG_TAG: u64 = 0x10AD_0000;
 pub(crate) const QUERY_RNG_TAG: u64 = 0x9E4F_0000;
 
+/// Item keys of *replaced or deleted* document versions, pending index
+/// retraction, keyed by URI. The front end records a version's keys here
+/// *before* overwriting the object (the loader only ever sees the current
+/// bytes); the loader deletes `recorded − current` after rewriting a
+/// churned document and then clears the entry. Entries survive crashes
+/// and abandons untouched, so a redelivered message retries the same
+/// retraction — deletes are idempotent, making the whole scheme
+/// exactly-once without tombstones. Per-URI sets are unioned across
+/// repeated replaces, so no intermediate version can leak entries.
+pub type RetractionRegistry = Rc<RefCell<HashMap<String, BTreeSet<ItemKey>>>>;
+
 /// Aggregated loader-side totals (shared across all loader cores).
 #[derive(Debug, Default)]
 pub struct LoaderTotals {
@@ -90,6 +101,8 @@ pub struct LoaderTotals {
     pub extraction_micros: u64,
     /// Summed per-core index-upload wait time, microseconds.
     pub upload_micros: u64,
+    /// Stale index items deleted by update retraction.
+    pub retracted_items: u64,
 }
 
 /// What a loader core is doing between steps.
@@ -104,9 +117,19 @@ enum LoaderState {
         lease: Lease,
         uri: String,
         batches: VecDeque<(&'static str, Vec<KvItem>)>,
+        /// Stale-key delete batches to issue once the writes land
+        /// (non-empty only when the document replaced an indexed version).
+        deletes: VecDeque<(&'static str, Vec<(String, String)>)>,
         entries: u64,
         items: u64,
         entry_bytes: u64,
+    },
+    /// New items written; deleting the replaced version's stale items
+    /// (write-new-then-delete-stale keeps every key readable throughout).
+    Retracting {
+        lease: Lease,
+        uri: String,
+        deletes: VecDeque<(&'static str, Vec<(String, String)>)>,
     },
     /// All batches written; deleting the task message.
     Finishing { lease: Lease },
@@ -140,8 +163,12 @@ pub struct LoaderCore {
     /// in the store, the message lease expires, and the document is
     /// redelivered to another core.
     pub crash_after_batches: Option<u64>,
-    /// Index batches written so far by this core.
+    /// Index batches (puts *and* stale-key deletes) written so far by
+    /// this core.
     pub batches_written: u64,
+    /// Pending retractions shared with the warehouse front end (empty for
+    /// a static corpus, so churn-free builds take the exact same path).
+    pub retractions: RetractionRegistry,
     /// Messages fully processed so far.
     pub processed: u32,
     /// Autoscaling drain signal shared with the instance's other cores
@@ -189,6 +216,7 @@ impl LoaderCore {
             crash_after: None,
             crash_after_batches: None,
             batches_written: 0,
+            retractions: Rc::default(),
             processed: 0,
             drain: None,
             state: LoaderState::Idle,
@@ -339,6 +367,15 @@ impl LoaderCore {
                 self.state = LoaderState::Fetching { lease, uri };
                 return StepResult::NextAt(resume);
             }
+            Err(S3Error::NoSuchKey { .. }) => {
+                // The document was deleted after this message was
+                // enqueued; the front end retracted its index entries at
+                // delete time. Nothing is left to index — commit the
+                // message (the GET miss was still a billed request).
+                self.attempt = 0;
+                self.state = LoaderState::Finishing { lease };
+                return StepResult::NextAt(now);
+            }
             Err(e) => panic!("loader messages reference stored documents: {e}"),
         };
         self.attempt = 0;
@@ -373,11 +410,50 @@ impl LoaderCore {
                 }
             }
         }
+        // If this URI replaced an indexed version, the keys its old
+        // versions held but the current one does not must be deleted
+        // after the writes land. The registry entry stays in place until
+        // the deletes complete, so a crash or abandon retries them on
+        // redelivery (idempotently).
+        let mut deletes = VecDeque::new();
+        let stale: Vec<ItemKey> = match self.retractions.borrow().get(&uri) {
+            None => Vec::new(),
+            Some(old) => {
+                let mut fresh: BTreeSet<ItemKey> = BTreeSet::new();
+                for (table, batch) in &batches {
+                    for item in batch {
+                        fresh.insert((*table, item.hash_key.clone(), item.range_key.clone()));
+                    }
+                }
+                old.iter()
+                    .filter(|k| !fresh.contains(*k))
+                    .cloned()
+                    .collect()
+            }
+        };
+        if stale.is_empty() {
+            // An identical or purely-growing rewrite leaves nothing to
+            // retract; drop the registry entry now.
+            self.retractions.borrow_mut().remove(&uri);
+        } else {
+            let mut per_table: HashMap<&'static str, Vec<(String, String)>> = HashMap::new();
+            for (table, hash, range) in stale {
+                per_table.entry(table).or_default().push((hash, range));
+            }
+            for table in self.strategy.tables() {
+                if let Some(keys) = per_table.remove(table) {
+                    for chunk in keys.chunks(profile.batch_put_limit) {
+                        deletes.push_back((*table, chunk.to_vec()));
+                    }
+                }
+            }
+        }
         lease.keep_alive(&mut world.sqs, t);
         self.state = LoaderState::Uploading {
             lease,
             uri,
             batches,
+            deletes,
             entries: entries.len() as u64,
             items,
             entry_bytes,
@@ -400,6 +476,7 @@ impl LoaderCore {
         mut lease: Lease,
         uri: String,
         mut batches: VecDeque<(&'static str, Vec<KvItem>)>,
+        deletes: VecDeque<(&'static str, Vec<(String, String)>)>,
         entries: u64,
         items: u64,
         entry_bytes: u64,
@@ -457,6 +534,7 @@ impl LoaderCore {
                 lease,
                 uri,
                 batches,
+                deletes,
                 entries,
                 items,
                 entry_bytes,
@@ -474,6 +552,92 @@ impl LoaderCore {
         tot.items += items;
         tot.entry_bytes += entry_bytes;
         drop(tot);
+        lease.keep_alive(&mut world.sqs, last);
+        self.state = if deletes.is_empty() {
+            LoaderState::Finishing { lease }
+        } else {
+            LoaderState::Retracting {
+                lease,
+                uri,
+                deletes,
+            }
+        };
+        StepResult::NextAt(last)
+    }
+
+    /// Retraction: delete the replaced version's stale items, with the
+    /// same burst-submit / throttle-backoff / abandon discipline as the
+    /// writes. Runs strictly *after* the new version's items landed, so
+    /// every key stays readable throughout; the registry entry is cleared
+    /// only once every delete succeeded, so a crash (`crash_after_batches`
+    /// also counts delete batches) or abandon retries the retraction on
+    /// redelivery.
+    fn step_retracting(
+        &mut self,
+        now: SimTime,
+        world: &mut World,
+        mut lease: Lease,
+        uri: String,
+        mut deletes: VecDeque<(&'static str, Vec<(String, String)>)>,
+    ) -> StepResult {
+        lease.keep_alive(&mut world.sqs, now);
+        let mut last = now;
+        let mut removed = 0u64;
+        let mut throttled_at: Option<SimTime> = None;
+        while let Some((table, keys)) = deletes.pop_front() {
+            if self
+                .crash_after_batches
+                .is_some_and(|n| self.batches_written >= n)
+            {
+                world.ec2.extend(self.instance, last);
+                world
+                    .obs
+                    .record(|_, ctx| Span::new(ServiceKind::Actor, "crash", now, last, ctx));
+                return StepResult::Done;
+            }
+            match world.kv.batch_delete(now, table, &keys) {
+                Err(KvError::Throttled { available_at }) => {
+                    deletes.push_front((table, keys));
+                    throttled_at = Some(available_at);
+                    break;
+                }
+                other => {
+                    let done = other.expect("stale-key deletes fit the store limits");
+                    removed += keys.len() as u64;
+                    self.batches_written += 1;
+                    last = last.max(done);
+                }
+            }
+        }
+        self.totals.borrow_mut().retracted_items += removed;
+        if let Some(available_at) = throttled_at {
+            self.attempt += 1;
+            if self.attempt > self.policy.max_attempts {
+                // Abandon: the registry entry is still in place, so the
+                // redelivered message recomputes and reissues the
+                // remaining deletes (reissuing completed ones would be
+                // harmless too — deletes are idempotent).
+                self.attempt = 0;
+                self.totals.borrow_mut().upload_micros += (last.max(available_at) - now).micros();
+                self.state = LoaderState::Idle;
+                return StepResult::NextAt(available_at + self.poll);
+            }
+            let resume = available_at + self.policy.backoff(self.attempt, &mut self.rng);
+            self.totals.borrow_mut().upload_micros += (resume - now).micros();
+            lease.keep_alive(&mut world.sqs, resume);
+            self.state = LoaderState::Retracting {
+                lease,
+                uri,
+                deletes,
+            };
+            return StepResult::NextAt(resume);
+        }
+        self.attempt = 0;
+        self.retractions.borrow_mut().remove(&uri);
+        world
+            .obs
+            .record(|_, ctx| Span::new(ServiceKind::Actor, "retract", now, last, ctx));
+        self.totals.borrow_mut().upload_micros += (last - now).micros();
         lease.keep_alive(&mut world.sqs, last);
         self.state = LoaderState::Finishing { lease };
         StepResult::NextAt(last)
@@ -503,9 +667,9 @@ impl Actor for LoaderCore {
             c.phase = Phase::Build;
             c.query = None;
             c.doc = match &state {
-                LoaderState::Fetching { uri, .. } | LoaderState::Uploading { uri, .. } => {
-                    Some(uri.as_str().into())
-                }
+                LoaderState::Fetching { uri, .. }
+                | LoaderState::Uploading { uri, .. }
+                | LoaderState::Retracting { uri, .. } => Some(uri.as_str().into()),
                 _ => None,
             };
             c.actor = Some(ActorTag {
@@ -520,10 +684,26 @@ impl Actor for LoaderCore {
                 lease,
                 uri,
                 batches,
+                deletes,
                 entries,
                 items,
                 entry_bytes,
-            } => self.step_uploading(now, world, lease, uri, batches, entries, items, entry_bytes),
+            } => self.step_uploading(
+                now,
+                world,
+                lease,
+                uri,
+                batches,
+                deletes,
+                entries,
+                items,
+                entry_bytes,
+            ),
+            LoaderState::Retracting {
+                lease,
+                uri,
+                deletes,
+            } => self.step_retracting(now, world, lease, uri, deletes),
             LoaderState::Finishing { lease } => self.step_finishing(now, world, lease),
         };
         if let StepResult::NextAt(t) = result {

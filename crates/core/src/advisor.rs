@@ -30,10 +30,16 @@ pub struct StrategyEstimate {
     pub storage_per_month: Money,
     /// Cost of one workload run.
     pub run_cost: Money,
+    /// Index maintenance billed per workload run at the declared churn
+    /// rate: the incremental rebuild — stale-entry retraction plus
+    /// re-indexing of the replaced documents — measured on the sample.
+    /// Zero for the no-index candidate (replaced documents just overwrite
+    /// their S3 objects) and for a churn-free horizon.
+    pub maintenance_per_run: Money,
     /// Mean workload response time (seconds).
     pub mean_response_secs: f64,
     /// Projected total over the horizon:
-    /// `build + runs × run_cost + months × storage`.
+    /// `build + runs × (run_cost + maintenance) + months × storage`.
     pub projected_total: Money,
 }
 
@@ -77,6 +83,28 @@ pub fn advise(
     months: f64,
     base: &WarehouseConfig,
 ) -> Advice {
+    advise_churn(sample, workload, expected_runs, months, 0.0, base)
+}
+
+/// Runs the advisor for a churning corpus.
+///
+/// Like [`advise`], but each workload run is accompanied by a document
+/// churn round replacing `churn_per_run` of the corpus (a fraction in
+/// `0.0..=1.0`). The indexed candidates then pay a measured maintenance
+/// charge per run — the incremental rebuild that retracts the replaced
+/// documents' stale entries and indexes the new versions — while the
+/// no-index candidate churns for free (new versions simply overwrite
+/// their S3 objects, which both sides pay for anyway). At high churn
+/// rates maintenance eats the query savings and the "index nothing"
+/// candidate flips to best.
+pub fn advise_churn(
+    sample: &[(String, String)],
+    workload: &[Query],
+    expected_runs: u32,
+    months: f64,
+    churn_per_run: f64,
+    base: &WarehouseConfig,
+) -> Advice {
     // The four paper strategies, the pushdown variant, and the "index
     // nothing" baseline all compete in one ranking.
     let candidates = Strategy::ALL
@@ -110,8 +138,13 @@ pub fn advise(
             run_cost += r.cost.total();
             response += r.exec.response_time.as_secs_f64();
         }
-        let projected =
-            build_cost + run_cost * expected_runs as u64 + months_scaled(storage, months);
+        let maintenance = match strategy {
+            Some(_) if churn_per_run > 0.0 => measure_maintenance(&mut w, sample, churn_per_run),
+            _ => Money::ZERO,
+        };
+        let projected = build_cost
+            + (run_cost + maintenance) * expected_runs as u64
+            + months_scaled(storage, months);
         if strategy.is_none() {
             no_index_total = projected;
         }
@@ -120,6 +153,7 @@ pub fn advise(
             build_cost,
             storage_per_month: storage,
             run_cost,
+            maintenance_per_run: maintenance,
             mean_response_secs: response / workload.len().max(1) as f64,
             projected_total: projected,
         });
@@ -128,6 +162,33 @@ pub fn advise(
     Advice {
         ranked: estimates,
         no_index_total,
+    }
+}
+
+/// One churn round on the sample warehouse: replace `fraction` of the
+/// documents with edited versions and rebuild incrementally. Returns the
+/// rebuild's bill alone — retraction deletes, re-indexing writes, loader
+/// instance time and document fetches — excluding the S3 upload of the
+/// new versions, which an unindexed deployment pays identically.
+fn measure_maintenance(w: &mut Warehouse, sample: &[(String, String)], fraction: f64) -> Money {
+    let k = ((sample.len() as f64 * fraction).ceil() as usize).clamp(1, sample.len());
+    w.upload_documents(sample.iter().take(k).map(|(u, x)| (u.clone(), churned(x))));
+    w.build_index().cost.total()
+}
+
+/// A deterministic edit standing in for a real update: one appended
+/// subtree just inside the document element. The loader re-extracts and
+/// rewrites the whole document either way, so the edit's size barely
+/// moves the maintenance bill — its *presence* (new version, new entry
+/// UUIDs, stale old entries) is what is being priced.
+fn churned(xml: &str) -> String {
+    match xml.rfind("</") {
+        Some(at) => format!(
+            "{}<updated><rev>1</rev></updated>{}",
+            &xml[..at],
+            &xml[at..]
+        ),
+        None => format!("<updated>{xml}</updated>"),
     }
 }
 
@@ -222,6 +283,30 @@ mod tests {
         let advice = advise(&sample(), &workload, 1, 1.0, &WarehouseConfig::default());
         assert!(advice.best().strategy.is_none(), "{:?}", advice.best());
         assert!(!advice.indexing_pays_off());
+    }
+
+    #[test]
+    fn heavy_churn_flips_the_advice_to_index_nothing() {
+        let workload: Vec<Query> = ["q1", "q6"]
+            .iter()
+            .map(|n| workload_query(n).unwrap())
+            .collect();
+        let base = WarehouseConfig::default();
+        // Enough runs that indexing pays on a static corpus...
+        let calm = advise_churn(&sample(), &workload, 500, 1.0, 0.0, &base);
+        assert!(calm.indexing_pays_off());
+        // ...but with the whole corpus replaced between runs, every run's
+        // savings are spent re-indexing, and scanning wins the horizon.
+        let stormy = advise_churn(&sample(), &workload, 500, 1.0, 1.0, &base);
+        assert!(!stormy.indexing_pays_off(), "{:?}", stormy.best());
+        // Maintenance is billed to indexed candidates only, and a calm
+        // horizon charges none at all.
+        for e in &stormy.ranked {
+            assert_eq!(e.maintenance_per_run > Money::ZERO, e.strategy.is_some());
+        }
+        for e in &calm.ranked {
+            assert_eq!(e.maintenance_per_run, Money::ZERO);
+        }
     }
 
     #[test]

@@ -17,7 +17,8 @@ pub mod metrics;
 pub mod retry;
 pub mod warehouse;
 
-pub use advisor::{advise, advise_queries, Advice, StrategyEstimate};
+pub use actors::RetractionRegistry;
+pub use advisor::{advise, advise_churn, advise_queries, Advice, StrategyEstimate};
 pub use amortization::{Amortization, AmortizationPoint};
 pub use autoscale::{AutoscaleController, DrainSignal, ScaleDirection, ScaleEvent};
 pub use config::{AutoscalePolicy, Pool, WarehouseConfig};
@@ -27,4 +28,4 @@ pub use config::{
 pub use cost::CostModel;
 pub use metrics::{CostedQuery, IndexBuildReport, QueryExecution, QueryPhases, WorkloadReport};
 pub use retry::{Lease, RetryPolicy};
-pub use warehouse::{UploadReport, Warehouse};
+pub use warehouse::{DeleteReport, UploadReport, Warehouse};

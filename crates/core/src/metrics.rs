@@ -32,6 +32,9 @@ pub struct IndexBuildReport {
     /// Average per-core time spent waiting on index-store writes
     /// (Table 4 column "average uploading time").
     pub avg_upload_time: SimDuration,
+    /// Stale index items deleted by update retraction during this build
+    /// (zero for a churn-free corpus).
+    pub retracted_items: u64,
     /// Wall-clock time of the whole indexing phase (Table 4 "total").
     pub total_time: SimDuration,
     /// Charges for the phase, decomposed by service (Table 6).

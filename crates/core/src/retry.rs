@@ -26,7 +26,7 @@
 //! Every retry is a billed request: resilience shows up in the cost
 //! ledger as real dollars, which is the point of the fault experiment.
 
-use amada_cloud::{S3Error, SimDuration, SimTime, Sqs, SqsError, S3};
+use amada_cloud::{KvError, KvStore, S3Error, SimDuration, SimTime, Sqs, SqsError, S3};
 use amada_rng::StdRng;
 use std::sync::Arc;
 
@@ -298,6 +298,52 @@ pub fn frontend_put_object(
                 t = available_at + policy.backoff_linear(attempt);
             }
             Err(e) => panic!("front-end put of {bucket}/{key}: {e}"),
+        }
+    }
+}
+
+/// Front-end object delete: linear backoff, no jitter, unbounded. No
+/// payload to preserve, so no retry copy is ever needed.
+pub fn frontend_delete_object(
+    s3: &mut S3,
+    policy: &RetryPolicy,
+    now: SimTime,
+    bucket: &str,
+    key: &str,
+) -> SimTime {
+    let mut t = now;
+    let mut attempt = 0u32;
+    loop {
+        match s3.delete(t, bucket, key) {
+            Ok(done) => return done,
+            Err(S3Error::SlowDown { available_at }) => {
+                attempt = (attempt + 1).min(policy.max_attempts);
+                t = available_at + policy.backoff_linear(attempt);
+            }
+            Err(e) => panic!("front-end delete of {bucket}/{key}: {e}"),
+        }
+    }
+}
+
+/// Front-end index-item delete: linear backoff, no jitter, unbounded.
+/// Deletes are idempotent at the store, so an over-retry only costs money.
+pub fn frontend_batch_delete(
+    kv: &mut dyn KvStore,
+    policy: &RetryPolicy,
+    now: SimTime,
+    table: &str,
+    keys: &[(String, String)],
+) -> SimTime {
+    let mut t = now;
+    let mut attempt = 0u32;
+    loop {
+        match kv.batch_delete(t, table, keys) {
+            Ok(done) => return done,
+            Err(KvError::Throttled { available_at }) => {
+                attempt = (attempt + 1).min(policy.max_attempts);
+                t = available_at + policy.backoff_linear(attempt);
+            }
+            Err(e) => panic!("front-end delete from table {table}: {e}"),
         }
     }
 }

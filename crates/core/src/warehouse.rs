@@ -1,7 +1,10 @@
 //! The warehouse façade: the full architecture of the paper's Figure 1,
 //! steps 1–18, over the simulated cloud.
 
-use crate::actors::{DocCache, LoaderCore, LoaderTotals, QueryCore, LOADER_RNG_TAG, QUERY_RNG_TAG};
+use crate::actors::{
+    DocCache, LoaderCore, LoaderTotals, QueryCore, RetractionRegistry, LOADER_RNG_TAG,
+    QUERY_RNG_TAG,
+};
 use crate::autoscale::{AutoscaleController, BurstSender, DrainSignal, ScaleEvents};
 use crate::config::{
     AutoscalePolicy, WarehouseConfig, DEAD_LETTER_QUEUE, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE,
@@ -9,17 +12,18 @@ use crate::config::{
 };
 use crate::metrics::{CostedQuery, IndexBuildReport, QueryExecution, WorkloadReport};
 use crate::retry::{
-    frontend_delete, frontend_get_object, frontend_put_object, frontend_receive, frontend_send,
+    frontend_batch_delete, frontend_delete, frontend_delete_object, frontend_get_object,
+    frontend_put_object, frontend_receive, frontend_send,
 };
 use amada_cloud::{
     ActorTag, CostReport, CostSnapshot, Engine, Money, Phase, ServiceKind, SimDuration, SimTime,
     Span, StorageCost, World,
 };
-use amada_index::{CacheStats, ExtractCache, PrewarmReport};
+use amada_index::{entry_item_keys, CacheStats, ExtractCache, ItemKey, PrewarmReport};
 use amada_pattern::Query;
 use amada_rng::StdRng;
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 /// A cloud-hosted XML warehouse (one simulated deployment).
@@ -33,6 +37,10 @@ pub struct Warehouse {
     frontend: ActorTag,
     /// Autoscale controllers spawned so far (numbers their span lanes).
     controllers: usize,
+    /// Item keys of replaced document versions awaiting index
+    /// retraction, shared with the loader cores (see
+    /// [`RetractionRegistry`]).
+    retractions: RetractionRegistry,
 }
 
 /// Fault-visibility deltas since a snapshot: (throttled billed requests
@@ -58,6 +66,21 @@ pub struct UploadReport {
     /// Bytes uploaded.
     pub bytes: u64,
     /// Charges for the upload (the paper's `ud$(D)`).
+    pub cost: Money,
+}
+
+/// Outcome of deleting documents (front-end churn maintenance).
+#[derive(Debug, Clone, Copy)]
+pub struct DeleteReport {
+    /// Documents actually removed (URIs that were stored).
+    pub documents: u64,
+    /// Stored bytes freed.
+    pub bytes: u64,
+    /// Index item keys retracted (including keys of replaced versions
+    /// that were still awaiting retraction).
+    pub index_items_removed: u64,
+    /// Charges for the deletion: S3 DELETEs are free, so this is the
+    /// index-store write capacity the retraction consumed.
     pub cost: Money,
 }
 
@@ -97,6 +120,7 @@ impl Warehouse {
                 instance: 0,
             },
             controllers: 0,
+            retractions: Rc::default(),
         }
     }
 
@@ -149,10 +173,13 @@ impl Warehouse {
     ///
     /// Re-uploading an existing URI replaces the stored document and
     /// re-indexes it (deterministic range keys make that idempotent per
-    /// key); index entries for keys that no longer occur in the new
-    /// version are *not* retracted — they are conservative false
-    /// positives that evaluation filters out. Update/deletion retraction
-    /// is out of scope, as in the paper.
+    /// key). Index entries for keys that no longer occur in the new
+    /// version *are* retracted: the front end records the replaced
+    /// version's item keys before overwriting the object, and the loader
+    /// deletes the stale ones right after writing the new version — so a
+    /// shrunk re-upload stops billing look-ups and document GETs for its
+    /// removed keys as soon as the next [`Warehouse::build_index`]
+    /// completes. See also [`Warehouse::delete_documents`].
     pub fn upload_documents<I, S>(&mut self, docs: I) -> UploadReport
     where
         I: IntoIterator<Item = (S, S)>,
@@ -173,13 +200,28 @@ impl Warehouse {
                 c.doc = Some(uri.as_str().into());
                 c.actor = Some(frontend);
             });
+            // Re-uploading an existing URI replaces the object: record
+            // the replaced version's item keys for retraction *before*
+            // the overwrite destroys the only copy of its bytes (the
+            // registry unions across repeated replaces, so intermediate
+            // versions cannot leak entries), account for the replaced
+            // bytes, and keep the URI listed once. Must happen before
+            // `note_upload` rebinds the cache to the new content hash.
+            let replaced = self.engine.world.s3.peek(DOC_BUCKET, &uri);
+            if let Some(old) = &replaced {
+                if **old != body {
+                    let keys = self.item_keys_of(&uri, old);
+                    self.retractions
+                        .borrow_mut()
+                        .entry(uri.clone())
+                        .or_default()
+                        .extend(keys);
+                }
+            }
             // Hash the content once, here; every later cache probe for
             // this URI compares against the recorded hash instead of
             // re-hashing megabytes of XML per loader step.
             self.cache.note_upload(&uri, &body);
-            // Re-uploading an existing URI replaces the object: account
-            // for the replaced bytes and keep the URI listed once.
-            let replaced = self.engine.world.s3.object_size(DOC_BUCKET, &uri);
             t = frontend_put_object(
                 &mut self.engine.world.s3,
                 &self.cfg.retry,
@@ -196,7 +238,7 @@ impl Warehouse {
                 uri.clone(),
             );
             match replaced {
-                Some(old) => self.corpus_bytes -= old,
+                Some(old) => self.corpus_bytes -= old.len() as u64,
                 None => self.doc_uris.push(uri),
             }
             n += 1;
@@ -208,6 +250,94 @@ impl Warehouse {
             documents: n,
             bytes,
             cost,
+        }
+    }
+
+    /// The index item keys the configured strategy derives for this
+    /// document content (host-side replay of the loader's deterministic
+    /// encoding — no requests, no virtual time).
+    fn item_keys_of(&self, uri: &str, bytes: &[u8]) -> Vec<ItemKey> {
+        let (_doc, entries) = self
+            .cache
+            .extracted(uri, bytes, self.cfg.strategy, self.cfg.extract);
+        entry_item_keys(&entries, &self.engine.world.kv.profile(), uri)
+    }
+
+    /// Front end, churn maintenance: removes documents from the file
+    /// store and retracts their index entries. The S3 DELETEs are free
+    /// requests (real S3 bills nothing for them); the index retraction
+    /// consumes write capacity like any other delete. Unknown URIs are
+    /// skipped. Retraction covers the current version's keys *plus* any
+    /// keys of replaced versions still awaiting retraction, so deleting a
+    /// document is safe at any point of the upload → build cycle — a
+    /// loader message that later finds the object gone simply commits
+    /// (the front end already cleaned the index).
+    pub fn delete_documents<I, S>(&mut self, uris: I) -> DeleteReport
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let before = self.engine.world.snapshot();
+        let mut t = self.engine.now();
+        let mut n = 0u64;
+        let mut bytes = 0u64;
+        let mut removed = 0u64;
+        for uri in uris {
+            let uri = uri.into();
+            let frontend = self.frontend;
+            self.engine.world.obs.with_ctx(|c| {
+                c.phase = Phase::Upload;
+                c.query = None;
+                c.doc = Some(uri.as_str().into());
+                c.actor = Some(frontend);
+            });
+            // Everything any version of this document may still hold in
+            // the index: pending retractions from earlier replaces, plus
+            // the stored version's keys.
+            let mut keys: BTreeSet<ItemKey> = self
+                .retractions
+                .borrow_mut()
+                .remove(&uri)
+                .unwrap_or_default();
+            if let Some(old) = self.engine.world.s3.peek(DOC_BUCKET, &uri) {
+                keys.extend(self.item_keys_of(&uri, &old));
+                bytes += old.len() as u64;
+                self.corpus_bytes -= old.len() as u64;
+                self.doc_uris.retain(|u| u != &uri);
+                n += 1;
+                t = frontend_delete_object(
+                    &mut self.engine.world.s3,
+                    &self.cfg.retry,
+                    t,
+                    DOC_BUCKET,
+                    &uri,
+                );
+            }
+            removed += keys.len() as u64;
+            let limit = self.engine.world.kv.profile().batch_put_limit;
+            let mut per_table: BTreeMap<&'static str, Vec<(String, String)>> = BTreeMap::new();
+            for (table, hash, range) in keys {
+                per_table.entry(table).or_default().push((hash, range));
+            }
+            for (table, table_keys) in per_table {
+                self.engine.world.kv.ensure_table(table);
+                for chunk in table_keys.chunks(limit) {
+                    t = frontend_batch_delete(
+                        self.engine.world.kv.as_mut(),
+                        &self.cfg.retry,
+                        t,
+                        table,
+                        chunk,
+                    );
+                }
+            }
+        }
+        self.engine.world.obs.with_ctx(|c| *c = Default::default());
+        DeleteReport {
+            documents: n,
+            bytes,
+            index_items_removed: removed,
+            cost: self.engine.world.cost_since(&before).total(),
         }
     }
 
@@ -256,6 +386,7 @@ impl Warehouse {
         let seed = self.cfg.faults.seed;
         let totals = totals.clone();
         let cache = self.cache.clone();
+        let retractions = self.retractions.clone();
         let mut next_core: u64 = 0;
         Box::new(move |world: &mut World, t: SimTime, boot: SimDuration| {
             let id = world.ec2.launch(pool.itype, t);
@@ -287,6 +418,7 @@ impl Warehouse {
                     seed ^ (LOADER_RNG_TAG + idx),
                 );
                 core.drain = Some(sig.clone());
+                core.retractions = retractions.clone();
                 world.spawn_actor(t + boot, Box::new(core));
             }
             sig
@@ -379,7 +511,8 @@ impl Warehouse {
                     &totals,
                     &self.cache,
                 );
-                for core in cores {
+                for mut core in cores {
+                    core.retractions = self.retractions.clone();
                     self.engine.spawn(Box::new(core), start);
                 }
             }
@@ -436,10 +569,15 @@ impl Warehouse {
             entry_bytes: totals.entry_bytes,
             avg_extraction_time: per_core(totals.extraction_micros),
             avg_upload_time: per_core(totals.upload_micros),
+            retracted_items: totals.retracted_items,
             total_time: end - start,
             cost,
-            index_raw_bytes: kv_after.raw_bytes - before.kv.raw_bytes,
-            index_overhead_bytes: kv_after.overhead_bytes - before.kv.overhead_bytes,
+            // Saturating: a churn build that retracts more than it writes
+            // shrinks the index, and a negative delta reports as zero.
+            index_raw_bytes: kv_after.raw_bytes.saturating_sub(before.kv.raw_bytes),
+            index_overhead_bytes: kv_after
+                .overhead_bytes
+                .saturating_sub(before.kv.overhead_bytes),
             storage: self.engine.world.storage_cost_per_month(),
             throttled_requests,
             lease_renewals,
@@ -693,6 +831,12 @@ impl Warehouse {
     pub fn cache(&self) -> &DocCache {
         &self.cache
     }
+
+    /// The shared retraction registry (test access — custom loader actors
+    /// must share it to participate in update retraction).
+    pub fn retraction_registry(&self) -> RetractionRegistry {
+        self.retractions.clone()
+    }
 }
 
 #[cfg(test)]
@@ -845,6 +989,142 @@ mod tests {
             four.micros() * 2 < one.micros(),
             "4 instances {four} vs 1 instance {one}"
         );
+    }
+
+    /// Regression for the pre-retraction behavior this comment block used
+    /// to document: a shrunk re-upload left the removed keys' entries in
+    /// the index, so every later query for them billed a look-up *and* a
+    /// document GET just to filter a false positive. Retraction removes
+    /// the entries at rebuild time; the stale key stops billing entirely.
+    #[test]
+    fn shrunk_reupload_stops_billing_for_removed_keys() {
+        use amada_pattern::parse_query;
+        let mut w = Warehouse::new(WarehouseConfig::with_strategy(Strategy::Lu));
+        w.upload_documents([
+            ("a.xml", "<r><gone>x</gone><kept>y</kept></r>"),
+            ("b.xml", "<r><kept>z</kept></r>"),
+        ]);
+        w.build_index();
+        let mut q = parse_query("//r[/gone{val}]").unwrap();
+        q.name = Some("gone".into());
+        let before = w.run_query(&q);
+        assert_eq!(before.exec.docs_from_index, 1);
+        assert_eq!(before.exec.docs_fetched, 1);
+        assert_eq!(before.exec.results.len(), 1);
+        // Shrink a.xml: <gone> disappears; the rebuild retracts its keys.
+        w.upload_documents([("a.xml", "<r><kept>y</kept></r>")]);
+        let build = w.build_index();
+        assert!(build.retracted_items > 0, "the shrink must retract items");
+        let after = w.run_query(&q);
+        assert_eq!(after.exec.docs_from_index, 0, "no look-up hits");
+        assert_eq!(after.exec.docs_fetched, 0, "no GETs for removed keys");
+        assert!(after.exec.results.is_empty());
+    }
+
+    /// The churned index must be *byte-identical* to a fresh build of the
+    /// final corpus — replaces retract exactly their stale keys, nothing
+    /// more, nothing less.
+    #[test]
+    fn reupload_retraction_matches_a_fresh_build() {
+        for strategy in Strategy::ALL.into_iter().chain([Strategy::LupPd]) {
+            let docs = small_corpus();
+            let mut churned = Warehouse::new(WarehouseConfig::with_strategy(strategy));
+            churned.upload_documents(docs.clone());
+            churned.build_index();
+            // Replace a third of the corpus with shrunk/grown versions:
+            // swap contents pairwise so keys genuinely change.
+            let replaced: Vec<(String, String)> = (0..10)
+                .map(|i| (docs[i].0.clone(), docs[(i + 10) % 20].1.clone()))
+                .collect();
+            churned.upload_documents(replaced.clone());
+            churned.build_index();
+
+            let mut fresh = Warehouse::new(WarehouseConfig::with_strategy(strategy));
+            let mut final_docs = docs;
+            for (uri, xml) in &replaced {
+                final_docs.iter_mut().find(|(u, _)| u == uri).unwrap().1 = xml.clone();
+            }
+            fresh.upload_documents(final_docs);
+            fresh.build_index();
+            assert_eq!(
+                churned.world().kv.peek_all(),
+                fresh.world().kv.peek_all(),
+                "{strategy}: churned index != fresh build"
+            );
+            assert_eq!(churned.corpus_bytes(), fresh.corpus_bytes());
+        }
+    }
+
+    #[test]
+    fn deleting_documents_cleans_index_and_accounting() {
+        let mut w = warehouse(Strategy::Lup);
+        w.build_index();
+        let victims: Vec<String> = w.documents()[..10].to_vec();
+        let del = w.delete_documents(victims.clone());
+        assert_eq!(del.documents, 10);
+        assert!(del.index_items_removed > 0);
+        assert!(del.bytes > 0);
+        assert!(del.cost > Money::ZERO, "index retraction bills write units");
+        assert_eq!(w.documents().len(), 20);
+        // S3 DELETEs are themselves free requests.
+        assert_eq!(w.world().s3.stats().delete_requests, 10);
+        // Inventory reconciles: corpus bytes equal the stored bytes.
+        let stored: u64 = w
+            .world()
+            .s3
+            .peek_all(DOC_BUCKET)
+            .iter()
+            .map(|(_, b)| b.len() as u64)
+            .sum();
+        assert_eq!(w.corpus_bytes(), stored);
+        // The index is byte-identical to a fresh build of the survivors.
+        let survivors: Vec<(String, String)> = small_corpus()
+            .into_iter()
+            .filter(|(u, _)| !victims.contains(u))
+            .collect();
+        let mut fresh = Warehouse::new(WarehouseConfig::with_strategy(Strategy::Lup));
+        fresh.upload_documents(survivors);
+        fresh.build_index();
+        assert_eq!(w.world().kv.peek_all(), fresh.world().kv.peek_all());
+    }
+
+    /// Deleting a document whose loader message is still queued: the
+    /// loader finds the object gone and simply commits; the front end
+    /// already retracted the index entries at delete time.
+    #[test]
+    fn delete_before_build_leaves_no_trace() {
+        let mut w = Warehouse::new(WarehouseConfig::with_strategy(Strategy::Lui));
+        w.upload_documents([("a.xml", "<r><x>1</x></r>"), ("b.xml", "<r><y>2</y></r>")]);
+        w.delete_documents(["a.xml"]);
+        let build = w.build_index();
+        assert_eq!(build.documents, 1, "only b.xml is left to index");
+        assert!(w.world().sqs.is_empty(LOADER_QUEUE).unwrap());
+        assert_eq!(w.documents(), ["b.xml"]);
+        let mut fresh = Warehouse::new(WarehouseConfig::with_strategy(Strategy::Lui));
+        fresh.upload_documents([("b.xml", "<r><y>2</y></r>")]);
+        fresh.build_index();
+        assert_eq!(w.world().kv.peek_all(), fresh.world().kv.peek_all());
+    }
+
+    /// Delete-then-re-add under the same URI: the re-added version is
+    /// indexed cleanly, with no leftovers from the deleted incarnation.
+    #[test]
+    fn delete_then_readd_same_uri() {
+        let mut w = Warehouse::new(WarehouseConfig::with_strategy(Strategy::TwoLupi));
+        w.upload_documents([("d.xml", "<r><old>x</old></r>")]);
+        w.build_index();
+        w.delete_documents(["d.xml"]);
+        w.upload_documents([("d.xml", "<r><new>y</new></r>")]);
+        w.build_index();
+        assert_eq!(w.documents(), ["d.xml"]);
+        let mut fresh = Warehouse::new(WarehouseConfig::with_strategy(Strategy::TwoLupi));
+        fresh.upload_documents([("d.xml", "<r><new>y</new></r>")]);
+        fresh.build_index();
+        assert_eq!(w.world().kv.peek_all(), fresh.world().kv.peek_all());
+        // Deleting an unknown URI is a harmless no-op.
+        let nop = w.delete_documents(["ghost.xml"]);
+        assert_eq!(nop.documents, 0);
+        assert_eq!(nop.index_items_removed, 0);
     }
 
     #[test]

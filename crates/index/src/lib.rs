@@ -37,7 +37,10 @@ pub mod summary;
 
 pub use cache::{content_hash, CacheStats, ExtractCache};
 pub use explain::explain;
-pub use loadutil::{index_document, index_documents, write_entries, DocIndexing};
+pub use loadutil::{
+    entry_item_keys, index_document, index_documents, retract_keys, stale_keys, write_entries,
+    DocIndexing, ItemKey,
+};
 pub use lookup::{lookup_pattern, lookup_query, LookupOutcome, QueryLookup};
 pub use parallel::{prewarm, PrewarmReport};
 pub use pushdown::{decode_tuples, encode_tuples, ScanPredicate};

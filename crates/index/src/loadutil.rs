@@ -5,9 +5,12 @@
 
 use crate::store::{encode_entry, UuidGen};
 use crate::strategy::{extract, ExtractOptions, IndexEntry, Strategy};
-use amada_cloud::{KvError, KvItem, KvStore, SimTime};
+use amada_cloud::{KvError, KvItem, KvProfile, KvStore, SimTime};
 use amada_xml::Document;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A full item primary key: `(table, hash_key, range_key)`.
+pub type ItemKey = (&'static str, String, String);
 
 /// Metrics of indexing one document (feed the work and cost models).
 #[derive(Debug, Clone, Copy, Default)]
@@ -66,6 +69,64 @@ pub fn write_entries(
         }
     }
     Ok((metrics, t))
+}
+
+/// The `(table, hash_key, range_key)` item keys that [`write_entries`]
+/// produces for these entries — derived *without* touching the store, by
+/// replaying the same per-document UUID sequence over the same encoding.
+/// Because range keys are deterministic per document (seeded from its
+/// URI), the keys of any version of a document can be reconstructed from
+/// its bytes alone; stale-entry retraction is the set difference between
+/// an old and a new version's keys.
+pub fn entry_item_keys(entries: &[IndexEntry], profile: &KvProfile, uri: &str) -> Vec<ItemKey> {
+    let mut uuids = UuidGen::for_document(uri);
+    let mut keys = Vec::new();
+    for e in entries {
+        for item in encode_entry(e, profile, &mut uuids) {
+            keys.push((e.table, item.hash_key, item.range_key));
+        }
+    }
+    keys
+}
+
+/// Keys present in `old` but not in `new` — the items a replaced
+/// document's previous version left behind, which retraction must delete.
+pub fn stale_keys(old: &[ItemKey], new: &[ItemKey]) -> Vec<ItemKey> {
+    let fresh: BTreeSet<&ItemKey> = new.iter().collect();
+    let mut out: Vec<ItemKey> = old.iter().filter(|k| !fresh.contains(k)).cloned().collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Deletes the given item keys, grouped per table and chunked by the
+/// backend's batch limit. Deletes of absent keys are idempotent successes
+/// (billed at the backend's minimum), so calling this twice — or racing a
+/// redelivered loader message — converges without tombstones. Returns the
+/// number of batches issued and the virtual completion time.
+pub fn retract_keys(
+    store: &mut dyn KvStore,
+    now: SimTime,
+    keys: &[ItemKey],
+) -> Result<(u64, SimTime), KvError> {
+    let limit = store.profile().batch_put_limit;
+    let mut per_table: BTreeMap<&'static str, Vec<(String, String)>> = BTreeMap::new();
+    for (table, hash, range) in keys {
+        per_table
+            .entry(table)
+            .or_default()
+            .push((hash.clone(), range.clone()));
+    }
+    let mut batches = 0;
+    let mut t = now;
+    for (table, keys) in per_table {
+        store.ensure_table(table);
+        for chunk in keys.chunks(limit) {
+            batches += 1;
+            t = store.batch_delete(t, table, chunk)?;
+        }
+    }
+    Ok((batches, t))
 }
 
 /// Indexes a whole document set sequentially (test / example convenience;
@@ -158,6 +219,102 @@ mod tests {
         assert!(m.batches < m.items || m.items <= 1);
         assert_eq!(store.stats().api_requests, m.batches);
         assert!(store.stats().put_ops > 0);
+    }
+
+    #[test]
+    fn entry_item_keys_match_what_write_entries_stored() {
+        let mut store = DynamoDb::default();
+        let d = doc();
+        let entries = extract(&d, Strategy::TwoLupi, ExtractOptions::default());
+        write_entries(&mut store, SimTime::ZERO, &entries, d.uri()).unwrap();
+        let keys = entry_item_keys(&entries, &store.profile(), d.uri());
+        let mut stored: Vec<(String, String, String)> = store
+            .peek_all()
+            .into_iter()
+            .map(|(t, i)| (t, i.hash_key, i.range_key))
+            .collect();
+        let mut derived: Vec<(String, String, String)> = keys
+            .into_iter()
+            .map(|(t, h, r)| (t.to_string(), h, r))
+            .collect();
+        stored.sort();
+        derived.sort();
+        assert_eq!(stored, derived);
+    }
+
+    #[test]
+    fn identical_versions_have_no_stale_keys() {
+        let d = doc();
+        let entries = extract(&d, Strategy::Lup, ExtractOptions::default());
+        let p = DynamoDb::default().profile();
+        let keys = entry_item_keys(&entries, &p, d.uri());
+        assert!(stale_keys(&keys, &keys).is_empty());
+    }
+
+    #[test]
+    fn retracting_stale_keys_matches_a_fresh_build_of_the_new_version() {
+        let v1 = Document::parse_str(
+            "d.xml",
+            "<painting id=\"1854-1\"><name>The Lion Hunt</name><year>1854</year></painting>",
+        )
+        .unwrap();
+        // The new version drops <year> and renames the painting.
+        let v2 = Document::parse_str(
+            "d.xml",
+            "<painting id=\"1854-1\"><name>The Tiger Hunt</name></painting>",
+        )
+        .unwrap();
+        let opts = ExtractOptions::default();
+        for strategy in [
+            Strategy::Lu,
+            Strategy::Lup,
+            Strategy::Lui,
+            Strategy::TwoLupi,
+        ] {
+            // Churned store: index v1, overwrite with v2, retract stale keys.
+            let mut churned = DynamoDb::default();
+            let old = extract(&v1, strategy, opts);
+            let new = extract(&v2, strategy, opts);
+            write_entries(&mut churned, SimTime::ZERO, &old, v1.uri()).unwrap();
+            write_entries(&mut churned, SimTime::ZERO, &new, v2.uri()).unwrap();
+            let p = churned.profile();
+            let stale = stale_keys(
+                &entry_item_keys(&old, &p, v1.uri()),
+                &entry_item_keys(&new, &p, v2.uri()),
+            );
+            assert!(
+                !stale.is_empty(),
+                "{strategy:?} shrink must leave stale keys"
+            );
+            retract_keys(&mut churned, SimTime::ZERO, &stale).unwrap();
+            // Fresh store: index only v2.
+            let mut fresh = DynamoDb::default();
+            write_entries(&mut fresh, SimTime::ZERO, &new, v2.uri()).unwrap();
+            for t in strategy.tables() {
+                fresh.ensure_table(t);
+            }
+            assert_eq!(
+                churned.peek_all(),
+                fresh.peek_all(),
+                "{strategy:?} retraction must be byte-identical to a fresh build"
+            );
+        }
+    }
+
+    #[test]
+    fn retraction_is_idempotent() {
+        let mut store = DynamoDb::default();
+        let d = doc();
+        let entries = extract(&d, Strategy::Lu, ExtractOptions::default());
+        write_entries(&mut store, SimTime::ZERO, &entries, d.uri()).unwrap();
+        let keys = entry_item_keys(&entries, &store.profile(), d.uri());
+        retract_keys(&mut store, SimTime::ZERO, &keys).unwrap();
+        assert!(store.peek_all().is_empty());
+        // Second pass deletes nothing but still succeeds (and still bills).
+        let before = store.stats().put_ops;
+        retract_keys(&mut store, SimTime::ZERO, &keys).unwrap();
+        assert!(store.peek_all().is_empty());
+        assert!(store.stats().put_ops > before);
     }
 
     #[test]

@@ -48,8 +48,8 @@ fn replacing_a_document_updates_answers_and_accounting() {
                 .unwrap(),
         "corpus bytes equal the stored bytes after replacement"
     );
-    // The new content answers; evaluation filters the stale 1863 entry
-    // (index retraction is out of scope, look-ups stay conservative).
+    // The new content answers, and the rebuild retracted the stale 1863
+    // entry — the old year's look-up touches nothing in the index.
     assert_eq!(by_year(&mut w, "1865"), 1);
     assert_eq!(by_year(&mut w, "1863"), 0);
 }
