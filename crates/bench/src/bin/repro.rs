@@ -34,8 +34,12 @@
 //!            the advisor flips to "index nothing" (beyond the paper;
 //!            not part of `all` so `all` stays byte-comparable to
 //!            pre-churn runs)
-//!   all      everything above except `fault`, `scale`, `pushdown` and
-//!            `churn`, in order
+//!   shard    skew-aware sharded index vs. one table under an open-loop
+//!            hot-key storm: exact p50/p95/p99 virtual latency and $/1k
+//!            queries per shard plan (beyond the paper; not part of `all`
+//!            so `all` stays byte-comparable to pre-sharding runs)
+//!   all      everything above except `fault`, `scale`, `pushdown`,
+//!            `churn` and `shard`, in order
 //! ```
 //!
 //! A second mode runs the differential correctness harness instead of the
@@ -119,14 +123,15 @@ fn main() {
     let known: &[&str] = &[
         "table4", "fig7", "fig8", "table5", "fig9", "fig10", "table6", "fig11", "fig12", "fig13",
         "table7", "table8", "ablation", "trace", "fault", "scale", "perf", "pushdown", "churn",
+        "shard",
     ];
     // `all` deliberately leaves `fault` (output depends on
     // AMADA_FAULT_SEED), `scale` (beyond-the-paper elasticity run),
     // `perf` (host wall-clock timings), `pushdown` (beyond-the-paper
-    // selectivity sweep) and `churn` (beyond-the-paper churn-rate sweep)
-    // out, so `all` stays byte-comparable run to run and release to
-    // release.
-    let excluded = ["fault", "scale", "perf", "pushdown", "churn"];
+    // selectivity sweep), `churn` (beyond-the-paper churn-rate sweep)
+    // and `shard` (beyond-the-paper open-loop storm) out, so `all`
+    // stays byte-comparable run to run and release to release.
+    let excluded = ["fault", "scale", "perf", "pushdown", "churn", "shard"];
     let selected: Vec<&str> = if artifacts == ["all"] {
         known
             .iter()
@@ -254,6 +259,7 @@ fn compute(scale: &Scale, selected: &[&str]) -> Vec<Computed> {
                             "perf" => exp::perf(scale),
                             "pushdown" => exp::pushdown(scale).to_string(),
                             "churn" => exp::churn(scale).to_string(),
+                            "shard" => exp::shard(scale).to_string(),
                             _ => unreachable!("validated in main"),
                         };
                         (artifact.to_string(), body, start.elapsed().as_secs_f64())
@@ -345,6 +351,16 @@ fn write_report(
         exp::churn::CHURN_RETRACTED_ITEMS.load(std::sync::atomic::Ordering::Relaxed),
         exp::churn::CHURN_ADVISOR_FLIP_PCT.load(std::sync::atomic::Ordering::Relaxed)
     ));
+    // Zero when the `shard` artifact was not selected.
+    json.push_str(&format!(
+        "  \"shard\": {{ \"arrivals\": {}, \"single_p99_us\": {}, \"skew_p99_us\": {}, \
+         \"single_per_1k_udollars\": {}, \"skew_per_1k_udollars\": {} }},\n",
+        exp::shard::SHARD_ARRIVALS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::shard::SHARD_SINGLE_P99_US.load(std::sync::atomic::Ordering::Relaxed),
+        exp::shard::SHARD_SKEW_P99_US.load(std::sync::atomic::Ordering::Relaxed),
+        exp::shard::SHARD_SINGLE_PER1K_UDOLLARS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::shard::SHARD_SKEW_PER1K_UDOLLARS.load(std::sync::atomic::Ordering::Relaxed)
+    ));
     // Null when the `perf` artifact was not selected.
     json.push_str(&format!(
         "  \"perf\": {}\n",
@@ -385,6 +401,9 @@ fn title(artifact: &str) -> &'static str {
         }
         "churn" => {
             "Churn - index maintenance vs. query savings by update rate (beyond the paper)"
+        }
+        "shard" => {
+            "Shard - skew-aware sharded index vs. one table under an open-loop storm (beyond the paper)"
         }
         _ => "unknown",
     }
@@ -470,7 +489,7 @@ fn print_usage() {
         "repro - regenerate the paper's tables and figures\n\n\
          usage: repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R] [--enforce]\n\
          \x20      repro check [--seed N[,N...]] [--cases M] [--billing-every K]\n\n\
-         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale perf pushdown churn all\n\n\
+         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale perf pushdown churn shard all\n\n\
          --enforce (with perf): exit non-zero when a release build regresses more\n\
          than 30% past the repo-pinned parse / tokenize / decode rates or the\n\
          twig-join latency ceiling"

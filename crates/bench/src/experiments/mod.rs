@@ -11,6 +11,7 @@ pub mod perf;
 pub mod pushdown;
 pub mod querying;
 pub mod scaling;
+pub mod shard;
 pub mod trace;
 
 pub use ablation::ablation;
@@ -24,4 +25,5 @@ pub use perf::perf;
 pub use pushdown::pushdown;
 pub use querying::{fig11, fig12, fig9, query_suite, table5, QuerySuite};
 pub use scaling::fig10;
+pub use shard::shard;
 pub use trace::trace;

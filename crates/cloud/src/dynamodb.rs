@@ -26,6 +26,7 @@ use crate::kv::KvValue;
 use crate::kv::{KvError, KvItem, KvProfile, KvStats, KvStore};
 use crate::obs::{Outcome, Recorder, ServiceKind, Span};
 use crate::service::ServiceQueue;
+use crate::shard::ShardPlan;
 use std::collections::{BTreeMap, HashMap};
 
 /// Per-item storage overhead billed by DynamoDB.
@@ -65,6 +66,40 @@ impl Default for DynamoConfig {
 
 type Table = HashMap<String, BTreeMap<String, KvItem>>;
 
+/// The write/read service queues of one provisioned shard: an
+/// independent slice of throughput at the configured per-shard rates.
+#[derive(Debug, Clone)]
+struct ShardLanes {
+    writes: ServiceQueue,
+    reads: ServiceQueue,
+}
+
+impl ShardLanes {
+    fn new(config: &DynamoConfig) -> ShardLanes {
+        ShardLanes {
+            writes: ServiceQueue::new(
+                SimDuration::from_micros(300),
+                config.write_units_per_sec,
+                config.latency,
+            ),
+            reads: ServiceQueue::new(
+                SimDuration::from_micros(300),
+                config.read_units_per_sec,
+                config.latency,
+            ),
+        }
+    }
+}
+
+/// Per-shard aggregation of one batch request's subset: service-time
+/// units, billed capacity units, and payload bytes.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardAgg {
+    units: f64,
+    billed: u64,
+    bytes: u64,
+}
+
 /// The simulated DynamoDB service.
 pub struct DynamoDb {
     tables: HashMap<String, Table>,
@@ -73,6 +108,14 @@ pub struct DynamoDb {
     reads: ServiceQueue,
     faults: FaultInjector,
     obs: Recorder,
+    config: DynamoConfig,
+    /// Shard routing. [`ShardPlan::single`] (the default) keeps the
+    /// service-wide `writes`/`reads` queues above serving every request —
+    /// the unsharded store, byte-identical to the pre-sharding build.
+    plan: ShardPlan,
+    /// Per-table shard lanes, `plan.shards()` per table; populated only
+    /// while the plan is sharded.
+    lanes: HashMap<String, Vec<ShardLanes>>,
 }
 
 impl DynamoDb {
@@ -93,14 +136,69 @@ impl DynamoDb {
             ),
             faults: FaultInjector::off(),
             obs: Recorder::off(),
+            config,
+            plan: ShardPlan::single(),
+            lanes: HashMap::new(),
+        }
+    }
+
+    /// The shard plan in force.
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Makes sure `table` has one lane pair per shard of the current plan.
+    fn ensure_lanes(&mut self, table: &str) {
+        if self.plan.is_sharded() && !self.lanes.contains_key(table) {
+            let lanes = (0..self.plan.shards())
+                .map(|_| ShardLanes::new(&self.config))
+                .collect();
+            self.lanes.insert(table.to_string(), lanes);
+        }
+    }
+
+    /// Groups a batch's per-item `(service units, billed units, bytes)`
+    /// contributions by destination shard, in shard-id order. The sums
+    /// over all shards equal the unsharded aggregates exactly (the
+    /// fractional unit models decompose per item / per key), which is
+    /// what keeps sharded billing byte-identical.
+    fn group_by_shard<'a, I>(&self, parts: I) -> BTreeMap<usize, ShardAgg>
+    where
+        I: Iterator<Item = (&'a str, f64, u64, u64)>,
+    {
+        let mut groups: BTreeMap<usize, ShardAgg> = BTreeMap::new();
+        for (hash_key, units, billed, bytes) in parts {
+            let agg = groups.entry(self.plan.route(hash_key)).or_default();
+            agg.units += units;
+            agg.billed += billed;
+            agg.bytes += bytes;
+        }
+        groups
+    }
+
+    /// The shard to tag a request's spans with: the routed shard for a
+    /// single shard group, `None` when the batch fans out (or the store
+    /// is unsharded).
+    fn shard_hint(groups: &BTreeMap<usize, ShardAgg>) -> Option<usize> {
+        if groups.len() == 1 {
+            groups.keys().next().copied()
+        } else {
+            None
         }
     }
 
     /// Rolls the fault injector for a request that reached the service; a
     /// throttled attempt bills one capacity unit (the minimum charge for a
     /// rejected request) and one API round trip, and its failure response
-    /// arrives after the request latency.
-    fn maybe_throttle(&mut self, now: SimTime, is_write: bool) -> Result<(), KvError> {
+    /// arrives after the request latency. `shard` tags the throttle span
+    /// when the rejected request resolves to one shard, so hot shards are
+    /// visible in the throttle series.
+    fn maybe_throttle(
+        &mut self,
+        now: SimTime,
+        is_write: bool,
+        shard: Option<usize>,
+    ) -> Result<(), KvError> {
         if self.faults.roll() {
             self.stats.throttled += 1;
             self.stats.api_requests += 1;
@@ -121,10 +219,69 @@ impl DynamoDb {
                     .units(1.0)
                     .billed(price)
                     .outcome(Outcome::Throttled)
+                    .shard(shard)
             });
             return Err(KvError::Throttled { available_at });
         }
         Ok(())
+    }
+
+    /// Serves one write batch's shard groups: each touched shard's write
+    /// lane serves its subset as one request, and the batch completes
+    /// when the slowest shard responds. One span per shard, tagged.
+    fn serve_write_shards(
+        &mut self,
+        now: SimTime,
+        table: &str,
+        op: &'static str,
+        groups: &BTreeMap<usize, ShardAgg>,
+    ) -> SimTime {
+        let lanes = self.lanes.get_mut(table).expect("ensure_lanes ran");
+        let mut ready = now;
+        for (&s, agg) in groups {
+            let lane = &mut lanes[s].writes;
+            let done = lane.serve(now, agg.units);
+            ready = ready.max(done);
+            let busy = lane.service_time(agg.units);
+            let (units, billed, bytes) = (agg.units, agg.billed, agg.bytes);
+            self.obs.record(|p, ctx| {
+                Span::new(ServiceKind::Kv, op, now, done, ctx)
+                    .bytes(bytes)
+                    .units(units)
+                    .busy(busy)
+                    .billed(p.idx_put * billed)
+                    .shard(Some(s))
+            });
+        }
+        ready
+    }
+
+    /// Read-side counterpart of [`DynamoDb::serve_write_shards`].
+    fn serve_read_shards(
+        &mut self,
+        now: SimTime,
+        table: &str,
+        op: &'static str,
+        groups: &BTreeMap<usize, ShardAgg>,
+    ) -> SimTime {
+        let lanes = self.lanes.get_mut(table).expect("ensure_lanes ran");
+        let mut ready = now;
+        for (&s, agg) in groups {
+            let lane = &mut lanes[s].reads;
+            let done = lane.serve(now, agg.units);
+            ready = ready.max(done);
+            let busy = lane.service_time(agg.units);
+            let (units, billed, bytes) = (agg.units, agg.billed, agg.bytes);
+            self.obs.record(|p, ctx| {
+                Span::new(ServiceKind::Kv, op, now, done, ctx)
+                    .bytes(bytes)
+                    .units(units)
+                    .busy(busy)
+                    .billed(p.idx_get * billed)
+                    .shard(Some(s))
+            });
+        }
+        ready
     }
 
     /// Write capacity consumed by one item: a fixed per-item processing
@@ -195,6 +352,18 @@ impl KvStore for DynamoDb {
 
     fn ensure_table(&mut self, table: &str) {
         self.tables.entry(table.to_string()).or_default();
+        self.ensure_lanes(table);
+    }
+
+    fn set_shard_plan(&mut self, plan: ShardPlan) {
+        self.plan = plan;
+        self.lanes.clear();
+        if self.plan.is_sharded() {
+            let tables: Vec<String> = self.tables.keys().cloned().collect();
+            for t in tables {
+                self.ensure_lanes(&t);
+            }
+        }
     }
 
     fn batch_put(
@@ -222,7 +391,19 @@ impl KvStore for DynamoDb {
             // but never changes the provisioned capacity they consume.
             billed_units += (item_units.ceil() as u64).max(1);
         }
-        self.maybe_throttle(now, true)?;
+        let groups = self.plan.is_sharded().then(|| {
+            self.group_by_shard(items.iter().map(|item| {
+                let size = item.byte_size();
+                let u = Self::write_units(size);
+                (
+                    item.hash_key.as_str(),
+                    u,
+                    (u.ceil() as u64).max(1),
+                    size as u64,
+                )
+            }))
+        });
+        self.maybe_throttle(now, true, groups.as_ref().and_then(Self::shard_hint))?;
         let t = self.table_mut(table)?;
         let mut raw_delta: i64 = 0;
         let mut ovh_delta: i64 = 0;
@@ -245,14 +426,23 @@ impl KvStore for DynamoDb {
         // aggregate so throughput still tracks index bytes (Figure 10).
         self.stats.put_ops += billed_units;
         self.stats.api_requests += 1;
-        let ready = self.writes.serve(now, units);
-        self.obs.record(|p, ctx| {
-            Span::new(ServiceKind::Kv, "batch_put", now, ready, ctx)
-                .bytes(bytes_written)
-                .units(units)
-                .busy(self.writes.service_time(units))
-                .billed(p.idx_put * billed_units)
-        });
+        let ready = match &groups {
+            Some(g) => {
+                self.ensure_lanes(table);
+                self.serve_write_shards(now, table, "batch_put", g)
+            }
+            None => {
+                let ready = self.writes.serve(now, units);
+                self.obs.record(|p, ctx| {
+                    Span::new(ServiceKind::Kv, "batch_put", now, ready, ctx)
+                        .bytes(bytes_written)
+                        .units(units)
+                        .busy(self.writes.service_time(units))
+                        .billed(p.idx_put * billed_units)
+                });
+                ready
+            }
+        };
         Ok(ready)
     }
 
@@ -271,13 +461,25 @@ impl KvStore for DynamoDb {
         if !self.tables.contains_key(table) {
             return Err(KvError::NoSuchTable(table.to_string()));
         }
-        self.maybe_throttle(now, true)?;
+        // Routes are decided by hash key alone, so they can be fixed
+        // before the mutation loop takes the table borrow.
+        let routes: Vec<usize> = if self.plan.is_sharded() {
+            keys.iter().map(|(h, _)| self.plan.route(h)).collect()
+        } else {
+            Vec::new()
+        };
+        let hint = routes
+            .first()
+            .copied()
+            .filter(|&f| routes.iter().all(|&s| s == f));
+        self.maybe_throttle(now, true, hint)?;
         let t = self.table_mut(table)?;
         let mut units = 0.0;
         let mut billed_units = 0u64;
         let mut raw_delta: i64 = 0;
         let mut ovh_delta: i64 = 0;
-        for (hash, range) in keys {
+        let mut parts: Vec<(usize, f64, u64)> = Vec::with_capacity(routes.len());
+        for (i, (hash, range)) in keys.iter().enumerate() {
             let removed = match t.get_mut(hash) {
                 Some(rows) => {
                     let old = rows.remove(range);
@@ -302,19 +504,35 @@ impl KvStore for DynamoDb {
                 None => Self::write_units(0),
             };
             units += item_units;
-            billed_units += (item_units.ceil() as u64).max(1);
+            let item_billed = (item_units.ceil() as u64).max(1);
+            billed_units += item_billed;
+            if !routes.is_empty() {
+                parts.push((routes[i], item_units, item_billed));
+            }
         }
         self.stats.raw_bytes = (self.stats.raw_bytes as i64 + raw_delta) as u64;
         self.stats.overhead_bytes = (self.stats.overhead_bytes as i64 + ovh_delta) as u64;
         self.stats.put_ops += billed_units;
         self.stats.api_requests += 1;
-        let ready = self.writes.serve(now, units);
-        self.obs.record(|p, ctx| {
-            Span::new(ServiceKind::Kv, "batch_delete", now, ready, ctx)
-                .units(units)
-                .busy(self.writes.service_time(units))
-                .billed(p.idx_put * billed_units)
-        });
+        let ready = if routes.is_empty() {
+            let ready = self.writes.serve(now, units);
+            self.obs.record(|p, ctx| {
+                Span::new(ServiceKind::Kv, "batch_delete", now, ready, ctx)
+                    .units(units)
+                    .busy(self.writes.service_time(units))
+                    .billed(p.idx_put * billed_units)
+            });
+            ready
+        } else {
+            let mut groups: BTreeMap<usize, ShardAgg> = BTreeMap::new();
+            for (s, u, b) in parts {
+                let agg = groups.entry(s).or_default();
+                agg.units += u;
+                agg.billed += b;
+            }
+            self.ensure_lanes(table);
+            self.serve_write_shards(now, table, "batch_delete", &groups)
+        };
         Ok(ready)
     }
 
@@ -327,7 +545,8 @@ impl KvStore for DynamoDb {
         if !self.tables.contains_key(table) {
             return Err(KvError::NoSuchTable(table.to_string()));
         }
-        self.maybe_throttle(now, false)?;
+        let shard = self.plan.is_sharded().then(|| self.plan.route(hash_key));
+        self.maybe_throttle(now, false, shard)?;
         let t = self.tables.get(table).expect("checked above");
         let items: Vec<KvItem> = t
             .get(hash_key)
@@ -340,14 +559,32 @@ impl KvStore for DynamoDb {
         self.stats.get_ops += billed_units;
         self.stats.api_requests += 1;
         self.stats.bytes_read += bytes as u64;
-        let ready = self.reads.serve(now, units);
-        self.obs.record(|p, ctx| {
-            Span::new(ServiceKind::Kv, "get", now, ready, ctx)
-                .bytes(bytes as u64)
-                .units(units)
-                .busy(self.reads.service_time(units))
-                .billed(p.idx_get * billed_units)
-        });
+        let ready = match shard {
+            Some(s) => {
+                let mut groups: BTreeMap<usize, ShardAgg> = BTreeMap::new();
+                groups.insert(
+                    s,
+                    ShardAgg {
+                        units,
+                        billed: billed_units,
+                        bytes: bytes as u64,
+                    },
+                );
+                self.ensure_lanes(table);
+                self.serve_read_shards(now, table, "get", &groups)
+            }
+            None => {
+                let ready = self.reads.serve(now, units);
+                self.obs.record(|p, ctx| {
+                    Span::new(ServiceKind::Kv, "get", now, ready, ctx)
+                        .bytes(bytes as u64)
+                        .units(units)
+                        .busy(self.reads.service_time(units))
+                        .billed(p.idx_get * billed_units)
+                });
+                ready
+            }
+        };
         Ok((items, ready))
     }
 
@@ -366,10 +603,19 @@ impl KvStore for DynamoDb {
         if !self.tables.contains_key(table) {
             return Err(KvError::NoSuchTable(table.to_string()));
         }
-        self.maybe_throttle(now, false)?;
+        let sharded = self.plan.is_sharded();
+        let hint = if sharded {
+            let mut shards = hash_keys.iter().map(|k| self.plan.route(k));
+            let first = shards.next();
+            first.filter(|&f| shards.all(|s| s == f))
+        } else {
+            None
+        };
+        self.maybe_throttle(now, false, hint)?;
         let t = self.tables.get(table).expect("checked above");
         let mut items = Vec::new();
         let mut billed_units = 0u64;
+        let mut groups: BTreeMap<usize, ShardAgg> = BTreeMap::new();
         for k in hash_keys {
             let first = items.len();
             if let Some(rows) = t.get(k) {
@@ -379,7 +625,18 @@ impl KvStore for DynamoDb {
             // batch get bills exactly what the same keys fetched one by
             // one would — batching saves API round trips, not capacity.
             let key_bytes: usize = items[first..].iter().map(KvItem::byte_size).sum();
-            billed_units += (Self::read_units(key_bytes).ceil() as u64).max(1);
+            let key_billed = (Self::read_units(key_bytes).ceil() as u64).max(1);
+            billed_units += key_billed;
+            if sharded {
+                // The aggregate service units below decompose exactly per
+                // key — read_units(B) + 0.25·(k−1) = Σ_k read_units(b_k) —
+                // so routing each key's share to its shard conserves both
+                // total service time and billed capacity.
+                let agg = groups.entry(self.plan.route(k)).or_default();
+                agg.units += Self::read_units(key_bytes);
+                agg.billed += key_billed;
+                agg.bytes += key_bytes as u64;
+            }
         }
         let bytes: usize = items.iter().map(KvItem::byte_size).sum();
         // Service time keeps the fractional aggregate: one request's worth
@@ -388,14 +645,20 @@ impl KvStore for DynamoDb {
         self.stats.get_ops += billed_units;
         self.stats.api_requests += 1;
         self.stats.bytes_read += bytes as u64;
-        let ready = self.reads.serve(now, units);
-        self.obs.record(|p, ctx| {
-            Span::new(ServiceKind::Kv, "batch_get", now, ready, ctx)
-                .bytes(bytes as u64)
-                .units(units)
-                .busy(self.reads.service_time(units))
-                .billed(p.idx_get * billed_units)
-        });
+        let ready = if sharded && !groups.is_empty() {
+            self.ensure_lanes(table);
+            self.serve_read_shards(now, table, "batch_get", &groups)
+        } else {
+            let ready = self.reads.serve(now, units);
+            self.obs.record(|p, ctx| {
+                Span::new(ServiceKind::Kv, "batch_get", now, ready, ctx)
+                    .bytes(bytes as u64)
+                    .units(units)
+                    .busy(self.reads.service_time(units))
+                    .billed(p.idx_get * billed_units)
+            });
+            ready
+        };
         Ok((items, ready))
     }
 
@@ -815,5 +1078,228 @@ mod tests {
         assert_eq!(db.stats().api_requests, before + 1);
         // Five near-empty keys each bill the 1-unit per-key minimum.
         assert_eq!(db.stats().get_ops, 5);
+    }
+
+    /// A deterministic pseudo-random byte count for property-style tests
+    /// (no host randomness allowed in the simulation crates).
+    fn mix(seed: u64, i: u64) -> usize {
+        let mut x = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(i.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        x ^= x >> 31;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 29;
+        (x % 10_000) as usize
+    }
+
+    #[test]
+    fn batch_get_billing_is_partition_invariant() {
+        // Property: however a key set is partitioned into batch_get
+        // calls, the billed read units are identical — the per-key ceil
+        // (min 1) makes billing a pure per-key function. This pins the
+        // audited `read_units(bytes) + 0.25·(keys−1)` aggregate as the
+        // *service-time* side only; billing never uses it.
+        for seed in 0..4u64 {
+            let populate = |db: &mut DynamoDb| {
+                db.ensure_table("t");
+                for i in 0..12u64 {
+                    db.batch_put(
+                        SimTime::ZERO,
+                        "t",
+                        vec![item(
+                            &format!("k{i}"),
+                            "r",
+                            "d",
+                            KvValue::B(vec![0; mix(seed, i)]),
+                        )],
+                    )
+                    .unwrap();
+                }
+            };
+            let keys: Vec<String> = (0..12).map(|i| format!("k{i}")).collect();
+            // One call with all keys.
+            let mut whole = DynamoDb::default();
+            populate(&mut whole);
+            let base = whole.stats().get_ops;
+            whole.batch_get(SimTime::ZERO, "t", &keys).unwrap();
+            let whole_units = whole.stats().get_ops - base;
+            // A seed-dependent split into two uneven calls.
+            let cut = 1 + mix(seed, 99) % 10;
+            let mut split = DynamoDb::default();
+            populate(&mut split);
+            let base = split.stats().get_ops;
+            split.batch_get(SimTime::ZERO, "t", &keys[..cut]).unwrap();
+            split.batch_get(SimTime::ZERO, "t", &keys[cut..]).unwrap();
+            assert_eq!(split.stats().get_ops - base, whole_units, "seed {seed}");
+            // Fully unbatched singles.
+            let mut singles = DynamoDb::default();
+            populate(&mut singles);
+            let base = singles.stats().get_ops;
+            for k in &keys {
+                singles.get(SimTime::ZERO, "t", k).unwrap();
+            }
+            assert_eq!(singles.stats().get_ops - base, whole_units, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batch_get_service_units_decompose_per_key() {
+        // The audited service-time aggregate read_units(B) + 0.25·(k−1)
+        // equals the sum of per-key fractional units Σ (0.25 + b_k/8192)
+        // exactly — the identity the sharded store relies on to split a
+        // batch across shards without changing total service demand.
+        for k in [1usize, 2, 7, 100] {
+            let total_bytes: usize = (0..k).map(|i| mix(7, i as u64)).sum();
+            let aggregate = DynamoDb::read_units(total_bytes) + 0.25 * (k.saturating_sub(1)) as f64;
+            let per_key: f64 = (0..k).map(|i| DynamoDb::read_units(mix(7, i as u64))).sum();
+            assert!(
+                (aggregate - per_key).abs() < 1e-9,
+                "k={k}: {aggregate} vs {per_key}"
+            );
+        }
+    }
+
+    fn shard_fixture(plan: ShardPlan) -> DynamoDb {
+        let mut db = DynamoDb::default();
+        db.set_shard_plan(plan);
+        db.ensure_table("t");
+        db
+    }
+
+    #[test]
+    fn sharding_preserves_contents_billing_and_answers() {
+        let items: Vec<KvItem> = (0..20)
+            .map(|i| {
+                item(
+                    &format!("k{}", i % 7),
+                    &format!("r{i}"),
+                    "d",
+                    KvValue::B(vec![0; mix(3, i)]),
+                )
+            })
+            .collect();
+        let mut flat = shard_fixture(ShardPlan::single());
+        let mut sharded = shard_fixture(ShardPlan::with_hot_keys(3, ["k0", "k1"]));
+        for chunk in items.chunks(5) {
+            flat.batch_put(SimTime::ZERO, "t", chunk.to_vec()).unwrap();
+            sharded
+                .batch_put(SimTime::ZERO, "t", chunk.to_vec())
+                .unwrap();
+        }
+        let keys: Vec<String> = (0..7).map(|i| format!("k{i}")).collect();
+        let (a, _) = flat.batch_get(SimTime::ZERO, "t", &keys).unwrap();
+        let (b, _) = sharded.batch_get(SimTime::ZERO, "t", &keys).unwrap();
+        assert_eq!(a, b, "answers are routing-independent");
+        flat.batch_delete(SimTime::ZERO, "t", &[("k0".into(), "r0".into())])
+            .unwrap();
+        sharded
+            .batch_delete(SimTime::ZERO, "t", &[("k0".into(), "r0".into())])
+            .unwrap();
+        assert_eq!(flat.stats(), sharded.stats(), "billing is plan-blind");
+        assert_eq!(flat.peek_all(), sharded.peek_all());
+    }
+
+    #[test]
+    fn sharded_spans_carry_shard_ids() {
+        use crate::pricing::PriceTable;
+        let mut db = shard_fixture(ShardPlan::with_hot_keys(2, ["hot"]));
+        let rec = Recorder::enabled(PriceTable::default());
+        db.set_recorder(rec.clone());
+        db.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![
+                item("hot", "r1", "d", KvValue::S(String::new())),
+                item("cold-a", "r2", "d", KvValue::S(String::new())),
+            ],
+        )
+        .unwrap();
+        db.get(SimTime::ZERO, "t", "hot").unwrap();
+        let spans = rec.spans();
+        let put_shards: Vec<Option<usize>> = spans
+            .iter()
+            .filter(|s| s.op == "batch_put")
+            .map(|s| s.shard)
+            .collect();
+        assert_eq!(put_shards.len(), 2, "one span per touched shard");
+        assert!(put_shards.contains(&Some(2)), "hot key owns shard 2");
+        let get_span = spans.iter().find(|s| s.op == "get").unwrap();
+        assert_eq!(get_span.shard, Some(2));
+        // Unsharded spans stay untagged.
+        let mut flat = DynamoDb::default();
+        flat.ensure_table("t");
+        let rec2 = Recorder::enabled(PriceTable::default());
+        flat.set_recorder(rec2.clone());
+        flat.batch_put(
+            SimTime::ZERO,
+            "t",
+            vec![item("k", "r", "d", KvValue::S(String::new()))],
+        )
+        .unwrap();
+        assert!(rec2.spans().iter().all(|s| s.shard.is_none()));
+    }
+
+    #[test]
+    fn a_hot_shard_saturates_alone() {
+        // 100 writes to the hot key and 1 to a cold key: the hot shard's
+        // queue stretches while the cold shard answers at first-request
+        // speed — per-shard provisioning isolates the victim.
+        let cfg = DynamoConfig {
+            write_units_per_sec: 100.0,
+            ..Default::default()
+        };
+        let mut db = DynamoDb::new(cfg);
+        db.set_shard_plan(ShardPlan::with_hot_keys(1, ["hot"]));
+        db.ensure_table("t");
+        let mut hot_done = SimTime::ZERO;
+        for i in 0..100 {
+            hot_done = db
+                .batch_put(
+                    SimTime::ZERO,
+                    "t",
+                    vec![item(
+                        "hot",
+                        &format!("r{i}"),
+                        "d",
+                        KvValue::B(vec![0; 2048]),
+                    )],
+                )
+                .unwrap();
+        }
+        let cold_done = db
+            .batch_put(
+                SimTime::ZERO,
+                "t",
+                vec![item("cold", "r", "d", KvValue::B(vec![0; 2048]))],
+            )
+            .unwrap();
+        assert!(
+            hot_done.micros() > 10 * cold_done.micros(),
+            "hot {hot_done:?} vs cold {cold_done:?}"
+        );
+    }
+
+    #[test]
+    fn throttles_on_a_sharded_store_tag_the_routed_shard() {
+        use crate::pricing::PriceTable;
+        let mut db = shard_fixture(ShardPlan::with_hot_keys(1, ["hot"]));
+        let rec = Recorder::enabled(PriceTable::default());
+        db.set_recorder(rec.clone());
+        db.set_faults(FaultInjector::new(1.0, 5)); // clamped to 0.95
+        let mut tagged = 0;
+        for _ in 0..50 {
+            if db.get(SimTime::ZERO, "t", "hot").is_err() {
+                tagged += 1;
+            }
+        }
+        assert!(tagged > 0);
+        let throttle_shards: Vec<Option<usize>> = rec
+            .spans()
+            .iter()
+            .filter(|s| s.outcome == Outcome::Throttled)
+            .map(|s| s.shard)
+            .collect();
+        assert_eq!(throttle_shards.len() as u64, tagged);
+        assert!(throttle_shards.iter().all(|&s| s == Some(1)));
     }
 }

@@ -272,6 +272,12 @@ pub trait KvStore: Send {
         false
     }
 
+    /// Installs a shard plan: subsequent operations queue on per-shard
+    /// provisioned capacity routed by hash key. The default implementation
+    /// ignores it (a backend that opts out keeps one table-level queue —
+    /// billing is identical either way, only service times differ).
+    fn set_shard_plan(&mut self, _plan: crate::shard::ShardPlan) {}
+
     /// Host-side snapshot of every item in every table, sorted by
     /// `(table, hash_key, range_key)`. No request is billed and no
     /// virtual time passes — this exists for tests that compare whole

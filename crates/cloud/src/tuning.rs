@@ -156,6 +156,10 @@ impl KvStore for TunedKvStore {
         self.inner.faults_active()
     }
 
+    fn set_shard_plan(&mut self, plan: crate::shard::ShardPlan) {
+        self.inner.set_shard_plan(plan);
+    }
+
     fn peek_all(&self) -> Vec<(String, KvItem)> {
         self.inner.peek_all()
     }

@@ -38,7 +38,8 @@
 use crate::config::AutoscalePolicy;
 use crate::retry::RetryPolicy;
 use amada_cloud::{
-    Actor, ActorTag, InstanceId, Phase, ServiceKind, SimTime, Span, SqsError, StepResult, World,
+    Actor, ActorTag, InstanceId, Phase, ServiceKind, SimDuration, SimTime, Span, SqsError,
+    StepResult, World,
 };
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -302,6 +303,9 @@ impl BurstSender {
 impl Actor for BurstSender {
     fn step(&mut self, now: SimTime, world: &mut World) -> StepResult {
         let Some((_, name, body)) = self.pending.pop_front() else {
+            // Empty schedule (zero bursts / empty workload) or the final
+            // wake-up after the last send: close the queue so consumers
+            // stop polling instead of waiting forever.
             world.sqs.close(self.queue);
             return StepResult::Done;
         };
@@ -318,6 +322,137 @@ impl Actor for BurstSender {
             // send completed.
             None => StepResult::NextAt(t),
         }
+    }
+}
+
+/// A seeded open-loop arrival process: inter-arrival gaps are exponential
+/// around a time-varying rate (diurnal sinusoid × periodic burst factor),
+/// and each arrival picks its query by a Zipf draw over the workload —
+/// the hot-key skew that drives one index shard much harder than the
+/// rest. Open-loop means the release times are fixed up-front: arrivals
+/// never wait for completions, so queue growth under saturation is real,
+/// not throttled by the sender.
+///
+/// Everything is derived from `seed` through the project RNG — no host
+/// randomness, no wall clock — so a process generates the identical
+/// schedule on every run and every thread count.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    /// RNG seed for gaps and query picks.
+    pub seed: u64,
+    /// Total arrivals to release.
+    pub arrivals: usize,
+    /// Mean arrival rate (queries/sec) before modulation.
+    pub base_rate_per_sec: f64,
+    /// Diurnal swing as a fraction of the base rate (`0.0..=1.0`); the
+    /// instantaneous rate is `base · (1 + amplitude · sin(2πt/period))`.
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal sinusoid.
+    pub diurnal_period: SimDuration,
+    /// A burst starts every `burst_every` of virtual time…
+    pub burst_every: SimDuration,
+    /// …lasts `burst_len`…
+    pub burst_len: SimDuration,
+    /// …and multiplies the instantaneous rate while it lasts.
+    pub burst_factor: f64,
+    /// Zipf exponent of the query pick (0 = uniform; ≥ 1 concentrates
+    /// almost all arrivals on the first queries).
+    pub zipf_exponent: f64,
+}
+
+impl ArrivalProcess {
+    /// A steady process: no diurnal swing, no bursts, uniform picks.
+    pub fn steady(seed: u64, arrivals: usize, rate_per_sec: f64) -> ArrivalProcess {
+        ArrivalProcess {
+            seed,
+            arrivals,
+            base_rate_per_sec: rate_per_sec,
+            diurnal_amplitude: 0.0,
+            diurnal_period: amada_cloud::SimDuration::from_secs(3600),
+            burst_every: amada_cloud::SimDuration::from_secs(3600),
+            burst_len: amada_cloud::SimDuration::ZERO,
+            burst_factor: 1.0,
+            zipf_exponent: 0.0,
+        }
+    }
+
+    /// The instantaneous arrival rate at offset `t` from the start.
+    pub fn rate_at(&self, t: amada_cloud::SimDuration) -> f64 {
+        let secs = t.as_secs_f64();
+        let diurnal = 1.0
+            + self.diurnal_amplitude
+                * (2.0 * std::f64::consts::PI * secs / self.diurnal_period.as_secs_f64()).sin();
+        let in_burst = self.burst_len > amada_cloud::SimDuration::ZERO
+            && t.micros() % self.burst_every.micros().max(1) < self.burst_len.micros();
+        let burst = if in_burst { self.burst_factor } else { 1.0 };
+        (self.base_rate_per_sec * diurnal * burst).max(1e-9)
+    }
+
+    /// The seeded schedule: `arrivals` pairs of (offset from start, index
+    /// of the picked query in a workload of `queries` entries), in
+    /// arrival order. Gaps are exponential at the rate current when each
+    /// gap starts; picks are Zipf over `0..queries`.
+    pub fn offsets(&self, queries: usize) -> Vec<(amada_cloud::SimDuration, usize)> {
+        assert!(queries > 0, "an arrival process needs a workload");
+        let mut rng = amada_rng::StdRng::seed_from_u64(self.seed);
+        // Zipf CDF over query ranks (uniform when the exponent is 0).
+        let weights: Vec<f64> = (0..queries)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.zipf_exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(queries);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        let mut out = Vec::with_capacity(self.arrivals);
+        let mut t_micros: u64 = 0;
+        for _ in 0..self.arrivals {
+            let rate = self.rate_at(amada_cloud::SimDuration::from_micros(t_micros));
+            let u = rng.next_f64();
+            let gap_secs = -(1.0 - u).ln() / rate;
+            t_micros += (gap_secs * 1e6) as u64;
+            let pick = rng.next_f64();
+            let idx = cdf.partition_point(|&c| c < pick).min(queries - 1);
+            out.push((amada_cloud::SimDuration::from_micros(t_micros), idx));
+        }
+        out
+    }
+}
+
+/// An open-loop front-end actor: generalizes [`BurstSender`] from "all
+/// messages of a burst at one instant" to an arbitrary pre-computed
+/// arrival schedule. Release times come from an [`ArrivalProcess`], so
+/// sends never wait for completions; the queue is closed after the last
+/// arrival (inheriting the empty-schedule close from `BurstSender`).
+pub struct OpenLoopSender {
+    inner: BurstSender,
+}
+
+impl OpenLoopSender {
+    /// A sender over a prepared `(send at, query name, body)` schedule
+    /// (non-decreasing in time — [`ArrivalProcess::offsets`] output is).
+    pub fn new(
+        queue: &'static str,
+        schedule: VecDeque<(SimTime, String, String)>,
+        retry: RetryPolicy,
+        tag: ActorTag,
+    ) -> OpenLoopSender {
+        OpenLoopSender {
+            inner: BurstSender::new(queue, schedule, retry, tag),
+        }
+    }
+
+    /// When the first arrival is due (spawn the actor there).
+    pub fn first_send(&self) -> Option<SimTime> {
+        self.inner.first_send()
+    }
+}
+
+impl Actor for OpenLoopSender {
+    fn step(&mut self, now: SimTime, world: &mut World) -> StepResult {
+        self.inner.step(now, world)
     }
 }
 

@@ -20,7 +20,10 @@ pub mod warehouse;
 pub use actors::RetractionRegistry;
 pub use advisor::{advise, advise_churn, advise_queries, Advice, StrategyEstimate};
 pub use amortization::{Amortization, AmortizationPoint};
-pub use autoscale::{AutoscaleController, DrainSignal, ScaleDirection, ScaleEvent};
+pub use autoscale::{
+    ArrivalProcess, AutoscaleController, BurstSender, DrainSignal, OpenLoopSender, ScaleDirection,
+    ScaleEvent,
+};
 pub use config::{AutoscalePolicy, Pool, WarehouseConfig};
 pub use config::{
     DEAD_LETTER_QUEUE, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE, RESPONSE_QUEUE, RESULT_BUCKET,

@@ -5,7 +5,9 @@ use crate::actors::{
     DocCache, LoaderCore, LoaderTotals, QueryCore, RetractionRegistry, LOADER_RNG_TAG,
     QUERY_RNG_TAG,
 };
-use crate::autoscale::{AutoscaleController, BurstSender, DrainSignal, ScaleEvents};
+use crate::autoscale::{
+    ArrivalProcess, AutoscaleController, BurstSender, DrainSignal, OpenLoopSender, ScaleEvents,
+};
 use crate::config::{
     AutoscalePolicy, WarehouseConfig, DEAD_LETTER_QUEUE, DOC_BUCKET, LOADER_QUEUE, QUERY_QUEUE,
     RESPONSE_QUEUE, RESULT_BUCKET,
@@ -41,6 +43,18 @@ pub struct Warehouse {
     /// retraction, shared with the loader cores (see
     /// [`RetractionRegistry`]).
     retractions: RetractionRegistry,
+}
+
+/// How a workload run releases its query messages.
+enum SendPlan<'a> {
+    /// All messages enqueued before the engine starts (the paper's
+    /// batch experiments).
+    Inline,
+    /// Timed bursts released inside the engine by a [`BurstSender`].
+    Bursts { bursts: usize, gap: SimDuration },
+    /// A seeded open-loop arrival schedule released by an
+    /// [`OpenLoopSender`].
+    OpenLoop(&'a ArrivalProcess),
 }
 
 /// Fault-visibility deltas since a snapshot: (throttled billed requests
@@ -102,6 +116,9 @@ impl Warehouse {
         world.sqs.create_queue(QUERY_QUEUE);
         world.sqs.create_queue(RESPONSE_QUEUE);
         world.sqs.create_queue(DEAD_LETTER_QUEUE);
+        if let Some(plan) = &cfg.shard_plan {
+            world.kv.set_shard_plan(plan.clone());
+        }
         for table in cfg.strategy.tables() {
             world.kv.ensure_table(table);
         }
@@ -133,6 +150,18 @@ impl Warehouse {
     /// instance count and flavor between runs; the index is unaffected).
     pub fn set_query_pool(&mut self, pool: crate::config::Pool) {
         self.cfg.query_pool = pool;
+    }
+
+    /// Re-partitions the index store for subsequent runs: `Some(plan)`
+    /// gives every table per-shard provisioned capacity routed by hash
+    /// key, `None` restores the single table-level queue. Contents,
+    /// answers and billed units are unaffected — only queueing changes.
+    pub fn set_shard_plan(&mut self, plan: Option<amada_cloud::ShardPlan>) {
+        self.engine
+            .world
+            .kv
+            .set_shard_plan(plan.clone().unwrap_or_else(amada_cloud::ShardPlan::single));
+        self.cfg.shard_plan = plan;
     }
 
     /// Switches queue-depth autoscaling of the query-processor pool on
@@ -602,7 +631,7 @@ impl Warehouse {
 
     fn run_one(&mut self, query: &Query, strategy: Option<amada_index::Strategy>) -> CostedQuery {
         let before = self.engine.world.snapshot();
-        let report = self.run_batch(std::slice::from_ref(query), 1, strategy, None);
+        let report = self.run_batch(std::slice::from_ref(query), 1, strategy, SendPlan::Inline);
         let mut executions = report.executions;
         assert_eq!(executions.len(), 1, "one query in, one execution out");
         CostedQuery {
@@ -615,12 +644,30 @@ impl Warehouse {
     /// (sent in round-robin order: q1…qn, q1…qn, …), across the query
     /// pool. Used for the paper's Figure 10 scaling experiment.
     pub fn run_workload(&mut self, queries: &[Query], repeats: usize) -> WorkloadReport {
-        self.run_batch(queries, repeats, Some(self.cfg.strategy), None)
+        self.run_batch(queries, repeats, Some(self.cfg.strategy), SendPlan::Inline)
     }
 
     /// Like [`Warehouse::run_workload`] but without any index.
     pub fn run_workload_no_index(&mut self, queries: &[Query], repeats: usize) -> WorkloadReport {
-        self.run_batch(queries, repeats, None, None)
+        self.run_batch(queries, repeats, None, SendPlan::Inline)
+    }
+
+    /// Releases queries open-loop from a seeded [`ArrivalProcess`]: each
+    /// arrival Zipf-picks a query and is sent at its scheduled instant
+    /// regardless of completions, so backlog under saturation is real.
+    /// Arrival names are `{query}#{seq}` — unique per arrival, so
+    /// recorded spans give exact per-arrival virtual latencies.
+    pub fn run_workload_open_loop(
+        &mut self,
+        queries: &[Query],
+        process: &ArrivalProcess,
+    ) -> WorkloadReport {
+        self.run_batch(
+            queries,
+            1,
+            Some(self.cfg.strategy),
+            SendPlan::OpenLoop(process),
+        )
     }
 
     /// Runs `bursts` copies of the workload, released `gap` apart: each
@@ -640,7 +687,7 @@ impl Warehouse {
             queries,
             repeats,
             Some(self.cfg.strategy),
-            Some((bursts, gap)),
+            SendPlan::Bursts { bursts, gap },
         )
     }
 
@@ -649,7 +696,7 @@ impl Warehouse {
         queries: &[Query],
         repeats: usize,
         strategy: Option<amada_index::Strategy>,
-        bursts: Option<(usize, SimDuration)>,
+        plan: SendPlan<'_>,
     ) -> WorkloadReport {
         if self.cfg.host.prewarm {
             // Queries parse candidate documents; after an indexed build
@@ -663,8 +710,8 @@ impl Warehouse {
         // tagged per query so Figure-12-style attribution charges each
         // query its own request.
         let frontend = self.frontend;
-        match bursts {
-            None => {
+        match plan {
+            SendPlan::Inline => {
                 let mut t = start;
                 for r in 0..repeats {
                     for (i, q) in queries.iter().enumerate() {
@@ -689,7 +736,7 @@ impl Warehouse {
                 }
                 self.engine.world.sqs.close(QUERY_QUEUE);
             }
-            Some((bursts, gap)) => {
+            SendPlan::Bursts { bursts, gap } => {
                 // The sends happen inside the engine: a BurstSender actor
                 // releases each burst at its scheduled instant and closes
                 // the queue after the last one.
@@ -707,6 +754,22 @@ impl Warehouse {
                     }
                 }
                 let sender = BurstSender::new(QUERY_QUEUE, schedule, self.cfg.retry, frontend);
+                let first = sender.first_send().unwrap_or(start);
+                self.engine.spawn(Box::new(sender), first);
+            }
+            SendPlan::OpenLoop(process) => {
+                // Arrival names are unique per arrival (`{query}#{seq}`)
+                // so per-arrival latency can be read back from spans even
+                // when the same query is drawn many times.
+                let mut schedule = VecDeque::new();
+                for (seq, (offset, idx)) in process.offsets(queries.len()).into_iter().enumerate() {
+                    let q = &queries[idx];
+                    let base = q.name.clone().unwrap_or_else(|| format!("query-{idx}"));
+                    let name = format!("{base}#{seq}");
+                    let body = format!("{name}\n{q}");
+                    schedule.push_back((start + offset, name, body));
+                }
+                let sender = OpenLoopSender::new(QUERY_QUEUE, schedule, self.cfg.retry, frontend);
                 let first = sender.first_send().unwrap_or(start);
                 self.engine.spawn(Box::new(sender), first);
             }

@@ -31,6 +31,7 @@ pub mod loadutil;
 pub mod lookup;
 pub mod parallel;
 pub mod pushdown;
+pub mod shard;
 pub mod store;
 pub mod strategy;
 pub mod summary;
@@ -44,6 +45,7 @@ pub use loadutil::{
 pub use lookup::{lookup_pattern, lookup_query, LookupOutcome, QueryLookup};
 pub use parallel::{prewarm, PrewarmReport};
 pub use pushdown::{decode_tuples, encode_tuples, ScanPredicate};
+pub use shard::{hottest_keys, key_frequencies, skew_aware_plan};
 pub use store::UuidGen;
 pub use strategy::{extract, ExtractOptions, IndexEntry, Payload, Strategy};
 pub use strategy::{TABLE_ID, TABLE_MAIN, TABLE_PATH};

@@ -22,12 +22,14 @@
 
 pub mod attrib;
 pub mod json;
+pub mod latency;
 pub mod series;
 pub mod summary;
 pub mod trace;
 
 pub use attrib::Attribution;
 pub use json::validate_json;
+pub use latency::{query_latencies, LatencySummary};
 pub use series::{Bucket, ServiceSeries};
 pub use summary::{render_summary, summarize, OpSummary};
 pub use trace::chrome_trace;

@@ -1,0 +1,185 @@
+//! The sharded index store's contract, end to end:
+//!
+//! 1. **Deterministic routing** — the same seed and corpus produce the
+//!    same skew-aware plan and the same key → shard assignment, across
+//!    fresh builds and across host thread counts (routing is a pure
+//!    function of the key).
+//! 2. **Sharding is invisible to answers and bills** — with faults off,
+//!    a sharded warehouse returns the same answers and bills the same
+//!    index-store units as the unsharded build; only where requests
+//!    *wait* changes, so under a saturating open-loop storm the sharded
+//!    run finishes strictly earlier.
+//! 3. **Off by default** — the default configuration routes everything
+//!    to one shard and records no shard-tagged spans.
+
+use amada::cloud::{DynamoConfig, InstanceType, KvBackend, ShardPlan};
+use amada::index::{extract, key_frequencies, skew_aware_plan, ExtractOptions, Strategy};
+use amada::pattern::Query;
+use amada::warehouse::{ArrivalProcess, Pool, Warehouse, WarehouseConfig};
+use amada::xmark::{generate_corpus, workload, CorpusConfig};
+use amada::xml::Document;
+use std::collections::BTreeMap;
+
+fn corpus() -> Vec<(String, String)> {
+    let cfg = CorpusConfig {
+        seed: 0x5AADED,
+        num_documents: 24,
+        target_doc_bytes: 1100,
+        ..Default::default()
+    };
+    generate_corpus(&cfg)
+        .into_iter()
+        .map(|d| (d.uri, d.xml))
+        .collect()
+}
+
+fn queries() -> Vec<Query> {
+    workload().into_iter().take(5).collect()
+}
+
+/// Extracts every index entry of the corpus and derives the skew-aware
+/// plan plus the full key → shard assignment.
+fn plan_and_assignment() -> (ShardPlan, BTreeMap<String, usize>) {
+    let entries: Vec<_> = corpus()
+        .iter()
+        .flat_map(|(uri, xml)| {
+            let doc = Document::parse_str(uri, xml).expect("corpus is well-formed");
+            extract(&doc, Strategy::Lup, ExtractOptions::default())
+        })
+        .collect();
+    let freqs = key_frequencies(&entries);
+    let plan = skew_aware_plan(&freqs, 4, 2);
+    let assignment = freqs
+        .keys()
+        .map(|k| (k.clone(), plan.route(k)))
+        .collect::<BTreeMap<_, _>>();
+    (plan, assignment)
+}
+
+#[test]
+fn routing_is_deterministic_across_runs() {
+    let (plan_a, assign_a) = plan_and_assignment();
+    let (plan_b, assign_b) = plan_and_assignment();
+    assert_eq!(plan_a, plan_b);
+    assert_eq!(assign_a, assign_b);
+    assert!(plan_a.shards() == 4 && plan_a.hot_keys().count() > 0);
+}
+
+#[test]
+fn routing_is_deterministic_across_thread_counts() {
+    let (plan, assign) = plan_and_assignment();
+    let keys: Vec<String> = assign.keys().cloned().collect();
+    // Route the same key set from four threads at once; a pure router
+    // gives every thread the single-threaded answer.
+    let routed: Vec<BTreeMap<String, usize>> = std::thread::scope(|s| {
+        (0..4)
+            .map(|_| {
+                let plan = &plan;
+                let keys = &keys;
+                s.spawn(move || {
+                    keys.iter()
+                        .map(|k| (k.clone(), plan.route(k)))
+                        .collect::<BTreeMap<_, _>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("router threads do not panic"))
+            .collect()
+    });
+    for r in routed {
+        assert_eq!(r, assign);
+    }
+}
+
+/// A warehouse on a deliberately under-provisioned DynamoDB read lane,
+/// with enough query cores that concurrent look-ups contend on it.
+fn storm_warehouse(plan: Option<ShardPlan>) -> Warehouse {
+    let mut cfg = WarehouseConfig::with_strategy(Strategy::Lup);
+    cfg.backend = KvBackend::Dynamo(DynamoConfig {
+        read_units_per_sec: 12.0,
+        ..DynamoConfig::default()
+    });
+    cfg.query_pool = Pool::new(4, InstanceType::Large);
+    cfg.shard_plan = plan;
+    let mut w = Warehouse::new(cfg);
+    w.upload_documents(corpus());
+    w.build_index();
+    w
+}
+
+fn storm() -> ArrivalProcess {
+    let mut p = ArrivalProcess::steady(0xA3ADA, 60, 6.0);
+    p.zipf_exponent = 1.2;
+    p
+}
+
+#[test]
+fn sharded_answers_and_billed_units_match_the_unsharded_build() {
+    let queries = queries();
+    let process = storm();
+
+    let mut plain = storm_warehouse(None);
+    let report_plain = plain.run_workload_open_loop(&queries, &process);
+
+    let entries: Vec<_> = corpus()
+        .iter()
+        .flat_map(|(uri, xml)| {
+            let doc = Document::parse_str(uri, xml).expect("corpus is well-formed");
+            extract(&doc, Strategy::Lup, ExtractOptions::default())
+        })
+        .collect();
+    let plan = skew_aware_plan(&key_frequencies(&entries), 4, 2);
+    let mut sharded = storm_warehouse(Some(plan));
+    let report_sharded = sharded.run_workload_open_loop(&queries, &process);
+
+    // Same arrivals, same answers — completion order may differ under
+    // different queueing, so compare by arrival name.
+    let answers = |r: &amada::warehouse::WorkloadReport| -> BTreeMap<String, Vec<u8>> {
+        r.executions
+            .iter()
+            .map(|e| (e.name.clone(), format!("{:?}", e.results).into_bytes()))
+            .collect()
+    };
+    assert_eq!(
+        report_plain.executions.len(),
+        report_sharded.executions.len()
+    );
+    assert_eq!(answers(&report_plain), answers(&report_sharded));
+
+    // Identical index-store bills: billed units and the resulting money.
+    let stats_plain = plain.engine_mut().world.kv.stats();
+    let stats_sharded = sharded.engine_mut().world.kv.stats();
+    assert_eq!(stats_plain.put_ops, stats_sharded.put_ops);
+    assert_eq!(stats_plain.get_ops, stats_sharded.get_ops);
+    assert_eq!(report_plain.cost.kv, report_sharded.cost.kv);
+    assert_eq!(stats_plain.throttled, 0);
+    assert_eq!(stats_sharded.throttled, 0);
+
+    // Only the waiting changes: the storm saturates the single lane, so
+    // the sharded run must drain strictly earlier.
+    assert!(
+        report_sharded.total_time < report_plain.total_time,
+        "sharded {} vs single-table {}",
+        report_sharded.total_time,
+        report_plain.total_time
+    );
+
+    // And the stored index itself is byte-identical.
+    assert_eq!(
+        plain.engine_mut().world.kv.peek_all(),
+        sharded.engine_mut().world.kv.peek_all()
+    );
+}
+
+#[test]
+fn sharding_is_off_by_default_and_untagged() {
+    let mut cfg = WarehouseConfig::with_strategy(Strategy::Lup);
+    assert!(cfg.shard_plan.is_none());
+    cfg.host.record = true;
+    let mut w = Warehouse::new(cfg);
+    w.upload_documents(corpus());
+    w.build_index();
+    w.run_workload(&queries(), 1);
+    assert!(w.spans().iter().all(|s| s.shard.is_none()));
+}
