@@ -38,8 +38,13 @@
 //!            hot-key storm: exact p50/p95/p99 virtual latency and $/1k
 //!            queries per shard plan (beyond the paper; not part of `all`
 //!            so `all` stays byte-comparable to pre-sharding runs)
+//!   advise   adaptive attribution-driven advisor vs. every static layout
+//!            on a hot/cold/churning horizon under a monthly storage
+//!            budget: per-deployment dollars, response times and the
+//!            mixed plan adopted (beyond the paper; not part of `all` so
+//!            `all` stays byte-comparable to pre-advisor runs)
 //!   all      everything above except `fault`, `scale`, `pushdown`,
-//!            `churn` and `shard`, in order
+//!            `churn`, `shard` and `advise`, in order
 //! ```
 //!
 //! A second mode runs the differential correctness harness instead of the
@@ -123,15 +128,18 @@ fn main() {
     let known: &[&str] = &[
         "table4", "fig7", "fig8", "table5", "fig9", "fig10", "table6", "fig11", "fig12", "fig13",
         "table7", "table8", "ablation", "trace", "fault", "scale", "perf", "pushdown", "churn",
-        "shard",
+        "shard", "advise",
     ];
     // `all` deliberately leaves `fault` (output depends on
     // AMADA_FAULT_SEED), `scale` (beyond-the-paper elasticity run),
     // `perf` (host wall-clock timings), `pushdown` (beyond-the-paper
-    // selectivity sweep), `churn` (beyond-the-paper churn-rate sweep)
-    // and `shard` (beyond-the-paper open-loop storm) out, so `all`
-    // stays byte-comparable run to run and release to release.
-    let excluded = ["fault", "scale", "perf", "pushdown", "churn", "shard"];
+    // selectivity sweep), `churn` (beyond-the-paper churn-rate sweep),
+    // `shard` (beyond-the-paper open-loop storm) and `advise`
+    // (beyond-the-paper adaptive-advisor horizon) out, so `all` stays
+    // byte-comparable run to run and release to release.
+    let excluded = [
+        "fault", "scale", "perf", "pushdown", "churn", "shard", "advise",
+    ];
     let selected: Vec<&str> = if artifacts == ["all"] {
         known
             .iter()
@@ -260,6 +268,7 @@ fn compute(scale: &Scale, selected: &[&str]) -> Vec<Computed> {
                             "pushdown" => exp::pushdown(scale).to_string(),
                             "churn" => exp::churn(scale).to_string(),
                             "shard" => exp::shard(scale).to_string(),
+                            "advise" => exp::advise(scale).to_string(),
                             _ => unreachable!("validated in main"),
                         };
                         (artifact.to_string(), body, start.elapsed().as_secs_f64())
@@ -361,6 +370,21 @@ fn write_report(
         exp::shard::SHARD_SINGLE_PER1K_UDOLLARS.load(std::sync::atomic::Ordering::Relaxed),
         exp::shard::SHARD_SKEW_PER1K_UDOLLARS.load(std::sync::atomic::Ordering::Relaxed)
     ));
+    // Zero when the `advise` artifact was not selected.
+    json.push_str(&format!(
+        "  \"advise\": {{ \"rounds\": {}, \"adaptive_total_udollars\": {}, \
+         \"best_static_total_udollars\": {}, \"adaptive_mean_response_us\": {}, \
+         \"best_static_mean_response_us\": {}, \"migrated_docs\": {}, \
+         \"confirm_migrated_docs\": {}, \"budget_met\": {} }},\n",
+        exp::advise::ADVISE_ROUNDS_RUN.load(std::sync::atomic::Ordering::Relaxed),
+        exp::advise::ADVISE_ADAPTIVE_TOTAL_UDOLLARS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::advise::ADVISE_BEST_STATIC_TOTAL_UDOLLARS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::advise::ADVISE_ADAPTIVE_MEAN_RESPONSE_US.load(std::sync::atomic::Ordering::Relaxed),
+        exp::advise::ADVISE_BEST_STATIC_MEAN_RESPONSE_US.load(std::sync::atomic::Ordering::Relaxed),
+        exp::advise::ADVISE_MIGRATED_DOCS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::advise::ADVISE_CONFIRM_MIGRATED_DOCS.load(std::sync::atomic::Ordering::Relaxed),
+        exp::advise::ADVISE_BUDGET_MET.load(std::sync::atomic::Ordering::Relaxed)
+    ));
     // Null when the `perf` artifact was not selected.
     json.push_str(&format!(
         "  \"perf\": {}\n",
@@ -404,6 +428,9 @@ fn title(artifact: &str) -> &'static str {
         }
         "shard" => {
             "Shard - skew-aware sharded index vs. one table under an open-loop storm (beyond the paper)"
+        }
+        "advise" => {
+            "Advise - adaptive attribution-driven plan vs. static layouts under a budget (beyond the paper)"
         }
         _ => "unknown",
     }
@@ -489,7 +516,7 @@ fn print_usage() {
         "repro - regenerate the paper's tables and figures\n\n\
          usage: repro <artifact> [--scale F] [--docs N] [--doc-bytes B] [--repeats R] [--enforce]\n\
          \x20      repro check [--seed N[,N...]] [--cases M] [--billing-every K]\n\n\
-         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale perf pushdown churn shard all\n\n\
+         artifacts: table4 fig7 fig8 table5 fig9 fig10 table6 fig11 fig12 fig13 table7 table8 ablation trace fault scale perf pushdown churn shard advise all\n\n\
          --enforce (with perf): exit non-zero when a release build regresses more\n\
          than 30% past the repo-pinned parse / tokenize / decode rates or the\n\
          twig-join latency ceiling"

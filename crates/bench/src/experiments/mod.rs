@@ -1,6 +1,7 @@
 //! One module per evaluation artifact (table / figure) of the paper.
 
 pub mod ablation;
+pub mod advise;
 pub mod amortize;
 pub mod churn;
 pub mod comparison;
@@ -15,6 +16,7 @@ pub mod shard;
 pub mod trace;
 
 pub use ablation::ablation;
+pub use advise::advise;
 pub use amortize::fig13;
 pub use churn::churn;
 pub use comparison::{comparison_suite, table7, table8, ComparisonSuite};

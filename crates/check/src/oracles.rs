@@ -17,8 +17,9 @@ use amada_index::store::{
     decode_id_lists, decode_id_postings, decode_path_lists, decode_presence_uris, encode_entry,
 };
 use amada_index::{
-    decode_tuples, extract, index_documents, key_frequencies, lookup_query, skew_aware_plan,
-    ExtractOptions, Payload, ScanPredicate, Strategy, UuidGen, TABLE_MAIN,
+    decode_tuples, extract, index_documents, index_documents_mixed, key_frequencies, lookup_mixed,
+    lookup_query, skew_aware_plan, ExtractOptions, MixedPlan, Payload, ScanPredicate, Strategy,
+    UuidGen, TABLE_MAIN,
 };
 use amada_pattern::twig::evaluate_pattern_twig;
 use amada_pattern::{join_pattern_results, naive_matches, parse_query, Query, TreePattern, Tuple};
@@ -82,6 +83,7 @@ pub fn check_case(case: &Case, mutation: Mutation, billing: bool) -> Result<(), 
 
     oracle_round_trip(&docs, opts)?;
     oracle_sharding(&docs, &query, opts)?;
+    oracle_mixed(case, &query, opts)?;
 
     if !case.churn.is_empty() {
         oracle_churn(case, &query, mutation)?;
@@ -644,6 +646,158 @@ fn oracle_sharding(
                 b.get_ops()
             ),
         ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Oracle M — a mixed plan ≡ its per-partition single-strategy parts
+// ---------------------------------------------------------------------------
+
+/// Re-homes the case's documents into three partitions (`hot/`, `cold/`
+/// and the root), routes them with a plan that exercises all three plan
+/// behaviors — an explicit heavy index (`hot` → 2LUPI), an explicit scan
+/// (`cold` → index nothing) and the default (root → LUP) — and demands,
+/// on both backends:
+///
+/// 1. the mixed look-up's per-pattern candidates equal the *union* of
+///    each partition's own single-strategy look-up (scan partitions
+///    contributing every document), and
+/// 2. the answers evaluated over those candidates equal the no-index
+///    scan of the re-homed corpus.
+///
+/// This is the correctness contract behind the adaptive advisor's plan
+/// migrations: splitting a corpus across per-partition strategies must
+/// never change what a query answers.
+fn oracle_mixed(case: &Case, query: &Query, opts: ExtractOptions) -> Result<(), Violation> {
+    const PARTS: [&str; 3] = ["hot", "cold", ""];
+    let rehomed: Vec<Document> = case
+        .docs
+        .iter()
+        .enumerate()
+        .map(|(i, (uri, xml))| {
+            let p = PARTS[i % PARTS.len()];
+            let uri = if p.is_empty() {
+                uri.clone()
+            } else {
+                format!("{p}/{uri}")
+            };
+            Document::parse_str(uri, xml).expect("re-homed case XML parses")
+        })
+        .collect();
+    let plan = MixedPlan::uniform(Some(Strategy::Lup))
+        .with("hot", Some(Strategy::TwoLupi))
+        .with("cold", None);
+    let corpus: Vec<String> = rehomed.iter().map(|d| d.uri().to_string()).collect();
+
+    // Truth: the no-index scan of the re-homed corpus.
+    let truth_tuples: Vec<Vec<Tuple>> = query
+        .patterns
+        .iter()
+        .map(|p| eval_pattern(&rehomed, None, p))
+        .collect();
+    let truth = canon_joined(&join_pattern_results(query, &truth_tuples));
+
+    for backend in Backend::ALL {
+        let mut store = backend.store();
+        index_documents_mixed(store.as_mut(), &rehomed, &plan, opts);
+        let catalog: std::collections::BTreeSet<String> = corpus
+            .iter()
+            .map(|u| amada_index::partition_of(u).to_string())
+            .collect();
+        // Fully indexed plans must answer from the catalog alone — the
+        // warehouse skips the billed corpus LIST for them, so hand the
+        // oracle's look-up the same inputs that path gets.
+        let listing: &[String] = if plan.fully_indexed() { &[] } else { &corpus };
+        let mixed = lookup_mixed(
+            store.as_mut(),
+            SimTime::ZERO,
+            &plan,
+            opts,
+            query,
+            listing,
+            &catalog,
+        )
+        .map_err(|e| {
+            violation(
+                "mixed",
+                format!("{} mixed look-up failed: {e:?}", backend.name()),
+            )
+        })?;
+
+        // Per-partition single-strategy look-ups, unioned.
+        let mut unions: Vec<BTreeSet<String>> = vec![BTreeSet::new(); query.patterns.len()];
+        for part in PARTS {
+            let members: Vec<Document> = rehomed
+                .iter()
+                .filter(|d| amada_index::partition_of(d.uri()) == part)
+                .cloned()
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            match plan.strategy_of(part) {
+                Some(s) => {
+                    let mut solo = backend.store();
+                    index_documents(solo.as_mut(), &members, s, opts);
+                    let lk = lookup_query(solo.as_mut(), SimTime::ZERO, s, opts, query).map_err(
+                        |e| {
+                            violation(
+                                "mixed",
+                                format!(
+                                    "{} solo {} look-up failed for partition {part:?}: {e:?}",
+                                    backend.name(),
+                                    s.name()
+                                ),
+                            )
+                        },
+                    )?;
+                    for (pi, o) in lk.per_pattern.into_iter().enumerate() {
+                        unions[pi].extend(o.uris);
+                    }
+                }
+                None => {
+                    for u in unions.iter_mut() {
+                        u.extend(members.iter().map(|d| d.uri().to_string()));
+                    }
+                }
+            }
+        }
+        for (pi, union) in unions.iter().enumerate() {
+            let got: BTreeSet<String> = mixed.per_pattern[pi].uris.iter().cloned().collect();
+            if &got != union {
+                return Err(violation(
+                    "mixed",
+                    format!(
+                        "{}, pattern {pi}: mixed candidates differ from the per-partition \
+                         union\n  mixed: {got:?}\n  union: {union:?}",
+                        backend.name(),
+                    ),
+                ));
+            }
+        }
+
+        // Answers over the mixed candidates equal the no-index scan.
+        let per_pattern: Vec<Vec<Tuple>> = query
+            .patterns
+            .iter()
+            .zip(&mixed.per_pattern)
+            .map(|(p, o)| {
+                let set: BTreeSet<String> = o.uris.iter().cloned().collect();
+                eval_pattern(&rehomed, Some(&set), p)
+            })
+            .collect();
+        let answers = canon_joined(&join_pattern_results(query, &per_pattern));
+        if answers != truth {
+            return Err(violation(
+                "mixed",
+                format!(
+                    "{}: mixed-plan answers differ from the no-index scan\n  \
+                     no-index: {truth:?}\n  mixed: {answers:?}",
+                    backend.name(),
+                ),
+            ));
+        }
     }
     Ok(())
 }

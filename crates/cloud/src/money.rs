@@ -60,6 +60,16 @@ impl Money {
         Money(div_round_half_up(self.0 * micros as u128, 3_600_000_000))
     }
 
+    /// `self × numer / denom`, rounded half-up to the nearest picodollar —
+    /// exact integer scaling for fractional multipliers (storage horizons
+    /// in fractional months, churn fractions) that must stay summable.
+    /// Scaling through `f64` instead silently truncates above 2⁵³ pico
+    /// (~$9k), so split charges would drift from the aggregate.
+    pub fn scaled(self, numer: u64, denom: u64) -> Money {
+        assert!(denom > 0, "scaling denominator must be positive");
+        Money(div_round_half_up(self.0 * numer as u128, denom as u128))
+    }
+
     /// Saturating subtraction (benefit computations can go "negative";
     /// callers needing signed math use [`Money::signed_diff`]).
     pub fn saturating_sub(self, rhs: Money) -> Money {
@@ -199,6 +209,24 @@ mod tests {
             let aggregate = vm.per_hour(slice * n);
             let drift = split.signed_diff(aggregate).unsigned_abs();
             assert!(drift <= n as u128, "{n} slices: drift {drift} pico");
+        }
+    }
+
+    #[test]
+    fn scaled_is_exact_above_f64_precision() {
+        // Above 2^53 pico an f64 round-trip loses low bits; integer
+        // scaling must not.
+        let m = Money::from_pico((1u128 << 53) + 7);
+        assert_eq!(m.scaled(1, 1), m);
+        assert_eq!(m.scaled(12, 1), m * 12);
+        assert_eq!(m.scaled(3, 2).pico(), (m.pico() * 3).div_ceil(2));
+        // Property: a charge split into N equal fractional slices sums
+        // within 1 pico per slice of the aggregate (round-half-up bounds
+        // each slice's error by half a pico).
+        for n in [2u64, 3, 7, 12, 365] {
+            let slice = m.scaled(1, n);
+            let drift = (slice * n).signed_diff(m).unsigned_abs();
+            assert!(drift <= n as u128, "{n} slices drift {drift} pico");
         }
     }
 

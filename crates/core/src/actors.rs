@@ -44,14 +44,14 @@ use amada_cloud::{
     SimTime, Span, SqsError, StepResult, World,
 };
 use amada_index::{
-    decode_tuples, lookup_query, store::UuidGen, ExtractCache, ExtractOptions, ItemKey,
-    ScanPredicate, Strategy,
+    decode_tuples, lookup_mixed, lookup_query, partition_of, partition_tables, retarget_entries,
+    store::UuidGen, ExtractCache, ExtractOptions, ItemKey, MixedPlan, ScanPredicate, Strategy,
 };
 use amada_pattern::{evaluate_pattern_twig, join_pattern_results, parse_query, Query, Tuple};
 use amada_rng::StdRng;
 use amada_xml::Document;
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -169,6 +169,13 @@ pub struct LoaderCore {
     /// Pending retractions shared with the warehouse front end (empty for
     /// a static corpus, so churn-free builds take the exact same path).
     pub retractions: RetractionRegistry,
+    /// Per-partition strategy routing. `None` (the default) indexes every
+    /// document with `strategy` into the global tables — the byte-exact
+    /// pre-mixed path. `Some(plan)` routes each document by its URI's
+    /// partition: the partition's strategy extracts, the entries land in
+    /// the partition's own tables, and a partition assigned `None` indexes
+    /// nothing (its documents are answered by partition-scoped scans).
+    pub plan: Option<Rc<MixedPlan>>,
     /// Messages fully processed so far.
     pub processed: u32,
     /// Autoscaling drain signal shared with the instance's other cores
@@ -217,6 +224,7 @@ impl LoaderCore {
             crash_after_batches: None,
             batches_written: 0,
             retractions: Rc::default(),
+            plan: None,
             processed: 0,
             drain: None,
             state: LoaderState::Idle,
@@ -379,34 +387,64 @@ impl LoaderCore {
             Err(e) => panic!("loader messages reference stored documents: {e}"),
         };
         self.attempt = 0;
-        // Parse, extract, encode (memoized on the host after the prewarm
-        // stage; virtually charged in full either way).
-        let (_doc, entries) = self.cache.extracted(&uri, &bytes, self.strategy, self.opts);
-        let entry_bytes: u64 = entries.iter().map(|e| e.raw_bytes() as u64).sum();
-        let extraction = world.work.parse(bytes.len() as u64, self.ecu)
-            + world.work.extract(entry_bytes, self.ecu);
-        let fetched_at = t;
-        let t = t + extraction;
-        world.obs.record(|_, ctx| {
-            Span::new(ServiceKind::Actor, "extract", fetched_at, t, ctx).bytes(bytes.len() as u64)
-        });
-        self.totals.borrow_mut().extraction_micros += extraction.micros();
+        // Mixed routing: the document's partition picks the strategy. A
+        // partition assigned `None` indexes nothing — an empty extraction
+        // whose only effect is retracting whatever an earlier placement
+        // left behind for this URI.
+        let routed: Option<Strategy> = match &self.plan {
+            Some(plan) => plan.strategy_for_uri(&uri),
+            None => Some(self.strategy),
+        };
         let profile = world.kv.profile();
-        let mut uuids = UuidGen::for_document(&uri);
-        let mut per_table: HashMap<&'static str, Vec<KvItem>> = HashMap::new();
-        for e in entries.iter() {
-            per_table
-                .entry(e.table)
-                .or_default()
-                .extend(amada_index::store::encode_entry(e, &profile, &mut uuids));
-        }
         let mut batches = VecDeque::new();
+        let mut entry_count = 0u64;
         let mut items = 0u64;
-        for table in self.strategy.tables() {
-            if let Some(table_items) = per_table.remove(table) {
-                items += table_items.len() as u64;
-                for chunk in table_items.chunks(profile.batch_put_limit) {
-                    batches.push_back((*table, chunk.to_vec()));
+        let mut entry_bytes = 0u64;
+        let mut t = t;
+        if let Some(strategy) = routed {
+            // Parse, extract, encode (memoized on the host after the
+            // prewarm stage; virtually charged in full either way).
+            let (_doc, cached) = self.cache.extracted(&uri, &bytes, strategy, self.opts);
+            // Under a mixed plan the entries are routed into the
+            // partition's own tables; without one they stay in the global
+            // tables untouched (no clone on the paper's path).
+            let entries: std::borrow::Cow<[amada_index::IndexEntry]> = match &self.plan {
+                Some(_) => {
+                    let mut routed = (*cached).clone();
+                    retarget_entries(&mut routed, partition_of(&uri));
+                    std::borrow::Cow::Owned(routed)
+                }
+                None => std::borrow::Cow::Borrowed(&cached[..]),
+            };
+            entry_count = entries.len() as u64;
+            entry_bytes = entries.iter().map(|e| e.raw_bytes() as u64).sum();
+            let extraction = world.work.parse(bytes.len() as u64, self.ecu)
+                + world.work.extract(entry_bytes, self.ecu);
+            let fetched_at = t;
+            t = t + extraction;
+            world.obs.record(|_, ctx| {
+                Span::new(ServiceKind::Actor, "extract", fetched_at, t, ctx)
+                    .bytes(bytes.len() as u64)
+            });
+            self.totals.borrow_mut().extraction_micros += extraction.micros();
+            let mut uuids = UuidGen::for_document(&uri);
+            let mut per_table: HashMap<&'static str, Vec<KvItem>> = HashMap::new();
+            for e in entries.iter() {
+                per_table
+                    .entry(e.table)
+                    .or_default()
+                    .extend(amada_index::store::encode_entry(e, &profile, &mut uuids));
+            }
+            let tables: Vec<&'static str> = match &self.plan {
+                Some(_) => partition_tables(strategy, partition_of(&uri)),
+                None => strategy.tables().to_vec(),
+            };
+            for table in tables {
+                if let Some(table_items) = per_table.remove(table) {
+                    items += table_items.len() as u64;
+                    for chunk in table_items.chunks(profile.batch_put_limit) {
+                        batches.push_back((table, chunk.to_vec()));
+                    }
                 }
             }
         }
@@ -436,16 +474,44 @@ impl LoaderCore {
             // retract; drop the registry entry now.
             self.retractions.borrow_mut().remove(&uri);
         } else {
-            let mut per_table: HashMap<&'static str, Vec<(String, String)>> = HashMap::new();
+            let mut per_table: BTreeMap<&'static str, Vec<(String, String)>> = BTreeMap::new();
             for (table, hash, range) in stale {
                 per_table.entry(table).or_default().push((hash, range));
             }
-            for table in self.strategy.tables() {
+            // Without a plan the strategy's own tables keep their legacy
+            // order; under one, a migration's stale keys reference the
+            // *previous* placement's tables, so the order comes from the
+            // keys themselves (name order — deterministic either way).
+            let mut tables: Vec<&'static str> = match &self.plan {
+                Some(_) => per_table.keys().copied().collect(),
+                None => self.strategy.tables().to_vec(),
+            };
+            // A plan switch can strand stale keys in tables outside the
+            // flat strategy's set (migrating a partition back to the flat
+            // layout); cover them after the strategy's own tables — a
+            // no-op whenever no plan was ever in force.
+            for &table in per_table.keys() {
+                if !tables.contains(&table) {
+                    tables.push(table);
+                }
+            }
+            for table in tables {
                 if let Some(keys) = per_table.remove(table) {
                     for chunk in keys.chunks(profile.batch_put_limit) {
-                        deletes.push_back((*table, chunk.to_vec()));
+                        deletes.push_back((table, chunk.to_vec()));
                     }
                 }
+            }
+        }
+        if self.plan.is_some() {
+            // A mixed write may target a partition table no one created
+            // yet (unnamed partitions fall back to the default strategy at
+            // write time); ensuring is a free, idempotent host-side call.
+            for (table, _) in batches.iter() {
+                world.kv.ensure_table(table);
+            }
+            for (table, _) in deletes.iter() {
+                world.kv.ensure_table(table);
             }
         }
         lease.keep_alive(&mut world.sqs, t);
@@ -454,7 +520,7 @@ impl LoaderCore {
             uri,
             batches,
             deletes,
-            entries: entries.len() as u64,
+            entries: entry_count,
             items,
             entry_bytes,
         };
@@ -726,6 +792,17 @@ pub struct QueryCore {
     /// `Some(strategy)` to use the index, `None` for the no-index baseline
     /// that scans the whole corpus.
     pub strategy: Option<Strategy>,
+    /// Per-partition routing: when set, look-ups union each indexed
+    /// partition's own-strategy answer with partition-scoped scans of the
+    /// unindexed ones, overriding `strategy` for the look-up phase (the
+    /// fetch/evaluate phase downstream is unchanged). `None` keeps the
+    /// single-strategy path byte-identically.
+    pub plan: Option<Rc<MixedPlan>>,
+    /// The front end's partition catalog — every partition holding live
+    /// documents, known from its own upload records (free host-side
+    /// metadata, like the plan). A fully indexed plan fans its look-ups
+    /// out over these instead of paying the billed corpus LIST.
+    pub partitions: Rc<BTreeSet<String>>,
     /// Extraction options (must match how the index was built).
     pub opts: ExtractOptions,
     /// Host document cache.
@@ -769,6 +846,8 @@ impl QueryCore {
                 cores: cfg.query_pool.itype.cores(),
                 ecu: cfg.query_pool.itype.ecu_per_core(),
                 strategy,
+                plan: None,
+                partitions: Rc::default(),
                 opts: cfg.extract,
                 cache: cache.clone(),
                 visibility: cfg.visibility,
@@ -820,13 +899,48 @@ impl QueryCore {
         // Per pattern: the candidate documents to evaluate it on.
         let per_pattern_uris: Vec<Vec<String>>;
         let mut t = t0;
-        match self.strategy {
-            Some(strategy) => {
+        match (self.plan.clone(), self.strategy) {
+            (plan, Some(_)) | (plan @ Some(_), None) => {
+                let strategy = self.strategy;
                 let get_ops_before = world.kv.stats().get_ops;
                 // A throttle aborts the look-up mid-flight; the whole
                 // look-up is retried (every aborted get stays billed).
                 let lookup = loop {
-                    match lookup_query(world.kv.as_mut(), t, strategy, self.opts, &query) {
+                    let res = match &plan {
+                        Some(plan) => {
+                            // The corpus listing enumerates the scan
+                            // partitions' documents. `list` is billed
+                            // like a GET (LIST-class request), so a fully
+                            // indexed plan — which can never route a
+                            // query to the scan path — skips it entirely
+                            // instead of paying one billed request per
+                            // arrival for a listing it would throw away;
+                            // its look-ups fan out over the partition
+                            // catalog instead.
+                            let corpus = if plan.fully_indexed() {
+                                Vec::new()
+                            } else {
+                                world
+                                    .s3
+                                    .list(t, DOC_BUCKET)
+                                    .expect("document bucket exists")
+                            };
+                            lookup_mixed(
+                                world.kv.as_mut(),
+                                t,
+                                plan,
+                                self.opts,
+                                &query,
+                                &corpus,
+                                &self.partitions,
+                            )
+                        }
+                        None => {
+                            let strategy = strategy.expect("checked by the match arm");
+                            lookup_query(world.kv.as_mut(), t, strategy, self.opts, &query)
+                        }
+                    };
+                    match res {
                         Ok(lookup) => break lookup,
                         Err(KvError::Throttled { available_at }) => {
                             self.attempt += 1;
@@ -861,9 +975,11 @@ impl QueryCore {
                 index_get_ops = world.kv.stats().get_ops - get_ops_before;
                 per_pattern_uris = lookup.per_pattern.into_iter().map(|o| o.uris).collect();
             }
-            None => {
+            (None, None) => {
                 // No index: every pattern is evaluated on every document.
-                // (`list` is a host-side enumeration, never throttled.)
+                // (`list` is never throttled but is billed like a GET —
+                // the no-index path pays one LIST-class request per
+                // query on top of its scans.)
                 let all = world
                     .s3
                     .list(t, DOC_BUCKET)

@@ -158,11 +158,33 @@ pub fn advise_churn(
             projected_total: projected,
         });
     }
-    estimates.sort_by_key(|e| e.projected_total);
+    rank_estimates(&mut estimates);
     Advice {
         ranked: estimates,
         no_index_total,
     }
+}
+
+/// The documented tie-break position of a candidate: the paper's
+/// presentation order LU, LUP, LUI, 2LUPI, then the pushdown variant,
+/// then the no-index candidate last.
+pub(crate) fn candidate_ordinal(strategy: Option<Strategy>) -> u8 {
+    match strategy {
+        Some(Strategy::Lu) => 0,
+        Some(Strategy::Lup) => 1,
+        Some(Strategy::Lui) => 2,
+        Some(Strategy::TwoLupi) => 3,
+        Some(Strategy::LupPd) => 4,
+        None => 5,
+    }
+}
+
+/// Ranks candidate estimates: ascending projected total, equal totals in
+/// the documented candidate order ([`candidate_ordinal`]). The key is a
+/// pair of deterministic integers, so the ranking is identical across
+/// runs and host thread counts regardless of enumeration order.
+pub(crate) fn rank_estimates(estimates: &mut [StrategyEstimate]) {
+    estimates.sort_by_key(|e| (e.projected_total, candidate_ordinal(e.strategy)));
 }
 
 /// One churn round on the sample warehouse: replace `fraction` of the
@@ -192,9 +214,39 @@ fn churned(xml: &str) -> String {
     }
 }
 
-fn months_scaled(per_month: Money, months: f64) -> Money {
-    Money::from_pico((per_month.pico() as f64 * months) as u128)
+/// Scales a monthly charge to a fractional-month horizon exactly: the
+/// horizon resolves to micro-months and applies with round-half-up
+/// integer scaling ([`Money::scaled`]), so a horizon billed in N slices
+/// sums within a pico per slice of the aggregate. (Scaling through an
+/// `f64` cast truncated and drifted above ~2⁵³ pico — ~$9k/month.)
+pub(crate) fn months_scaled(per_month: Money, months: f64) -> Money {
+    assert!(
+        months >= 0.0 && months.is_finite(),
+        "months must be non-negative: {months}"
+    );
+    per_month.scaled((months * 1e6).round() as u64, 1_000_000)
 }
+
+/// A sample document the advisor could not use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdviseError {
+    /// URI of the offending sample document.
+    pub uri: String,
+    /// The parse failure, rendered.
+    pub error: String,
+}
+
+impl std::fmt::Display for AdviseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sample document {} does not parse: {}",
+            self.uri, self.error
+        )
+    }
+}
+
+impl std::error::Error for AdviseError {}
 
 /// Per-query structural hints from a DataGuide summary of the sample —
 /// the paper's Section 8.5 criterion for when the ID-granularity
@@ -203,16 +255,24 @@ fn months_scaled(per_month: Money, months: f64) -> Money {
 /// Unlike [`advise`] (which simulates whole deployments), this is purely
 /// static: it parses the sample once, builds the summary, and scores each
 /// query — the cheap analysis a front end could run per incoming query.
+///
+/// An unparseable sample document fails the request with a typed
+/// [`AdviseError`] naming the document, instead of killing the caller.
 pub fn advise_queries(
     sample: &[(String, String)],
     workload: &[Query],
-) -> Vec<(String, Vec<StrategyHint>)> {
+) -> Result<Vec<(String, Vec<StrategyHint>)>, AdviseError> {
     let docs: Vec<Document> = sample
         .iter()
-        .map(|(u, x)| Document::parse_str(u.clone(), x).expect("sample documents parse"))
-        .collect();
+        .map(|(u, x)| {
+            Document::parse_str(u.clone(), x).map_err(|e| AdviseError {
+                uri: u.clone(),
+                error: format!("{e:?}"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
     let summary = PathSummary::build(docs.iter());
-    workload
+    Ok(workload
         .iter()
         .map(|q| {
             let name = q.name.clone().unwrap_or_default();
@@ -223,7 +283,7 @@ pub fn advise_queries(
                 .collect();
             (name, hints)
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -312,7 +372,7 @@ mod tests {
     #[test]
     fn per_query_hints_cover_the_workload() {
         let workload = amada_xmark::workload();
-        let hints = advise_queries(&sample(), &workload);
+        let hints = advise_queries(&sample(), &workload).unwrap();
         assert_eq!(hints.len(), 10);
         // Every pattern of every query received a hint with a sane
         // selectivity estimate.
@@ -327,6 +387,91 @@ mod tests {
         // selective than the linear bulk of the corpus.
         let q1 = &hints[0].1[0];
         assert!(q1.estimated_selectivity < 0.1, "{q1:?}");
+    }
+
+    #[test]
+    fn malformed_sample_reports_a_typed_error_instead_of_panicking() {
+        let mut docs = sample();
+        docs.insert(1, ("broken.xml".into(), "<open><unclosed>".into()));
+        let workload = vec![workload_query("q1").unwrap()];
+        let err = advise_queries(&docs, &workload).unwrap_err();
+        assert_eq!(err.uri, "broken.xml");
+        assert!(!err.error.is_empty());
+        assert!(err.to_string().contains("broken.xml"), "{err}");
+        // A clean sample still succeeds.
+        assert!(advise_queries(&sample(), &workload).is_ok());
+    }
+
+    #[test]
+    fn months_scaling_is_exact_above_f64_precision() {
+        // ~$9k/month storage crosses 2^53 pico, where the old f64 cast
+        // truncated low bits.
+        let storage = Money::from_pico((1u128 << 53) + 7);
+        assert_eq!(months_scaled(storage, 1.0), storage);
+        // Twelve monthly charges equal one annual charge exactly.
+        assert_eq!(months_scaled(storage, 12.0), storage * 12);
+        // Property: a horizon billed in N fractional-month slices sums
+        // within 1 pico per slice of the aggregate charge (slices that
+        // micro-months represent exactly; round-half-up bounds each
+        // slice's rounding error by half a pico).
+        for n in [2u64, 4, 5, 8, 10, 16, 1000] {
+            let slice = months_scaled(storage, 1.0 / n as f64);
+            let drift = (slice * n).signed_diff(storage).unsigned_abs();
+            assert!(drift <= n as u128, "{n} slices drift {drift} pico");
+        }
+    }
+
+    #[test]
+    fn equal_totals_rank_in_documented_order_across_threads() {
+        let estimate = |strategy: Option<Strategy>, total: u128| StrategyEstimate {
+            strategy,
+            build_cost: Money::ZERO,
+            storage_per_month: Money::ZERO,
+            run_cost: Money::ZERO,
+            maintenance_per_run: Money::ZERO,
+            mean_response_secs: 0.0,
+            projected_total: Money::from_pico(total),
+        };
+        // All six candidates tie; enumeration order is scrambled.
+        let scrambled: Vec<StrategyEstimate> = [
+            None,
+            Some(Strategy::LupPd),
+            Some(Strategy::Lui),
+            Some(Strategy::Lu),
+            Some(Strategy::TwoLupi),
+            Some(Strategy::Lup),
+        ]
+        .into_iter()
+        .map(|s| estimate(s, 42))
+        .collect();
+        let expect = [
+            Some(Strategy::Lu),
+            Some(Strategy::Lup),
+            Some(Strategy::Lui),
+            Some(Strategy::TwoLupi),
+            Some(Strategy::LupPd),
+            None,
+        ];
+        // The same ranking must come back on every run and from every
+        // host thread (the same bar as the sharding identity tests).
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let mut est = scrambled.clone();
+                std::thread::spawn(move || {
+                    rank_estimates(&mut est);
+                    est.iter().map(|e| e.strategy).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expect);
+        }
+        // A cheaper total still outranks the documented order.
+        let mut est = scrambled;
+        est.push(estimate(Some(Strategy::TwoLupi), 7));
+        rank_estimates(&mut est);
+        assert_eq!(est[0].strategy, Some(Strategy::TwoLupi));
+        assert_eq!(est[0].projected_total, Money::from_pico(7));
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl Amortization {
                 None
             };
         }
-        Some(self.build_cost.pico().div_ceil(benefit) as u32)
+        // A pathological build/benefit ratio (huge build, picodollar
+        // benefit) exceeds u32 runs; saturate instead of letting the cast
+        // wrap to a bogus early break-even.
+        Some(u32::try_from(self.build_cost.pico().div_ceil(benefit)).unwrap_or(u32::MAX))
     }
 }
 
@@ -107,6 +110,24 @@ mod tests {
         let am = a(10.0, 1.0, 2.0); // indexed run costs more
         assert_eq!(am.benefit_per_run(), Money::ZERO);
         assert_eq!(am.breakeven_runs(), None);
+    }
+
+    #[test]
+    fn pathological_ratio_saturates_instead_of_wrapping() {
+        // $1000 build recovered one picodollar per run: 10^15 runs, far
+        // beyond u32::MAX. The old `as u32` cast wrapped this to a small
+        // bogus break-even (10^15 mod 2^32 ≈ 2.8 × 10^9... truncated
+        // further), reporting the index pays off when it never will in
+        // any feasible horizon.
+        let am = Amortization {
+            build_cost: Money::from_dollars(1000.0),
+            run_cost_no_index: Money::from_pico(2),
+            run_cost_indexed: Money::from_pico(1),
+        };
+        assert_eq!(am.breakeven_runs(), Some(u32::MAX));
+        // Ratios inside the u32 range are untouched.
+        let sane = a(26.64, 7.0, 0.5);
+        assert_eq!(sane.breakeven_runs(), Some(5));
     }
 
     #[test]

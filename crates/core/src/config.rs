@@ -5,7 +5,7 @@ use amada_cloud::{
     BillingGranularity, FaultConfig, InstanceType, KvBackend, KvTuning, PriceTable, SimDuration,
     WorkModel,
 };
-use amada_index::{ExtractOptions, Strategy};
+use amada_index::{ExtractOptions, MixedPlan, Strategy};
 
 /// S3 bucket holding the XML documents.
 pub const DOC_BUCKET: &str = "amada-documents";
@@ -179,6 +179,14 @@ pub struct WarehouseConfig {
     /// A sharded plan changes service times and throttle exposure only —
     /// never answers or billed units.
     pub shard_plan: Option<amada_cloud::ShardPlan>,
+    /// Per-partition strategy routing: `None` (the default) indexes the
+    /// whole corpus with `strategy`, bit-identically to the paper's
+    /// layout. `Some(plan)` routes each document by its URI's partition —
+    /// hot partitions can take the ID-granularity index while cold ones
+    /// take a cheap one or none at all — and
+    /// [`crate::Warehouse::apply_plan`] migrates between plans
+    /// incrementally.
+    pub mixed_plan: Option<MixedPlan>,
 }
 
 impl Default for WarehouseConfig {
@@ -201,6 +209,7 @@ impl Default for WarehouseConfig {
             retry: RetryPolicy::default(),
             host: HostConfig::default(),
             shard_plan: None,
+            mixed_plan: None,
         }
     }
 }
@@ -229,6 +238,7 @@ mod tests {
         // must reproduce the paper's static-pool, fractional-hour setup.
         assert!(c.loader_autoscale.is_none());
         assert!(c.query_autoscale.is_none());
+        assert!(c.mixed_plan.is_none(), "mixed routing is opt-in");
         assert_eq!(c.ec2_billing, BillingGranularity::Fractional);
     }
 

@@ -8,6 +8,7 @@
 //! sketched as future work in the paper's conclusion.
 
 pub mod actors;
+pub mod adaptive;
 pub mod advisor;
 pub mod amortization;
 pub mod autoscale;
@@ -18,7 +19,11 @@ pub mod retry;
 pub mod warehouse;
 
 pub use actors::RetractionRegistry;
-pub use advisor::{advise, advise_churn, advise_queries, Advice, StrategyEstimate};
+pub use adaptive::{
+    advise_adaptive, estimate_plan, observed_families, AdaptiveAdvice, FamilyLoad, Horizon,
+    PlanEstimate, ESTIMATE_TOLERANCE,
+};
+pub use advisor::{advise, advise_churn, advise_queries, Advice, AdviseError, StrategyEstimate};
 pub use amortization::{Amortization, AmortizationPoint};
 pub use autoscale::{
     ArrivalProcess, AutoscaleController, BurstSender, DrainSignal, OpenLoopSender, ScaleDirection,
@@ -31,4 +36,4 @@ pub use config::{
 pub use cost::CostModel;
 pub use metrics::{CostedQuery, IndexBuildReport, QueryExecution, QueryPhases, WorkloadReport};
 pub use retry::{Lease, RetryPolicy};
-pub use warehouse::{DeleteReport, UploadReport, Warehouse};
+pub use warehouse::{DeleteReport, Readvice, UploadReport, Warehouse};

@@ -21,7 +21,10 @@ use amada_cloud::{
     ActorTag, CostReport, CostSnapshot, Engine, Money, Phase, ServiceKind, SimDuration, SimTime,
     Span, StorageCost, World,
 };
-use amada_index::{entry_item_keys, CacheStats, ExtractCache, ItemKey, PrewarmReport};
+use amada_index::{
+    entry_item_keys, partition_of, retarget_entries, CacheStats, ExtractCache, ItemKey, MixedPlan,
+    PrewarmReport, Strategy,
+};
 use amada_pattern::Query;
 use amada_rng::StdRng;
 use std::cell::RefCell;
@@ -43,6 +46,32 @@ pub struct Warehouse {
     /// retraction, shared with the loader cores (see
     /// [`RetractionRegistry`]).
     retractions: RetractionRegistry,
+    /// The per-partition routing plan shared with the module cores
+    /// (mirrors `cfg.mixed_plan`; `None` keeps the flat layout).
+    plan: Option<Rc<MixedPlan>>,
+    /// Recorded-span index of the last [`Warehouse::readvise`]: each
+    /// cadence step advises from the traffic observed *since the
+    /// previous one* (the observation window), so a drifting workload
+    /// re-plans from what changed, not a stale average.
+    advise_span_base: usize,
+    /// URIs with a loader message enqueued but not yet processed (a
+    /// pending rebuild). [`Warehouse::apply_plan`] piggybacks placement
+    /// changes on these: the loader reads the routing plan at processing
+    /// time, so a document already awaiting a rebuild migrates without a
+    /// second message or a second key sweep — which makes re-planning a
+    /// churning partition nearly free when timed with its churn.
+    pending_load: BTreeSet<String>,
+}
+
+/// Outcome of one [`Warehouse::readvise`] cadence step.
+#[derive(Debug, Clone)]
+pub struct Readvice {
+    /// The adaptive advisor's full output (chosen plan, ranked
+    /// comparison table, budget verdict).
+    pub advice: crate::adaptive::AdaptiveAdvice,
+    /// Documents re-enqueued to migrate to the chosen plan (0 when the
+    /// recommendation confirms the current placement).
+    pub migrated: u64,
 }
 
 /// How a workload run releases its query messages.
@@ -119,13 +148,26 @@ impl Warehouse {
         if let Some(plan) = &cfg.shard_plan {
             world.kv.set_shard_plan(plan.clone());
         }
-        for table in cfg.strategy.tables() {
-            world.kv.ensure_table(table);
+        match &cfg.mixed_plan {
+            // Named partitions' tables are known up-front; unnamed ones
+            // are discovered at write time and ensured on demand by the
+            // loader cores.
+            Some(plan) => {
+                for table in plan.known_tables() {
+                    world.kv.ensure_table(table);
+                }
+            }
+            None => {
+                for table in cfg.strategy.tables() {
+                    world.kv.ensure_table(table);
+                }
+            }
         }
         world.install_faults(&cfg.faults);
         if cfg.host.record {
             world.enable_recording();
         }
+        let plan = cfg.mixed_plan.clone().map(Rc::new);
         Warehouse {
             cfg,
             engine: Engine::new(world),
@@ -138,6 +180,9 @@ impl Warehouse {
             },
             controllers: 0,
             retractions: Rc::default(),
+            plan,
+            advise_span_base: 0,
+            pending_load: BTreeSet::new(),
         }
     }
 
@@ -189,6 +234,19 @@ impl Warehouse {
     /// URIs of all uploaded documents.
     pub fn documents(&self) -> &[String] {
         &self.doc_uris
+    }
+
+    /// The partitions currently holding live documents — the front end's
+    /// own catalog, derived from its upload records (no cloud call). A
+    /// fully indexed mixed plan's query processors fan their look-ups out
+    /// over this instead of paying the billed per-query corpus LIST.
+    fn partition_catalog(&self) -> Rc<std::collections::BTreeSet<String>> {
+        Rc::new(
+            self.doc_uris
+                .iter()
+                .map(|u| partition_of(u).to_string())
+                .collect(),
+        )
     }
 
     /// Total corpus size in bytes (`s(D)`).
@@ -266,6 +324,7 @@ impl Warehouse {
                 LOADER_QUEUE,
                 uri.clone(),
             );
+            self.pending_load.insert(uri.clone());
             match replaced {
                 Some(old) => self.corpus_bytes -= old.len() as u64,
                 None => self.doc_uris.push(uri),
@@ -282,14 +341,35 @@ impl Warehouse {
         }
     }
 
-    /// The index item keys the configured strategy derives for this
+    /// The index item keys the current configuration derives for this
     /// document content (host-side replay of the loader's deterministic
     /// encoding — no requests, no virtual time).
     fn item_keys_of(&self, uri: &str, bytes: &[u8]) -> Vec<ItemKey> {
-        let (_doc, entries) = self
-            .cache
-            .extracted(uri, bytes, self.cfg.strategy, self.cfg.extract);
-        entry_item_keys(&entries, &self.engine.world.kv.profile(), uri)
+        self.item_keys_under(self.cfg.mixed_plan.as_ref(), uri, bytes)
+    }
+
+    /// Like [`Warehouse::item_keys_of`] but under an explicit routing
+    /// plan (`None` = the flat configured strategy into the global
+    /// tables) — what [`Warehouse::apply_plan`] replays to find the *old*
+    /// placement's keys before switching.
+    fn item_keys_under(&self, plan: Option<&MixedPlan>, uri: &str, bytes: &[u8]) -> Vec<ItemKey> {
+        let strategy = match plan {
+            Some(p) => match p.strategy_for_uri(uri) {
+                Some(s) => s,
+                // An unindexed partition holds nothing to replay.
+                None => return Vec::new(),
+            },
+            None => self.cfg.strategy,
+        };
+        let (_doc, entries) = self.cache.extracted(uri, bytes, strategy, self.cfg.extract);
+        let profile = self.engine.world.kv.profile();
+        if plan.is_some() {
+            let mut routed = (*entries).clone();
+            retarget_entries(&mut routed, partition_of(uri));
+            entry_item_keys(&routed, &profile, uri)
+        } else {
+            entry_item_keys(&entries, &profile, uri)
+        }
     }
 
     /// Front end, churn maintenance: removes documents from the file
@@ -370,6 +450,163 @@ impl Warehouse {
         }
     }
 
+    /// Front end, plan maintenance: switches the warehouse to a new
+    /// per-partition routing plan (`None` restores the flat configured
+    /// strategy) *incrementally*. Every stored document whose placement —
+    /// effective strategy or partition tables — changes has its current
+    /// placement's item keys recorded in the retraction registry and its
+    /// loading message re-enqueued; the next [`Warehouse::build_index`]
+    /// rewrites those documents under the new plan and then deletes the
+    /// old entries (write-new-then-delete-stale, the exact machinery
+    /// churn replaces use, so a crash mid-migration retries idempotently
+    /// on redelivery). Documents whose placement is unchanged are not
+    /// touched, re-sent or re-billed; documents that already have a
+    /// rebuild pending (an unprocessed loader message — churn, typically)
+    /// piggyback on it, since the loader reads the plan at processing
+    /// time. Returns the number of documents migrating (piggybacked ones
+    /// included).
+    pub fn apply_plan(&mut self, new_plan: Option<MixedPlan>) -> u64 {
+        let flat = self.cfg.strategy;
+        // A URI's placement: (strategy, partition the tables belong to).
+        // Without a plan everything lives in the root partition's global
+        // tables; the root partition of a plan is physically identical.
+        fn placement(
+            plan: Option<&MixedPlan>,
+            flat: Strategy,
+            uri: &str,
+        ) -> Option<(Strategy, String)> {
+            match plan {
+                Some(p) => p
+                    .strategy_for_uri(uri)
+                    .map(|s| (s, partition_of(uri).to_string())),
+                None => Some((flat, String::new())),
+            }
+        }
+        let old_plan = self.cfg.mixed_plan.clone();
+        let mut migrated = 0u64;
+        let mut t = self.engine.now();
+        let uris: Vec<String> = self.doc_uris.clone();
+        for uri in uris {
+            if placement(old_plan.as_ref(), flat, &uri) == placement(new_plan.as_ref(), flat, &uri)
+            {
+                continue;
+            }
+            let Some(bytes) = self.engine.world.s3.peek(DOC_BUCKET, &uri) else {
+                continue;
+            };
+            if self.pending_load.contains(&uri) {
+                // A rebuild is already queued (churn, typically): the
+                // loader reads the routing plan at processing time, so the
+                // pending message rebuilds under the *new* placement — no
+                // second message needed. Stale keys: whoever enqueued the
+                // pending rebuild recorded the replaced version's exact
+                // key set; when the registry holds nothing the stored
+                // entries match the current bytes, so replaying them under
+                // the old placement retracts precisely what exists.
+                if !self.retractions.borrow().contains_key(&uri) {
+                    let keys = self.item_keys_under(old_plan.as_ref(), &uri, &bytes);
+                    if !keys.is_empty() {
+                        self.retractions
+                            .borrow_mut()
+                            .entry(uri.clone())
+                            .or_default()
+                            .extend(keys);
+                    }
+                }
+                migrated += 1;
+                continue;
+            }
+            // Record the old placement's keys *before* the switch makes
+            // them unreachable; the registry unions with any retraction
+            // already pending for this URI.
+            let keys = self.item_keys_under(old_plan.as_ref(), &uri, &bytes);
+            if !keys.is_empty() {
+                self.retractions
+                    .borrow_mut()
+                    .entry(uri.clone())
+                    .or_default()
+                    .extend(keys);
+            }
+            let frontend = self.frontend;
+            self.engine.world.obs.with_ctx(|c| {
+                c.phase = Phase::Build;
+                c.query = None;
+                c.doc = Some(uri.as_str().into());
+                c.actor = Some(frontend);
+            });
+            t = frontend_send(
+                &mut self.engine.world.sqs,
+                &self.cfg.retry,
+                t,
+                LOADER_QUEUE,
+                uri.clone(),
+            );
+            migrated += 1;
+        }
+        self.engine.world.obs.with_ctx(|c| *c = Default::default());
+        if let Some(p) = &new_plan {
+            for table in p.known_tables() {
+                self.engine.world.kv.ensure_table(table);
+            }
+        }
+        self.cfg.mixed_plan = new_plan;
+        self.plan = self.cfg.mixed_plan.clone().map(Rc::new);
+        migrated
+    }
+
+    /// The routing plan in force (`None` = the flat configured strategy).
+    pub fn mixed_plan(&self) -> Option<&MixedPlan> {
+        self.cfg.mixed_plan.as_ref()
+    }
+
+    /// Front end, adaptive switching: re-advises from **live
+    /// attribution** and migrates to the recommendation incrementally —
+    /// the cadence step of the adaptive advisor (call it periodically;
+    /// each call is host-side analysis plus only the migration's own
+    /// billed writes).
+    ///
+    /// The observed workload comes from the warehouse's recorded spans
+    /// ([`amada_obs::Attribution::query_families`] collapses open-loop
+    /// arrival names onto their base query), so `cfg.host.record` must be
+    /// on for traffic to register — with recording off the advisor sees a
+    /// scan-only future and honestly recommends not indexing. Each call
+    /// reads only the spans recorded *since the previous call* (the
+    /// observation window), so `horizon.expected_runs` means "windows
+    /// like the one just observed" and a drifting workload re-plans from
+    /// what changed. The sample is the live corpus itself (host-side
+    /// peek, free). The chosen plan is applied via
+    /// [`Warehouse::apply_plan`]: only documents whose placement changes
+    /// are re-enqueued, so a re-advise that confirms the current plan
+    /// migrates nothing and costs nothing.
+    pub fn readvise(
+        &mut self,
+        catalog: &[Query],
+        churn: &std::collections::BTreeMap<String, u64>,
+        horizon: &crate::adaptive::Horizon,
+    ) -> Readvice {
+        let spans = self.spans();
+        let base = self.advise_span_base.min(spans.len());
+        self.advise_span_base = spans.len();
+        let attr = amada_obs::Attribution::attribute(&spans[base..]);
+        let families = crate::adaptive::observed_families(&attr, catalog);
+        let sample: Vec<(String, String)> = self
+            .engine
+            .world
+            .s3
+            .peek_all(DOC_BUCKET)
+            .into_iter()
+            .map(|(uri, bytes)| {
+                let xml = String::from_utf8(bytes.as_ref().clone())
+                    .expect("stored documents are UTF-8 XML");
+                (uri, xml)
+            })
+            .collect();
+        let advice =
+            crate::adaptive::advise_adaptive(&sample, &families, churn, horizon, &self.cfg);
+        let migrated = self.apply_plan(Some(advice.chosen.plan.clone()));
+        Readvice { advice, migrated }
+    }
+
     /// Parses and extracts every stored document across all host cores,
     /// filling the host cache so the engine's loader steps become cache
     /// hits. Wall-clock only: reads the file store without billing and
@@ -379,7 +616,14 @@ impl Warehouse {
     /// the query paths when `cfg.host.prewarm` is set.
     pub fn prewarm(&self) -> PrewarmReport {
         let docs = self.engine.world.s3.peek_all(DOC_BUCKET);
-        let combos = [(self.cfg.strategy, self.cfg.extract)];
+        let combos: Vec<(Strategy, amada_index::ExtractOptions)> = match &self.cfg.mixed_plan {
+            Some(plan) => plan
+                .indexed_strategies()
+                .into_iter()
+                .map(|s| (s, self.cfg.extract))
+                .collect(),
+            None => vec![(self.cfg.strategy, self.cfg.extract)],
+        };
         amada_index::parallel::prewarm(&self.cache, &docs, &combos)
     }
 
@@ -416,6 +660,7 @@ impl Warehouse {
         let totals = totals.clone();
         let cache = self.cache.clone();
         let retractions = self.retractions.clone();
+        let plan = self.plan.clone();
         let mut next_core: u64 = 0;
         Box::new(move |world: &mut World, t: SimTime, boot: SimDuration| {
             let id = world.ec2.launch(pool.itype, t);
@@ -448,6 +693,7 @@ impl Warehouse {
                 );
                 core.drain = Some(sig.clone());
                 core.retractions = retractions.clone();
+                core.plan = plan.clone();
                 world.spawn_actor(t + boot, Box::new(core));
             }
             sig
@@ -469,6 +715,10 @@ impl Warehouse {
         let seed = self.cfg.faults.seed;
         let executions = executions.clone();
         let cache = self.cache.clone();
+        // The no-index baseline bypasses routing, so the plan rides along
+        // only when the pool queries the index at all.
+        let plan = strategy.and(self.plan.clone());
+        let partitions = self.partition_catalog();
         let mut next: u64 = 0;
         Box::new(move |world: &mut World, t: SimTime, boot: SimDuration| {
             let id = world.ec2.launch(pool.itype, t);
@@ -491,6 +741,8 @@ impl Warehouse {
                 cores: pool.itype.cores(),
                 ecu: pool.itype.ecu_per_core(),
                 strategy,
+                plan: plan.clone(),
+                partitions: partitions.clone(),
                 opts: extract,
                 cache: cache.clone(),
                 visibility,
@@ -542,6 +794,7 @@ impl Warehouse {
                 );
                 for mut core in cores {
                     core.retractions = self.retractions.clone();
+                    core.plan = self.plan.clone();
                     self.engine.spawn(Box::new(core), start);
                 }
             }
@@ -571,6 +824,9 @@ impl Warehouse {
                 .extend(amada_cloud::InstanceId(i), end);
         }
         self.engine.world.sqs.open(LOADER_QUEUE);
+        // The loader queue is drained: every pending rebuild has been
+        // processed under the plan in force.
+        self.pending_load.clear();
         let totals = Rc::try_unwrap(totals)
             .expect("actors are gone")
             .into_inner();
@@ -781,7 +1037,7 @@ impl Warehouse {
         let scale_events: ScaleEvents = Rc::new(RefCell::new(Vec::new()));
         match self.cfg.query_autoscale {
             None => {
-                for core in QueryCore::pool(
+                for mut core in QueryCore::pool(
                     &self.cfg,
                     &mut self.engine.world,
                     start,
@@ -789,6 +1045,10 @@ impl Warehouse {
                     &executions,
                     &self.cache,
                 ) {
+                    // The no-index baseline (strategy None) bypasses
+                    // routing even under a mixed plan.
+                    core.plan = strategy.and(self.plan.clone());
+                    core.partitions = self.partition_catalog();
                     self.engine.spawn(Box::new(core), start);
                 }
             }
@@ -1188,6 +1448,285 @@ mod tests {
         let nop = w.delete_documents(["ghost.xml"]);
         assert_eq!(nop.documents, 0);
         assert_eq!(nop.index_items_removed, 0);
+    }
+
+    /// The partitioned corpus for mixed-plan tests: a third of the
+    /// documents in `hot/`, a third in `cold/`, a third in the root.
+    fn partitioned_corpus() -> Vec<(String, String)> {
+        small_corpus()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (uri, xml))| (format!("{}{uri}", ["hot/", "cold/", ""][i % 3]), xml))
+            .collect()
+    }
+
+    fn mixed_plan() -> amada_index::MixedPlan {
+        amada_index::MixedPlan::uniform(Some(Strategy::Lup))
+            .with("hot", Some(Strategy::TwoLupi))
+            .with("cold", None)
+    }
+
+    #[test]
+    fn mixed_plan_answers_match_the_no_index_baseline() {
+        let mut cfg = WarehouseConfig::with_strategy(Strategy::Lup);
+        cfg.mixed_plan = Some(mixed_plan());
+        let mut w = Warehouse::new(cfg);
+        w.upload_documents(partitioned_corpus());
+        let build = w.build_index();
+        assert!(build.items > 0);
+        // The hot partition got its own tables; the cold one got none.
+        let tables: std::collections::BTreeSet<String> = w
+            .world()
+            .kv
+            .peek_all()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        assert!(tables.iter().any(|t| t.ends_with("@hot")), "{tables:?}");
+        assert!(!tables.iter().any(|t| t.ends_with("@cold")), "{tables:?}");
+        for qname in ["q1", "q2", "q4", "q8"] {
+            let q = workload_query(qname).unwrap();
+            let with = w.run_query(&q);
+            let without = w.run_query_no_index(&q);
+            let mut a = with.exec.results.clone();
+            let mut b = without.exec.results.clone();
+            a.sort_by(|x, y| x.columns.cmp(&y.columns));
+            b.sort_by(|x, y| x.columns.cmp(&y.columns));
+            assert_eq!(a, b, "{qname} under the mixed plan");
+        }
+    }
+
+    /// A *fully indexed* plan skips the billed per-query corpus LIST and
+    /// fans its look-ups out over the front end's partition catalog
+    /// instead. Regression: the catalog must cover partitions the plan
+    /// does not name (routed via the default) — deriving the fan-out from
+    /// the (skipped) listing used to return zero candidates everywhere.
+    #[test]
+    fn fully_indexed_plan_answers_without_a_corpus_listing() {
+        // Named hot/cold partitions plus the unnamed root partition,
+        // which only the catalog knows about.
+        let plan = amada_index::MixedPlan::uniform(Some(Strategy::Lu))
+            .with("hot", Some(Strategy::TwoLupi))
+            .with("cold", Some(Strategy::Lui));
+        assert!(plan.fully_indexed());
+        let mut cfg = WarehouseConfig::with_strategy(Strategy::Lup);
+        cfg.mixed_plan = Some(plan);
+        let mut w = Warehouse::new(cfg);
+        w.upload_documents(partitioned_corpus());
+        w.build_index();
+        for qname in ["q1", "q4", "q6"] {
+            let q = workload_query(qname).unwrap();
+            let lists_before = w.world().s3.stats().get_requests;
+            let with = w.run_query(&q);
+            assert!(
+                with.exec.docs_from_index > 0 || with.exec.results.is_empty(),
+                "{qname}: candidates come from the index, not a scan"
+            );
+            // The only get-class S3 requests are the candidate fetches
+            // plus the front end retrieving the one result object — no
+            // corpus LIST rode along.
+            assert_eq!(
+                w.world().s3.stats().get_requests - lists_before,
+                with.exec.docs_fetched as u64 + 1,
+                "{qname}: a fully indexed plan pays no corpus LIST"
+            );
+            let without = w.run_query_no_index(&q);
+            let mut a = with.exec.results.clone();
+            let mut b = without.exec.results.clone();
+            a.sort_by(|x, y| x.columns.cmp(&y.columns));
+            b.sort_by(|x, y| x.columns.cmp(&y.columns));
+            assert_eq!(a, b, "{qname} under the fully indexed plan");
+            assert!(!a.is_empty() || qname != "q1", "q1 has a known answer");
+        }
+    }
+
+    /// Switching plans migrates incrementally, and the migrated index is
+    /// *byte-identical* to a fresh build under the target plan — in both
+    /// directions (flat → mixed → flat).
+    #[test]
+    fn plan_migration_matches_a_fresh_build() {
+        let mut migrated = Warehouse::new(WarehouseConfig::with_strategy(Strategy::Lu));
+        migrated.upload_documents(partitioned_corpus());
+        migrated.build_index();
+        let moved = migrated.apply_plan(Some(mixed_plan()));
+        assert!(moved > 0, "every placement changed");
+        let build = migrated.build_index();
+        assert!(
+            build.retracted_items > 0,
+            "migration must retract the old placement"
+        );
+        let mut cfg = WarehouseConfig::with_strategy(Strategy::Lu);
+        cfg.mixed_plan = Some(mixed_plan());
+        let mut fresh = Warehouse::new(cfg);
+        fresh.upload_documents(partitioned_corpus());
+        fresh.build_index();
+        assert_eq!(
+            migrated.world().kv.peek_all(),
+            fresh.world().kv.peek_all(),
+            "migrated mixed index != fresh mixed build"
+        );
+        // And back: dropping the plan restores the flat layout.
+        migrated.apply_plan(None);
+        migrated.build_index();
+        let mut flat = Warehouse::new(WarehouseConfig::with_strategy(Strategy::Lu));
+        flat.upload_documents(partitioned_corpus());
+        flat.build_index();
+        assert_eq!(
+            migrated.world().kv.peek_all(),
+            flat.world().kv.peek_all(),
+            "unmigrated index != flat build"
+        );
+    }
+
+    /// A plan change ordered while documents are already queued for
+    /// rebuild (churn upload and re-advise in the same maintenance
+    /// window) piggybacks on the pending loader messages: the loader
+    /// reads the new plan at processing time, so nothing is enqueued or
+    /// rebuilt twice. Cheaper than migrating eagerly before the churn —
+    /// and still byte-identical to a fresh build of the final state.
+    #[test]
+    fn plan_change_piggybacks_on_pending_rebuilds() {
+        let plan_a =
+            amada_index::MixedPlan::uniform(Some(Strategy::Lup)).with("hot", Some(Strategy::Lui));
+        let plan_b =
+            amada_index::MixedPlan::uniform(Some(Strategy::Lup)).with("hot", Some(Strategy::Lu));
+        let mut cfg = WarehouseConfig::with_strategy(Strategy::Lup);
+        cfg.mixed_plan = Some(plan_a);
+        // The churn round: every hot document replaced with new content
+        // (its neighbour's, which parses and differs).
+        let originals = partitioned_corpus();
+        let replacements: Vec<(String, String)> = originals
+            .iter()
+            .enumerate()
+            .filter(|(_, (uri, _))| uri.starts_with("hot/"))
+            .map(|(i, (uri, _))| (uri.clone(), originals[(i + 1) % originals.len()].1.clone()))
+            .collect();
+        assert!(!replacements.is_empty());
+
+        // Piggybacked: upload the churn, then switch plans while those
+        // rebuilds are still queued, then process the queue once.
+        let mut piggy = Warehouse::new(cfg.clone());
+        piggy.upload_documents(originals.clone());
+        piggy.build_index();
+        piggy.upload_documents(replacements.clone());
+        assert_eq!(
+            piggy.apply_plan(Some(plan_b.clone())),
+            replacements.len() as u64,
+            "every hot document's placement changed"
+        );
+        let report = piggy.build_index();
+        assert!(
+            report.retracted_items > 0,
+            "the old LUI placement must be retracted"
+        );
+
+        // Eager: migrate first (its own rebuild), then pay the churn
+        // rebuild on top — two queue round-trips per hot document.
+        let mut eager = Warehouse::new(cfg.clone());
+        eager.upload_documents(originals.clone());
+        eager.build_index();
+        eager.apply_plan(Some(plan_b.clone()));
+        eager.build_index();
+        eager.upload_documents(replacements.clone());
+        eager.build_index();
+
+        // Same final state, byte for byte, as building the final corpus
+        // from scratch under the target plan…
+        let mut final_docs: std::collections::BTreeMap<String, String> =
+            originals.into_iter().collect();
+        final_docs.extend(replacements);
+        let mut fresh_cfg = WarehouseConfig::with_strategy(Strategy::Lup);
+        fresh_cfg.mixed_plan = Some(plan_b);
+        let mut fresh = Warehouse::new(fresh_cfg);
+        fresh.upload_documents(final_docs);
+        fresh.build_index();
+        assert_eq!(piggy.world().kv.peek_all(), fresh.world().kv.peek_all());
+        assert_eq!(eager.world().kv.peek_all(), fresh.world().kv.peek_all());
+        // …and the piggybacked path is strictly cheaper.
+        assert!(
+            piggy.total_cost().total() < eager.total_cost().total(),
+            "piggyback {} vs eager {}",
+            piggy.total_cost().total(),
+            eager.total_cost().total()
+        );
+    }
+
+    /// Re-applying the current plan is free: nothing is placed
+    /// differently, so nothing is enqueued or retracted.
+    #[test]
+    fn reapplying_the_same_plan_migrates_nothing() {
+        let mut cfg = WarehouseConfig::with_strategy(Strategy::Lup);
+        cfg.mixed_plan = Some(mixed_plan());
+        let mut w = Warehouse::new(cfg);
+        w.upload_documents(partitioned_corpus());
+        w.build_index();
+        assert_eq!(w.apply_plan(Some(mixed_plan())), 0);
+        // A flat warehouse adopting the uniform root plan is also free:
+        // the root partition keeps the global tables.
+        let mut flat = Warehouse::new(WarehouseConfig::with_strategy(Strategy::Lup));
+        flat.upload_documents(small_corpus());
+        flat.build_index();
+        assert_eq!(
+            flat.apply_plan(Some(amada_index::MixedPlan::uniform(Some(Strategy::Lup)))),
+            0
+        );
+    }
+
+    /// The adaptive cadence: a recording warehouse serves live traffic,
+    /// re-advises from its own attribution, migrates to the chosen plan
+    /// incrementally — and a second re-advise under the same traffic
+    /// confirms the plan (migrates nothing), so the cadence is cheap at
+    /// steady state.
+    #[test]
+    fn readvising_from_live_attribution_converges() {
+        let mut cfg = WarehouseConfig::with_strategy(Strategy::Lup);
+        cfg.host.record = true;
+        let mut w = Warehouse::new(cfg);
+        w.upload_documents(partitioned_corpus());
+        w.build_index();
+        // Live traffic: the selective query, repeatedly.
+        let catalog = vec![workload_query("q1").unwrap(), workload_query("q6").unwrap()];
+        for _ in 0..4 {
+            w.run_query(&catalog[0]);
+        }
+        w.run_query(&catalog[1]);
+        let churn = std::collections::BTreeMap::new();
+        let horizon = crate::adaptive::Horizon {
+            expected_runs: 200,
+            months: 1.0,
+            budget_per_month: None,
+            response_slo: None,
+        };
+        let first = w.readvise(&catalog, &churn, &horizon);
+        // The observed families reflect the traffic actually served.
+        assert!(first.advice.budget_met);
+        assert!(!first.advice.ranked.is_empty());
+        assert_eq!(
+            w.mixed_plan(),
+            Some(&first.advice.chosen.plan),
+            "the chosen plan is in force"
+        );
+        // Apply the migration, then serve the same traffic profile in
+        // the next observation window.
+        if first.migrated > 0 {
+            w.build_index();
+        }
+        for _ in 0..4 {
+            w.run_query(&catalog[0]);
+        }
+        w.run_query(&catalog[1]);
+        // Steady state: an unchanged traffic window re-advises to the
+        // same plan and migrates nothing.
+        let second = w.readvise(&catalog, &churn, &horizon);
+        assert_eq!(second.advice.chosen.label, first.advice.chosen.label);
+        assert_eq!(second.migrated, 0, "confirming the plan is free");
+        // Answers survived the migration.
+        let q = &catalog[0];
+        let mut with = w.run_query(q).exec.results;
+        let mut without = w.run_query_no_index(q).exec.results;
+        with.sort_by(|x, y| x.columns.cmp(&y.columns));
+        without.sort_by(|x, y| x.columns.cmp(&y.columns));
+        assert_eq!(with, without, "answers unchanged after migration");
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod key;
 pub mod loadutil;
 pub mod lookup;
 pub mod parallel;
+pub mod partition;
 pub mod pushdown;
 pub mod shard;
 pub mod store;
@@ -42,8 +43,14 @@ pub use loadutil::{
     entry_item_keys, index_document, index_documents, retract_keys, stale_keys, write_entries,
     DocIndexing, ItemKey,
 };
-pub use lookup::{lookup_pattern, lookup_query, LookupOutcome, QueryLookup};
+pub use lookup::{
+    lookup_pattern, lookup_pattern_in, lookup_query, LookupOutcome, QueryLookup, StrategyTables,
+};
 pub use parallel::{prewarm, PrewarmReport};
+pub use partition::{
+    index_documents_mixed, lookup_mixed, partition_lookup_tables, partition_of, partition_table,
+    partition_tables, retarget_entries, MixedPlan,
+};
 pub use pushdown::{decode_tuples, encode_tuples, ScanPredicate};
 pub use shard::{hottest_keys, key_frequencies, skew_aware_plan};
 pub use store::UuidGen;

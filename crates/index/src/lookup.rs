@@ -106,6 +106,29 @@ pub fn lookup_query(
     })
 }
 
+/// The physical tables a strategy's look-up reads. Defaults to the
+/// global table constants; per-partition routing ([`crate::partition`])
+/// points them at a partition's own tables instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrategyTables {
+    /// Single-table strategies (LU / LUP / LUI / LUP-PD).
+    pub main: &'static str,
+    /// 2LUPI path sub-index.
+    pub path: &'static str,
+    /// 2LUPI ID sub-index.
+    pub id: &'static str,
+}
+
+impl Default for StrategyTables {
+    fn default() -> Self {
+        StrategyTables {
+            main: TABLE_MAIN,
+            path: TABLE_PATH,
+            id: TABLE_ID,
+        }
+    }
+}
+
 /// Looks up a single tree pattern.
 pub fn lookup_pattern(
     store: &mut dyn KvStore,
@@ -114,22 +137,42 @@ pub fn lookup_pattern(
     opts: ExtractOptions,
     pattern: &TreePattern,
 ) -> Result<LookupOutcome, KvError> {
+    lookup_pattern_in(
+        store,
+        now,
+        strategy,
+        opts,
+        pattern,
+        StrategyTables::default(),
+    )
+}
+
+/// Looks up a single tree pattern against an explicit table set (the
+/// default tables, or one partition's tables under a mixed plan).
+pub fn lookup_pattern_in(
+    store: &mut dyn KvStore,
+    now: SimTime,
+    strategy: Strategy,
+    opts: ExtractOptions,
+    pattern: &TreePattern,
+    tables: StrategyTables,
+) -> Result<LookupOutcome, KvError> {
     match strategy {
-        Strategy::Lu => lookup_lu(store, now, opts, pattern),
+        Strategy::Lu => lookup_lu(store, now, opts, pattern, tables.main),
         // LUP-PD narrows candidates exactly like LUP; only the fetch side
         // differs (the query core scans candidates server-side instead of
         // GET-ing them).
-        Strategy::Lup | Strategy::LupPd => lookup_lup(store, now, opts, pattern, TABLE_MAIN),
-        Strategy::Lui => lookup_lui(store, now, opts, pattern, TABLE_MAIN, None),
+        Strategy::Lup | Strategy::LupPd => lookup_lup(store, now, opts, pattern, tables.main),
+        Strategy::Lui => lookup_lui(store, now, opts, pattern, tables.main, None),
         Strategy::TwoLupi => {
             // Phase 1: LUP on the path table → R1(URI).
-            let r1 = lookup_lup(store, now, opts, pattern, TABLE_PATH)?;
+            let r1 = lookup_lup(store, now, opts, pattern, tables.path)?;
             if r1.uris.is_empty() {
                 return Ok(r1);
             }
             let reduce: BTreeSet<String> = r1.uris.iter().cloned().collect();
             // Phase 2: ID twig join reduced to R1.
-            let mut r2 = lookup_lui(store, r1.ready_at, opts, pattern, TABLE_ID, Some(&reduce))?;
+            let mut r2 = lookup_lui(store, r1.ready_at, opts, pattern, tables.id, Some(&reduce))?;
             r2.entries_processed += r1.entries_processed;
             r2.get_ops += r1.get_ops;
             Ok(r2)
@@ -233,13 +276,14 @@ fn lookup_lu(
     now: SimTime,
     opts: ExtractOptions,
     pattern: &TreePattern,
+    table: &str,
 ) -> Result<LookupOutcome, KvError> {
     let node_keys = pattern_keys(pattern, opts);
     let keys: Vec<String> = node_keys
         .iter()
         .flat_map(|nk| std::iter::once(nk.main_key.clone()).chain(nk.word_keys.iter().cloned()))
         .collect();
-    let (by_key, ready_at, get_ops) = fetch_keys(store, now, TABLE_MAIN, &keys)?;
+    let (by_key, ready_at, get_ops) = fetch_keys(store, now, table, &keys)?;
     let mut entries = 0u64;
     let mut result: Option<BTreeSet<String>> = None;
     let mut sorted_keys: Vec<&String> = keys.iter().collect();

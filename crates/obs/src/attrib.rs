@@ -10,6 +10,37 @@
 use amada_cloud::{Money, Phase, ServiceKind, Span};
 use std::collections::BTreeMap;
 
+/// The family of a query name: open-loop traffic tags each arrival
+/// `{query}#{seq}` (`q1#17`), so summing per *name* fragments one logical
+/// query over its arrivals. This strips a trailing all-digit `#seq`
+/// suffix; names without one (closed-loop runs) are their own family.
+pub fn query_family(name: &str) -> &str {
+    match name.rsplit_once('#') {
+        Some((base, seq))
+            if !base.is_empty() && !seq.is_empty() && seq.bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            base
+        }
+        _ => name,
+    }
+}
+
+/// The partition of a document URI: its directory prefix (`hot/d3.xml` →
+/// `hot`), or the root partition `""` for a bare name — the same
+/// convention the index layer's per-partition routing uses.
+fn doc_partition(uri: &str) -> &str {
+    uri.split_once('/').map_or("", |(p, _)| p)
+}
+
+/// One query family's load and spend, rolled up over its arrivals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FamilyCost {
+    /// Distinct arrivals attributed to the family (one per tagged name).
+    pub arrivals: u64,
+    /// Total billed across those arrivals.
+    pub billed: Money,
+}
+
 /// Billed money decomposed along the span context tags.
 #[derive(Debug, Clone, Default)]
 pub struct Attribution {
@@ -65,6 +96,34 @@ impl Attribution {
     /// phase). Used by reconciliation tests and debug assertions.
     pub fn phases_sum_to_total(&self) -> bool {
         self.by_phase.values().copied().sum::<Money>() == self.total
+    }
+
+    /// Rolls the per-query decomposition up into query *families*:
+    /// open-loop arrival names `{query}#{seq}` collapse onto their base
+    /// query ([`query_family`]), yielding each family's arrival count and
+    /// total spend — the workload profile the adaptive advisor consumes
+    /// (how often does each query really run, and what does it cost?).
+    pub fn query_families(&self) -> BTreeMap<String, FamilyCost> {
+        let mut out: BTreeMap<String, FamilyCost> = BTreeMap::new();
+        for (name, &billed) in &self.by_query {
+            let f = out.entry(query_family(name).to_string()).or_default();
+            f.arrivals += 1;
+            f.billed += billed;
+        }
+        out
+    }
+
+    /// Rolls the per-document decomposition up into *partitions* (the
+    /// URI's directory prefix, `""` for the root) — which slices of the
+    /// corpus the money is actually spent on. Build- and maintenance-
+    /// phase spans are doc-tagged, so a churning partition shows up here
+    /// as sustained spend long after the initial build.
+    pub fn partition_costs(&self) -> BTreeMap<String, Money> {
+        let mut out: BTreeMap<String, Money> = BTreeMap::new();
+        for (uri, &billed) in &self.by_doc {
+            *out.entry(doc_partition(uri).to_string()).or_default() += billed;
+        }
+        out
     }
 
     /// Renders the per-phase × per-service table as fixed-width text.
@@ -162,6 +221,57 @@ mod tests {
         ];
         let a = Attribution::attribute(&spans);
         assert_eq!(a.by_doc["doc-3.xml"], Money::from_pico(18));
+    }
+
+    #[test]
+    fn open_loop_arrivals_collapse_into_query_families() {
+        assert_eq!(query_family("q1#17"), "q1");
+        assert_eq!(query_family("q1"), "q1");
+        assert_eq!(query_family("q1#"), "q1#", "empty seq is not a family tag");
+        assert_eq!(query_family("q#1#2"), "q#1", "only the last suffix strips");
+        assert_eq!(query_family("#3"), "#3", "empty base is not a family tag");
+        let spans = vec![
+            span(Phase::Query, ServiceKind::Kv, Some("q1#0"), 5),
+            span(Phase::Query, ServiceKind::Kv, Some("q1#1"), 7),
+            span(Phase::Query, ServiceKind::Sqs, Some("q1#1"), 2),
+            span(Phase::Query, ServiceKind::Kv, Some("q6"), 11),
+        ];
+        let fam = Attribution::attribute(&spans).query_families();
+        assert_eq!(fam.len(), 2);
+        assert_eq!(fam["q1"].arrivals, 2, "two tagged arrivals, not 3 spans");
+        assert_eq!(fam["q1"].billed, Money::from_pico(14));
+        assert_eq!(fam["q6"].arrivals, 1);
+        assert_eq!(fam["q6"].billed, Money::from_pico(11));
+    }
+
+    #[test]
+    fn doc_costs_roll_up_by_partition() {
+        let doc_span = |uri: &str, pico: u128| {
+            let ctx = Ctx {
+                phase: Phase::Build,
+                query: None,
+                doc: Some(uri.into()),
+                actor: None,
+            };
+            Span::new(
+                ServiceKind::Kv,
+                "batch_put",
+                SimTime::ZERO,
+                SimTime(1),
+                &ctx,
+            )
+            .billed(Money::from_pico(pico))
+        };
+        let spans = vec![
+            doc_span("hot/a.xml", 10),
+            doc_span("hot/b.xml", 20),
+            doc_span("cold/c.xml", 3),
+            doc_span("d.xml", 1),
+        ];
+        let parts = Attribution::attribute(&spans).partition_costs();
+        assert_eq!(parts["hot"], Money::from_pico(30));
+        assert_eq!(parts["cold"], Money::from_pico(3));
+        assert_eq!(parts[""], Money::from_pico(1), "bare names hit the root");
     }
 
     #[test]

@@ -130,7 +130,7 @@ fn main() {
     // ----- 5. Per-query structural hints from the DataGuide summary
     // (the paper's Section 8.5 criterion for LUI/2LUPI).
     println!("\n== Per-query strategy hints (DataGuide summary) ==");
-    for (name, hints) in advise_queries(&sample, &queries) {
+    for (name, hints) in advise_queries(&sample, &queries).expect("sample corpus parses") {
         for (i, h) in hints.iter().enumerate() {
             println!(
                 "  {name} pattern {}: {} branch(es), est. selectivity {:.3}, \

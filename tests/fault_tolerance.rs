@@ -117,6 +117,8 @@ fn query_processor_crash_is_recovered() {
         cores: 2,
         ecu: 2.0,
         strategy: Some(Strategy::Lu),
+        plan: None,
+        partitions: Rc::default(),
         opts: cfg.extract,
         cache: cache.clone(),
         visibility: cfg.visibility,
